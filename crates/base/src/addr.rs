@@ -1,0 +1,159 @@
+//! Address newtypes for the simulation's three address spaces.
+//!
+//! The WL-Reviver paper distinguishes (§I-B):
+//!
+//! * **Application addresses** ([`AppAddr`]) — what the workload issues.
+//!   The OS maps application pages onto physical pages; this level only
+//!   exists so that page retirement can transparently relocate a hot page.
+//! * **Physical addresses** ([`Pa`]) — what software (including the OS)
+//!   uses to access the memory device. A PA names one wear-leveling block.
+//! * **Device addresses** ([`Da`]) — the persistent identity of a memory
+//!   block inside the PCM chip. The wear-leveling scheme maintains the
+//!   PA→DA bijection.
+//!
+//! All three are indices of 64-byte blocks, not byte addresses; the
+//! conversion to bytes is owned by [`crate::geometry::Geometry`]. Using
+//! distinct newtypes makes it a type error to feed a PA where a DA is
+//! expected — the exact confusion the paper's Figure 1 warns about.
+
+use core::fmt;
+
+/// An application-level block address (pre-OS-translation).
+///
+/// ```
+/// use wlr_base::addr::AppAddr;
+/// let a = AppAddr::new(7);
+/// assert_eq!(a.index(), 7);
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct AppAddr(u64);
+
+/// A software-visible physical block address (PA).
+///
+/// ```
+/// use wlr_base::addr::Pa;
+/// assert!(Pa::new(3) < Pa::new(4));
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Pa(u64);
+
+/// A device block address (DA): the permanent identity of a PCM block.
+///
+/// ```
+/// use wlr_base::addr::Da;
+/// assert_eq!(format!("{}", Da::new(10)), "DA(10)");
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Da(u64);
+
+/// An OS page identifier in PA space (page = `blocks_per_page` consecutive PAs).
+///
+/// ```
+/// use wlr_base::addr::PageId;
+/// assert_eq!(PageId::new(2).index(), 2);
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct PageId(u64);
+
+macro_rules! impl_addr {
+    ($ty:ident, $label:expr) => {
+        impl $ty {
+            /// Wraps a raw block index.
+            #[inline]
+            pub const fn new(index: u64) -> Self {
+                Self(index)
+            }
+
+            /// Returns the raw block index.
+            #[inline]
+            pub const fn index(self) -> u64 {
+                self.0
+            }
+
+            /// Returns the raw index as `usize` for table lookups.
+            ///
+            /// # Panics
+            ///
+            /// Panics if the index does not fit in `usize` (only possible on
+            /// 32-bit hosts with >4G-block geometries, which the simulator
+            /// does not support).
+            #[inline]
+            pub fn as_usize(self) -> usize {
+                usize::try_from(self.0).expect("address exceeds usize")
+            }
+
+            /// Returns the address offset by `delta` blocks.
+            #[inline]
+            #[must_use]
+            pub const fn offset(self, delta: u64) -> Self {
+                Self(self.0 + delta)
+            }
+        }
+
+        impl fmt::Debug for $ty {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($label, "({})"), self.0)
+            }
+        }
+
+        impl fmt::Display for $ty {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($label, "({})"), self.0)
+            }
+        }
+
+        impl From<$ty> for u64 {
+            fn from(a: $ty) -> u64 {
+                a.0
+            }
+        }
+    };
+}
+
+impl_addr!(AppAddr, "App");
+impl_addr!(Pa, "PA");
+impl_addr!(Da, "DA");
+impl_addr!(PageId, "Page");
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn newtypes_round_trip() {
+        assert_eq!(Pa::new(5).index(), 5);
+        assert_eq!(Da::new(9).as_usize(), 9);
+        assert_eq!(u64::from(AppAddr::new(11)), 11);
+        assert_eq!(PageId::new(3).offset(4), PageId::new(7));
+    }
+
+    #[test]
+    fn ordering_follows_index() {
+        assert!(Da::new(1) < Da::new(2));
+        assert!(Pa::new(10) > Pa::new(2));
+    }
+
+    #[test]
+    fn debug_and_display_are_labelled() {
+        assert_eq!(format!("{:?}", Pa::new(1)), "PA(1)");
+        assert_eq!(format!("{}", Da::new(2)), "DA(2)");
+        assert_eq!(format!("{}", AppAddr::new(3)), "App(3)");
+        assert_eq!(format!("{:?}", PageId::new(4)), "Page(4)");
+    }
+
+    #[test]
+    fn hashable_in_sets() {
+        let mut s = HashSet::new();
+        s.insert(Da::new(1));
+        s.insert(Da::new(1));
+        s.insert(Da::new(2));
+        assert_eq!(s.len(), 2);
+    }
+
+    #[test]
+    fn default_is_zero() {
+        assert_eq!(Pa::default(), Pa::new(0));
+        assert_eq!(Da::default(), Da::new(0));
+    }
+}

@@ -1,0 +1,287 @@
+//! Deterministic pseudo-random number generation.
+//!
+//! Every stochastic element of the simulation — cell lifetimes, workload
+//! sampling, wear-leveling keys — derives from one experiment seed, so that
+//! every figure in `EXPERIMENTS.md` is exactly reproducible. We implement
+//! the generators ourselves (SplitMix64 and Xoshiro256**) instead of taking
+//! a dependency because the external crates do not guarantee value-stable
+//! output across versions, and a silent change would invalidate recorded
+//! experiment outputs.
+//!
+//! * [`SplitMix64`] — a tiny state-expansion generator, used to seed
+//!   Xoshiro streams and to derive independent sub-streams (one per PCM
+//!   block, one per trace, ...) from `(seed, index)` pairs.
+//! * [`Rng`] — Xoshiro256** 1.0 (Blackman & Vigna), the workhorse bulk
+//!   generator: fast, 256-bit state, passes BigCrush.
+
+/// SplitMix64 (Steele, Lea & Flood): expands a 64-bit seed into a stream of
+/// well-mixed 64-bit values. Primarily used to initialize [`Rng`] state and
+/// to hash `(seed, stream)` pairs into independent sub-seeds.
+///
+/// ```
+/// use wlr_base::rng::SplitMix64;
+/// let mut a = SplitMix64::new(1);
+/// let mut b = SplitMix64::new(1);
+/// assert_eq!(a.next_u64(), b.next_u64());
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    /// Creates a generator from a 64-bit seed.
+    pub const fn new(seed: u64) -> Self {
+        SplitMix64 { state: seed }
+    }
+
+    /// Produces the next 64-bit value.
+    #[inline]
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Hashes a `(seed, stream)` pair into a sub-seed, statistically
+    /// independent for distinct `stream` values. Used to give every PCM
+    /// block its own lifetime-sampling stream without storing RNG state
+    /// per block.
+    #[inline]
+    pub fn mix(seed: u64, stream: u64) -> u64 {
+        let mut sm = SplitMix64::new(seed ^ stream.wrapping_mul(0xA24B_AED4_963E_E407));
+        sm.next_u64()
+    }
+}
+
+/// Xoshiro256** 1.0: the simulation's bulk generator.
+///
+/// ```
+/// use wlr_base::rng::Rng;
+/// let mut rng = Rng::seed_from(7);
+/// let v = rng.gen_range(10);
+/// assert!(v < 10);
+/// let f = rng.gen_f64();
+/// assert!((0.0..1.0).contains(&f));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Rng {
+    s: [u64; 4],
+}
+
+impl Rng {
+    /// Seeds the generator by expanding `seed` through SplitMix64, per the
+    /// xoshiro authors' recommendation.
+    pub fn seed_from(seed: u64) -> Self {
+        let mut sm = SplitMix64::new(seed);
+        let mut s = [0u64; 4];
+        for slot in &mut s {
+            *slot = sm.next_u64();
+        }
+        // Xoshiro's all-zero state is absorbing; SplitMix64 cannot emit four
+        // consecutive zeros, but guard anyway for explicit state loads.
+        if s == [0, 0, 0, 0] {
+            s[0] = 0x9E37_79B9_7F4A_7C15;
+        }
+        Rng { s }
+    }
+
+    /// Derives an independent generator for sub-stream `stream` of `seed`.
+    /// Distinct streams are decorrelated through SplitMix64 mixing.
+    pub fn stream(seed: u64, stream: u64) -> Self {
+        Rng::seed_from(SplitMix64::mix(seed, stream))
+    }
+
+    /// Produces the next 64 random bits.
+    #[inline]
+    pub fn next_u64(&mut self) -> u64 {
+        let result = self.s[1]
+            .wrapping_mul(5)
+            .rotate_left(7)
+            .wrapping_mul(9);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+
+    /// Uniform value in `[0, bound)` via Lemire's unbiased multiply-shift
+    /// rejection method.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bound == 0`.
+    #[inline]
+    pub fn gen_range(&mut self, bound: u64) -> u64 {
+        assert!(bound > 0, "gen_range bound must be nonzero");
+        let mut x = self.next_u64();
+        let mut m = (x as u128) * (bound as u128);
+        let mut low = m as u64;
+        if low < bound {
+            let threshold = bound.wrapping_neg() % bound;
+            while low < threshold {
+                x = self.next_u64();
+                m = (x as u128) * (bound as u128);
+                low = m as u64;
+            }
+        }
+        (m >> 64) as u64
+    }
+
+    /// Uniform `f64` in `[0, 1)` with 53 bits of precision.
+    #[inline]
+    pub fn gen_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform `f64` in the open interval `(0, 1)`, suitable as input to
+    /// inverse-CDF transforms that reject 0.
+    #[inline]
+    pub fn gen_open_f64(&mut self) -> f64 {
+        loop {
+            let v = self.gen_f64();
+            if v > 0.0 {
+                return v;
+            }
+        }
+    }
+
+    /// Bernoulli draw with probability `p` (clamped to `[0, 1]`).
+    #[inline]
+    pub fn gen_bool(&mut self, p: f64) -> bool {
+        self.gen_f64() < p
+    }
+
+    /// Standard-normal draw via the Box–Muller transform (used only in
+    /// non-hot paths such as workload construction).
+    pub fn gen_standard_normal(&mut self) -> f64 {
+        let u1 = self.gen_open_f64();
+        let u2 = self.gen_f64();
+        (-2.0 * u1.ln()).sqrt() * (core::f64::consts::TAU * u2).cos()
+    }
+
+    /// Fisher–Yates shuffle of a slice.
+    pub fn shuffle<T>(&mut self, slice: &mut [T]) {
+        for i in (1..slice.len()).rev() {
+            let j = self.gen_range(i as u64 + 1) as usize;
+            slice.swap(i, j);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn splitmix_reference_vector() {
+        // Reference values for seed 0 from the public-domain C source.
+        let mut sm = SplitMix64::new(0);
+        assert_eq!(sm.next_u64(), 0xE220_A839_7B1D_CDAF);
+        assert_eq!(sm.next_u64(), 0x6E78_9E6A_A1B9_65F4);
+        assert_eq!(sm.next_u64(), 0x06C4_5D18_8009_454F);
+    }
+
+    #[test]
+    fn xoshiro_is_seed_stable() {
+        let a: Vec<u64> = {
+            let mut r = Rng::seed_from(123);
+            (0..8).map(|_| r.next_u64()).collect()
+        };
+        let b: Vec<u64> = {
+            let mut r = Rng::seed_from(123);
+            (0..8).map(|_| r.next_u64()).collect()
+        };
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn streams_are_decorrelated() {
+        let mut a = Rng::stream(1, 0);
+        let mut b = Rng::stream(1, 1);
+        let same = (0..64).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert_eq!(same, 0);
+    }
+
+    #[test]
+    fn gen_range_respects_bound() {
+        let mut r = Rng::seed_from(5);
+        for bound in [1u64, 2, 3, 7, 100, 1 << 33] {
+            for _ in 0..200 {
+                assert!(r.gen_range(bound) < bound);
+            }
+        }
+    }
+
+    #[test]
+    fn gen_range_is_roughly_uniform() {
+        let mut r = Rng::seed_from(9);
+        let mut counts = [0usize; 8];
+        for _ in 0..80_000 {
+            counts[r.gen_range(8) as usize] += 1;
+        }
+        for &c in &counts {
+            assert!((9_000..11_000).contains(&c), "bucket count {c} out of range");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "nonzero")]
+    fn gen_range_zero_panics() {
+        Rng::seed_from(1).gen_range(0);
+    }
+
+    #[test]
+    fn gen_f64_in_unit_interval() {
+        let mut r = Rng::seed_from(11);
+        let mut sum = 0.0;
+        for _ in 0..10_000 {
+            let v = r.gen_f64();
+            assert!((0.0..1.0).contains(&v));
+            sum += v;
+        }
+        let mean = sum / 10_000.0;
+        assert!((0.48..0.52).contains(&mean), "mean {mean}");
+    }
+
+    #[test]
+    fn standard_normal_moments() {
+        let mut r = Rng::seed_from(13);
+        let n = 50_000;
+        let mut sum = 0.0;
+        let mut sq = 0.0;
+        for _ in 0..n {
+            let x = r.gen_standard_normal();
+            sum += x;
+            sq += x * x;
+        }
+        let mean = sum / n as f64;
+        let var = sq / n as f64 - mean * mean;
+        assert!(mean.abs() < 0.02, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.05, "var {var}");
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut r = Rng::seed_from(17);
+        let mut v: Vec<u32> = (0..100).collect();
+        r.shuffle(&mut v);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..100).collect::<Vec<_>>());
+        assert_ne!(v, (0..100).collect::<Vec<_>>(), "shuffle left input intact");
+    }
+
+    #[test]
+    fn gen_bool_probability() {
+        let mut r = Rng::seed_from(19);
+        let hits = (0..10_000).filter(|_| r.gen_bool(0.25)).count();
+        assert!((2_300..2_700).contains(&hits), "hits {hits}");
+    }
+}

@@ -1,0 +1,169 @@
+//! Normal-distribution special functions.
+//!
+//! The cell-lifetime model (paper §IV-A: endurance ~ Normal with mean 10⁸
+//! and CoV 0.2) needs the inverse CDF Φ⁻¹ to transform uniform order
+//! statistics into lifetime order statistics. We use Peter Acklam's rational
+//! approximation (relative error < 1.15 × 10⁻⁹ over the full domain), which
+//! is the standard choice when a dependency-free Φ⁻¹ is required.
+
+/// Inverse standard-normal CDF Φ⁻¹(p), Acklam's algorithm.
+///
+/// # Panics
+///
+/// Panics if `p` is not strictly inside `(0, 1)`.
+///
+/// ```
+/// use wlr_base::stats::normal_inv_cdf;
+/// assert!(normal_inv_cdf(0.5).abs() < 1e-9);
+/// assert!((normal_inv_cdf(0.975) - 1.959964).abs() < 1e-5);
+/// ```
+pub fn normal_inv_cdf(p: f64) -> f64 {
+    assert!(
+        p > 0.0 && p < 1.0,
+        "normal_inv_cdf requires p in (0,1), got {p}"
+    );
+
+    const A: [f64; 6] = [
+        -3.969683028665376e+01,
+        2.209460984245205e+02,
+        -2.759285104469687e+02,
+        1.383_577_518_672_69e2,
+        -3.066479806614716e+01,
+        2.506628277459239e+00,
+    ];
+    const B: [f64; 5] = [
+        -5.447609879822406e+01,
+        1.615858368580409e+02,
+        -1.556989798598866e+02,
+        6.680131188771972e+01,
+        -1.328068155288572e+01,
+    ];
+    const C: [f64; 6] = [
+        -7.784894002430293e-03,
+        -3.223964580411365e-01,
+        -2.400758277161838e+00,
+        -2.549732539343734e+00,
+        4.374664141464968e+00,
+        2.938163982698783e+00,
+    ];
+    const D: [f64; 4] = [
+        7.784695709041462e-03,
+        3.224671290700398e-01,
+        2.445134137142996e+00,
+        3.754408661907416e+00,
+    ];
+    const P_LOW: f64 = 0.02425;
+    const P_HIGH: f64 = 1.0 - P_LOW;
+
+    if p < P_LOW {
+        let q = (-2.0 * p.ln()).sqrt();
+        (((((C[0] * q + C[1]) * q + C[2]) * q + C[3]) * q + C[4]) * q + C[5])
+            / ((((D[0] * q + D[1]) * q + D[2]) * q + D[3]) * q + 1.0)
+    } else if p <= P_HIGH {
+        let q = p - 0.5;
+        let r = q * q;
+        (((((A[0] * r + A[1]) * r + A[2]) * r + A[3]) * r + A[4]) * r + A[5]) * q
+            / (((((B[0] * r + B[1]) * r + B[2]) * r + B[3]) * r + B[4]) * r + 1.0)
+    } else {
+        let q = (-2.0 * (1.0 - p).ln()).sqrt();
+        -(((((C[0] * q + C[1]) * q + C[2]) * q + C[3]) * q + C[4]) * q + C[5])
+            / ((((D[0] * q + D[1]) * q + D[2]) * q + D[3]) * q + 1.0)
+    }
+}
+
+/// Standard-normal CDF Φ(x), via the Abramowitz–Stegun 7.1.26 erf
+/// approximation (absolute error < 1.5 × 10⁻⁷). Used for validation and
+/// analytical expectations in tests, not on hot paths.
+///
+/// ```
+/// use wlr_base::stats::normal_cdf;
+/// assert!((normal_cdf(0.0) - 0.5).abs() < 1e-7);
+/// assert!((normal_cdf(1.96) - 0.975).abs() < 1e-3);
+/// ```
+pub fn normal_cdf(x: f64) -> f64 {
+    0.5 * (1.0 + erf(x / core::f64::consts::SQRT_2))
+}
+
+/// Error function approximation (Abramowitz–Stegun 7.1.26).
+fn erf(x: f64) -> f64 {
+    let sign = if x < 0.0 { -1.0 } else { 1.0 };
+    let x = x.abs();
+    const A1: f64 = 0.254829592;
+    const A2: f64 = -0.284496736;
+    const A3: f64 = 1.421413741;
+    const A4: f64 = -1.453152027;
+    const A5: f64 = 1.061405429;
+    const P: f64 = 0.3275911;
+    let t = 1.0 / (1.0 + P * x);
+    let y = 1.0 - (((((A5 * t + A4) * t) + A3) * t + A2) * t + A1) * t * (-x * x).exp();
+    sign * y
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn inverse_matches_known_quantiles() {
+        let cases = [
+            (0.5, 0.0),
+            (0.841344746, 1.0),
+            (0.977249868, 2.0),
+            (0.998650102, 3.0),
+            (0.158655254, -1.0),
+            (0.022750132, -2.0),
+            (0.001349898, -3.0),
+        ];
+        for (p, z) in cases {
+            let got = normal_inv_cdf(p);
+            assert!((got - z).abs() < 1e-6, "Φ⁻¹({p}) = {got}, want {z}");
+        }
+    }
+
+    #[test]
+    fn inverse_tail_regions() {
+        // Acklam's tail branch engages below p = 0.02425.
+        assert!((normal_inv_cdf(1e-6) + 4.753424).abs() < 1e-4);
+        assert!((normal_inv_cdf(1.0 - 1e-6) - 4.753424).abs() < 1e-4);
+    }
+
+    #[test]
+    fn inverse_is_monotonic() {
+        let mut prev = f64::NEG_INFINITY;
+        for i in 1..1000 {
+            let p = i as f64 / 1000.0;
+            let z = normal_inv_cdf(p);
+            assert!(z > prev, "not monotonic at p={p}");
+            prev = z;
+        }
+    }
+
+    #[test]
+    fn cdf_and_inverse_are_inverses() {
+        for i in 1..100 {
+            let p = i as f64 / 100.0;
+            let back = normal_cdf(normal_inv_cdf(p));
+            assert!((back - p).abs() < 1e-5, "round trip at {p}: {back}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "requires p in (0,1)")]
+    fn inverse_rejects_zero() {
+        normal_inv_cdf(0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "requires p in (0,1)")]
+    fn inverse_rejects_one() {
+        normal_inv_cdf(1.0);
+    }
+
+    #[test]
+    fn cdf_is_symmetric() {
+        for x in [0.3, 1.1, 2.7] {
+            let s = normal_cdf(x) + normal_cdf(-x);
+            assert!((s - 1.0).abs() < 1e-7);
+        }
+    }
+}

@@ -1,0 +1,417 @@
+//! Summary statistics: mean, variance, CoV, percentiles, histograms.
+//!
+//! The paper characterizes workloads by the *coefficient of variation* of
+//! per-block write counts (Table I) and characterizes leveling quality by
+//! how flat the wear distribution stays. These helpers are used by the
+//! trace generators (to validate that a synthetic workload hits its target
+//! CoV) and by the experiment harness (to report wear flatness).
+
+/// Arithmetic mean of a sample; 0 for an empty slice.
+///
+/// ```
+/// assert_eq!(wlr_base::stats::mean(&[1.0, 2.0, 3.0]), 2.0);
+/// ```
+pub fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    xs.iter().sum::<f64>() / xs.len() as f64
+}
+
+/// Population variance of a sample; 0 for fewer than two elements.
+///
+/// ```
+/// assert!((wlr_base::stats::variance(&[1.0, 3.0]) - 1.0).abs() < 1e-12);
+/// ```
+pub fn variance(xs: &[f64]) -> f64 {
+    if xs.len() < 2 {
+        return 0.0;
+    }
+    let m = mean(xs);
+    xs.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / xs.len() as f64
+}
+
+/// Coefficient of variation (σ/μ); 0 when the mean is 0.
+///
+/// This is the statistic in the paper's Table I ("Write CoV"): larger CoV
+/// means a less uniform write distribution and earlier PCM failures.
+///
+/// ```
+/// let cov = wlr_base::stats::coefficient_of_variation(&[10.0, 10.0, 10.0]);
+/// assert_eq!(cov, 0.0);
+/// ```
+pub fn coefficient_of_variation(xs: &[f64]) -> f64 {
+    let m = mean(xs);
+    if m == 0.0 {
+        return 0.0;
+    }
+    variance(xs).sqrt() / m
+}
+
+/// Linear-interpolated percentile `q ∈ [0, 100]` of an unsorted sample.
+///
+/// # Panics
+///
+/// Panics if `xs` is empty or `q` is outside `[0, 100]`.
+///
+/// ```
+/// let xs = [4.0, 1.0, 3.0, 2.0];
+/// assert_eq!(wlr_base::stats::percentile(&xs, 50.0), 2.5);
+/// ```
+pub fn percentile(xs: &[f64], q: f64) -> f64 {
+    assert!(!xs.is_empty(), "percentile of empty sample");
+    assert!((0.0..=100.0).contains(&q), "percentile q out of range: {q}");
+    let mut sorted = xs.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN in percentile input"));
+    let rank = q / 100.0 * (sorted.len() - 1) as f64;
+    let lo = rank.floor() as usize;
+    let hi = rank.ceil() as usize;
+    if lo == hi {
+        sorted[lo]
+    } else {
+        let frac = rank - lo as f64;
+        sorted[lo] * (1.0 - frac) + sorted[hi] * frac
+    }
+}
+
+/// One-pass summary (count / mean / variance via Welford / min / max).
+///
+/// ```
+/// let mut s = wlr_base::stats::Summary::new();
+/// for x in [1.0, 2.0, 3.0] { s.push(x); }
+/// assert_eq!(s.count(), 3);
+/// assert_eq!(s.mean(), 2.0);
+/// assert_eq!(s.min(), 1.0);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Summary {
+    count: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+}
+
+impl Summary {
+    /// Creates an empty summary.
+    pub fn new() -> Self {
+        Summary {
+            count: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Accumulates one observation.
+    pub fn push(&mut self, x: f64) {
+        self.count += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.count as f64;
+        self.m2 += delta * (x - self.mean);
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Running mean (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.mean
+        }
+    }
+
+    /// Population variance (0 with fewer than two observations).
+    pub fn variance(&self) -> f64 {
+        if self.count < 2 {
+            0.0
+        } else {
+            self.m2 / self.count as f64
+        }
+    }
+
+    /// Coefficient of variation (0 when the mean is 0).
+    pub fn cov(&self) -> f64 {
+        let m = self.mean();
+        if m == 0.0 {
+            0.0
+        } else {
+            self.variance().sqrt() / m
+        }
+    }
+
+    /// Smallest observation (+∞ when empty).
+    pub fn min(&self) -> f64 {
+        self.min
+    }
+
+    /// Largest observation (−∞ when empty).
+    pub fn max(&self) -> f64 {
+        self.max
+    }
+
+    /// Merges another summary into this one (parallel Welford combine).
+    pub fn merge(&mut self, other: &Summary) {
+        if other.count == 0 {
+            return;
+        }
+        if self.count == 0 {
+            *self = other.clone();
+            return;
+        }
+        let total = self.count + other.count;
+        let delta = other.mean - self.mean;
+        let mean = self.mean + delta * other.count as f64 / total as f64;
+        let m2 = self.m2
+            + other.m2
+            + delta * delta * self.count as f64 * other.count as f64 / total as f64;
+        self.count = total;
+        self.mean = mean;
+        self.m2 = m2;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+}
+
+/// Fixed-width histogram over `[lo, hi)` with saturating edge buckets,
+/// used to report wear distributions.
+///
+/// ```
+/// let mut h = wlr_base::stats::Histogram::new(0.0, 10.0, 5);
+/// h.record(-1.0); // clamps into the first bucket
+/// h.record(3.0);
+/// h.record(99.0); // clamps into the last bucket
+/// assert_eq!(h.counts(), &[1, 1, 0, 0, 1]);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Histogram {
+    lo: f64,
+    hi: f64,
+    counts: Vec<u64>,
+}
+
+impl Histogram {
+    /// Creates a histogram of `buckets` equal-width bins over `[lo, hi)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `buckets == 0` or `hi <= lo`.
+    pub fn new(lo: f64, hi: f64, buckets: usize) -> Self {
+        assert!(buckets > 0, "histogram needs at least one bucket");
+        assert!(hi > lo, "histogram range must be non-empty");
+        Histogram {
+            lo,
+            hi,
+            counts: vec![0; buckets],
+        }
+    }
+
+    /// Records one observation, clamping out-of-range values to the edges.
+    pub fn record(&mut self, x: f64) {
+        let n = self.counts.len();
+        let frac = (x - self.lo) / (self.hi - self.lo);
+        let idx = ((frac * n as f64).floor() as i64).clamp(0, n as i64 - 1) as usize;
+        self.counts[idx] += 1;
+    }
+
+    /// Per-bucket counts.
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// Total observations recorded.
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// The `(lo, hi)` bounds of bucket `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn bucket_bounds(&self, i: usize) -> (f64, f64) {
+        assert!(i < self.counts.len(), "bucket index out of range");
+        let width = (self.hi - self.lo) / self.counts.len() as f64;
+        (self.lo + width * i as f64, self.lo + width * (i + 1) as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_variance_basics() {
+        assert_eq!(mean(&[]), 0.0);
+        assert_eq!(mean(&[2.0, 4.0]), 3.0);
+        assert_eq!(variance(&[5.0]), 0.0);
+        assert!((variance(&[2.0, 4.0, 6.0]) - 8.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cov_matches_hand_computation() {
+        let xs = [10.0, 20.0, 30.0];
+        let m = 20.0;
+        let var: f64 = (100.0 + 0.0 + 100.0) / 3.0;
+        assert!((coefficient_of_variation(&xs) - var.sqrt() / m).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cov_zero_mean_is_zero() {
+        assert_eq!(coefficient_of_variation(&[-1.0, 1.0]), 0.0);
+        assert_eq!(coefficient_of_variation(&[]), 0.0);
+    }
+
+    #[test]
+    fn percentile_interpolates() {
+        let xs = [1.0, 2.0, 3.0, 4.0, 5.0];
+        assert_eq!(percentile(&xs, 0.0), 1.0);
+        assert_eq!(percentile(&xs, 100.0), 5.0);
+        assert_eq!(percentile(&xs, 50.0), 3.0);
+        assert_eq!(percentile(&xs, 25.0), 2.0);
+        assert_eq!(percentile(&xs, 10.0), 1.4);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty sample")]
+    fn percentile_empty_panics() {
+        percentile(&[], 50.0);
+    }
+
+    #[test]
+    fn summary_matches_batch() {
+        let xs: Vec<f64> = (0..100).map(|i| (i as f64) * 0.7 - 3.0).collect();
+        let mut s = Summary::new();
+        for &x in &xs {
+            s.push(x);
+        }
+        assert_eq!(s.count(), 100);
+        assert!((s.mean() - mean(&xs)).abs() < 1e-9);
+        assert!((s.variance() - variance(&xs)).abs() < 1e-9);
+        assert_eq!(s.min(), xs[0]);
+        assert_eq!(s.max(), xs[99]);
+    }
+
+    #[test]
+    fn summary_merge_equals_sequential() {
+        let xs: Vec<f64> = (0..50).map(|i| (i * i) as f64).collect();
+        let mut whole = Summary::new();
+        for &x in &xs {
+            whole.push(x);
+        }
+        let mut left = Summary::new();
+        let mut right = Summary::new();
+        for &x in &xs[..20] {
+            left.push(x);
+        }
+        for &x in &xs[20..] {
+            right.push(x);
+        }
+        left.merge(&right);
+        assert_eq!(left.count(), whole.count());
+        assert!((left.mean() - whole.mean()).abs() < 1e-9);
+        assert!((left.variance() - whole.variance()).abs() < 1e-6);
+    }
+
+    #[test]
+    fn summary_merge_with_empty() {
+        let mut a = Summary::new();
+        a.push(1.0);
+        let b = Summary::new();
+        let snapshot = a.clone();
+        a.merge(&b);
+        assert_eq!(a, snapshot);
+        let mut c = Summary::new();
+        c.merge(&snapshot);
+        assert_eq!(c, snapshot);
+    }
+
+    #[test]
+    fn histogram_buckets_and_bounds() {
+        let mut h = Histogram::new(0.0, 100.0, 10);
+        for i in 0..100 {
+            h.record(i as f64);
+        }
+        assert_eq!(h.total(), 100);
+        assert!(h.counts().iter().all(|&c| c == 10));
+        assert_eq!(h.bucket_bounds(0), (0.0, 10.0));
+        assert_eq!(h.bucket_bounds(9), (90.0, 100.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one bucket")]
+    fn histogram_zero_buckets_panics() {
+        Histogram::new(0.0, 1.0, 0);
+    }
+
+    mod properties {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            /// Welford accumulation agrees with the batch formulas.
+            #[test]
+            fn summary_matches_batch_formulas(xs in proptest::collection::vec(-1e6f64..1e6, 0..200)) {
+                let mut s = Summary::new();
+                for &x in &xs {
+                    s.push(x);
+                }
+                prop_assert!((s.mean() - mean(&xs)).abs() <= 1e-6 * (1.0 + mean(&xs).abs()));
+                prop_assert!((s.variance() - variance(&xs)).abs() <= 1e-3 * (1.0 + variance(&xs)));
+            }
+
+            /// Merging any split equals sequential accumulation.
+            #[test]
+            fn merge_equals_sequential(
+                xs in proptest::collection::vec(-1e4f64..1e4, 0..100),
+                cut in 0usize..100,
+            ) {
+                let cut = cut.min(xs.len());
+                let mut whole = Summary::new();
+                for &x in &xs { whole.push(x); }
+                let (mut l, mut r) = (Summary::new(), Summary::new());
+                for &x in &xs[..cut] { l.push(x); }
+                for &x in &xs[cut..] { r.push(x); }
+                l.merge(&r);
+                prop_assert_eq!(l.count(), whole.count());
+                prop_assert!((l.mean() - whole.mean()).abs() < 1e-6);
+                prop_assert!((l.variance() - whole.variance()).abs() < 1e-3 * (1.0 + whole.variance()));
+            }
+
+            /// Percentiles are monotone in q and bounded by the extremes.
+            #[test]
+            fn percentile_monotone(xs in proptest::collection::vec(-1e6f64..1e6, 1..100)) {
+                let mut prev = f64::NEG_INFINITY;
+                for q in [0.0, 10.0, 25.0, 50.0, 75.0, 90.0, 100.0] {
+                    let p = percentile(&xs, q);
+                    prop_assert!(p >= prev);
+                    prev = p;
+                }
+                let lo = xs.iter().cloned().fold(f64::INFINITY, f64::min);
+                let hi = xs.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+                prop_assert_eq!(percentile(&xs, 0.0), lo);
+                prop_assert_eq!(percentile(&xs, 100.0), hi);
+            }
+
+            /// Histograms never lose observations.
+            #[test]
+            fn histogram_conserves_counts(
+                xs in proptest::collection::vec(-100f64..200.0, 0..300),
+                buckets in 1usize..32,
+            ) {
+                let mut h = Histogram::new(0.0, 100.0, buckets);
+                for &x in &xs {
+                    h.record(x);
+                }
+                prop_assert_eq!(h.total(), xs.len() as u64);
+            }
+        }
+    }
+}

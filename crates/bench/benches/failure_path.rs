@@ -1,0 +1,72 @@
+//! Microbenchmark: the failed-block access path — healthy access vs
+//! uncached redirection (pointer + shadow) vs cached redirection, the
+//! simulation-level counterpart of Table II's access-time metric.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use wl_reviver::controller::{Controller, WriteResult};
+use wl_reviver::reviver::RevivedController;
+use wlr_base::{Geometry, Pa, PageId};
+use wlr_pcm::{Ecp, PcmDevice};
+use wlr_wl::{RandomizerKind, StartGap};
+
+const N: u64 = 1 << 12;
+
+fn controller(cache: Option<usize>) -> (RevivedController, Pa) {
+    let geo = Geometry::builder().num_blocks(N).build().unwrap();
+    let device = PcmDevice::builder(geo)
+        .extra_blocks(1)
+        .endurance_mean(1e12)
+        .ecc(Box::new(Ecp::ecp6()))
+        .build();
+    let wl = StartGap::builder(N)
+        .gap_interval(1_000_000_000) // no migrations during the benchmark
+        .randomizer(RandomizerKind::Feistel { seed: 1 })
+        .build();
+    let mut b = RevivedController::builder(device, Box::new(wl));
+    if let Some(bytes) = cache {
+        b = b.cache_bytes(bytes);
+    }
+    let mut ctl = b.build();
+    // Reserve a page of spares, then fail one block and link it.
+    ctl.on_page_retired(PageId::new(0));
+    let pa = Pa::new(200);
+    let da = ctl.wear_leveler().map(pa);
+    ctl.inject_dead(da);
+    assert_eq!(ctl.write(pa, 1), WriteResult::Ok);
+    (ctl, pa)
+}
+
+fn bench_failure_path(c: &mut Criterion) {
+    let mut group = c.benchmark_group("access");
+
+    let (mut ctl, _) = controller(None);
+    let healthy = Pa::new(300);
+    group.bench_function("healthy_read", |b| {
+        b.iter(|| black_box(ctl.read(healthy)))
+    });
+
+    let (mut ctl, failed) = controller(None);
+    group.bench_function("failed_read_uncached", |b| {
+        b.iter(|| black_box(ctl.read(failed)))
+    });
+
+    let (mut ctl, failed) = controller(Some(32 * 1024));
+    ctl.read(failed); // warm the cache
+    group.bench_function("failed_read_cached", |b| {
+        b.iter(|| black_box(ctl.read(failed)))
+    });
+
+    let (mut ctl, failed) = controller(None);
+    let mut i = 0u64;
+    group.bench_function("failed_write_uncached", |b| {
+        b.iter(|| {
+            i += 1;
+            black_box(ctl.write(failed, i))
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_failure_path);
+criterion_main!(benches);

@@ -1,0 +1,70 @@
+//! Microbenchmark: sustained write throughput through the revived
+//! controller on a healthy chip, including the scheme's migrations — the
+//! framework's steady-state overhead.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use wl_reviver::controller::Controller;
+use wl_reviver::reviver::RevivedController;
+use wlr_base::{Geometry, Pa};
+use wlr_pcm::{Ecp, PcmDevice};
+use wlr_wl::{RandomizerKind, SecurityRefresh, StartGap};
+
+const N: u64 = 1 << 14;
+
+fn controller_sg(psi: u64) -> RevivedController {
+    let geo = Geometry::builder().num_blocks(N).build().unwrap();
+    let device = PcmDevice::builder(geo)
+        .extra_blocks(1)
+        .endurance_mean(1e12)
+        .ecc(Box::new(Ecp::ecp6()))
+        .build();
+    let wl = StartGap::builder(N)
+        .gap_interval(psi)
+        .randomizer(RandomizerKind::Feistel { seed: 1 })
+        .build();
+    RevivedController::builder(device, Box::new(wl)).build()
+}
+
+fn controller_sr(interval: u64) -> RevivedController {
+    let geo = Geometry::builder().num_blocks(N).build().unwrap();
+    let device = PcmDevice::builder(geo)
+        .endurance_mean(1e12)
+        .ecc(Box::new(Ecp::ecp6()))
+        .build();
+    let wl = SecurityRefresh::builder(N)
+        .region_blocks(1 << 12)
+        .refresh_interval(interval)
+        .seed(1)
+        .build();
+    RevivedController::builder(device, Box::new(wl)).build()
+}
+
+fn bench_migration(c: &mut Criterion) {
+    let mut group = c.benchmark_group("writes_with_migrations");
+    group.throughput(Throughput::Elements(1));
+
+    for psi in [10u64, 100] {
+        let mut ctl = controller_sg(psi);
+        let mut i = 0u64;
+        group.bench_function(format!("start_gap_psi{psi}"), |b| {
+            b.iter(|| {
+                i += 1;
+                black_box(ctl.write(Pa::new(i % N), i))
+            })
+        });
+    }
+
+    let mut ctl = controller_sr(100);
+    let mut i = 0u64;
+    group.bench_function("security_refresh_int100", |b| {
+        b.iter(|| {
+            i += 1;
+            black_box(ctl.write(Pa::new(i % N), i))
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_migration);
+criterion_main!(benches);

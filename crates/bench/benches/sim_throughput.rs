@@ -1,0 +1,47 @@
+//! Microbenchmark: end-to-end simulated writes per second through the
+//! full stack (workload → OS → controller → device), the number that
+//! bounds every figure's wall-clock cost.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use wl_reviver::sim::{SchemeKind, Simulation, StopCondition};
+use wlr_trace::Benchmark;
+
+fn sim(scheme: SchemeKind) -> Simulation {
+    let blocks = 1 << 14;
+    Simulation::builder()
+        .num_blocks(blocks)
+        .endurance_mean(1e9) // effectively healthy for the benchmark window
+        .gap_interval(10)
+        .scheme(scheme)
+        .seed(1)
+        .workload(Benchmark::Ocean.build(blocks, 1))
+        .sample_interval(u64::MAX / 2)
+        .build()
+}
+
+fn bench_sim(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sim_writes");
+    group.throughput(Throughput::Elements(10_000));
+    group.sample_size(20);
+
+    for (name, scheme) in [
+        ("ecc_only", SchemeKind::EccOnly),
+        ("start_gap", SchemeKind::StartGapOnly),
+        ("reviver_sg", SchemeKind::ReviverStartGap),
+        ("reviver_sr", SchemeKind::ReviverSecurityRefresh),
+        ("lls", SchemeKind::Lls),
+    ] {
+        let mut s = sim(scheme);
+        let mut target = 0u64;
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                target += 10_000;
+                s.run(StopCondition::Writes(target))
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_sim);
+criterion_main!(benches);

@@ -1,0 +1,284 @@
+//! Ablations of WL-Reviver's design choices (DESIGN.md §4).
+//!
+//! ```text
+//! cargo run --release -p wlr-bench --bin ablation -- <which>
+//! ```
+//!
+//! where `<which>` is one of `chains`, `acquisition`, `ptr-section`,
+//! `cache`, `randomizer`, `security-refresh`, or `all`.
+
+use wl_reviver::sim::{SchemeKind, Simulation, SimulationBuilder, StopCondition};
+use wlr_bench::{exp_seed, print_table, scaled_gap_interval};
+use wlr_trace::Benchmark;
+use wlr_wl::RandomizerKind;
+
+const BLOCKS: u64 = 1 << 13;
+const ENDURANCE: f64 = 8_000.0;
+
+fn base(scheme: SchemeKind) -> SimulationBuilder {
+    let psi = scaled_gap_interval(BLOCKS, ENDURANCE);
+    Simulation::builder()
+        .num_blocks(BLOCKS)
+        .endurance_mean(ENDURANCE)
+        .gap_interval(psi)
+        .sr_refresh_interval(psi)
+        .scheme(scheme)
+        .seed(exp_seed())
+        .workload(Benchmark::Ocean.build(BLOCKS, exp_seed()))
+}
+
+/// One-step chains (Figures 2–3) vs letting chains grow.
+fn chains() {
+    let mut rows = Vec::new();
+    for (name, switching) in [("one-step (paper)", true), ("unbounded chains", false)] {
+        let mut sim = base(SchemeKind::ReviverStartGap)
+            .reviver_chain_switching(switching)
+            .build();
+        sim.run(StopCondition::DeadFraction(0.20));
+        let ctl = sim.controller().as_reviver().unwrap();
+        let lengths = ctl.chain_lengths();
+        let max = lengths.iter().max().copied().unwrap_or(0);
+        let avg = if lengths.is_empty() {
+            0.0
+        } else {
+            lengths.iter().map(|&l| l as f64).sum::<f64>() / lengths.len() as f64
+        };
+        let req = sim.controller().request_stats();
+        rows.push(vec![
+            name.to_string(),
+            format!("{}", sim.writes_issued()),
+            format!("{:.3}", req.avg_access_time()),
+            format!("{avg:.2}"),
+            max.to_string(),
+            ctl.counters().switches.to_string(),
+        ]);
+    }
+    print_table(
+        "chain switching (run to 20% failed blocks, ocean)",
+        &["mode", "writes", "avg access", "avg chain", "max chain", "switches"],
+        &rows,
+    );
+}
+
+/// Reactive (delayed, paper) vs proactive page acquisition.
+fn acquisition() {
+    let mut rows = Vec::new();
+    for (name, proactive) in [("reactive (paper)", false), ("proactive (new IRQ)", true)] {
+        let mut sim = base(SchemeKind::ReviverStartGap)
+            .reviver_proactive(proactive)
+            .build();
+        sim.run(StopCondition::DeadFraction(0.20));
+        let ctl = sim.controller().as_reviver().unwrap();
+        let c = ctl.counters();
+        rows.push(vec![
+            name.to_string(),
+            format!("{}", sim.writes_issued()),
+            c.suspensions.to_string(),
+            c.fake_reports.to_string(),
+            sim.lost_writes().to_string(),
+            sim.os().failure_reports().to_string(),
+        ]);
+    }
+    print_table(
+        "space acquisition policy (run to 20% failed blocks, ocean)",
+        &["mode", "writes", "suspensions", "fake reports", "lost writes", "OS exceptions"],
+        &rows,
+    );
+    println!("The proactive variant avoids sacrificed writes at the cost of a new");
+    println!("OS interrupt type — the adoption barrier §III-A refuses to pay.");
+}
+
+/// Inverse-pointer width: 2/4/8-byte pointers change the section size and
+/// the spares harvested per page (Figure 4's layout).
+fn ptr_section() {
+    let mut rows = Vec::new();
+    for bytes in [2u64, 4, 8, 16] {
+        let mut sim = base(SchemeKind::ReviverStartGap)
+            .reviver_pointer_bytes(bytes)
+            .build();
+        sim.run(StopCondition::DeadFraction(0.20));
+        let ctl = sim.controller().as_reviver().unwrap();
+        let ppb = 64 / bytes;
+        let section = 64u64.div_ceil(ppb + 1);
+        rows.push(vec![
+            format!("{bytes} B"),
+            format!("{section} blocks"),
+            format!("{}", 64 - section),
+            format!("{}", ctl.counters().spare_grants),
+            format!("{}", sim.os().retired_pages()),
+            format!("{}", sim.writes_issued()),
+        ]);
+    }
+    print_table(
+        "inverse-pointer width (per 64-block page; run to 20% failed)",
+        &["pointer", "section", "spares/page", "grants", "pages lost", "writes"],
+        &rows,
+    );
+}
+
+/// Remap-cache size sweep (Table II uses 32 KB).
+fn cache() {
+    let mut rows = Vec::new();
+    for kib in [0usize, 1, 4, 16, 32, 128] {
+        let mut builder = base(SchemeKind::ReviverStartGap);
+        if kib > 0 {
+            builder = builder.cache_bytes(kib * 1024);
+        }
+        let mut sim = builder.build();
+        sim.run(StopCondition::DeadFraction(0.20));
+        // Measure a fresh window at the final failure level.
+        sim.controller_mut().reset_request_stats();
+        sim.run(StopCondition::Writes(sim.writes_issued() + 500_000));
+        let req = sim.controller().request_stats();
+        let hit = sim
+            .controller()
+            .as_reviver()
+            .unwrap()
+            .cache_hit_ratio()
+            .map(|h| format!("{:.1}%", h * 100.0))
+            .unwrap_or_else(|| "-".into());
+        rows.push(vec![
+            if kib == 0 { "none".into() } else { format!("{kib} KiB") },
+            format!("{:.4}", req.avg_access_time()),
+            hit,
+        ]);
+    }
+    print_table(
+        "remap-cache size at 20% failed blocks (ocean)",
+        &["cache", "avg access", "hit ratio"],
+        &rows,
+    );
+}
+
+/// Start-Gap randomizer variants under WL-Reviver.
+fn randomizer() {
+    let mut rows = Vec::new();
+    let seed = exp_seed();
+    for (name, kind) in [
+        ("Feistel (paper FPB)", RandomizerKind::Feistel { seed }),
+        ("table (paper RIB)", RandomizerKind::Table { seed }),
+        ("half-restricted (LLS)", RandomizerKind::HalfRestricted { seed }),
+        ("identity (none)", RandomizerKind::Identity),
+    ] {
+        for bench in [Benchmark::Ocean, Benchmark::Mg] {
+            let mut sim = base(SchemeKind::ReviverStartGap)
+                .sg_randomizer(kind)
+                .workload(bench.build(BLOCKS, seed))
+                .build();
+            let out = sim.run(StopCondition::UsableBelow(0.70));
+            rows.push(vec![
+                name.to_string(),
+                bench.name().to_string(),
+                out.writes_issued.to_string(),
+            ]);
+        }
+    }
+    print_table(
+        "address randomization under WL-Reviver (writes to 30% space loss)",
+        &["randomizer", "workload", "lifetime"],
+        &rows,
+    );
+    println!("The half-restricted variant is the adaptation LLS imposes. Under our");
+    println!("reconstruction it costs little by itself — the measured LLS deficit in");
+    println!("Figure 8 comes mainly from chunk-granular space loss and salvage-group");
+    println!("inefficiency. Removing randomization entirely (identity) is what");
+    println!("collapses lifetime.");
+}
+
+/// Framework generality: Security Refresh with and without revival.
+fn security_refresh() {
+    let mut rows = Vec::new();
+    for (name, scheme) in [
+        ("ECP6-SR", SchemeKind::SecurityRefreshOnly),
+        ("ECP6-SR-WLR", SchemeKind::ReviverSecurityRefresh),
+        ("ECP6-SR2-WLR", SchemeKind::ReviverTwoLevelSecurityRefresh),
+        ("ECP6-SG", SchemeKind::StartGapOnly),
+        ("ECP6-SG-WLR", SchemeKind::ReviverStartGap),
+        ("ECP6-SG16-WLR", SchemeKind::ReviverTiledStartGap),
+    ] {
+        for bench in [Benchmark::Ocean, Benchmark::Mg] {
+            let mut sim = base(scheme).workload(bench.build(BLOCKS, exp_seed())).build();
+            let out = sim.run(StopCondition::UsableBelow(0.70));
+            rows.push(vec![
+                name.to_string(),
+                bench.name().to_string(),
+                out.writes_issued.to_string(),
+            ]);
+        }
+    }
+    print_table(
+        "framework generality: four schemes, one framework (lifetime)",
+        &["stack", "workload", "lifetime"],
+        &rows,
+    );
+    println!("WL-Reviver revives single-level SR, two-level SR (SR2), plain and");
+    println!("region-tiled Start-Gap (SG16) through the same one-operation");
+    println!("interface, with no scheme modifications (§IV's methodology note).");
+}
+
+/// Page-recovery strategies head to head (the §I-C landscape): plain
+/// page retirement, Zombie's spare-block pairing (leveling frozen),
+/// FREE-p's pre-reserve, and WL-Reviver.
+fn page_recovery() {
+    let mut rows = Vec::new();
+    for (name, scheme) in [
+        ("ECP6 (page retirement)", SchemeKind::EccOnly),
+        ("ECP6-SG-Zombie", SchemeKind::Zombie),
+        ("ECP6-SG-FREEp 10%", SchemeKind::Freep { reserve_frac: 0.10 }),
+        ("ECP6-SG-WLR", SchemeKind::ReviverStartGap),
+    ] {
+        for bench in [Benchmark::Ocean, Benchmark::Mg] {
+            // FREE-p carves its reserve out of the chip; size the
+            // workload to the remaining visible space.
+            let app = match scheme {
+                SchemeKind::Freep { reserve_frac } => {
+                    let reserve_pages = ((BLOCKS as f64 * reserve_frac) / 64.0).round() as u64;
+                    BLOCKS - reserve_pages * 64
+                }
+                _ => BLOCKS,
+            };
+            let mut sim = base(scheme).workload(bench.build(app, exp_seed())).build();
+            let out = sim.run(StopCondition::UsableBelow(0.80));
+            rows.push(vec![
+                name.to_string(),
+                bench.name().to_string(),
+                out.writes_issued.to_string(),
+            ]);
+        }
+    }
+    print_table(
+        "page-recovery strategies (writes to 20% space loss)",
+        &["strategy", "workload", "lifetime"],
+        &rows,
+    );
+    println!("Zombie and WL-Reviver acquire pages identically (≈1 page per ~60");
+    println!("failures); the entire difference is whether wear leveling survives —");
+    println!("the paper's §I-D indirection argument, isolated.");
+}
+
+fn main() {
+    let which = std::env::args().nth(1).unwrap_or_else(|| "all".into());
+    println!("WL-Reviver design ablations — {which}\n");
+    match which.as_str() {
+        "chains" => chains(),
+        "acquisition" => acquisition(),
+        "ptr-section" => ptr_section(),
+        "cache" => cache(),
+        "randomizer" => randomizer(),
+        "security-refresh" => security_refresh(),
+        "page-recovery" => page_recovery(),
+        "all" => {
+            chains();
+            acquisition();
+            ptr_section();
+            cache();
+            randomizer();
+            security_refresh();
+            page_recovery();
+        }
+        other => {
+            eprintln!("unknown ablation `{other}`; use chains|acquisition|ptr-section|cache|randomizer|security-refresh|page-recovery|all");
+            std::process::exit(2);
+        }
+    }
+}

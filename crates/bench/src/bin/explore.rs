@@ -1,0 +1,294 @@
+//! `explore` — run a custom configuration from the command line.
+//!
+//! The figure binaries pin the paper's configurations; this tool exposes
+//! the full parameter space for one-off studies:
+//!
+//! ```text
+//! cargo run --release -p wlr-bench --bin explore -- \
+//!     --blocks 16384 --endurance 1e4 --scheme reviver-sg \
+//!     --workload mg --stop usable:0.7 --seed 7
+//! ```
+//!
+//! Options (defaults in brackets):
+//!
+//! ```text
+//! --blocks N          chip size in 64 B blocks [16384]
+//! --endurance X       mean cell endurance in writes [1e4]
+//! --cov X             endurance CoV [0.2]
+//! --psi N             Start-Gap ψ / SR interval [auto-scaled]
+//! --scheme S          ecc | sg | sr | freep:<frac> | lls | reviver-sg |
+//!                     reviver-sr | reviver-tiled | reviver-sr2 [reviver-sg]
+//! --ecc E             ecp<k> | payg[:ratio] [ecp6]
+//! --workload W        a Table I name, uniform, zipf:<s>, cov:<x>,
+//!                     trace:<path>, repeat:<n>, birthday:<n>x<epoch> [uniform]
+//! --stop C            writes:<n> | dead:<frac> | usable:<frac> [usable:0.7]
+//! --cache BYTES       remap cache size [none]
+//! --seed N            experiment seed [42]
+//! --sample N          writes between samples [auto]
+//! --curve             print the full usable/survival series
+//! ```
+
+use wl_reviver::sim::{EccKind, SchemeKind, Simulation, StopCondition};
+use wlr_bench::scaled_gap_interval;
+use wlr_trace::{
+    Benchmark, BirthdayAttack, CovTargetedWorkload, RepeatAttack, SpatialMode, TraceWorkload,
+    UniformWorkload, Workload, ZipfWorkload,
+};
+
+#[derive(Debug)]
+struct Args {
+    blocks: u64,
+    endurance: f64,
+    cov: f64,
+    psi: Option<u64>,
+    scheme: String,
+    ecc: String,
+    workload: String,
+    stop: String,
+    cache: Option<usize>,
+    seed: u64,
+    sample: Option<u64>,
+    curve: bool,
+}
+
+fn usage(msg: &str) -> ! {
+    eprintln!("error: {msg}\n\nsee the doc comment at the top of explore.rs for options");
+    std::process::exit(2)
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        blocks: 1 << 14,
+        endurance: 1e4,
+        cov: 0.2,
+        psi: None,
+        scheme: "reviver-sg".into(),
+        ecc: "ecp6".into(),
+        workload: "uniform".into(),
+        stop: "usable:0.7".into(),
+        cache: None,
+        seed: 42,
+        sample: None,
+        curve: false,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut val = |name: &str| {
+            it.next()
+                .unwrap_or_else(|| usage(&format!("{name} needs a value")))
+        };
+        match flag.as_str() {
+            "--blocks" => args.blocks = parse_num(&val("--blocks")),
+            "--endurance" => args.endurance = parse_f64(&val("--endurance")),
+            "--cov" => args.cov = parse_f64(&val("--cov")),
+            "--psi" => args.psi = Some(parse_num(&val("--psi"))),
+            "--scheme" => args.scheme = val("--scheme"),
+            "--ecc" => args.ecc = val("--ecc"),
+            "--workload" => args.workload = val("--workload"),
+            "--stop" => args.stop = val("--stop"),
+            "--cache" => args.cache = Some(parse_num(&val("--cache")) as usize),
+            "--seed" => args.seed = parse_num(&val("--seed")),
+            "--sample" => args.sample = Some(parse_num(&val("--sample"))),
+            "--curve" => args.curve = true,
+            "--help" | "-h" => usage("help requested"),
+            other => usage(&format!("unknown flag {other}")),
+        }
+    }
+    args
+}
+
+fn parse_num(s: &str) -> u64 {
+    parse_f64(s) as u64
+}
+
+fn parse_f64(s: &str) -> f64 {
+    s.parse::<f64>()
+        .unwrap_or_else(|_| usage(&format!("`{s}` is not a number")))
+}
+
+fn parse_scheme(s: &str) -> SchemeKind {
+    match s {
+        "ecc" => SchemeKind::EccOnly,
+        "sg" => SchemeKind::StartGapOnly,
+        "sr" => SchemeKind::SecurityRefreshOnly,
+        "lls" => SchemeKind::Lls,
+        "reviver-sg" => SchemeKind::ReviverStartGap,
+        "reviver-sr" => SchemeKind::ReviverSecurityRefresh,
+        "reviver-tiled" => SchemeKind::ReviverTiledStartGap,
+        "reviver-sr2" => SchemeKind::ReviverTwoLevelSecurityRefresh,
+        other => {
+            if let Some(frac) = other.strip_prefix("freep:") {
+                SchemeKind::Freep {
+                    reserve_frac: parse_f64(frac),
+                }
+            } else {
+                usage(&format!("unknown scheme `{other}`"))
+            }
+        }
+    }
+}
+
+fn parse_ecc(s: &str) -> EccKind {
+    if let Some(k) = s.strip_prefix("ecp") {
+        EccKind::Ecp(k.parse().unwrap_or_else(|_| usage("bad ecp<k>")))
+    } else if s == "payg" {
+        EccKind::Payg { ratio: 0.77 }
+    } else if let Some(r) = s.strip_prefix("payg:") {
+        EccKind::Payg {
+            ratio: parse_f64(r),
+        }
+    } else {
+        usage(&format!("unknown ecc `{s}`"))
+    }
+}
+
+fn parse_workload(s: &str, blocks: u64, seed: u64) -> Box<dyn Workload> {
+    for b in Benchmark::table1() {
+        if b.name() == s {
+            return Box::new(b.build(blocks, seed));
+        }
+    }
+    if s == "uniform" {
+        return Box::new(UniformWorkload::new(blocks, seed));
+    }
+    if let Some(z) = s.strip_prefix("zipf:") {
+        return Box::new(ZipfWorkload::new(blocks, parse_f64(z), seed));
+    }
+    if let Some(c) = s.strip_prefix("cov:") {
+        return Box::new(CovTargetedWorkload::new(
+            blocks,
+            parse_f64(c),
+            SpatialMode::Clustered { run_blocks: 64 },
+            seed,
+        ));
+    }
+    if let Some(path) = s.strip_prefix("trace:") {
+        let t = TraceWorkload::load(path)
+            .unwrap_or_else(|e| usage(&format!("cannot load trace `{path}`: {e}")));
+        if t.len() != blocks {
+            usage(&format!(
+                "trace space {} does not match --blocks {blocks}",
+                t.len()
+            ));
+        }
+        return Box::new(t);
+    }
+    if let Some(n) = s.strip_prefix("repeat:") {
+        return Box::new(RepeatAttack::new(blocks, parse_num(n), seed));
+    }
+    if let Some(spec) = s.strip_prefix("birthday:") {
+        let (n, epoch) = spec
+            .split_once('x')
+            .unwrap_or_else(|| usage("birthday:<n>x<epoch>"));
+        return Box::new(BirthdayAttack::new(
+            blocks,
+            parse_num(n),
+            parse_num(epoch),
+            seed,
+        ));
+    }
+    usage(&format!("unknown workload `{s}`"))
+}
+
+fn parse_stop(s: &str) -> StopCondition {
+    if let Some(n) = s.strip_prefix("writes:") {
+        StopCondition::Writes(parse_num(n))
+    } else if let Some(f) = s.strip_prefix("dead:") {
+        StopCondition::DeadFraction(parse_f64(f))
+    } else if let Some(f) = s.strip_prefix("usable:") {
+        StopCondition::UsableBelow(parse_f64(f))
+    } else {
+        usage(&format!("unknown stop condition `{s}`"))
+    }
+}
+
+fn main() {
+    let args = parse_args();
+    let psi = args
+        .psi
+        .unwrap_or_else(|| scaled_gap_interval(args.blocks, args.endurance));
+    let scheme = parse_scheme(&args.scheme);
+    let stop = parse_stop(&args.stop);
+
+    let mut builder = Simulation::builder()
+        .num_blocks(args.blocks)
+        .endurance_mean(args.endurance)
+        .endurance_cov(args.cov)
+        .gap_interval(psi)
+        .sr_refresh_interval(psi)
+        .ecc(parse_ecc(&args.ecc))
+        .scheme(scheme)
+        .seed(args.seed);
+    if let Some(bytes) = args.cache {
+        builder = builder.cache_bytes(bytes);
+    }
+    if let Some(sample) = args.sample {
+        builder = builder.sample_interval(sample);
+    }
+    // The Freep variant shrinks the visible space; size the workload to it.
+    let probe = builder.build();
+    let app_blocks = probe.os().app_blocks();
+    drop(probe);
+    let mut builder = Simulation::builder()
+        .num_blocks(args.blocks)
+        .endurance_mean(args.endurance)
+        .endurance_cov(args.cov)
+        .gap_interval(psi)
+        .sr_refresh_interval(psi)
+        .ecc(parse_ecc(&args.ecc))
+        .scheme(scheme)
+        .seed(args.seed)
+        .workload_boxed(parse_workload(&args.workload, app_blocks, args.seed));
+    if let Some(bytes) = args.cache {
+        builder = builder.cache_bytes(bytes);
+    }
+    if let Some(sample) = args.sample {
+        builder = builder.sample_interval(sample);
+    }
+    let mut sim = builder.build();
+
+    eprintln!(
+        "running {} / {} / {} on {} blocks (ψ={psi}, endurance {:.0}, seed {}) …",
+        sim.controller().label(),
+        args.workload,
+        args.stop,
+        args.blocks,
+        args.endurance,
+        args.seed
+    );
+    let out = sim.run(stop);
+
+    if args.curve {
+        println!("{:>14} {:>9} {:>9} {:>10} {:>7}", "writes", "usable", "survival", "avg access", "wl");
+        for p in sim.series() {
+            println!(
+                "{:>14} {:>8.2}% {:>8.2}% {:>10.4} {:>7}",
+                p.writes,
+                p.usable * 100.0,
+                p.survival * 100.0,
+                p.avg_access_time,
+                if p.wl_active { "on" } else { "OFF" }
+            );
+        }
+        println!();
+    }
+    println!("writes issued     : {}", out.writes_issued);
+    println!("stop reason       : {:?}", out.reason);
+    println!("usable space      : {:.2}%", out.usable * 100.0);
+    println!("block survival    : {:.2}%", out.survival * 100.0);
+    println!("dead blocks       : {}", sim.controller().device().dead_blocks());
+    println!("pages retired     : {}", sim.os().retired_pages());
+    println!("OS failure reports: {}", sim.os().failure_reports());
+    println!("wear leveling     : {}", if sim.controller().wl_active() { "active" } else { "frozen" });
+    if let Some(r) = sim.controller().as_reviver() {
+        let c = r.counters();
+        println!(
+            "framework counters: links {}, switches {}, loops {}, suspensions {}, fake reports {}",
+            c.links,
+            c.switches,
+            r.loop_blocks(),
+            c.suspensions,
+            c.fake_reports
+        );
+    }
+}

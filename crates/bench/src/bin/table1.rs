@@ -1,0 +1,42 @@
+//! Table I — benchmark summary: validates that each synthetic workload
+//! reproduces its benchmark's published write CoV, both analytically
+//! (weight profile) and empirically (sampled write counts).
+//!
+//! ```text
+//! cargo run --release -p wlr-bench --bin table1
+//! ```
+
+use wlr_bench::{exp_seed, print_table, EXP_BLOCKS};
+use wlr_trace::{stats::measure_cov, Benchmark, Workload};
+
+fn main() {
+    println!("Table I — summary of the benchmarks (synthetic reproduction)\n");
+    let mut rows = Vec::new();
+    for bench in Benchmark::table1() {
+        let mut w = bench.build(EXP_BLOCKS, exp_seed());
+        let analytic = w.exact_cov();
+        let sampled = measure_cov(&mut w, 8_000_000);
+        rows.push(vec![
+            bench.name().to_string(),
+            bench.description().to_string(),
+            bench.suite().to_string(),
+            format!("{:.2}", bench.write_cov()),
+            format!("{analytic:.2}"),
+            format!("{sampled:.2}"),
+        ]);
+    }
+    print_table(
+        "write-CoV validation over a 2^14-block space",
+        &[
+            "Name",
+            "Description",
+            "Suite",
+            "Paper CoV",
+            "Profile CoV",
+            "Sampled CoV",
+        ],
+        &rows,
+    );
+    println!("Profile CoV is the generator's stationary distribution; Sampled CoV");
+    println!("is measured from 8M drawn writes (sampling noise shrinks with volume).");
+}

@@ -1,0 +1,295 @@
+//! The remap cache used for Table II.
+//!
+//! Accessing a failed block costs an extra PCM access (reading the pointer
+//! stored in the failed block) under WL-Reviver, and two extra accesses
+//! (bitmap + backup) under LLS. The LLS paper proposes a small SRAM cache
+//! of remap resolutions to hide that cost; the WL-Reviver paper configures
+//! a 32 KB cache *for both* schemes in Table II for fairness. This module
+//! is that cache: a set-associative, LRU, u64→u64 map sized in bytes.
+
+/// A set-associative LRU cache from `u64` keys to `u64` values.
+///
+/// WL-Reviver caches *failed DA → virtual shadow PA* (the pointer it would
+/// otherwise read from the failed block); the shadow's current DA is then
+/// one register-arithmetic mapping away, so a hit costs zero extra PCM
+/// accesses. LLS caches *failed DA → backup DA*.
+///
+/// ```
+/// use wl_reviver::cache::RemapCache;
+/// let mut c = RemapCache::with_capacity_bytes(1024);
+/// assert_eq!(c.get(7), None);
+/// c.insert(7, 99);
+/// assert_eq!(c.get(7), Some(99));
+/// c.invalidate(7);
+/// assert_eq!(c.get(7), None);
+/// ```
+#[derive(Debug, Clone)]
+pub struct RemapCache {
+    /// `sets × ways` entries; `None` = invalid.
+    slots: Vec<Option<Entry>>,
+    sets: usize,
+    ways: usize,
+    tick: u64,
+    hits: u64,
+    misses: u64,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Entry {
+    key: u64,
+    value: u64,
+    last_used: u64,
+}
+
+/// Bytes accounted per entry (tag + value + metadata), matching the 8-byte
+/// granularity the paper's 32 KB figure implies (32 KB → 4096 entries).
+pub const ENTRY_BYTES: usize = 8;
+
+impl RemapCache {
+    /// A cache of approximately `bytes` capacity (4-way set associative;
+    /// sets rounded down to a power of two, minimum one set).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bytes` is smaller than one way set (`4 × ENTRY_BYTES`).
+    pub fn with_capacity_bytes(bytes: usize) -> Self {
+        let ways = 4;
+        assert!(
+            bytes >= ways * ENTRY_BYTES,
+            "cache must hold at least one set ({} B)",
+            ways * ENTRY_BYTES
+        );
+        let entries = bytes / ENTRY_BYTES;
+        // Largest power of two not exceeding entries/ways.
+        let sets = (1usize << (usize::BITS - 1 - (entries / ways).leading_zeros())).max(1);
+        RemapCache {
+            slots: vec![None; sets * ways],
+            sets,
+            ways,
+            tick: 0,
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// Number of entries the cache can hold.
+    pub fn capacity(&self) -> usize {
+        self.sets * self.ways
+    }
+
+    #[inline]
+    fn set_of(&self, key: u64) -> usize {
+        // Multiplicative hash to spread sequential DAs across sets.
+        ((key.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 32) as usize) & (self.sets - 1)
+    }
+
+    /// Looks `key` up, updating LRU state and hit/miss counters.
+    pub fn get(&mut self, key: u64) -> Option<u64> {
+        self.tick += 1;
+        let base = self.set_of(key) * self.ways;
+        for e in self.slots[base..base + self.ways].iter_mut().flatten() {
+            if e.key == key {
+                e.last_used = self.tick;
+                self.hits += 1;
+                return Some(e.value);
+            }
+        }
+        self.misses += 1;
+        None
+    }
+
+    /// Inserts or updates `key`, evicting the set's LRU entry if full.
+    pub fn insert(&mut self, key: u64, value: u64) {
+        self.tick += 1;
+        let base = self.set_of(key) * self.ways;
+        let set = &mut self.slots[base..base + self.ways];
+        // Update in place if present.
+        for e in set.iter_mut().flatten() {
+            if e.key == key {
+                e.value = value;
+                e.last_used = self.tick;
+                return;
+            }
+        }
+        // Fill an invalid way, or evict the LRU way.
+        let mut victim = 0;
+        let mut oldest = u64::MAX;
+        for (i, slot) in set.iter().enumerate() {
+            match slot {
+                None => {
+                    victim = i;
+                    break;
+                }
+                Some(e) if e.last_used < oldest => {
+                    oldest = e.last_used;
+                    victim = i;
+                }
+                Some(_) => {}
+            }
+        }
+        set[victim] = Some(Entry {
+            key,
+            value,
+            last_used: self.tick,
+        });
+    }
+
+    /// Drops `key` if cached (used when a pointer is rewritten by a
+    /// virtual-shadow switch).
+    pub fn invalidate(&mut self, key: u64) {
+        let base = self.set_of(key) * self.ways;
+        for slot in &mut self.slots[base..base + self.ways] {
+            if matches!(slot, Some(e) if e.key == key) {
+                *slot = None;
+            }
+        }
+    }
+
+    /// Hit count since construction.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Miss count since construction.
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// Hit ratio in `[0, 1]` (0 when never queried).
+    pub fn hit_ratio(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn capacity_matches_paper_config() {
+        let c = RemapCache::with_capacity_bytes(32 * 1024);
+        assert_eq!(c.capacity(), 4096);
+    }
+
+    #[test]
+    fn insert_get_roundtrip() {
+        let mut c = RemapCache::with_capacity_bytes(256);
+        for k in 0..8u64 {
+            c.insert(k, k * 10);
+        }
+        for k in 0..8u64 {
+            assert_eq!(c.get(k), Some(k * 10), "key {k}");
+        }
+    }
+
+    #[test]
+    fn update_in_place() {
+        let mut c = RemapCache::with_capacity_bytes(256);
+        c.insert(5, 1);
+        c.insert(5, 2);
+        assert_eq!(c.get(5), Some(2));
+    }
+
+    #[test]
+    fn lru_evicts_oldest_in_set() {
+        // One set of 4 ways.
+        let mut c = RemapCache::with_capacity_bytes(32);
+        assert_eq!(c.capacity(), 4);
+        for k in 0..4u64 {
+            c.insert(k, k);
+        }
+        c.get(0); // refresh key 0
+        c.insert(100, 100); // evicts LRU among {1,2,3}
+        assert_eq!(c.get(0), Some(0), "recently used key must survive");
+        assert_eq!(c.get(100), Some(100));
+        let survivors = (1..4).filter(|&k| c.get(k).is_some()).count();
+        assert_eq!(survivors, 2, "exactly one of the old keys was evicted");
+    }
+
+    #[test]
+    fn invalidate_removes() {
+        let mut c = RemapCache::with_capacity_bytes(256);
+        c.insert(9, 9);
+        c.invalidate(9);
+        assert_eq!(c.get(9), None);
+        // Invalidating a missing key is a no-op.
+        c.invalidate(12345);
+    }
+
+    #[test]
+    fn hit_ratio_tracks() {
+        let mut c = RemapCache::with_capacity_bytes(256);
+        c.insert(1, 1);
+        assert_eq!(c.get(1), Some(1));
+        assert_eq!(c.get(2), None);
+        assert_eq!(c.hits(), 1);
+        assert_eq!(c.misses(), 1);
+        assert!((c.hit_ratio() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fresh_cache_ratio_is_zero() {
+        let c = RemapCache::with_capacity_bytes(256);
+        assert_eq!(c.hit_ratio(), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one set")]
+    fn tiny_capacity_panics() {
+        RemapCache::with_capacity_bytes(8);
+    }
+
+    mod properties {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            /// Against a reference map: a cache hit must return the last
+            /// inserted value for that key (staleness = correctness bug;
+            /// misses are always allowed).
+            #[test]
+            fn hits_are_never_stale(
+                ops in proptest::collection::vec((0u64..64, 0u64..1000, proptest::bool::ANY), 0..400),
+            ) {
+                let mut cache = RemapCache::with_capacity_bytes(256);
+                let mut model = std::collections::HashMap::new();
+                for (key, value, is_insert) in ops {
+                    if is_insert {
+                        cache.insert(key, value);
+                        model.insert(key, value);
+                    } else if let Some(got) = cache.get(key) {
+                        prop_assert_eq!(Some(&got), model.get(&key), "stale hit for {}", key);
+                    }
+                }
+            }
+
+            /// Invalidation is immediate and local.
+            #[test]
+            fn invalidate_is_immediate(keys in proptest::collection::vec(0u64..32, 1..50)) {
+                let mut cache = RemapCache::with_capacity_bytes(512);
+                for &k in &keys {
+                    cache.insert(k, k + 1);
+                }
+                let victim = keys[0];
+                cache.invalidate(victim);
+                prop_assert_eq!(cache.get(victim), None);
+            }
+        }
+    }
+
+    #[test]
+    fn heavy_traffic_stays_consistent() {
+        let mut c = RemapCache::with_capacity_bytes(1024);
+        for i in 0..10_000u64 {
+            c.insert(i % 300, i);
+            if let Some(v) = c.get(i % 151) {
+                assert_eq!(v % 300 % 151, (i % 151) % 300 % 151);
+            }
+        }
+    }
+}

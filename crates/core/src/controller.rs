@@ -1,0 +1,169 @@
+//! The memory-controller interface the simulator drives.
+//!
+//! A controller owns the PCM device and a wear-leveling scheme and serves
+//! software block reads/writes by PA. The four implementations mirror the
+//! paper's evaluation matrix:
+//!
+//! * [`crate::reviver::RevivedController`] — the paper's contribution:
+//!   wear leveling keeps running across failures (`*-WLR` curves).
+//! * [`crate::freep::FreepController`] — FREE-p adapted with a pre-reserved
+//!   remap region (Figure 7); with a 0% reserve it degenerates into the
+//!   plain `ECP6-SG` / `PAYG-SG` baseline that halts on the first failure.
+//! * [`crate::lls::LlsController`] — the LLS baseline (Figure 8, Table II).
+//!
+//! Controllers never talk to the OS directly — that is the paper's
+//! point. They *return* what should be reported ([`WriteResult`]), and the
+//! simulator plays the OS: it retires pages, performs the relocation
+//! copies back through the controller, and notifies the controller of the
+//! retirement ([`Controller::on_page_retired`]) so WL-Reviver can harvest
+//! the page's PAs as virtual spare space.
+
+use core::fmt;
+use wlr_base::{Geometry, Pa, PageId};
+use wlr_pcm::PcmDevice;
+
+/// Outcome of a software write request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WriteResult {
+    /// The write was serviced (possibly via a shadow block).
+    Ok,
+    /// The controller raises an access-error exception for `pa` — the only
+    /// OS interface WL-Reviver permits itself. The write's data was *not*
+    /// stored; the OS's retirement procedure re-places it.
+    ReportFailure(Pa),
+    /// The controller asks the OS to retire these specific pages (explicit
+    /// space reservation — the extra OS support LLS needs and WL-Reviver
+    /// avoids). The triggering write was *not* serviced; retry it after
+    /// granting the pages.
+    RequestPages(Vec<PageId>),
+}
+
+/// Request-level access accounting: the basis of Table II's "average PCM
+/// access time for one software-issued request".
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RequestStats {
+    /// Software read/write requests serviced.
+    pub requests: u64,
+    /// PCM array accesses performed to serve those requests (excludes
+    /// wear-leveling migration and failure-bookkeeping traffic, which the
+    /// paper accounts separately as scheme overhead).
+    pub accesses: u64,
+}
+
+impl RequestStats {
+    /// Average PCM accesses per software request (1.0 is optimal).
+    pub fn avg_access_time(&self) -> f64 {
+        if self.requests == 0 {
+            0.0
+        } else {
+            self.accesses as f64 / self.requests as f64
+        }
+    }
+}
+
+/// A memory controller: device + wear leveling + (optionally) a
+/// failure-revival strategy.
+pub trait Controller: fmt::Debug {
+    /// The software-visible geometry.
+    fn geometry(&self) -> &Geometry;
+
+    /// Services a software read of `pa`; returns the stored content tag
+    /// (0 when content tracking is off or the data is unrecoverable).
+    fn read(&mut self, pa: Pa) -> u64;
+
+    /// Services a software write of `tag` to `pa`.
+    fn write(&mut self, pa: Pa, tag: u64) -> WriteResult;
+
+    /// Notifies the controller that the OS retired `page` (for any
+    /// reason). WL-Reviver harvests the page's PAs as virtual spare space;
+    /// baselines ignore it.
+    fn on_page_retired(&mut self, page: PageId);
+
+    /// The underlying device, for wear/failure inspection.
+    fn device(&self) -> &PcmDevice;
+
+    /// Dead blocks within the software-visible space, as a fraction of it.
+    fn visible_dead_fraction(&self) -> f64 {
+        let n = self.geometry().num_blocks();
+        self.device().dead_blocks_under(n) as f64 / n as f64
+    }
+
+    /// Blocks the controller itself holds back from software use
+    /// (FREE-p's remap region, LLS's acquired chunks; 0 for WL-Reviver,
+    /// whose reservation happens entirely through OS page retirement).
+    fn reserved_blocks(&self) -> u64 {
+        0
+    }
+
+    /// Whether the wear-leveling scheme is still performing migrations
+    /// (baselines freeze it on the first unhidden failure).
+    fn wl_active(&self) -> bool;
+
+    /// Whether a migration is currently suspended awaiting spare space
+    /// (WL-Reviver's delayed acquisition; always false for baselines).
+    fn suspended(&self) -> bool {
+        false
+    }
+
+    /// Request-level access counters.
+    fn request_stats(&self) -> RequestStats;
+
+    /// Resets request-level counters (scopes a measurement window).
+    fn reset_request_stats(&mut self);
+
+    /// Controller label for experiment output (e.g. `"ECP6-SG-WLR"`).
+    fn label(&self) -> String;
+
+    /// Simulates a power cycle: volatile controller state (caches,
+    /// in-flight migration buffers) is lost; PCM-resident state (data,
+    /// pointers, the retired-page bitmap) survives; rebuildable state is
+    /// reconstructed by scanning, as the paper sketches in §III-A/B.
+    /// Default: nothing to lose.
+    fn simulate_reboot(&mut self) {}
+
+    /// Downcast to the WL-Reviver controller, when that is what this is
+    /// (gives experiments access to the framework's event counters).
+    fn as_reviver(&self) -> Option<&crate::reviver::RevivedController> {
+        None
+    }
+
+    /// Downcast to the FREE-p controller, when applicable.
+    fn as_freep(&self) -> Option<&crate::freep::FreepController> {
+        None
+    }
+
+    /// Downcast to the LLS controller, when applicable.
+    fn as_lls(&self) -> Option<&crate::lls::LlsController> {
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn avg_access_time_handles_empty_window() {
+        let s = RequestStats::default();
+        assert_eq!(s.avg_access_time(), 0.0);
+    }
+
+    #[test]
+    fn avg_access_time_ratio() {
+        let s = RequestStats {
+            requests: 100,
+            accesses: 150,
+        };
+        assert!((s.avg_access_time() - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn write_result_equality() {
+        assert_eq!(WriteResult::Ok, WriteResult::Ok);
+        assert_ne!(WriteResult::Ok, WriteResult::ReportFailure(Pa::new(1)));
+        assert_eq!(
+            WriteResult::RequestPages(vec![PageId::new(1)]),
+            WriteResult::RequestPages(vec![PageId::new(1)])
+        );
+    }
+}

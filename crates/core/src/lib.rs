@@ -1,0 +1,66 @@
+//! WL-Reviver: reviving any PCM wear-leveling scheme in the face of block
+//! failures — a full reproduction of the DSN 2014 paper.
+//!
+//! State-of-the-art PCM wear leveling (Start-Gap, Security Refresh) maps
+//! physical addresses to device addresses with cheap algebraic bijections
+//! and ceases to function the moment a single block fails in its working
+//! space. WL-Reviver is a framework that hides failures behind *shadow
+//! blocks* reached through *virtual shadow blocks* — reserved physical
+//! addresses harvested from OS page retirement — so that any unmodified
+//! wear-leveling scheme keeps delivering its leveling service, with no OS
+//! support beyond the standard access-error exception.
+//!
+//! The crate layers:
+//!
+//! * [`reviver::RevivedController`] — the framework (§III of the paper);
+//! * [`freep::FreepController`] — the FREE-p-adapted baseline (Figure 7)
+//!   which, at 0% reserve, is also the plain `ECC+WL` baseline that halts
+//!   on the first failure (Figures 5 and 6);
+//! * [`lls::LlsController`] — the LLS baseline (Figure 8, Table II);
+//! * [`zombie::ZombieController`] — the Zombie-adapted baseline (§I-C):
+//!   incremental page acquisition like WL-Reviver, but direct DA links
+//!   that force wear leveling to freeze;
+//! * [`cache::RemapCache`] — the 32 KB remap cache of Table II;
+//! * [`sim::Simulation`] — the trace-driven simulation loop binding a
+//!   workload (`wlr-trace`), the OS model (`wlr-os`), a controller, and
+//!   the PCM device (`wlr-pcm`) together;
+//! * [`metrics`] — time-series sampling of survival rate, usable space,
+//!   and average access time — the y-axes of the paper's figures.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use wl_reviver::sim::{Simulation, SchemeKind, StopCondition};
+//! use wlr_trace::Benchmark;
+//!
+//! let mut sim = Simulation::builder()
+//!     .num_blocks(1 << 12)
+//!     .endurance_mean(2_000.0)
+//!     .scheme(SchemeKind::ReviverStartGap)
+//!     .workload(Benchmark::Ocean.build(1 << 12, 7))
+//!     .seed(7)
+//!     .build();
+//! let outcome = sim.run(StopCondition::DeadFraction(0.05));
+//! assert!(outcome.writes_issued > 0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cache;
+pub mod controller;
+pub mod freep;
+pub mod lls;
+pub mod metrics;
+pub mod reviver;
+pub mod sim;
+pub mod zombie;
+
+pub use cache::RemapCache;
+pub use controller::{Controller, RequestStats, WriteResult};
+pub use freep::FreepController;
+pub use lls::LlsController;
+pub use reviver::{RevivedController, ReviverCounters};
+pub use metrics::WearReport;
+pub use zombie::ZombieController;
+pub use sim::{SchemeKind, Simulation, StopCondition};

@@ -1,0 +1,285 @@
+//! Time-series metrics for the experiments.
+//!
+//! Every figure in the paper is a function of the number of software
+//! writes issued: block survival rate (Figure 6), user-usable space
+//! (Figures 7 and 8), or a scalar derived from the series (Figure 5's
+//! writes-to-30%-failure). The simulator records a [`SamplePoint`] every
+//! `sample_interval` writes; the bench harness prints the series.
+
+/// One sample of the simulation's observable state.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SamplePoint {
+    /// Software writes issued so far.
+    pub writes: u64,
+    /// Fraction of software-visible blocks still alive (Figure 6 y-axis).
+    pub survival: f64,
+    /// Fraction of the total PCM usable by software: visible space minus
+    /// retired pages, over visible space plus controller reserves
+    /// (Figures 7 and 8 y-axis).
+    pub usable: f64,
+    /// Average PCM accesses per software request in the window since the
+    /// previous sample (Table II metric).
+    pub avg_access_time: f64,
+    /// Whether the wear-leveling scheme was still migrating at this point.
+    pub wl_active: bool,
+}
+
+/// An append-only series of [`SamplePoint`]s.
+#[derive(Debug, Clone, Default)]
+pub struct TimeSeries {
+    points: Vec<SamplePoint>,
+}
+
+impl TimeSeries {
+    /// An empty series.
+    pub fn new() -> Self {
+        TimeSeries { points: Vec::new() }
+    }
+
+    /// Appends a sample.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `point.writes` is not monotonically non-decreasing.
+    pub fn push(&mut self, point: SamplePoint) {
+        if let Some(last) = self.points.last() {
+            assert!(
+                point.writes >= last.writes,
+                "samples must be recorded in write order"
+            );
+        }
+        self.points.push(point);
+    }
+
+    /// The recorded samples.
+    pub fn points(&self) -> &[SamplePoint] {
+        &self.points
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// Whether no samples have been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// Linearly interpolated write count at which `survival` first drops
+    /// to `target`, or `None` if it never does within the series.
+    pub fn writes_at_survival(&self, target: f64) -> Option<u64> {
+        self.crossing(target, |p| p.survival)
+    }
+
+    /// Linearly interpolated write count at which `usable` first drops to
+    /// `target`, or `None`.
+    pub fn writes_at_usable(&self, target: f64) -> Option<u64> {
+        self.crossing(target, |p| p.usable)
+    }
+
+    fn crossing(&self, target: f64, metric: impl Fn(&SamplePoint) -> f64) -> Option<u64> {
+        let mut prev: Option<&SamplePoint> = None;
+        for p in &self.points {
+            let v = metric(p);
+            if v <= target {
+                return Some(match prev {
+                    Some(q) => {
+                        let qv = metric(q);
+                        if qv <= v {
+                            p.writes
+                        } else {
+                            let frac = (qv - target) / (qv - v);
+                            q.writes + ((p.writes - q.writes) as f64 * frac) as u64
+                        }
+                    }
+                    None => p.writes,
+                });
+            }
+            prev = Some(p);
+        }
+        None
+    }
+}
+
+impl<'a> IntoIterator for &'a TimeSeries {
+    type Item = &'a SamplePoint;
+    type IntoIter = std::slice::Iter<'a, SamplePoint>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.points.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pt(writes: u64, survival: f64, usable: f64) -> SamplePoint {
+        SamplePoint {
+            writes,
+            survival,
+            usable,
+            avg_access_time: 1.0,
+            wl_active: true,
+        }
+    }
+
+    #[test]
+    fn push_and_iterate() {
+        let mut s = TimeSeries::new();
+        s.push(pt(0, 1.0, 1.0));
+        s.push(pt(100, 0.9, 0.95));
+        assert_eq!(s.len(), 2);
+        assert!(!s.is_empty());
+        let writes: Vec<u64> = (&s).into_iter().map(|p| p.writes).collect();
+        assert_eq!(writes, vec![0, 100]);
+    }
+
+    #[test]
+    #[should_panic(expected = "write order")]
+    fn rejects_out_of_order() {
+        let mut s = TimeSeries::new();
+        s.push(pt(100, 1.0, 1.0));
+        s.push(pt(50, 1.0, 1.0));
+    }
+
+    #[test]
+    fn crossing_interpolates() {
+        let mut s = TimeSeries::new();
+        s.push(pt(0, 1.0, 1.0));
+        s.push(pt(100, 0.8, 1.0));
+        // survival hits 0.9 halfway between samples.
+        assert_eq!(s.writes_at_survival(0.9), Some(50));
+        assert_eq!(s.writes_at_survival(0.8), Some(100));
+        assert_eq!(s.writes_at_survival(0.5), None);
+    }
+
+    #[test]
+    fn crossing_at_first_sample() {
+        let mut s = TimeSeries::new();
+        s.push(pt(10, 0.5, 0.5));
+        assert_eq!(s.writes_at_survival(0.7), Some(10));
+        assert_eq!(s.writes_at_usable(0.7), Some(10));
+    }
+
+    #[test]
+    fn flat_series_has_no_crossing() {
+        let mut s = TimeSeries::new();
+        for i in 0..10 {
+            s.push(pt(i * 10, 1.0, 1.0));
+        }
+        assert_eq!(s.writes_at_survival(0.7), None);
+    }
+}
+
+/// Wear-distribution quality over a device's visible blocks: how flat the
+/// leveling kept the write counts. The paper argues WL-Reviver "neither
+/// compromises nor improves a scheme's wear-leveling efficacy" — these
+/// statistics let experiments check exactly that.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WearReport {
+    /// Mean writes per block.
+    pub mean: f64,
+    /// Coefficient of variation of per-block wear (0 = perfectly flat).
+    pub cov: f64,
+    /// Gini coefficient of per-block wear (0 = perfectly flat, 1 = all
+    /// wear on one block).
+    pub gini: f64,
+    /// Ratio of the maximum block wear to the mean (the "hottest block"
+    /// overshoot an attacker tries to maximize).
+    pub max_over_mean: f64,
+}
+
+impl WearReport {
+    /// Computes the report from a wear snapshot (see
+    /// [`wlr_pcm::PcmDevice::wear_snapshot`]), typically truncated to the
+    /// software-visible prefix.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `wear` is empty.
+    pub fn from_wear(wear: &[u32]) -> Self {
+        assert!(!wear.is_empty(), "wear report of an empty device");
+        let n = wear.len() as f64;
+        let mean = wear.iter().map(|&w| w as f64).sum::<f64>() / n;
+        let var = wear
+            .iter()
+            .map(|&w| {
+                let d = w as f64 - mean;
+                d * d
+            })
+            .sum::<f64>()
+            / n;
+        let cov = if mean == 0.0 { 0.0 } else { var.sqrt() / mean };
+        let max = wear.iter().copied().max().unwrap_or(0) as f64;
+
+        // Gini via the sorted-rank identity:
+        // G = (2·Σ i·xᵢ) / (n·Σ xᵢ) − (n+1)/n with xᵢ ascending, i from 1.
+        let mut sorted: Vec<u32> = wear.to_vec();
+        sorted.sort_unstable();
+        let total: f64 = sorted.iter().map(|&w| w as f64).sum();
+        let gini = if total == 0.0 {
+            0.0
+        } else {
+            let weighted: f64 = sorted
+                .iter()
+                .enumerate()
+                .map(|(i, &w)| (i as f64 + 1.0) * w as f64)
+                .sum();
+            (2.0 * weighted) / (n * total) - (n + 1.0) / n
+        };
+        WearReport {
+            mean,
+            cov,
+            gini,
+            max_over_mean: if mean == 0.0 { 0.0 } else { max / mean },
+        }
+    }
+}
+
+#[cfg(test)]
+mod wear_tests {
+    use super::*;
+
+    #[test]
+    fn flat_wear_scores_zero() {
+        let r = WearReport::from_wear(&[7; 100]);
+        assert_eq!(r.mean, 7.0);
+        assert!(r.cov.abs() < 1e-12);
+        assert!(r.gini.abs() < 1e-9);
+        assert!((r.max_over_mean - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn concentrated_wear_scores_high() {
+        let mut wear = vec![0u32; 100];
+        wear[0] = 1000;
+        let r = WearReport::from_wear(&wear);
+        assert!(r.gini > 0.95, "gini {}", r.gini);
+        assert!(r.max_over_mean > 90.0);
+        assert!(r.cov > 5.0);
+    }
+
+    #[test]
+    fn gini_of_linear_ramp() {
+        // xᵢ = i for i in 1..=n has Gini → 1/3 as n grows.
+        let wear: Vec<u32> = (1..=1000).collect();
+        let r = WearReport::from_wear(&wear);
+        assert!((r.gini - 1.0 / 3.0).abs() < 0.01, "gini {}", r.gini);
+    }
+
+    #[test]
+    fn untouched_device_is_flat() {
+        let r = WearReport::from_wear(&[0; 10]);
+        assert_eq!(r.cov, 0.0);
+        assert_eq!(r.gini, 0.0);
+        assert_eq!(r.max_over_mean, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty device")]
+    fn empty_panics() {
+        WearReport::from_wear(&[]);
+    }
+}

@@ -1,0 +1,1443 @@
+//! The WL-Reviver framework (paper §III).
+//!
+//! [`RevivedController`] interposes between an unmodified wear-leveling
+//! scheme and the PCM device so that the scheme keeps operating after
+//! block failures:
+//!
+//! * **Linking** (§III-B): a failed block stores a pointer to a *virtual
+//!   shadow block* — a reserved PA — and the scheme's own PA→DA mapping
+//!   resolves that PA to the current *shadow block*. Data migration moves
+//!   the shadow; the failed-DA→PA link never needs rewriting.
+//! * **Space acquisition** (§III-A): reserved PAs come from OS pages
+//!   retired through the standard access-error exception. The framework
+//!   holds the unlinked PAs in registers (modeled as a queue) and only
+//!   reports a failure to the OS when the pool is empty.
+//! * **Delayed acquisition**: if a *migration* needs a spare and none is
+//!   available, the migration is suspended (its data parked in the
+//!   controller's migration buffer) and the next *software write* is
+//!   reported to the OS as a failure — possibly a fake one — to obtain a
+//!   page. Reads keep being served (from the buffer if necessary), which
+//!   is why the paper sacrifices writes rather than reads.
+//! * **One-step chains** (§III-B, Figures 2–3): whenever a two-step chain
+//!   forms — a shadow dies while serving a write, or a migration lands a
+//!   virtual shadow's mapping on another failed block — the framework
+//!   switches the two failed blocks' virtual shadows, leaving one of them
+//!   on a PA–DA *loop* (no shadow, provably unreachable).
+//! * **Inverse pointers** (Figure 4): the last PAs of each retired page
+//!   index blocks storing virtual-shadow→failed-block pointers, needed to
+//!   find the chain head during the Figure 3 switch. Their reads/writes
+//!   are charged to the device like any other access.
+//!
+//! Theorems 1–3 of the paper are encoded as runtime invariants
+//! ([`RevivedControllerBuilder::check_invariants`] mode) and exercised by this
+//! module's tests and the cross-crate integration suite.
+
+use crate::cache::RemapCache;
+use crate::controller::{Controller, RequestStats, WriteResult};
+use std::collections::{HashMap, VecDeque};
+use wlr_base::{Da, Geometry, Pa, PageId};
+use wlr_pcm::{PcmDevice, WriteOutcome};
+use wlr_wl::{Migration, WearLeveler};
+
+/// Internal signal: an operation needed a spare PA and the pool is empty.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct NeedSpare;
+
+/// Event counters exposed for the experiments and ablations.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ReviverCounters {
+    /// Failed blocks linked to virtual shadow blocks.
+    pub links: u64,
+    /// Virtual-shadow switches performed to restore one-step chains.
+    pub switches: u64,
+    /// Migrations suspended for lack of spare PAs.
+    pub suspensions: u64,
+    /// Software writes sacrificed as (possibly fake) failure reports.
+    pub fake_reports: u64,
+    /// Genuine failure reports raised because a software write's own
+    /// failure handling ran out of spares.
+    pub real_reports: u64,
+    /// Pages harvested for spare PAs.
+    pub spare_grants: u64,
+    /// Inverse-pointer writes skipped for lack of resources (rebuildable
+    /// by a scan, per the paper).
+    pub meta_skips: u64,
+    /// Migration reads of blocks holding no live data.
+    pub garbage_reads: u64,
+    /// Simulated power cycles survived.
+    pub reboots: u64,
+    /// In-flight migration lines lost to power cycles.
+    pub reboot_lost_migrations: u64,
+}
+
+/// Builder for [`RevivedController`].
+#[derive(Debug)]
+pub struct RevivedControllerBuilder {
+    device: PcmDevice,
+    wl: Box<dyn WearLeveler>,
+    cache_bytes: Option<usize>,
+    check_invariants: bool,
+    pointer_bytes: u64,
+    chain_switching: bool,
+    proactive_acquisition: bool,
+}
+
+impl RevivedControllerBuilder {
+    /// Attaches a remap cache of `bytes` capacity (Table II uses 32 KB).
+    pub fn cache_bytes(mut self, bytes: usize) -> Self {
+        self.cache_bytes = Some(bytes);
+        self
+    }
+
+    /// Enables Theorem 1–3 invariant assertions after every request
+    /// (testing aid; expensive on large devices).
+    pub fn check_invariants(mut self, on: bool) -> Self {
+        self.check_invariants = on;
+        self
+    }
+
+    /// Pointer width used to size the inverse-pointer section (default 4,
+    /// the paper's 32-bit pointers: 16 per 64 B block).
+    pub fn pointer_bytes(mut self, bytes: u64) -> Self {
+        self.pointer_bytes = bytes;
+        self
+    }
+
+    /// Disables the one-step-chain switching of §III-B (ablation): chains
+    /// are allowed to grow and every access walks them to the end. Data
+    /// remains correct; access time degrades — which is the design point
+    /// the paper's Figures 2–3 machinery exists to avoid.
+    pub fn chain_switching(mut self, on: bool) -> Self {
+        self.chain_switching = on;
+        self
+    }
+
+    /// Switches to the §III-A alternative the paper rejects: when a
+    /// migration needs spare space, *proactively* request a page from the
+    /// OS (a new interrupt type) instead of suspending and sacrificing
+    /// the next software write as a (possibly fake) failure report.
+    pub fn proactive_acquisition(mut self, on: bool) -> Self {
+        self.proactive_acquisition = on;
+        self
+    }
+
+    /// Constructs the controller.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the scheme's PA space does not match the geometry or the
+    /// device lacks the scheme's buffer blocks.
+    pub fn build(self) -> RevivedController {
+        let geo = *self.device.geometry();
+        assert_eq!(
+            self.wl.len(),
+            geo.num_blocks(),
+            "wear-leveler PA space must match the geometry"
+        );
+        assert!(
+            self.device.total_blocks() >= self.wl.total_das(),
+            "device lacks the scheme's buffer blocks: {} < {}",
+            self.device.total_blocks(),
+            self.wl.total_das()
+        );
+        let ppb = (geo.block_bytes() / self.pointer_bytes).max(1);
+        RevivedController {
+            geo,
+            device: self.device,
+            wl: self.wl,
+            ptr: HashMap::new(),
+            inv: HashMap::new(),
+            spares: VecDeque::new(),
+            ptr_slot: HashMap::new(),
+            retired: vec![false; geo.num_pages() as usize],
+            suspended: false,
+            mig_buf: VecDeque::new(),
+            cache: self.cache_bytes.map(RemapCache::with_capacity_bytes),
+            req: RequestStats::default(),
+            counters: ReviverCounters::default(),
+            check: self.check_invariants,
+            ptrs_per_block: ppb,
+            switching: self.chain_switching,
+            proactive: self.proactive_acquisition,
+            in_write_da: 0,
+            pending_meta: Vec::new(),
+            section_pas: std::collections::HashSet::new(),
+        }
+    }
+}
+
+/// A memory controller running any [`WearLeveler`] under the WL-Reviver
+/// framework: failures are hidden behind shadow blocks and the scheme's
+/// migrations continue unmodified.
+///
+/// See the crate-level example for end-to-end use with the simulator; the
+/// controller can also be driven directly:
+///
+/// ```
+/// use wlr_base::{Geometry, Pa, PageId};
+/// use wlr_pcm::{Ecp, PcmDevice};
+/// use wlr_wl::{RandomizerKind, StartGap};
+/// use wl_reviver::controller::{Controller, WriteResult};
+/// use wl_reviver::reviver::RevivedController;
+///
+/// let geo = Geometry::builder().num_blocks(128).build()?;
+/// let device = PcmDevice::builder(geo)
+///     .extra_blocks(1) // Start-Gap's gap line
+///     .endurance_mean(500.0)
+///     .ecc(Box::new(Ecp::ecp6()))
+///     .track_contents(true)
+///     .build();
+/// let wl = StartGap::builder(128)
+///     .gap_interval(10)
+///     .randomizer(RandomizerKind::Feistel { seed: 1 })
+///     .build();
+/// let mut ctl = RevivedController::builder(device, Box::new(wl)).build();
+///
+/// // Hammer one address until the controller must involve the OS.
+/// let mut reported = None;
+/// for i in 0..100_000u64 {
+///     match ctl.write(Pa::new(7), i) {
+///         WriteResult::Ok => {}
+///         WriteResult::ReportFailure(pa) => { reported = Some(pa); break; }
+///         WriteResult::RequestPages(_) => unreachable!("WL-Reviver never asks"),
+///     }
+/// }
+/// // Play the OS: retire the page, granting the framework its PAs.
+/// let pa = reported.expect("a failure eventually surfaces");
+/// ctl.on_page_retired(geo.page_of(pa));
+/// assert!(ctl.spare_pas() > 0);
+/// # Ok::<(), wlr_base::geometry::GeometryError>(())
+/// ```
+#[derive(Debug)]
+pub struct RevivedController {
+    geo: Geometry,
+    device: PcmDevice,
+    wl: Box<dyn WearLeveler>,
+    /// failed DA → its virtual shadow PA (stored *in* the failed block on
+    /// real hardware, plus a status bit).
+    ptr: HashMap<u64, Pa>,
+    /// virtual shadow PA → failed DA (the inverse pointers of Figure 4).
+    inv: HashMap<u64, Da>,
+    /// Unlinked reserved PAs (the current/last registers of §III-A,
+    /// generalized to a queue across multiple retired pages).
+    spares: VecDeque<Pa>,
+    /// Reserved PA → the pointer-section PA whose block stores its
+    /// inverse pointer.
+    ptr_slot: HashMap<u64, Pa>,
+    /// Retired-page bitmap (§III-A; persisted across reboots on hardware).
+    retired: Vec<bool>,
+    suspended: bool,
+    /// Outstanding migration writes `(post-mapping target, data)`; data
+    /// lives in controller registers while a migration is suspended.
+    mig_buf: VecDeque<(Da, u64)>,
+    cache: Option<RemapCache>,
+    req: RequestStats,
+    counters: ReviverCounters,
+    check: bool,
+    ptrs_per_block: u64,
+    /// One-step-chain switching enabled (§III-B; off only for ablation).
+    switching: bool,
+    /// Proactive page acquisition (§III-A alternative; ablation only).
+    proactive: bool,
+    /// Number of active chain-repair frames (metadata writes defer while
+    /// this is nonzero).
+    in_write_da: u32,
+    /// Deferred inverse-pointer writes awaiting a quiescent flush point.
+    pending_meta: Vec<Pa>,
+    /// Pointer-section PAs (their blocks hold live inverse-pointer data).
+    section_pas: std::collections::HashSet<u64>,
+}
+
+impl RevivedController {
+    /// Starts building a revived controller over `device` driving `wl`.
+    pub fn builder(device: PcmDevice, wl: Box<dyn WearLeveler>) -> RevivedControllerBuilder {
+        RevivedControllerBuilder {
+            device,
+            wl,
+            cache_bytes: None,
+            check_invariants: false,
+            pointer_bytes: 4,
+            chain_switching: true,
+            proactive_acquisition: false,
+        }
+    }
+
+    /// Event counters.
+    pub fn counters(&self) -> ReviverCounters {
+        self.counters
+    }
+
+    /// Unlinked spare PAs currently available.
+    pub fn spare_pas(&self) -> u64 {
+        self.spares.len() as u64
+    }
+
+    /// Number of failed blocks currently linked to virtual shadows.
+    pub fn linked_blocks(&self) -> u64 {
+        self.ptr.len() as u64
+    }
+
+    /// Number of linked blocks currently on PA–DA loops (no shadow).
+    pub fn loop_blocks(&self) -> u64 {
+        self.ptr
+            .iter()
+            .filter(|(&da, &v)| self.wl.map(v).index() == da)
+            .count() as u64
+    }
+
+    /// Diagnostic view of a failed block's chain: its virtual shadow PA,
+    /// the shadow block it currently resolves to, and whether that shadow
+    /// is itself dead. `None` if `da` is not linked.
+    pub fn chain_info(&self, da: Da) -> Option<(Pa, Da, bool)> {
+        let v = *self.ptr.get(&da.index())?;
+        let sda = self.wl.map(v);
+        Some((v, sda, self.device.is_dead(sda)))
+    }
+
+    /// The lowest-indexed page not yet retired (proactive-acquisition
+    /// ablation's nomination), or `None` when everything is retired.
+    fn pick_page_to_request(&self) -> Option<PageId> {
+        self.retired
+            .iter()
+            .position(|&r| !r)
+            .map(|i| PageId::new(i as u64))
+    }
+
+    /// Length of every linked block's chain (steps to a healthy block or
+    /// a loop), for the chain-switching ablation's statistics.
+    pub fn chain_lengths(&self) -> Vec<u32> {
+        self.ptr
+            .keys()
+            .map(|&d| {
+                let mut cur = Da::new(d);
+                let mut steps = 0u32;
+                while let Some(&v) = self.ptr.get(&cur.index()) {
+                    let next = self.wl.map(v);
+                    steps += 1;
+                    if next == cur || !self.device.is_dead(next) {
+                        break;
+                    }
+                    cur = next;
+                    if steps > self.ptr.len() as u32 + 1 {
+                        break;
+                    }
+                }
+                steps
+            })
+            .collect()
+    }
+
+    /// Cache hit ratio, if a remap cache is configured.
+    pub fn cache_hit_ratio(&self) -> Option<f64> {
+        self.cache.as_ref().map(|c| c.hit_ratio())
+    }
+
+    /// Read access to the wear-leveler (for inspection and tooling).
+    pub fn wear_leveler(&self) -> &dyn WearLeveler {
+        self.wl.as_ref()
+    }
+
+    /// Force-fails device block `da` without wearing it — the setup knob
+    /// for fixed-failure-ratio measurements (Table II). The failure is
+    /// "undiscovered": the framework links it on the next touch, exactly
+    /// like an organic failure detected at write time.
+    pub fn inject_dead(&mut self, da: Da) {
+        self.device.inject_dead(da);
+    }
+
+    // ----- device helpers ---------------------------------------------
+
+    #[inline]
+    fn dev_read(&mut self, da: Da, acct: bool) {
+        self.device.read(da);
+        if acct {
+            self.req.accesses += 1;
+        }
+    }
+
+    #[inline]
+    fn dev_write(&mut self, da: Da, tag: u64, acct: bool) -> WriteOutcome {
+        let out = self.device.write_tagged(da, tag);
+        if acct {
+            self.req.accesses += 1;
+        }
+        out
+    }
+
+    // ----- linking primitives -----------------------------------------
+
+    fn take_spare(&mut self) -> Result<Pa, NeedSpare> {
+        self.spares.pop_front().ok_or(NeedSpare)
+    }
+
+    /// Links failed block `da` to virtual shadow `v`.
+    fn link(&mut self, da: Da, v: Pa) {
+        debug_assert!(self.device.is_dead(da), "only failed blocks are linked");
+        self.ptr.insert(da.index(), v);
+        self.inv.insert(v.index(), da);
+        if let Some(c) = &mut self.cache {
+            c.insert(da.index(), v.index());
+        }
+        // The pointer is written into the failed block itself (§III-B);
+        // the block is dead so the write stores metadata, not data.
+        self.device.write(da);
+        self.meta_write(v);
+        self.counters.links += 1;
+    }
+
+    /// Replaces `da`'s virtual shadow `v_old` with a fresh one, returning
+    /// the old PA to the spare pool (degenerate self-loop escape).
+    fn relink(&mut self, da: Da, v_new: Pa, v_old: Pa) {
+        self.ptr.insert(da.index(), v_new);
+        self.inv.remove(&v_old.index());
+        self.inv.insert(v_new.index(), da);
+        self.spares.push_back(v_old);
+        if let Some(c) = &mut self.cache {
+            c.insert(da.index(), v_new.index());
+        }
+        self.device.write(da);
+        self.meta_write(v_new);
+        self.meta_write(v_old);
+    }
+
+    /// Switches the virtual shadows of two failed blocks (Figures 2(d)
+    /// and 3(b)), restoring one-step chains and leaving one block on a
+    /// PA–DA loop.
+    fn switch(&mut self, d0: Da, d1: Da) {
+        let v0 = self.ptr[&d0.index()];
+        let v1 = self.ptr[&d1.index()];
+        self.ptr.insert(d0.index(), v1);
+        self.ptr.insert(d1.index(), v0);
+        self.inv.insert(v1.index(), d0);
+        self.inv.insert(v0.index(), d1);
+        if let Some(c) = &mut self.cache {
+            c.insert(d0.index(), v1.index());
+            c.insert(d1.index(), v0.index());
+        }
+        // Rewrite both stored pointers and both inverse pointers.
+        self.device.write(d0);
+        self.device.write(d1);
+        self.meta_write(v0);
+        self.meta_write(v1);
+        self.counters.switches += 1;
+    }
+
+    /// Resolves the virtual shadow pointer of failed block `da`, through
+    /// the cache when configured. A miss costs one PCM read (the pointer
+    /// lives in the failed block).
+    fn resolve_ptr(&mut self, da: Da, acct: bool) -> Option<Pa> {
+        if let Some(c) = &mut self.cache {
+            if let Some(v) = c.get(da.index()) {
+                return Some(Pa::new(v));
+            }
+        }
+        let v = self.ptr.get(&da.index()).copied();
+        if let Some(v) = v {
+            self.dev_read(da, acct); // pointer read
+            if let Some(c) = &mut self.cache {
+                c.insert(da.index(), v.index());
+            }
+        }
+        v
+    }
+
+    /// Best-effort write of the inverse pointer for reserved PA `v` into
+    /// its pointer-section block.
+    ///
+    /// Pointer-section blocks are ordinary PCM blocks: writing them can
+    /// discover failures that need the full linking/repair machinery. But
+    /// several reserved PAs share one section block, so a metadata write
+    /// issued *while a chain repair is already in progress* could walk the
+    /// very chain being repaired (re-entrancy). Metadata writes are
+    /// therefore deferred onto a queue while any [`Self::write_da`] frame
+    /// is active and flushed at top level ([`Self::flush_meta`]) — the
+    /// hardware analogue being that pointer updates are posted writes.
+    /// Exhaustion only bumps a counter: the paper notes inverse pointers
+    /// are rebuildable by scanning.
+    fn meta_write(&mut self, v: Pa) {
+        if self.in_write_da > 0 {
+            self.pending_meta.push(v);
+        } else {
+            self.do_meta_write(v);
+        }
+    }
+
+    fn do_meta_write(&mut self, v: Pa) {
+        let Some(slot) = self.ptr_slot.get(&v.index()).copied() else {
+            // `v` predates any grant (possible only in hand-built tests).
+            self.counters.meta_skips += 1;
+            return;
+        };
+        let da = self.wl.map(slot);
+        if self.write_da(da, 0, false).is_err() {
+            self.counters.meta_skips += 1;
+        }
+    }
+
+    /// Drains deferred metadata writes. Called wherever no chain repair is
+    /// in flight. Each flush round may enqueue more (its own links), but
+    /// every link consumes a spare, so the loop terminates.
+    fn flush_meta(&mut self) {
+        // Each flushed item can enqueue more (links consume spares,
+        // repairs enqueue rewrites), so budget generously — and when the
+        // budget runs out, give up on the remainder instead of failing:
+        // inverse pointers are rebuildable by scanning (paper §III-B).
+        let mut fuel =
+            self.pending_meta.len() + 4 * (self.spares.len() + self.ptr.len()) + 256;
+        while let Some(v) = self.pending_meta.pop() {
+            if fuel == 0 {
+                self.counters.meta_skips += self.pending_meta.len() as u64 + 1;
+                self.pending_meta.clear();
+                return;
+            }
+            fuel -= 1;
+            self.do_meta_write(v);
+        }
+    }
+
+    /// Reads the inverse-pointer block covering reserved PA `v`
+    /// (accounting only; the simulator's `inv` map is authoritative).
+    fn meta_read(&mut self, v: Pa) {
+        if let Some(slot) = self.ptr_slot.get(&v.index()).copied() {
+            let da = self.wl.map(slot);
+            self.device.read(da);
+        }
+    }
+
+    #[inline]
+    fn is_reserved(&self, pa: Pa) -> bool {
+        self.retired[self.geo.page_of(pa).as_usize()]
+    }
+
+    // ----- the write chain (core of §III-B) ---------------------------
+
+    /// Serves a write destined by the current mapping for `da`,
+    /// discovering failures, linking, and keeping chains at one step.
+    /// Metadata writes triggered inside are deferred (see
+    /// [`Self::meta_write`]) to keep chain repair non-re-entrant.
+    fn write_da(&mut self, da: Da, tag: u64, acct: bool) -> Result<(), NeedSpare> {
+        self.in_write_da += 1;
+        let r = self.write_da_inner(da, tag, acct);
+        self.in_write_da -= 1;
+        r
+    }
+
+    fn write_da_inner(&mut self, mut da: Da, tag: u64, acct: bool) -> Result<(), NeedSpare> {
+        if !self.device.is_dead(da) {
+            match self.dev_write(da, tag, acct) {
+                WriteOutcome::Ok => return Ok(()),
+                WriteOutcome::NewFailure => {} // fall through: fresh failure
+                WriteOutcome::AlreadyDead => unreachable!("checked alive"),
+            }
+        }
+        // `da` is dead. Ensure it is linked.
+        if !self.ptr.contains_key(&da.index()) {
+            let v = self.take_spare()?;
+            self.link(da, v);
+        }
+        // Follow/repair the chain until the data lands on a healthy block.
+        let mut fuel = self.spares.len() + self.ptr.len() + 8;
+        loop {
+            assert!(fuel > 0, "chain repair failed to converge at {da}");
+            fuel -= 1;
+            let v = match self.resolve_ptr(da, acct) {
+                Some(v) => v,
+                None => unreachable!("linked above"),
+            };
+            let sda = self.wl.map(v);
+            if sda == da {
+                // `da` is on a PA–DA loop: it has no shadow. Give it a
+                // fresh virtual shadow; the old PA returns to the pool.
+                let v2 = self.take_spare()?;
+                self.relink(da, v2, v);
+                continue;
+            }
+            if !self.device.is_dead(sda) {
+                match self.dev_write(sda, tag, acct) {
+                    WriteOutcome::Ok => return Ok(()),
+                    WriteOutcome::NewFailure => {
+                        // Scenario 1 (Fig. 2c): the shadow died serving
+                        // this write. Link it and switch virtual shadows
+                        // (or, in the no-switching ablation, keep walking
+                        // the now-longer chain).
+                        let v2 = self.take_spare()?;
+                        self.link(sda, v2);
+                        if self.switching {
+                            self.switch(da, sda);
+                        } else {
+                            da = sda;
+                        }
+                        continue;
+                    }
+                    WriteOutcome::AlreadyDead => unreachable!("checked alive"),
+                }
+            }
+            // The shadow is already dead: a two-step chain has formed.
+            if !self.ptr.contains_key(&sda.index()) {
+                let v2 = self.take_spare()?;
+                self.link(sda, v2);
+            }
+            if self.switching {
+                self.switch(da, sda);
+            } else {
+                da = sda;
+            }
+        }
+    }
+
+    // ----- migrations ---------------------------------------------------
+
+    /// Whether the block `src` (about to be migrated out of) holds live
+    /// data under the *current* (pre-migration) mapping. See the comment
+    /// at the call site in [`Self::run_migrations`].
+    fn src_data_is_live(&self, src: Da) -> bool {
+        let Some(p) = self.safe_inverse(src) else {
+            return false; // unmapped buffer block
+        };
+        if !self.is_reserved(p) {
+            return true; // software data
+        }
+        match self.inv.get(&p.index()) {
+            // Linked virtual shadow: the block is its head's shadow and
+            // holds the head's data — unless the head *is* this block
+            // (a PA–DA loop), which holds nothing.
+            Some(&d0) => d0 != src,
+            // Unlinked reserved PA: a spare (garbage) or a pointer-section
+            // block (live metadata).
+            None => self.section_pas.contains(&p.index()),
+        }
+    }
+
+    /// Reads the data a migration must move out of `src`, walking the
+    /// chain if `src` is failed (one step under switching; possibly more
+    /// in the no-switching ablation). Returns the data and whether the
+    /// walk ended at a healthy block — chains ending in a PA–DA loop or
+    /// an unlinked dead block hold no live data.
+    fn migration_read(&mut self, src: Da) -> (u64, bool) {
+        if !self.device.is_dead(src) {
+            self.dev_read(src, false);
+            return (self.device.tag(src), true);
+        }
+        let mut cur = src;
+        let mut fuel = self.ptr.len() + 2;
+        loop {
+            if fuel == 0 {
+                self.counters.garbage_reads += 1;
+                return (self.device.tag(cur), false);
+            }
+            fuel -= 1;
+            match self.ptr.get(&cur.index()).copied() {
+                Some(v) => {
+                    self.dev_read(cur, false); // pointer read
+                    let next = self.wl.map(v);
+                    if next == cur {
+                        // Loop block: nothing behind it.
+                        self.counters.garbage_reads += 1;
+                        return (self.device.tag(cur), false);
+                    }
+                    if !self.device.is_dead(next) {
+                        self.dev_read(next, false);
+                        return (self.device.tag(next), true);
+                    }
+                    cur = next;
+                }
+                None => {
+                    self.counters.garbage_reads += 1;
+                    self.dev_read(cur, false);
+                    return (self.device.tag(cur), false);
+                }
+            }
+        }
+    }
+
+    /// Performs all pending migrations, suspending (and parking data in
+    /// the migration buffer) if a spare PA is needed and none exists.
+    fn run_migrations(&mut self) {
+        while !self.suspended {
+            if self.mig_buf.is_empty() {
+                let Some(m) = self.wl.pending() else { break };
+                if self.check {
+                    if let Migration::Copy { dst, .. } = m {
+                        // Theorem 3: the scheme only copies into its
+                        // (unmapped) buffer block, never onto live data —
+                        // in particular never onto a PA–DA loop.
+                        assert!(
+                            self.wl.inverse(dst).is_none(),
+                            "scheme migrated into mapped block {dst}"
+                        );
+                    }
+                }
+                // `(source block, post-migration target)` for each moved PA.
+                let moves: [Option<(Da, Da)>; 2] = match m {
+                    Migration::Copy { src, dst } => [Some((src, dst)), None],
+                    Migration::Swap { a, b } => [Some((a, b)), Some((b, a))],
+                };
+                for (src, target) in moves.into_iter().flatten() {
+                    let (tag, ended_live) = self.migration_read(src);
+                    // Only *live* data is rewritten at the target. A
+                    // reserved PA's block holds live data only when the PA
+                    // is a linked virtual shadow of a *non-loop* block
+                    // (the chain head's data) or a pointer-section block
+                    // (metadata). Unlinked spares and loop-block shadows
+                    // carry garbage — and writing garbage is worse than
+                    // wasted wear: if this very migration makes the other
+                    // moved PA's chain resolve into `target`, the stale
+                    // write would clobber freshly-placed live data (the
+                    // aliasing hazard dissected in the tests).
+                    if ended_live && self.src_data_is_live(src) {
+                        self.mig_buf.push_back((target, tag));
+                    }
+                }
+                // Advance the mapping; the writes below then resolve
+                // chains under the post-migration mapping, and reads
+                // during any suspension are served from the buffer.
+                self.wl.complete_migration();
+            }
+            while let Some(&(target, tag)) = self.mig_buf.front() {
+                match self.write_da(target, tag, false) {
+                    Ok(()) => {
+                        self.mig_buf.pop_front();
+                        self.flush_meta();
+                        self.fix_chain_after_migration(target);
+                    }
+                    Err(NeedSpare) => {
+                        self.suspended = true;
+                        self.counters.suspensions += 1;
+                        return;
+                    }
+                }
+            }
+        }
+    }
+
+    /// The Figure 3 repair: after a migration, if the PA now mapping to
+    /// `target` is a linked virtual shadow and `target` is failed, a
+    /// two-step chain has formed — switch the chain head's virtual shadow.
+    fn fix_chain_after_migration(&mut self, target: Da) {
+        if !self.switching {
+            return; // ablation: chains are allowed to grow
+        }
+        let Some(p) = self.wl.inverse(target) else {
+            return;
+        };
+        if !self.is_reserved(p) {
+            return;
+        }
+        let Some(&d0) = self.inv.get(&p.index()) else {
+            return;
+        };
+        // Locating the chain head requires reading the inverse pointer.
+        self.meta_read(p);
+        if d0 == target || !self.device.is_dead(target) {
+            return;
+        }
+        debug_assert!(
+            self.ptr.contains_key(&target.index()),
+            "dead migration target must have been linked by write_da"
+        );
+        self.switch(d0, target);
+    }
+
+    // ----- invariants (Theorems 1–3 as runtime checks) ------------------
+
+    /// Asserts the framework's structural invariants. Enabled per request
+    /// via [`RevivedControllerBuilder::check_invariants`]; also callable
+    /// directly from tests.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any invariant is violated.
+    pub fn assert_invariants(&self) {
+        for (&da_idx, &v) in &self.ptr {
+            let da = Da::new(da_idx);
+            assert!(self.device.is_dead(da), "linked block {da} is not dead");
+            assert!(
+                self.is_reserved(v),
+                "virtual shadow {v} of {da} is not in a retired page"
+            );
+            assert_eq!(
+                self.inv.get(&v.index()),
+                Some(&da),
+                "inverse pointer of {v} is inconsistent"
+            );
+            let sda = self.wl.map(v);
+            // One-step chains (Theorem 1): for a *software-accessible*
+            // failed block the shadow is healthy, or the block is on a
+            // PA–DA loop and holds no data. A head whose own PA has been
+            // retired (e.g. the page sacrificed by the very report that
+            // ran the spares dry) may transiently carry a dead shadow; it
+            // is healed lazily on the next touch, exactly like an
+            // undiscovered failure (Theorem 2's note).
+            let accessible = self
+                .safe_inverse(da)
+                .is_some_and(|p| !self.is_reserved(p));
+            assert!(
+                !self.switching || !accessible || !self.device.is_dead(sda) || sda == da,
+                "two-step chain at {da} (PA {:?}, v {v}): shadow {sda} is dead (linked: {}, shadow inverse {:?})",
+                self.safe_inverse(da),
+                self.ptr.contains_key(&sda.index()),
+                self.safe_inverse(sda),
+            );
+        }
+        for &v in &self.spares {
+            assert!(self.is_reserved(v), "spare {v} outside retired pages");
+            assert!(
+                !self.inv.contains_key(&v.index()),
+                "spare {v} is still linked"
+            );
+        }
+        // Theorem 1 (reachability direction): every dead block mapped by a
+        // software-accessible PA is linked.
+        for da in self.device.dead_iter() {
+            if let Some(p) = self.safe_inverse(da) {
+                if !self.is_reserved(p) {
+                    assert!(
+                        self.ptr.contains_key(&da.index()),
+                        "software-accessible dead block {da} (PA {p}) unlinked"
+                    );
+                }
+            }
+        }
+    }
+
+    fn safe_inverse(&self, da: Da) -> Option<Pa> {
+        if da.index() < self.wl.total_das() {
+            self.wl.inverse(da)
+        } else {
+            None
+        }
+    }
+}
+
+impl Controller for RevivedController {
+    fn geometry(&self) -> &Geometry {
+        &self.geo
+    }
+
+    fn read(&mut self, pa: Pa) -> u64 {
+        if self.check {
+            assert!(
+                !self.is_reserved(pa),
+                "software read of reserved {pa}: the OS contract (§III-A) says retired pages are never accessed"
+            );
+        }
+        self.req.requests += 1;
+        let da = self.wl.map(pa);
+        if self.suspended {
+            if let Some(&(_, t)) = self.mig_buf.iter().find(|(d, _)| *d == da) {
+                // Served from the controller's migration buffer: no PCM
+                // access — the paper's rationale for sacrificing writes,
+                // not reads, during delayed acquisition.
+                return t;
+            }
+        }
+        if !self.device.is_dead(da) {
+            self.dev_read(da, true);
+            return self.device.tag(da);
+        }
+        // Walk the chain. With switching on (the paper's design) this
+        // takes exactly one step; the no-switching ablation may walk
+        // further, paying one pointer read per step.
+        let mut cur = da;
+        let mut fuel = self.ptr.len() + 2;
+        loop {
+            assert!(fuel > 0, "read chain failed to terminate at {da}");
+            fuel -= 1;
+            match self.resolve_ptr(cur, true) {
+                Some(v) => {
+                    let next = self.wl.map(v);
+                    if self.suspended {
+                        if let Some(&(_, t)) =
+                            self.mig_buf.iter().find(|(d, _)| *d == next)
+                        {
+                            return t;
+                        }
+                    }
+                    if !self.device.is_dead(next) {
+                        self.dev_read(next, true);
+                        return self.device.tag(next);
+                    }
+                    if next == cur {
+                        // Loop block: no data behind it.
+                        self.dev_read(next, true);
+                        return self.device.tag(next);
+                    }
+                    debug_assert!(
+                        !self.switching,
+                        "multi-step chain under switching at {da}"
+                    );
+                    cur = next;
+                }
+                None => {
+                    // Theorem 1 says this cannot happen for software PAs.
+                    assert!(
+                        !self.check,
+                        "read of unlinked dead block {cur} via software {pa}"
+                    );
+                    self.dev_read(cur, true);
+                    return 0;
+                }
+            }
+        }
+    }
+
+    fn write(&mut self, pa: Pa, tag: u64) -> WriteResult {
+        if self.check {
+            assert!(
+                !self.is_reserved(pa),
+                "software write of reserved {pa}: the OS contract (§III-A) says retired pages are never accessed"
+            );
+        }
+        self.req.requests += 1;
+        if self.suspended {
+            if self.proactive {
+                // §III-A alternative (ablation): explicitly ask the OS for
+                // a page via a new interrupt instead of sacrificing this
+                // write. The controller nominates the lowest live page.
+                if let Some(page) = self.pick_page_to_request() {
+                    return WriteResult::RequestPages(vec![page]);
+                }
+            }
+            // Delayed space acquisition (§III-A): report this write as a
+            // failure — even though it may not be one — to obtain a page.
+            self.counters.fake_reports += 1;
+            return WriteResult::ReportFailure(pa);
+        }
+        let da = self.wl.map(pa);
+        match self.write_da(da, tag, true) {
+            Ok(()) => {
+                self.wl.record_write(pa);
+                self.run_migrations();
+                self.flush_meta();
+                // A suspension parks mid-repair state (the migration
+                // buffer); invariants are re-checked after the grant.
+                if self.check && !self.suspended {
+                    self.assert_invariants();
+                }
+                WriteResult::Ok
+            }
+            Err(NeedSpare) => {
+                self.counters.real_reports += 1;
+                WriteResult::ReportFailure(pa)
+            }
+        }
+    }
+
+    fn on_page_retired(&mut self, page: PageId) {
+        if self.retired[page.as_usize()] {
+            return;
+        }
+        self.retired[page.as_usize()] = true;
+        let bpp = self.geo.blocks_per_page();
+        // Smallest pointer section covering the page's virtual shadows
+        // (Figure 4: 4 blocks of 16 pointers cover 60 shadows per 64-block
+        // page).
+        let section = bpp.div_ceil(self.ptrs_per_block + 1).clamp(1, bpp - 1);
+        let pas: Vec<Pa> = self.geo.page_pas(page).collect();
+        let (shadows, slots) = pas.split_at((bpp - section) as usize);
+        for &slot in slots {
+            self.section_pas.insert(slot.index());
+        }
+        for (i, &v) in shadows.iter().enumerate() {
+            self.ptr_slot
+                .insert(v.index(), slots[i / self.ptrs_per_block as usize]);
+            self.spares.push_back(v);
+        }
+        self.counters.spare_grants += 1;
+        if self.suspended {
+            self.suspended = false;
+            self.run_migrations();
+            self.flush_meta();
+            if self.check && !self.suspended {
+                self.assert_invariants();
+            }
+        }
+    }
+
+    fn device(&self) -> &PcmDevice {
+        &self.device
+    }
+
+    fn wl_active(&self) -> bool {
+        true // reviving the scheme is the whole point
+    }
+
+    fn suspended(&self) -> bool {
+        self.suspended
+    }
+
+    fn request_stats(&self) -> RequestStats {
+        self.req
+    }
+
+    fn reset_request_stats(&mut self) {
+        self.req = RequestStats::default();
+    }
+
+    fn as_reviver(&self) -> Option<&RevivedController> {
+        Some(self)
+    }
+
+    fn simulate_reboot(&mut self) {
+        // Volatile state is lost. An in-flight suspended migration's
+        // buffered data lives in controller SRAM and does not survive —
+        // the affected (unreachable or about-to-be-rewritten) lines are
+        // counted, mirroring what real hardware would lose on power cut.
+        self.counters.reboot_lost_migrations += self.mig_buf.len() as u64;
+        self.mig_buf.clear();
+        self.suspended = false;
+        self.pending_meta.clear();
+        if let Some(c) = &mut self.cache {
+            *c = RemapCache::with_capacity_bytes(c.capacity() * crate::cache::ENTRY_BYTES);
+        }
+        // PCM-resident state survives: device contents, the failed-block
+        // pointers (`ptr`), the inverse pointers (`inv`), the retired-page
+        // bitmap. The spare-PA registers are SRAM, but their content is
+        // reconstructable by scanning the retired pages' sections — the
+        // §III-B "rebuilt by scanning the entire PCM" argument.
+        self.spares.clear();
+        for (page_idx, &retired) in self.retired.clone().iter().enumerate() {
+            if !retired {
+                continue;
+            }
+            for v in self.geo.page_pas(PageId::new(page_idx as u64)) {
+                let idx = v.index();
+                if self.section_pas.contains(&idx) || self.inv.contains_key(&idx) {
+                    continue;
+                }
+                if self.ptr_slot.contains_key(&idx) {
+                    self.spares.push_back(v);
+                }
+            }
+        }
+        self.counters.reboots += 1;
+    }
+
+    fn label(&self) -> String {
+        let wl = match self.wl.label().as_str() {
+            "Start-Gap" => "SG",
+            "Security-Refresh" => "SR",
+            other => return format!("{}-{}-WLR", self.device.ecc_label(), other),
+        };
+        format!("{}-{}-WLR", self.device.ecc_label(), wl)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wlr_pcm::Ecp;
+    use wlr_wl::{NoWearLeveling, RandomizerKind, SecurityRefresh, StartGap};
+
+    const N: u64 = 256; // 4 pages of 64 blocks
+
+    fn geo() -> Geometry {
+        Geometry::builder().num_blocks(N).build().unwrap()
+    }
+
+    fn device(endurance: f64, extra: u64, seed: u64) -> PcmDevice {
+        PcmDevice::builder(geo())
+            .extra_blocks(extra)
+            .endurance_mean(endurance)
+            .endurance_cov(0.2)
+            .seed(seed)
+            .ecc(Box::new(Ecp::ecp6()))
+            .track_contents(true)
+            .build()
+    }
+
+    fn sg(psi: u64, seed: u64) -> Box<dyn WearLeveler> {
+        Box::new(
+            StartGap::builder(N)
+                .gap_interval(psi)
+                .randomizer(RandomizerKind::Feistel { seed })
+                .build(),
+        )
+    }
+
+    fn checked(endurance: f64, psi: u64, seed: u64) -> RevivedController {
+        RevivedController::builder(device(endurance, 1, seed), sg(psi, seed))
+            .check_invariants(true)
+            .build()
+    }
+
+    /// Minimal OS stand-in for driving the controller directly: tracks
+    /// retired pages so tests honor the §III-A contract (software never
+    /// touches a retired page — the simulator's page table enforces this
+    /// in the full stack).
+    struct OsSim {
+        retired: std::collections::HashSet<u64>,
+    }
+
+    impl OsSim {
+        fn new() -> Self {
+            OsSim {
+                retired: Default::default(),
+            }
+        }
+
+        /// A software-accessible PA below `n`, or `None` if none is left.
+        fn pick_pa(&self, rng: &mut wlr_base::rng::Rng, n: u64) -> Option<Pa> {
+            for _ in 0..256 {
+                let pa = rng.gen_range(n);
+                if !self.retired.contains(&(pa / 64)) {
+                    return Some(Pa::new(pa));
+                }
+            }
+            None
+        }
+
+        fn accessible(&self, pa: Pa) -> bool {
+            !self.retired.contains(&(pa.index() / 64))
+        }
+
+        /// Standard exception handling: retire the page and grant it.
+        fn retire(&mut self, ctl: &mut RevivedController, rep: Pa) {
+            let page = ctl.geometry().page_of(rep);
+            self.retired.insert(page.index());
+            ctl.on_page_retired(page);
+        }
+
+        fn grant(&mut self, ctl: &mut RevivedController, page: PageId) {
+            self.retired.insert(page.index());
+            ctl.on_page_retired(page);
+        }
+    }
+
+    #[test]
+    fn healthy_operation_is_one_access_per_request() {
+        let mut ctl = checked(1e9, 10, 1);
+        for i in 0..500u64 {
+            assert_eq!(ctl.write(Pa::new(i % N), i), WriteResult::Ok);
+        }
+        for i in 0..100u64 {
+            ctl.read(Pa::new(i));
+        }
+        let s = ctl.request_stats();
+        assert_eq!(s.requests, 600);
+        assert_eq!(s.accesses, 600, "no failures -> exactly one access each");
+        assert_eq!(ctl.linked_blocks(), 0);
+    }
+
+    #[test]
+    fn data_round_trips_through_migrations() {
+        let mut ctl = checked(1e9, 3, 2);
+        // Write distinct tags everywhere, interleaved with migrations.
+        for round in 0..4u64 {
+            for i in 0..N {
+                assert_eq!(ctl.write(Pa::new(i), round * N + i), WriteResult::Ok);
+            }
+        }
+        for i in 0..N {
+            assert_eq!(ctl.read(Pa::new(i)), 3 * N + i, "PA {i} corrupted");
+        }
+    }
+
+    #[test]
+    fn first_failure_reports_then_links() {
+        let mut ctl = checked(300.0, 1_000_000, 3); // no migrations
+        let pa = Pa::new(5);
+        let mut reported = false;
+        for i in 0..10_000u64 {
+            match ctl.write(pa, i) {
+                WriteResult::Ok => {}
+                WriteResult::ReportFailure(rep) => {
+                    assert_eq!(rep, pa);
+                    ctl.on_page_retired(ctl.geometry().page_of(rep));
+                    reported = true;
+                    break;
+                }
+                WriteResult::RequestPages(_) => unreachable!(),
+            }
+        }
+        assert!(reported, "hammering must eventually fail the block");
+        assert_eq!(ctl.counters().real_reports, 1);
+        assert_eq!(ctl.counters().spare_grants, 1);
+        // 64-block page, 4 pointer blocks -> 60 spares.
+        assert_eq!(ctl.spare_pas(), 60);
+        // The block itself gets linked on the next touch of that DA...
+        // which is unreachable now (its page retired); instead verify
+        // that subsequent failures elsewhere are hidden without reports.
+        let pa2 = Pa::new(200);
+        for i in 0..10_000u64 {
+            assert_eq!(ctl.write(pa2, i), WriteResult::Ok, "failure {i} not hidden");
+            if ctl.linked_blocks() > 0 {
+                break;
+            }
+        }
+        assert!(ctl.linked_blocks() > 0, "second failure should link");
+        assert_eq!(ctl.counters().real_reports, 1, "no further OS reports");
+    }
+
+    #[test]
+    fn reads_of_failed_blocks_resolve_through_shadow() {
+        let mut ctl = checked(300.0, 1_000_000, 4);
+        let pa = Pa::new(130);
+        // Pre-grant a page so the failure is hidden immediately.
+        ctl.on_page_retired(PageId::new(0));
+        let mut last = 0;
+        for i in 1..20_000u64 {
+            match ctl.write(pa, i) {
+                WriteResult::Ok => last = i,
+                _ => panic!("failure should be hidden"),
+            }
+            if ctl.linked_blocks() > 0 {
+                break;
+            }
+        }
+        assert!(ctl.linked_blocks() > 0);
+        assert_eq!(ctl.read(pa), last, "shadow must serve the read");
+        // A failed-block read costs two accesses uncached (pointer+shadow).
+        ctl.reset_request_stats();
+        ctl.read(pa);
+        assert_eq!(ctl.request_stats().accesses, 2);
+    }
+
+    #[test]
+    fn cache_reduces_failed_block_access_to_one() {
+        let dev = device(300.0, 1, 5);
+        let mut ctl = RevivedController::builder(dev, sg(1_000_000, 5))
+            .check_invariants(true)
+            .cache_bytes(1024)
+            .build();
+        ctl.on_page_retired(PageId::new(0));
+        let pa = Pa::new(130);
+        for i in 1..20_000u64 {
+            ctl.write(pa, i);
+            if ctl.linked_blocks() > 0 {
+                break;
+            }
+        }
+        assert!(ctl.linked_blocks() > 0);
+        ctl.read(pa); // populate cache
+        ctl.reset_request_stats();
+        ctl.read(pa);
+        assert_eq!(
+            ctl.request_stats().accesses,
+            1,
+            "cache hit should hide the pointer read"
+        );
+    }
+
+    #[test]
+    fn chains_stay_one_step_under_sustained_hammering() {
+        // Low endurance + migrations: shadows keep dying; chains must stay
+        // one-step (checked by invariants after every write).
+        let mut ctl = checked(150.0, 7, 6);
+        let mut os = OsSim::new();
+        os.grant(&mut ctl, PageId::new(3));
+        let mut rng = wlr_base::rng::Rng::seed_from(99);
+        for i in 0..60_000u64 {
+            let Some(pa) = os.pick_pa(&mut rng, N) else { break };
+            match ctl.write(pa, i) {
+                WriteResult::Ok => {}
+                WriteResult::ReportFailure(rep) => {
+                    os.retire(&mut ctl, rep);
+                }
+                WriteResult::RequestPages(_) => unreachable!(),
+            }
+            if ctl.spare_pas() == 0 && ctl.linked_blocks() > 30 {
+                break; // plenty of failure handling exercised
+            }
+        }
+        assert!(ctl.counters().links > 0);
+        ctl.assert_invariants();
+    }
+
+    #[test]
+    fn switching_creates_loops() {
+        let mut ctl = checked(150.0, 1_000_000, 7);
+        let mut os = OsSim::new();
+        os.grant(&mut ctl, PageId::new(0));
+        // Hammer one PA: its block dies, then its shadow dies, forcing a
+        // switch (Fig 2c) which leaves a loop block behind. If the
+        // hammered page itself retires, move to the next accessible PA.
+        let mut rng = wlr_base::rng::Rng::seed_from(70);
+        let mut pa = Pa::new(100);
+        for i in 0..200_000u64 {
+            if !os.accessible(pa) {
+                pa = os.pick_pa(&mut rng, N).expect("space left");
+            }
+            match ctl.write(pa, i) {
+                WriteResult::Ok => {}
+                WriteResult::ReportFailure(rep) => {
+                    os.retire(&mut ctl, rep);
+                }
+                WriteResult::RequestPages(_) => unreachable!(),
+            }
+            if ctl.counters().switches > 0 {
+                break;
+            }
+        }
+        assert!(ctl.counters().switches > 0, "no switch ever happened");
+        assert!(ctl.loop_blocks() > 0, "a switch must leave a loop behind");
+        ctl.assert_invariants();
+    }
+
+    #[test]
+    fn suspension_sacrifices_next_write_and_resumes() {
+        // Tiny endurance and fast migrations with NO spare pages: a
+        // migration soon hits a failure, suspends, and the next software
+        // write is reported (fake failure).
+        let mut ctl = checked(100.0, 1, 8);
+        let mut os = OsSim::new();
+        let mut rng = wlr_base::rng::Rng::seed_from(80);
+        let mut fake_seen = false;
+        let mut i = 0u64;
+        while i < 200_000 {
+            i += 1;
+            let Some(pa) = os.pick_pa(&mut rng, N) else { break };
+            match ctl.write(pa, i) {
+                WriteResult::Ok => {}
+                WriteResult::ReportFailure(rep) => {
+                    if ctl.suspended() {
+                        fake_seen = true;
+                    }
+                    os.retire(&mut ctl, rep);
+                    assert!(
+                        !ctl.suspended(),
+                        "grant must resume the suspended migration"
+                    );
+                    if fake_seen {
+                        break;
+                    }
+                }
+                WriteResult::RequestPages(_) => unreachable!(),
+            }
+        }
+        assert!(fake_seen, "no suspension-triggered report observed");
+        assert!(ctl.counters().suspensions > 0);
+        assert!(ctl.counters().fake_reports > 0);
+    }
+
+    #[test]
+    fn reads_are_served_during_suspension() {
+        let mut ctl = checked(100.0, 1, 9);
+        let mut os = OsSim::new();
+        let mut rng = wlr_base::rng::Rng::seed_from(90);
+        let mut value_of: std::collections::HashMap<u64, u64> = Default::default();
+        let mut i = 0u64;
+        loop {
+            i += 1;
+            assert!(i < 400_000, "never suspended");
+            let Some(pa) = os.pick_pa(&mut rng, N) else { break };
+            match ctl.write(pa, i) {
+                WriteResult::Ok => {
+                    value_of.insert(pa.index(), i);
+                }
+                WriteResult::ReportFailure(_) if ctl.suspended() => break,
+                WriteResult::ReportFailure(rep) => {
+                    os.retire(&mut ctl, rep);
+                    // Data of the retired page is relocated by the OS;
+                    // drop those expectations in this mini-harness.
+                    let page = ctl.geometry().page_of(rep);
+                    value_of.retain(|&p, _| p / 64 != page.index());
+                }
+                WriteResult::RequestPages(_) => unreachable!(),
+            }
+        }
+        // While suspended, every previously-written accessible PA must
+        // still read its last value (possibly out of the migration buffer).
+        for (&p, &v) in value_of.iter().take(64) {
+            if os.accessible(Pa::new(p)) {
+                assert_eq!(ctl.read(Pa::new(p)), v, "stale read at PA {p}");
+            }
+        }
+    }
+
+    #[test]
+    fn works_with_security_refresh_unmodified() {
+        let dev = device(200.0, 0, 10);
+        let wl = SecurityRefresh::builder(N)
+            .region_blocks(64)
+            .refresh_interval(5)
+            .seed(10)
+            .build();
+        let mut ctl = RevivedController::builder(dev, Box::new(wl))
+            .check_invariants(true)
+            .build();
+        let mut os = OsSim::new();
+        let mut writes = 0u64;
+        let mut rng = wlr_base::rng::Rng::seed_from(4);
+        let mut model: std::collections::HashMap<u64, u64> = Default::default();
+        for i in 0..80_000u64 {
+            let Some(pa) = os.pick_pa(&mut rng, N) else { break };
+            match ctl.write(pa, i) {
+                WriteResult::Ok => {
+                    model.insert(pa.index(), i);
+                    writes += 1;
+                }
+                WriteResult::ReportFailure(rep) => {
+                    let page = ctl.geometry().page_of(rep);
+                    // Data in the retired page is relocated by the OS; its
+                    // model entries are dropped in this mini-harness.
+                    let bpp = ctl.geometry().blocks_per_page();
+                    let base = page.index() * bpp;
+                    for b in base..base + bpp {
+                        model.remove(&b);
+                    }
+                    os.retire(&mut ctl, rep);
+                }
+                WriteResult::RequestPages(_) => unreachable!(),
+            }
+            if ctl.linked_blocks() >= 10 {
+                break;
+            }
+        }
+        assert!(writes > 1000);
+        assert!(ctl.linked_blocks() > 0, "SR failures should be hidden too");
+        for (&p, &v) in model.iter() {
+            if os.accessible(Pa::new(p)) {
+                assert_eq!(ctl.read(Pa::new(p)), v, "PA {p} corrupted under SR");
+            }
+        }
+        assert_eq!(ctl.label(), "ECP6-SR-WLR");
+    }
+
+    #[test]
+    fn label_for_start_gap() {
+        let ctl = checked(1e9, 100, 11);
+        assert_eq!(ctl.label(), "ECP6-SG-WLR");
+    }
+
+    #[test]
+    fn no_wl_also_works_under_framework() {
+        // The framework does not require migrations at all.
+        let dev = device(300.0, 0, 12);
+        let mut ctl = RevivedController::builder(dev, Box::new(NoWearLeveling::new(N)))
+            .check_invariants(true)
+            .build();
+        ctl.on_page_retired(PageId::new(0));
+        let pa = Pa::new(70);
+        let mut last = 0;
+        for i in 1..30_000u64 {
+            match ctl.write(pa, i) {
+                WriteResult::Ok => last = i,
+                _ => panic!("hidden failure expected"),
+            }
+            if ctl.linked_blocks() > 0 {
+                break;
+            }
+        }
+        assert!(ctl.linked_blocks() > 0);
+        assert_eq!(ctl.read(pa), last);
+    }
+
+    #[test]
+    fn duplicate_page_grant_is_idempotent() {
+        let mut ctl = checked(1e9, 10, 13);
+        ctl.on_page_retired(PageId::new(2));
+        let before = ctl.spare_pas();
+        ctl.on_page_retired(PageId::new(2));
+        assert_eq!(ctl.spare_pas(), before);
+        assert_eq!(ctl.counters().spare_grants, 1);
+    }
+
+    #[test]
+    fn pointer_section_sizing_matches_paper() {
+        // 64 blocks/page, 16 pointers/block -> 4 pointer blocks, 60 spares.
+        let mut ctl = checked(1e9, 10, 14);
+        ctl.on_page_retired(PageId::new(1));
+        assert_eq!(ctl.spare_pas(), 60);
+    }
+}

@@ -1,0 +1,1267 @@
+//! The trace-driven simulation loop.
+//!
+//! [`Simulation`] wires a workload ([`wlr_trace::Workload`]), the OS model
+//! ([`wlr_os::OsMemory`]), a memory controller
+//! ([`crate::controller::Controller`]) and the PCM device into the
+//! evaluation loop of §IV: software issues writes by application address,
+//! the OS translates them, the controller serves them under wear leveling
+//! and (optionally) failure revival, and failure reports/page requests
+//! flow back through the OS — whose retirement copies are themselves
+//! performed through the controller so they wear the PCM.
+//!
+//! The simulation records a [`crate::metrics::TimeSeries`] and stops on a
+//! [`StopCondition`]; an optional integrity oracle tracks the expected
+//! content of every application block and cross-checks reads.
+
+use crate::controller::{Controller, WriteResult};
+use crate::freep::FreepController;
+use crate::lls::LlsController;
+use crate::metrics::{SamplePoint, TimeSeries};
+use crate::reviver::RevivedController;
+use crate::zombie::ZombieController;
+use std::collections::HashMap;
+use wlr_base::rng::Rng;
+use wlr_base::{AppAddr, Geometry, Pa};
+use wlr_os::OsMemory;
+use wlr_pcm::{Ecp, ErrorCorrection, Payg, PcmDevice};
+use wlr_trace::{UniformWorkload, Workload};
+use wlr_wl::{
+    NoWearLeveling, RandomizerKind, SecurityRefresh, Stacked, StartGap, TiledStartGap,
+    WearLeveler,
+};
+
+/// Which error-correction scheme to configure.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum EccKind {
+    /// ECP with `k` entries per block (the paper's base is ECP6).
+    Ecp(u32),
+    /// PAYG with a pool of `ratio` entries per block (paper default 0.77).
+    Payg {
+        /// Global pool entries per block.
+        ratio: f64,
+    },
+}
+
+/// Which controller stack to simulate. The names follow the paper's
+/// figure legends.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum SchemeKind {
+    /// Error correction only (`ECP6` / `PAYG` curves): no wear leveling,
+    /// every failure costs the OS a page.
+    EccOnly,
+    /// Error correction + Start-Gap (`ECP6-SG` / `PAYG-SG`): the first
+    /// unhidden failure freezes the scheme.
+    StartGapOnly,
+    /// Error correction + Security Refresh, freezing on the first failure.
+    SecurityRefreshOnly,
+    /// FREE-p adapted with a pre-reserved remap region of this fraction of
+    /// the total PCM (Figure 7).
+    Freep {
+        /// Reserved fraction of total PCM space (0.05 = the paper's 5%).
+        reserve_frac: f64,
+    },
+    /// The LLS baseline (Figure 8, Table II).
+    Lls,
+    /// The Zombie-adapted baseline (§I-C): failures hidden behind spare
+    /// blocks from incrementally-retired pages, wear leveling frozen from
+    /// the first failure.
+    Zombie,
+    /// WL-Reviver over Start-Gap (`ECP6-SG-WLR` / `PAYG-SG-WLR`).
+    ReviverStartGap,
+    /// WL-Reviver over Security Refresh (framework-generality ablation).
+    ReviverSecurityRefresh,
+    /// WL-Reviver over region-tiled Start-Gap (the Start-Gap paper's
+    /// practical deployment: one gap line per tile behind a global
+    /// randomizer; tile count set by `sg_tiles`).
+    ReviverTiledStartGap,
+    /// WL-Reviver over the full two-level Security Refresh (inner
+    /// sub-region level stacked under a chip-wide outer level).
+    ReviverTwoLevelSecurityRefresh,
+}
+
+/// When to stop a run. The run also always stops if the application's
+/// memory is exhausted (no pages left) or a hard write cap is reached.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum StopCondition {
+    /// After this many software writes.
+    Writes(u64),
+    /// When the fraction of dead software-visible blocks reaches this
+    /// value (Figure 5 uses 0.30).
+    DeadFraction(f64),
+    /// When software-usable space drops to this fraction of the PCM.
+    UsableBelow(f64),
+}
+
+/// Why a run ended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StopReason {
+    /// The requested [`StopCondition`] was met.
+    ConditionMet,
+    /// All application pages were dropped: the memory is gone.
+    MemoryExhausted,
+    /// The safety cap on total writes was hit.
+    HardCap,
+}
+
+/// Final state of a run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Outcome {
+    /// Software writes issued.
+    pub writes_issued: u64,
+    /// Why the run stopped.
+    pub reason: StopReason,
+    /// Final survival fraction of visible blocks.
+    pub survival: f64,
+    /// Final usable-space fraction.
+    pub usable: f64,
+}
+
+/// Builder for [`Simulation`]; see [`Simulation::builder`].
+#[derive(Debug)]
+pub struct SimulationBuilder {
+    num_blocks: u64,
+    block_bytes: u64,
+    page_bytes: u64,
+    endurance_mean: f64,
+    endurance_cov: f64,
+    ecc: EccKind,
+    scheme: SchemeKind,
+    gap_interval: u64,
+    sr_refresh_interval: u64,
+    sr_region_blocks: Option<u64>,
+    lls_groups: u64,
+    lls_chunks: u64,
+    cache_bytes: Option<usize>,
+    os_reserve_pages: u64,
+    sample_interval: u64,
+    seed: u64,
+    workload: Option<Box<dyn Workload>>,
+    verify_integrity: bool,
+    check_invariants: bool,
+    hard_cap: u64,
+    sg_randomizer: Option<RandomizerKind>,
+    sg_tiles: u64,
+    reviver_pointer_bytes: u64,
+    reviver_chain_switching: bool,
+    reviver_proactive: bool,
+}
+
+impl SimulationBuilder {
+    /// Total PCM capacity in blocks (default 2¹⁶ = 4 MB of 64 B blocks).
+    /// For [`SchemeKind::Freep`], the pre-reserve is carved out of this.
+    pub fn num_blocks(mut self, blocks: u64) -> Self {
+        self.num_blocks = blocks;
+        self
+    }
+
+    /// Mean cell endurance in writes (default 10⁴; the paper's chip is
+    /// 10⁸ — see DESIGN.md §3.2 on scaling).
+    pub fn endurance_mean(mut self, mean: f64) -> Self {
+        self.endurance_mean = mean;
+        self
+    }
+
+    /// Cell-lifetime CoV (default 0.2, as in the paper).
+    pub fn endurance_cov(mut self, cov: f64) -> Self {
+        self.endurance_cov = cov;
+        self
+    }
+
+    /// Error-correction scheme (default ECP6).
+    pub fn ecc(mut self, ecc: EccKind) -> Self {
+        self.ecc = ecc;
+        self
+    }
+
+    /// Controller stack (default [`SchemeKind::ReviverStartGap`]).
+    pub fn scheme(mut self, scheme: SchemeKind) -> Self {
+        self.scheme = scheme;
+        self
+    }
+
+    /// Start-Gap ψ: writes per gap movement (default 100, as in the paper).
+    pub fn gap_interval(mut self, psi: u64) -> Self {
+        self.gap_interval = psi;
+        self
+    }
+
+    /// Security Refresh: writes per refresh swap (default 100).
+    pub fn sr_refresh_interval(mut self, interval: u64) -> Self {
+        self.sr_refresh_interval = interval;
+        self
+    }
+
+    /// Security Refresh region size in blocks (default: largest power of
+    /// two dividing the visible space).
+    pub fn sr_region_blocks(mut self, blocks: u64) -> Self {
+        self.sr_region_blocks = Some(blocks);
+        self
+    }
+
+    /// LLS salvage-group count (default 64).
+    pub fn lls_groups(mut self, groups: u64) -> Self {
+        self.lls_groups = groups;
+        self
+    }
+
+    /// LLS maximum chunks; chunk size is `visible/16` (default 16 chunks).
+    pub fn lls_chunks(mut self, chunks: u64) -> Self {
+        self.lls_chunks = chunks;
+        self
+    }
+
+    /// Remap cache size in bytes (Table II uses 32 KB; default none).
+    pub fn cache_bytes(mut self, bytes: usize) -> Self {
+        self.cache_bytes = Some(bytes);
+        self
+    }
+
+    /// OS free-page reserve (default 0).
+    pub fn os_reserve_pages(mut self, pages: u64) -> Self {
+        self.os_reserve_pages = pages;
+        self
+    }
+
+    /// Writes between time-series samples (default: visible blocks / 4,
+    /// clamped to at least 1024).
+    pub fn sample_interval(mut self, writes: u64) -> Self {
+        self.sample_interval = writes;
+        self
+    }
+
+    /// Experiment seed; drives cell lifetimes, keys, and the default
+    /// workload.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// The write workload. Its address space must equal the application
+    /// space (`visible blocks − OS reserve`); defaults to uniform writes.
+    pub fn workload(mut self, workload: impl Workload + 'static) -> Self {
+        self.workload = Some(Box::new(workload));
+        self
+    }
+
+    /// As [`Self::workload`] for an already-boxed trait object.
+    pub fn workload_boxed(mut self, workload: Box<dyn Workload>) -> Self {
+        self.workload = Some(workload);
+        self
+    }
+
+    /// Enables the data-integrity oracle: every application block's
+    /// expected content is tracked and reads are cross-checked (costs
+    /// memory and time; used by the tests).
+    pub fn verify_integrity(mut self, on: bool) -> Self {
+        self.verify_integrity = on;
+        self
+    }
+
+    /// Enables WL-Reviver's Theorem 1–3 assertions per request (tests).
+    pub fn check_invariants(mut self, on: bool) -> Self {
+        self.check_invariants = on;
+        self
+    }
+
+    /// Safety cap on total writes (default 10¹²).
+    pub fn hard_cap(mut self, writes: u64) -> Self {
+        self.hard_cap = writes;
+        self
+    }
+
+    /// Overrides Start-Gap's static randomizer (default: Feistel seeded
+    /// by the experiment seed). Ablation knob.
+    pub fn sg_randomizer(mut self, kind: RandomizerKind) -> Self {
+        self.sg_randomizer = Some(kind);
+        self
+    }
+
+    /// Tile count for [`SchemeKind::ReviverTiledStartGap`] (default 16).
+    pub fn sg_tiles(mut self, tiles: u64) -> Self {
+        self.sg_tiles = tiles;
+        self
+    }
+
+    /// WL-Reviver pointer width in bytes (sizes the inverse-pointer
+    /// section; default 4). Ablation knob.
+    pub fn reviver_pointer_bytes(mut self, bytes: u64) -> Self {
+        self.reviver_pointer_bytes = bytes;
+        self
+    }
+
+    /// Disables WL-Reviver's one-step-chain switching (ablation).
+    pub fn reviver_chain_switching(mut self, on: bool) -> Self {
+        self.reviver_chain_switching = on;
+        self
+    }
+
+    /// Enables WL-Reviver's proactive page acquisition (the §III-A
+    /// alternative; ablation).
+    pub fn reviver_proactive(mut self, on: bool) -> Self {
+        self.reviver_proactive = on;
+        self
+    }
+
+    /// Constructs the simulation.
+    ///
+    /// # Panics
+    ///
+    /// Panics on inconsistent configuration (mismatched workload size,
+    /// invalid geometry, reserve fractions outside `[0, 1)`).
+    pub fn build(self) -> Simulation {
+        // Visible space: total minus any FREE-p pre-reserve, page-aligned.
+        let bpp = self.page_bytes / self.block_bytes;
+        let (visible, reserve_blocks) = match self.scheme {
+            SchemeKind::Freep { reserve_frac } => {
+                assert!(
+                    (0.0..1.0).contains(&reserve_frac),
+                    "reserve fraction must be in [0,1)"
+                );
+                let reserve_pages =
+                    ((self.num_blocks as f64 * reserve_frac) / bpp as f64).round() as u64;
+                let visible = self.num_blocks - reserve_pages * bpp;
+                (visible, reserve_pages * bpp)
+            }
+            _ => (self.num_blocks - self.num_blocks % bpp, 0),
+        };
+        assert!(visible >= bpp, "no visible space left after reservation");
+        let geo = Geometry::builder()
+            .block_bytes(self.block_bytes)
+            .page_bytes(self.page_bytes)
+            .num_blocks(visible)
+            .build()
+            .expect("geometry parameters are validated above");
+
+        let ecc: Box<dyn ErrorCorrection> = match self.ecc {
+            EccKind::Ecp(k) => Box::new(Ecp::new(k)),
+            EccKind::Payg { ratio } => Box::new(Payg::with_ratio(self.num_blocks, ratio)),
+        };
+
+        let mk_device = |extra: u64, contents: bool| {
+            PcmDevice::builder(geo)
+                .extra_blocks(extra)
+                .endurance_mean(self.endurance_mean)
+                .endurance_cov(self.endurance_cov)
+                .seed(self.seed)
+                .ecc(ecc)
+                .track_contents(contents)
+                .build()
+        };
+        let sg = |kind: RandomizerKind| -> Box<dyn WearLeveler> {
+            Box::new(
+                StartGap::builder(visible)
+                    .gap_interval(self.gap_interval)
+                    .randomizer(kind)
+                    .build(),
+            )
+        };
+        let sr = |seed: u64| -> Box<dyn WearLeveler> {
+            let region = self
+                .sr_region_blocks
+                .unwrap_or_else(|| visible & visible.wrapping_neg());
+            Box::new(
+                SecurityRefresh::builder(visible)
+                    .region_blocks(region)
+                    .refresh_interval(self.sr_refresh_interval)
+                    .seed(seed)
+                    .build(),
+            )
+        };
+        let contents = self.verify_integrity;
+        let feistel = self
+            .sg_randomizer
+            .unwrap_or(RandomizerKind::Feistel { seed: self.seed });
+
+        let controller: Box<dyn Controller> = match self.scheme {
+            SchemeKind::EccOnly => Box::new(
+                FreepController::builder(
+                    mk_device(0, contents),
+                    Box::new(NoWearLeveling::new(visible)),
+                    0,
+                )
+                .build(),
+            ),
+            SchemeKind::StartGapOnly => Box::new(
+                FreepController::builder(mk_device(1, contents), sg(feistel), 0)
+                    .build(),
+            ),
+            SchemeKind::SecurityRefreshOnly => Box::new(
+                FreepController::builder(mk_device(0, contents), sr(self.seed), 0).build(),
+            ),
+            SchemeKind::Freep { .. } => {
+                let mut b = FreepController::builder(
+                    mk_device(1 + reserve_blocks, contents),
+                    sg(feistel),
+                    reserve_blocks,
+                );
+                if let Some(bytes) = self.cache_bytes {
+                    b = b.cache_bytes(bytes);
+                }
+                Box::new(b.build())
+            }
+            SchemeKind::Lls => {
+                let chunk = ((visible / 16) / bpp).max(1) * bpp;
+                let mut b = LlsController::builder(
+                    mk_device(1 + chunk * self.lls_chunks, contents),
+                    sg(RandomizerKind::HalfRestricted { seed: self.seed }),
+                )
+                .chunk_blocks(chunk)
+                .max_chunks(self.lls_chunks)
+                .groups(self.lls_groups);
+                if let Some(bytes) = self.cache_bytes {
+                    b = b.cache_bytes(bytes);
+                }
+                Box::new(b.build())
+            }
+            SchemeKind::Zombie => {
+                let mut b =
+                    ZombieController::builder(mk_device(1, contents), sg(feistel));
+                if let Some(bytes) = self.cache_bytes {
+                    b = b.cache_bytes(bytes);
+                }
+                Box::new(b.build())
+            }
+            SchemeKind::ReviverStartGap => {
+                let mut b = RevivedController::builder(mk_device(1, contents), sg(feistel))
+                    .check_invariants(self.check_invariants)
+                    .pointer_bytes(self.reviver_pointer_bytes)
+                    .chain_switching(self.reviver_chain_switching)
+                    .proactive_acquisition(self.reviver_proactive);
+                if let Some(bytes) = self.cache_bytes {
+                    b = b.cache_bytes(bytes);
+                }
+                Box::new(b.build())
+            }
+            SchemeKind::ReviverSecurityRefresh => {
+                let mut b = RevivedController::builder(mk_device(0, contents), sr(self.seed))
+                    .check_invariants(self.check_invariants)
+                    .pointer_bytes(self.reviver_pointer_bytes)
+                    .chain_switching(self.reviver_chain_switching)
+                    .proactive_acquisition(self.reviver_proactive);
+                if let Some(bytes) = self.cache_bytes {
+                    b = b.cache_bytes(bytes);
+                }
+                Box::new(b.build())
+            }
+            SchemeKind::ReviverTiledStartGap => {
+                let wl = TiledStartGap::builder(visible)
+                    .tiles(self.sg_tiles)
+                    .gap_interval(self.gap_interval)
+                    .randomizer(feistel)
+                    .build();
+                let mut b =
+                    RevivedController::builder(mk_device(self.sg_tiles, contents), Box::new(wl))
+                        .check_invariants(self.check_invariants)
+                        .pointer_bytes(self.reviver_pointer_bytes)
+                        .chain_switching(self.reviver_chain_switching)
+                        .proactive_acquisition(self.reviver_proactive);
+                if let Some(bytes) = self.cache_bytes {
+                    b = b.cache_bytes(bytes);
+                }
+                Box::new(b.build())
+            }
+            SchemeKind::ReviverTwoLevelSecurityRefresh => {
+                let inner_region = (visible & visible.wrapping_neg()).min(64);
+                let wl = Stacked::two_level_security_refresh(
+                    visible,
+                    inner_region,
+                    self.sr_refresh_interval,
+                    self.sr_refresh_interval * 4,
+                    self.seed,
+                );
+                let mut b = RevivedController::builder(mk_device(0, contents), Box::new(wl))
+                    .check_invariants(self.check_invariants)
+                    .pointer_bytes(self.reviver_pointer_bytes)
+                    .chain_switching(self.reviver_chain_switching)
+                    .proactive_acquisition(self.reviver_proactive);
+                if let Some(bytes) = self.cache_bytes {
+                    b = b.cache_bytes(bytes);
+                }
+                Box::new(b.build())
+            }
+        };
+
+        let os = OsMemory::builder(geo)
+            .reserve_pages(self.os_reserve_pages)
+            .build();
+        let app_blocks = os.app_blocks();
+        let workload = match self.workload {
+            Some(w) => {
+                assert_eq!(
+                    w.len(),
+                    app_blocks,
+                    "workload space ({}) must equal the application space ({app_blocks})",
+                    w.len()
+                );
+                w
+            }
+            None => Box::new(UniformWorkload::new(app_blocks, self.seed)),
+        };
+
+        let sample_interval = if self.sample_interval == 0 {
+            (visible / 4).max(1024)
+        } else {
+            self.sample_interval
+        };
+
+        Simulation {
+            geo,
+            os,
+            controller,
+            workload,
+            writes_issued: 0,
+            seq: 0,
+            series: TimeSeries::new(),
+            sample_interval,
+            last_req: (0, 0),
+            expected: if self.verify_integrity {
+                Some(HashMap::new())
+            } else {
+                None
+            },
+            verify_rng: Rng::stream(self.seed, 0x07AC1E),
+            integrity_errors: 0,
+            retirements: 0,
+            lost_writes: 0,
+            hard_cap: self.hard_cap,
+        }
+    }
+}
+
+/// A configured, runnable simulation. See the crate-level example.
+#[derive(Debug)]
+pub struct Simulation {
+    geo: Geometry,
+    os: OsMemory,
+    controller: Box<dyn Controller>,
+    workload: Box<dyn Workload>,
+    writes_issued: u64,
+    seq: u64,
+    series: TimeSeries,
+    sample_interval: u64,
+    /// `(requests, accesses)` at the previous sample, for windowed
+    /// average access time.
+    last_req: (u64, u64),
+    /// Integrity oracle: app address → expected tag.
+    expected: Option<HashMap<u64, u64>>,
+    verify_rng: Rng,
+    integrity_errors: u64,
+    retirements: u64,
+    lost_writes: u64,
+    hard_cap: u64,
+}
+
+/// What a single step did.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum StepOutcome {
+    Serviced,
+    Exhausted,
+}
+
+impl Simulation {
+    /// Starts building a simulation with the scaled default configuration
+    /// (see DESIGN.md §6).
+    pub fn builder() -> SimulationBuilder {
+        SimulationBuilder {
+            num_blocks: 1 << 16,
+            block_bytes: 64,
+            page_bytes: 4096,
+            endurance_mean: 1e4,
+            endurance_cov: 0.2,
+            ecc: EccKind::Ecp(6),
+            scheme: SchemeKind::ReviverStartGap,
+            gap_interval: 100,
+            sr_refresh_interval: 100,
+            sr_region_blocks: None,
+            lls_groups: 64,
+            lls_chunks: 16,
+            cache_bytes: None,
+            os_reserve_pages: 0,
+            sample_interval: 0,
+            seed: 0,
+            workload: None,
+            verify_integrity: false,
+            check_invariants: false,
+            hard_cap: 1_000_000_000_000,
+            sg_randomizer: None,
+            sg_tiles: 16,
+            reviver_pointer_bytes: 4,
+            reviver_chain_switching: true,
+            reviver_proactive: false,
+        }
+    }
+
+    /// The software-visible geometry.
+    pub fn geometry(&self) -> &Geometry {
+        &self.geo
+    }
+
+    /// The controller under test.
+    pub fn controller(&self) -> &dyn Controller {
+        self.controller.as_ref()
+    }
+
+    /// Mutable controller access (for measurement-window scoping).
+    pub fn controller_mut(&mut self) -> &mut dyn Controller {
+        self.controller.as_mut()
+    }
+
+    /// The OS model.
+    pub fn os(&self) -> &OsMemory {
+        &self.os
+    }
+
+    /// Software writes issued so far.
+    pub fn writes_issued(&self) -> u64 {
+        self.writes_issued
+    }
+
+    /// Recorded metric series.
+    pub fn series(&self) -> &TimeSeries {
+        &self.series
+    }
+
+    /// Page retirements observed (all causes).
+    pub fn retirements(&self) -> u64 {
+        self.retirements
+    }
+
+    /// Writes whose data could not be placed anywhere (page dropped with
+    /// no replacement, or cascades that gave up).
+    pub fn lost_writes(&self) -> u64 {
+        self.lost_writes
+    }
+
+    /// Integrity-oracle violations observed (0 in a correct system).
+    pub fn integrity_errors(&self) -> u64 {
+        self.integrity_errors
+    }
+
+    /// Current usable fraction of the PCM: visible minus retired pages,
+    /// over visible plus controller reserves.
+    pub fn usable_fraction(&self) -> f64 {
+        let bpp = self.geo.blocks_per_page();
+        let visible = self.geo.num_blocks() as f64;
+        let retired = (self.os.retired_pages() * bpp) as f64;
+        let total = visible + self.controller.reserved_blocks() as f64;
+        ((visible - retired) / total).max(0.0)
+    }
+
+    /// Wear-distribution quality over the software-visible blocks.
+    pub fn wear_report(&self) -> crate::metrics::WearReport {
+        let n = self.geo.num_blocks() as usize;
+        crate::metrics::WearReport::from_wear(&self.controller.device().wear_snapshot()[..n])
+    }
+
+    /// Current survival fraction of visible blocks.
+    pub fn survival_fraction(&self) -> f64 {
+        1.0 - self.controller.visible_dead_fraction()
+    }
+
+    /// Issues exactly one software write (test/diagnostic entry point).
+    fn step(&mut self) -> StepOutcome {
+        let addr = self.workload.next_write();
+        self.writes_issued += 1;
+        self.seq += 1;
+        let tag = self.seq;
+        // In integrity mode, writes to dropped pages are discarded rather
+        // than redirected: a redirect shares a victim page's blocks between
+        // two application addresses, which the oracle cannot model (and
+        // which real compaction would resolve with separate storage).
+        let translated = if self.expected.is_some() {
+            if self.os.mapped_app_pages() == 0 {
+                None
+            } else {
+                let t = self.os.translate(addr);
+                if t.is_none() {
+                    self.lost_writes += 1;
+                    return StepOutcome::Serviced;
+                }
+                t
+            }
+        } else {
+            self.os.translate_or_redirect(addr)
+        };
+        let Some(pa) = translated else {
+            return StepOutcome::Exhausted;
+        };
+        self.pa_write(pa, tag, 0);
+        if let Some(expected) = &mut self.expected {
+            // The data survives iff the address still translates (its page
+            // was kept or relocated with copies).
+            if self.os.translate(addr).is_some() {
+                expected.insert(addr.index(), tag);
+            } else {
+                expected.remove(&addr.index());
+            }
+        }
+        if self.writes_issued.is_multiple_of(self.sample_interval) {
+            self.record_sample();
+            if self.expected.is_some() {
+                self.verify_some(32);
+            }
+        }
+        StepOutcome::Serviced
+    }
+
+    /// Writes `tag` to `pa`, playing the OS on failure reports and page
+    /// requests. Retirement copies recurse (bounded by `depth`).
+    fn pa_write(&mut self, pa: Pa, tag: u64, depth: u8) {
+        if depth > 8 {
+            self.lost_writes += 1;
+            return;
+        }
+        for _ in 0..4 {
+            match self.controller.write(pa, tag) {
+                WriteResult::Ok => return,
+                WriteResult::ReportFailure(rep) => {
+                    self.handle_report(rep, (pa, tag), depth);
+                    return;
+                }
+                WriteResult::RequestPages(pages) => {
+                    for page in pages {
+                        if let Some(ret) = self.os.retire_page(page) {
+                            self.retirements += 1;
+                            let copies = ret.copies.clone();
+                            self.controller.on_page_retired(page);
+                            for (src, dst) in copies {
+                                let t = self.controller.read(src);
+                                self.pa_write(dst, t, depth + 1);
+                            }
+                        } else {
+                            self.controller.on_page_retired(page);
+                        }
+                    }
+                    // Retry the original write now that the pages landed.
+                }
+            }
+        }
+        self.lost_writes += 1;
+    }
+
+    /// OS exception handler: retire the page, grant it to the controller,
+    /// and relocate its data — substituting the freshly-written tag for
+    /// the failing block's stale content.
+    fn handle_report(&mut self, rep: Pa, fresh: (Pa, u64), depth: u8) {
+        let Some(ret) = self.os.handle_failure(rep) else {
+            // Stale report: the page is already gone; so is the data.
+            self.lost_writes += 1;
+            return;
+        };
+        self.retirements += 1;
+        self.controller.on_page_retired(ret.retired);
+        if ret.copies.is_empty() {
+            // Pool dry: the application page was dropped.
+            self.lost_writes += 1;
+            return;
+        }
+        for (src, dst) in ret.copies {
+            let t = if src == fresh.0 {
+                fresh.1
+            } else {
+                self.controller.read(src)
+            };
+            self.pa_write(dst, t, depth + 1);
+        }
+    }
+
+    fn record_sample(&mut self) {
+        if self
+            .series
+            .points()
+            .last()
+            .is_some_and(|p| p.writes == self.writes_issued)
+        {
+            return; // already sampled at this write count
+        }
+        let req = self.controller.request_stats();
+        let (p_req, p_acc) = self.last_req;
+        let d_req = req.requests.saturating_sub(p_req);
+        let d_acc = req.accesses.saturating_sub(p_acc);
+        self.last_req = (req.requests, req.accesses);
+        self.series.push(SamplePoint {
+            writes: self.writes_issued,
+            survival: self.survival_fraction(),
+            usable: self.usable_fraction(),
+            avg_access_time: if d_req == 0 {
+                0.0
+            } else {
+                d_acc as f64 / d_req as f64
+            },
+            wl_active: self.controller.wl_active(),
+        });
+    }
+
+    /// Simulates a machine power cycle: the OS reloads the retired-page
+    /// bitmap (it never forgot it — `OsMemory` is this simulation's OS
+    /// state) and the controller reconstructs its volatile state from
+    /// PCM-resident metadata. See
+    /// [`crate::controller::Controller::simulate_reboot`].
+    pub fn simulate_reboot(&mut self) {
+        self.controller.simulate_reboot();
+    }
+
+    /// Reads back `count` random tracked addresses and compares with the
+    /// oracle; increments [`Self::integrity_errors`] on mismatch.
+    fn verify_some(&mut self, count: usize) {
+        let Some(expected) = &self.expected else {
+            return;
+        };
+        if expected.is_empty() {
+            return;
+        }
+        let mut keys: Vec<u64> = expected.keys().copied().collect();
+        // Sorted so verification traffic is deterministic (HashMap order
+        // is not), keeping whole runs exactly seed-reproducible.
+        keys.sort_unstable();
+        let mut picks = Vec::with_capacity(count);
+        for _ in 0..count.min(keys.len()) {
+            let k = keys[self.verify_rng.gen_range(keys.len() as u64) as usize];
+            picks.push(k);
+        }
+        for k in picks {
+            let addr = AppAddr::new(k);
+            let Some(pa) = self.os.translate(addr) else {
+                continue;
+            };
+            let want = self.expected.as_ref().unwrap()[&k];
+            let got = self.controller.read(pa);
+            if got != want {
+                self.integrity_errors += 1;
+            }
+        }
+    }
+
+    /// Diagnostic variant of [`Self::verify_all`]: returns each mismatch
+    /// as `(app address, expected tag, observed tag)`.
+    pub fn find_mismatches(&mut self) -> Vec<(u64, u64, u64)> {
+        let Some(expected) = self.expected.clone() else {
+            return Vec::new();
+        };
+        let mut out = Vec::new();
+        for (&k, &want) in &expected {
+            let addr = AppAddr::new(k);
+            let Some(pa) = self.os.translate(addr) else {
+                continue;
+            };
+            let got = self.controller.read(pa);
+            if got != want {
+                out.push((k, want, got));
+            }
+        }
+        out
+    }
+
+    /// Reads back *every* tracked address (expensive; tests only).
+    /// Returns the number of mismatches found in this pass.
+    pub fn verify_all(&mut self) -> u64 {
+        let Some(expected) = self.expected.clone() else {
+            return 0;
+        };
+        let mut errors = 0;
+        for (&k, &want) in &expected {
+            let addr = AppAddr::new(k);
+            let Some(pa) = self.os.translate(addr) else {
+                continue;
+            };
+            if self.controller.read(pa) != want {
+                errors += 1;
+            }
+        }
+        self.integrity_errors += errors;
+        errors
+    }
+
+    /// Runs until `stop` is met, the memory is exhausted, or the hard cap
+    /// is reached. Can be called repeatedly with different conditions to
+    /// continue the same run.
+    pub fn run(&mut self, stop: StopCondition) -> Outcome {
+        let reason = loop {
+            if self.writes_issued >= self.hard_cap {
+                break StopReason::HardCap;
+            }
+            if self.condition_met(stop) {
+                break StopReason::ConditionMet;
+            }
+            match self.step() {
+                StepOutcome::Serviced => {}
+                StepOutcome::Exhausted => break StopReason::MemoryExhausted,
+            }
+        };
+        self.record_sample();
+        Outcome {
+            writes_issued: self.writes_issued,
+            reason,
+            survival: self.survival_fraction(),
+            usable: self.usable_fraction(),
+        }
+    }
+
+    fn condition_met(&self, stop: StopCondition) -> bool {
+        match stop {
+            StopCondition::Writes(n) => self.writes_issued >= n,
+            StopCondition::DeadFraction(f) => {
+                // Cheap total-dead pre-check before the exact (O(N)) scan.
+                let n = self.geo.num_blocks();
+                self.controller.device().dead_blocks() as f64 / n as f64 >= f
+                    && self.controller.visible_dead_fraction() >= f
+            }
+            StopCondition::UsableBelow(f) => self.usable_fraction() <= f,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wlr_trace::Benchmark;
+
+    fn quick(scheme: SchemeKind, endurance: f64, seed: u64) -> Simulation {
+        Simulation::builder()
+            .num_blocks(1 << 12)
+            .endurance_mean(endurance)
+            .scheme(scheme)
+            .seed(seed)
+            .sample_interval(5_000)
+            .build()
+    }
+
+    #[test]
+    fn healthy_run_reaches_write_budget() {
+        let mut sim = quick(SchemeKind::ReviverStartGap, 1e9, 1);
+        let out = sim.run(StopCondition::Writes(20_000));
+        assert_eq!(out.reason, StopReason::ConditionMet);
+        assert_eq!(out.writes_issued, 20_000);
+        assert_eq!(out.survival, 1.0);
+        assert_eq!(out.usable, 1.0);
+        assert!(!sim.series().is_empty());
+    }
+
+    #[test]
+    fn ecc_only_loses_space_fast() {
+        let mut sim = quick(SchemeKind::EccOnly, 2_000.0, 2);
+        let out = sim.run(StopCondition::UsableBelow(0.9));
+        assert_eq!(out.reason, StopReason::ConditionMet);
+        assert!(out.usable <= 0.9);
+        assert!(sim.retirements() > 0);
+    }
+
+    #[test]
+    fn reviver_outlives_frozen_start_gap() {
+        let stop = StopCondition::DeadFraction(0.10);
+        let mut base = quick(SchemeKind::StartGapOnly, 2_000.0, 3);
+        let base_out = base.run(stop);
+        let mut wlr = quick(SchemeKind::ReviverStartGap, 2_000.0, 3);
+        let wlr_out = wlr.run(stop);
+        assert!(
+            wlr_out.writes_issued > base_out.writes_issued,
+            "WLR {} should outlast SG {}",
+            wlr_out.writes_issued,
+            base_out.writes_issued
+        );
+    }
+
+    #[test]
+    fn skewed_workload_accelerates_failure_without_wl() {
+        let mk = |scheme| {
+            Simulation::builder()
+                .num_blocks(1 << 12)
+                .endurance_mean(2_000.0)
+                // Scaled ψ: preserves the paper's rotations-per-lifetime
+                // ratio at scaled endurance (see EXPERIMENTS.md).
+                .gap_interval(8)
+                .scheme(scheme)
+                .seed(4)
+                .workload(Benchmark::Ocean.build(1 << 12, 4))
+                .sample_interval(5_000)
+                .build()
+        };
+        // The paper's lifetime metric is *lost space*: without revival
+        // every block failure retires a whole 64-block page, so the
+        // usable-space curve collapses far sooner than under WL-Reviver,
+        // which pays one page per ~60 hidden failures and keeps leveling.
+        let mut none = mk(SchemeKind::EccOnly);
+        let none_out = none.run(StopCondition::UsableBelow(0.9));
+        let mut wlr = mk(SchemeKind::ReviverStartGap);
+        let wlr_out = wlr.run(StopCondition::UsableBelow(0.9));
+        assert!(
+            wlr_out.writes_issued > 2 * none_out.writes_issued,
+            "leveling must delay space loss substantially: {} vs {}",
+            wlr_out.writes_issued,
+            none_out.writes_issued
+        );
+    }
+
+    #[test]
+    fn integrity_oracle_clean_under_reviver() {
+        let mut sim = Simulation::builder()
+            .num_blocks(1 << 10)
+            .endurance_mean(1_500.0)
+            .scheme(SchemeKind::ReviverStartGap)
+            .gap_interval(20)
+            .seed(5)
+            .verify_integrity(true)
+            .check_invariants(true)
+            .sample_interval(2_000)
+            .build();
+        sim.run(StopCondition::DeadFraction(0.05));
+        let errors = sim.verify_all();
+        assert_eq!(errors, 0, "data corrupted under WL-Reviver");
+        assert_eq!(sim.integrity_errors(), 0);
+    }
+
+    #[test]
+    fn integrity_oracle_clean_under_reviver_sr() {
+        let mut sim = Simulation::builder()
+            .num_blocks(1 << 10)
+            .endurance_mean(1_500.0)
+            .scheme(SchemeKind::ReviverSecurityRefresh)
+            .sr_refresh_interval(20)
+            .seed(6)
+            .verify_integrity(true)
+            .check_invariants(true)
+            .sample_interval(2_000)
+            .build();
+        sim.run(StopCondition::DeadFraction(0.04));
+        assert_eq!(sim.verify_all(), 0, "data corrupted under WLR+SR");
+    }
+
+    #[test]
+    fn freep_reserve_postpones_freeze() {
+        let mk = |frac| {
+            Simulation::builder()
+                .num_blocks(1 << 10)
+                .endurance_mean(2_000.0)
+                .scheme(SchemeKind::Freep { reserve_frac: frac })
+                .seed(7)
+                .sample_interval(2_000)
+                .build()
+        };
+        let mut none = mk(0.0);
+        none.run(StopCondition::Writes(3_000_000));
+        let mut some = mk(0.10);
+        some.run(StopCondition::Writes(3_000_000));
+        // With a reserve the scheme should still be leveling when the 0%
+        // variant has long frozen (or at least have frozen later).
+        let frozen_at = |sim: &Simulation| {
+            sim.series()
+                .points()
+                .iter()
+                .find(|p| !p.wl_active)
+                .map(|p| p.writes)
+        };
+        match (frozen_at(&none), frozen_at(&some)) {
+            (Some(a), Some(b)) => assert!(b > a, "reserve should delay freeze: {b} vs {a}"),
+            (Some(_), None) => {} // reserve never froze: even better
+            (None, _) => panic!("0% reserve never froze in 3M writes"),
+        }
+    }
+
+    #[test]
+    fn lls_acquires_chunks_and_survives() {
+        let mut sim = Simulation::builder()
+            .num_blocks(1 << 12)
+            .endurance_mean(2_000.0)
+            .scheme(SchemeKind::Lls)
+            .seed(8)
+            .sample_interval(5_000)
+            .build();
+        let out = sim.run(StopCondition::DeadFraction(0.05));
+        assert!(out.writes_issued > 0);
+        // LLS gives up software space for its chunks.
+        assert!(sim.os().retired_pages() > 0, "no chunks were acquired");
+        assert!(sim.usable_fraction() < 1.0);
+    }
+
+    #[test]
+    fn usable_accounts_for_freep_reserve() {
+        let sim = Simulation::builder()
+            .num_blocks(1 << 12)
+            .scheme(SchemeKind::Freep { reserve_frac: 0.10 })
+            .seed(9)
+            .build();
+        // 10% pre-reserved: usable starts near 90%.
+        let u = sim.usable_fraction();
+        assert!((u - 0.90).abs() < 0.02, "initial usable {u}");
+    }
+
+    #[test]
+    fn series_samples_are_recorded() {
+        let mut sim = quick(SchemeKind::ReviverStartGap, 1e9, 10);
+        sim.run(StopCondition::Writes(25_000));
+        assert!(sim.series().len() >= 5);
+        let last = sim.series().points().last().unwrap();
+        assert_eq!(last.writes, 25_000);
+        assert!((last.avg_access_time - 1.0).abs() < 0.05);
+    }
+
+    #[test]
+    fn hard_cap_stops_runaway() {
+        let mut sim = Simulation::builder()
+            .num_blocks(1 << 10)
+            .endurance_mean(1e9)
+            .scheme(SchemeKind::ReviverStartGap)
+            .seed(11)
+            .hard_cap(5_000)
+            .build();
+        let out = sim.run(StopCondition::DeadFraction(0.3));
+        assert_eq!(out.reason, StopReason::HardCap);
+        assert_eq!(out.writes_issued, 5_000);
+    }
+
+    #[test]
+    fn no_switching_mode_preserves_data_with_longer_chains() {
+        let mut sim = Simulation::builder()
+            .num_blocks(1 << 10)
+            .endurance_mean(1_500.0)
+            .gap_interval(10)
+            .scheme(SchemeKind::ReviverStartGap)
+            .reviver_chain_switching(false)
+            .seed(15)
+            .verify_integrity(true)
+            .check_invariants(true)
+            .sample_interval(2_000)
+            .build();
+        sim.run(StopCondition::DeadFraction(0.10));
+        assert_eq!(sim.verify_all(), 0, "ablation mode corrupted data");
+        let ctl = sim.controller().as_reviver().unwrap();
+        let max_chain = ctl.chain_lengths().into_iter().max().unwrap_or(0);
+        assert!(
+            max_chain >= 2,
+            "no-switching mode should grow chains (max {max_chain})"
+        );
+    }
+
+    #[test]
+    fn switching_mode_keeps_chains_at_one_step() {
+        let mut sim = Simulation::builder()
+            .num_blocks(1 << 10)
+            .endurance_mean(1_500.0)
+            .gap_interval(10)
+            .scheme(SchemeKind::ReviverStartGap)
+            .seed(15)
+            .check_invariants(true)
+            .sample_interval(2_000)
+            .build();
+        sim.run(StopCondition::DeadFraction(0.10));
+        let ctl = sim.controller().as_reviver().unwrap();
+        assert!(ctl.chain_lengths().into_iter().all(|l| l <= 1));
+    }
+
+    #[test]
+    fn proactive_acquisition_never_fakes_reports() {
+        let mut sim = Simulation::builder()
+            .num_blocks(1 << 10)
+            .endurance_mean(1_500.0)
+            .gap_interval(5)
+            .scheme(SchemeKind::ReviverStartGap)
+            .reviver_proactive(true)
+            .seed(16)
+            .verify_integrity(true)
+            .check_invariants(true)
+            .sample_interval(2_000)
+            .build();
+        sim.run(StopCondition::DeadFraction(0.10));
+        let ctl = sim.controller().as_reviver().unwrap();
+        assert_eq!(
+            ctl.counters().fake_reports,
+            0,
+            "proactive mode must not sacrifice writes"
+        );
+        assert!(ctl.counters().suspensions > 0, "suspensions still happen");
+        assert_eq!(sim.verify_all(), 0);
+    }
+
+    #[test]
+    fn reboot_preserves_data_and_revival() {
+        let mut sim = Simulation::builder()
+            .num_blocks(1 << 10)
+            .endurance_mean(1_500.0)
+            .gap_interval(10)
+            .scheme(SchemeKind::ReviverStartGap)
+            .seed(20)
+            .verify_integrity(true)
+            .check_invariants(true)
+            .sample_interval(2_000)
+            .build();
+        // Wear in deep enough that links and retired pages exist.
+        sim.run(StopCondition::DeadFraction(0.05));
+        let links_before = sim.controller().as_reviver().unwrap().linked_blocks();
+        assert!(links_before > 20, "need real state before rebooting");
+        for round in 1..=3 {
+            if !sim.controller().suspended() {
+                sim.simulate_reboot();
+            }
+            assert_eq!(sim.verify_all(), 0, "data lost across reboot {round}");
+            let target = sim.writes_issued() + 30_000;
+            sim.run(StopCondition::Writes(target));
+            assert_eq!(sim.verify_all(), 0, "corruption after reboot {round}");
+        }
+        let ctl = sim.controller().as_reviver().unwrap();
+        assert_eq!(ctl.counters().reboots, 3);
+        assert!(
+            ctl.linked_blocks() >= links_before,
+            "links must persist across power cycles"
+        );
+    }
+
+    #[test]
+    fn tiled_start_gap_revives_cleanly() {
+        let mut sim = Simulation::builder()
+            .num_blocks(1 << 10)
+            .endurance_mean(1_500.0)
+            .gap_interval(10)
+            .sg_tiles(4)
+            .scheme(SchemeKind::ReviverTiledStartGap)
+            .seed(18)
+            .verify_integrity(true)
+            .check_invariants(true)
+            .sample_interval(2_000)
+            .build();
+        sim.run(StopCondition::DeadFraction(0.08));
+        assert_eq!(sim.verify_all(), 0, "tiled SG corrupted data");
+        assert!(sim.controller().device().dead_blocks() > 50);
+    }
+
+    #[test]
+    fn two_level_sr_revives_cleanly() {
+        let mut sim = Simulation::builder()
+            .num_blocks(1 << 10)
+            .endurance_mean(1_500.0)
+            .sr_refresh_interval(10)
+            .scheme(SchemeKind::ReviverTwoLevelSecurityRefresh)
+            .seed(19)
+            .verify_integrity(true)
+            .check_invariants(true)
+            .sample_interval(2_000)
+            .build();
+        sim.run(StopCondition::DeadFraction(0.06));
+        assert_eq!(sim.verify_all(), 0, "two-level SR corrupted data");
+    }
+
+    #[test]
+    fn table_randomizer_variant_works() {
+        let mut sim = Simulation::builder()
+            .num_blocks(1 << 10)
+            .endurance_mean(1_500.0)
+            .gap_interval(10)
+            .scheme(SchemeKind::ReviverStartGap)
+            .sg_randomizer(wlr_wl::RandomizerKind::Table { seed: 3 })
+            .seed(17)
+            .verify_integrity(true)
+            .check_invariants(true)
+            .sample_interval(2_000)
+            .build();
+        sim.run(StopCondition::DeadFraction(0.06));
+        assert_eq!(sim.verify_all(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "must equal the application space")]
+    fn mismatched_workload_panics() {
+        Simulation::builder()
+            .num_blocks(1 << 12)
+            .workload(wlr_trace::UniformWorkload::new(17, 0))
+            .build();
+    }
+}

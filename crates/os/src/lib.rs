@@ -1,0 +1,50 @@
+//! Operating-system memory-management model.
+//!
+//! WL-Reviver's headline constraint (§III-A) is that it demands *no OS
+//! support beyond what DRAM-era systems already have*: read/write commands
+//! plus an access-error exception, where the standard OS response is to
+//! retire the page containing the error and never touch it again (the
+//! HP Memory Quarantine behaviour the paper cites). This crate models
+//! exactly that OS:
+//!
+//! * an application-page → physical-page table ([`page_table`]), so that a
+//!   retired page's *application* data transparently relocates while its
+//!   *physical* addresses become software-unreachable — the reservation
+//!   side-channel WL-Reviver exploits;
+//! * a free-page pool and the retirement procedure
+//!   ([`retirement::Retirement`]): allocate a replacement if one is free,
+//!   emit the block-copy work list (the caller performs the copies so PCM
+//!   accesses are accounted), or shrink the application's footprint when
+//!   the pool is dry;
+//! * usable-space accounting, which is the y-axis of the paper's
+//!   Figures 7 and 8.
+//!
+//! # Example
+//!
+//! ```
+//! use wlr_base::{AppAddr, Geometry, Pa};
+//! use wlr_os::OsMemory;
+//!
+//! let geo = Geometry::builder().num_blocks(256).build()?; // 4 pages
+//! let mut os = OsMemory::builder(geo).reserve_pages(1).build();
+//! assert_eq!(os.app_pages(), 3);
+//!
+//! // Initially the identity mapping.
+//! assert_eq!(os.translate(AppAddr::new(10)), Some(Pa::new(10)));
+//!
+//! // A failure report retires the page and relocates it to the reserve.
+//! let r = os.handle_failure(Pa::new(10)).expect("first report retires");
+//! assert!(r.replacement.is_some());
+//! assert_ne!(os.translate(AppAddr::new(10)), Some(Pa::new(10)));
+//! assert_eq!(os.retired_pages(), 1);
+//! # Ok::<(), wlr_base::geometry::GeometryError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod page_table;
+pub mod retirement;
+
+pub use page_table::{OsMemory, OsMemoryBuilder};
+pub use retirement::Retirement;

@@ -1,0 +1,467 @@
+//! Application-page → physical-page mapping with retirement.
+
+use crate::retirement::Retirement;
+use wlr_base::rng::SplitMix64;
+use wlr_base::{AppAddr, Geometry, Pa, PageId};
+
+/// Builder for [`OsMemory`]; see [`OsMemory::builder`].
+#[derive(Debug, Clone)]
+pub struct OsMemoryBuilder {
+    geometry: Geometry,
+    reserve_pages: u64,
+}
+
+impl OsMemoryBuilder {
+    /// Number of physical pages initially held back as the OS free pool
+    /// (default 0: retirements immediately shrink the application space).
+    pub fn reserve_pages(mut self, pages: u64) -> Self {
+        self.reserve_pages = pages;
+        self
+    }
+
+    /// Constructs the OS model.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the reserve consumes every physical page.
+    pub fn build(self) -> OsMemory {
+        let num_pages = self.geometry.num_pages();
+        assert!(
+            self.reserve_pages < num_pages,
+            "reserve ({}) must leave at least one application page of {num_pages}",
+            self.reserve_pages
+        );
+        let app_pages = num_pages - self.reserve_pages;
+        let table: Vec<Option<PageId>> = (0..app_pages).map(|p| Some(PageId::new(p))).collect();
+        let free: Vec<PageId> = (app_pages..num_pages).rev().map(PageId::new).collect();
+        OsMemory {
+            geometry: self.geometry,
+            table,
+            free,
+            retired: vec![false; num_pages as usize],
+            retired_count: 0,
+            mapped_list: (0..app_pages).collect(),
+            mapped_pos: (0..app_pages as usize).map(Some).collect(),
+            failure_reports: 0,
+        }
+    }
+}
+
+/// The modeled operating system's view of memory.
+///
+/// Only two entry points matter to the rest of the stack:
+/// [`OsMemory::translate`] (software address → PA) and
+/// [`OsMemory::handle_failure`] (the access-error exception handler).
+/// Everything else is metrics.
+#[derive(Debug, Clone)]
+pub struct OsMemory {
+    geometry: Geometry,
+    /// Application page → physical page (None once dropped).
+    table: Vec<Option<PageId>>,
+    /// Free physical pages (LIFO for determinism).
+    free: Vec<PageId>,
+    /// Physical pages that have been retired.
+    retired: Vec<bool>,
+    retired_count: u64,
+    /// Compact list of still-mapped application pages, for O(1)
+    /// deterministic redirection of writes to dropped pages.
+    mapped_list: Vec<u64>,
+    /// app page -> index in `mapped_list` (None once dropped).
+    mapped_pos: Vec<Option<usize>>,
+    failure_reports: u64,
+}
+
+impl OsMemory {
+    /// Starts building an OS model over `geometry`.
+    pub fn builder(geometry: Geometry) -> OsMemoryBuilder {
+        OsMemoryBuilder {
+            geometry,
+            reserve_pages: 0,
+        }
+    }
+
+    /// The geometry in force.
+    pub fn geometry(&self) -> &Geometry {
+        &self.geometry
+    }
+
+    /// Number of application pages (the software-visible footprint at
+    /// boot; shrinks only when the free pool is dry at retirement time).
+    pub fn app_pages(&self) -> u64 {
+        self.table.len() as u64
+    }
+
+    /// Number of application blocks addressable by the workload.
+    pub fn app_blocks(&self) -> u64 {
+        self.app_pages() * self.geometry.blocks_per_page()
+    }
+
+    /// Translates an application block address to its current PA, or
+    /// `None` if the containing application page has been dropped.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `addr` is outside the application space.
+    #[inline]
+    pub fn translate(&self, addr: AppAddr) -> Option<Pa> {
+        let bpp = self.geometry.blocks_per_page();
+        let page = addr.index() / bpp;
+        let offset = addr.index() % bpp;
+        assert!(
+            page < self.app_pages(),
+            "{addr} outside application space ({} pages)",
+            self.app_pages()
+        );
+        self.table[page as usize].map(|phys| Pa::new(phys.index() * bpp + offset))
+    }
+
+    /// Like [`Self::translate`], but deterministically redirects accesses
+    /// to dropped pages onto a surviving page (same in-page offset) —
+    /// modeling the OS having compacted that data elsewhere. Returns
+    /// `None` only when no application pages survive.
+    #[inline]
+    pub fn translate_or_redirect(&self, addr: AppAddr) -> Option<Pa> {
+        if let Some(pa) = self.translate(addr) {
+            return Some(pa);
+        }
+        if self.mapped_list.is_empty() {
+            return None;
+        }
+        let bpp = self.geometry.blocks_per_page();
+        let page = addr.index() / bpp;
+        let offset = addr.index() % bpp;
+        let pick = SplitMix64::mix(0x0D1E_C7ED, page) % self.mapped_list.len() as u64;
+        let target_app = self.mapped_list[pick as usize];
+        let phys = self.table[target_app as usize].expect("mapped_list entry must be mapped");
+        Some(Pa::new(phys.index() * bpp + offset))
+    }
+
+    /// The physical page containing `pa`.
+    pub fn page_of(&self, pa: Pa) -> PageId {
+        self.geometry.page_of(pa)
+    }
+
+    /// Whether physical page `page` has been retired.
+    pub fn is_retired(&self, page: PageId) -> bool {
+        self.retired[page.as_usize()]
+    }
+
+    /// Handles an access-error exception for `pa` (paper §III-A).
+    ///
+    /// Retires the containing physical page, relocates the application
+    /// page to a pool page if one is free (returning the block-copy work
+    /// list), or drops the application page when the pool is dry. Returns
+    /// `None` if the page was already retired (a stale report — nothing to
+    /// do) or if `pa`'s page is not currently backing any application page
+    /// (the error surfaced on an already-reserved page, which software by
+    /// assumption never accesses).
+    pub fn handle_failure(&mut self, pa: Pa) -> Option<Retirement> {
+        let phys = self.geometry.page_of(pa);
+        let outcome = self.retire_phys(phys);
+        if outcome.is_some() {
+            self.failure_reports += 1;
+        }
+        outcome
+    }
+
+    /// Explicitly retires physical page `page` at a component's request —
+    /// the *additional OS support* LLS depends on and WL-Reviver avoids
+    /// (§II). Not counted as a failure report. Returns `None` if the page
+    /// is already retired or backs no application page.
+    pub fn retire_page(&mut self, page: PageId) -> Option<Retirement> {
+        self.retire_phys(page)
+    }
+
+    fn retire_phys(&mut self, phys: PageId) -> Option<Retirement> {
+        if self.retired[phys.as_usize()] {
+            return None;
+        }
+        // Find which application page currently maps to this physical page.
+        let app = self
+            .table
+            .iter()
+            .position(|&t| t == Some(phys))?;
+        self.retired[phys.as_usize()] = true;
+        self.retired_count += 1;
+
+        let bpp = self.geometry.blocks_per_page();
+        let replacement = self.free.pop();
+        let copies = match replacement {
+            Some(new_phys) => {
+                self.table[app] = Some(new_phys);
+                let old_base = phys.index() * bpp;
+                let new_base = new_phys.index() * bpp;
+                (0..bpp)
+                    .map(|i| (Pa::new(old_base + i), Pa::new(new_base + i)))
+                    .collect()
+            }
+            None => {
+                // Pool dry: the application page is dropped and the
+                // footprint shrinks.
+                self.table[app] = None;
+                if let Some(pos) = self.mapped_pos[app].take() {
+                    self.mapped_list.swap_remove(pos);
+                    if pos < self.mapped_list.len() {
+                        let moved = self.mapped_list[pos];
+                        self.mapped_pos[moved as usize] = Some(pos);
+                    }
+                }
+                Vec::new()
+            }
+        };
+        Some(Retirement {
+            retired: phys,
+            replacement,
+            copies,
+        })
+    }
+
+    /// Number of retired physical pages.
+    pub fn retired_pages(&self) -> u64 {
+        self.retired_count
+    }
+
+    /// Fraction of physical pages not retired — the paper's
+    /// "software-usable space" once controller-level reservations are also
+    /// subtracted by the caller.
+    pub fn usable_fraction(&self) -> f64 {
+        let total = self.geometry.num_pages() as f64;
+        (total - self.retired_count as f64) / total
+    }
+
+    /// Number of application pages still mapped.
+    pub fn mapped_app_pages(&self) -> u64 {
+        self.mapped_list.len() as u64
+    }
+
+    /// Physical pages currently in the free pool.
+    pub fn free_pool(&self) -> u64 {
+        self.free.len() as u64
+    }
+
+    /// Total access-error exceptions the OS has handled (the paper counts
+    /// on these being rare: one per page acquisition, not one per block
+    /// failure).
+    pub fn failure_reports(&self) -> u64 {
+        self.failure_reports
+    }
+
+    /// Iterator over retired physical pages (the persistent bitmap
+    /// WL-Reviver reloads at boot, §III-A).
+    pub fn retired_iter(&self) -> impl Iterator<Item = PageId> + '_ {
+        self.retired
+            .iter()
+            .enumerate()
+            .filter(|(_, &r)| r)
+            .map(|(i, _)| PageId::new(i as u64))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_os(reserve: u64) -> OsMemory {
+        // 8 pages of 64 blocks.
+        let geo = Geometry::builder().num_blocks(512).build().unwrap();
+        OsMemory::builder(geo).reserve_pages(reserve).build()
+    }
+
+    #[test]
+    fn identity_mapping_at_boot() {
+        let os = small_os(0);
+        assert_eq!(os.app_pages(), 8);
+        assert_eq!(os.app_blocks(), 512);
+        for a in [0u64, 63, 64, 511] {
+            assert_eq!(os.translate(AppAddr::new(a)), Some(Pa::new(a)));
+        }
+        assert_eq!(os.free_pool(), 0);
+        assert_eq!(os.usable_fraction(), 1.0);
+    }
+
+    #[test]
+    fn reserve_shrinks_app_space() {
+        let os = small_os(3);
+        assert_eq!(os.app_pages(), 5);
+        assert_eq!(os.free_pool(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one application page")]
+    fn reserve_cannot_eat_everything() {
+        small_os(8);
+    }
+
+    #[test]
+    fn retirement_with_replacement_relocates() {
+        let mut os = small_os(2);
+        let r = os.handle_failure(Pa::new(70)).expect("should retire");
+        assert_eq!(r.retired, PageId::new(1));
+        let replacement = r.replacement.expect("pool had pages");
+        assert_eq!(r.copies.len(), 64);
+        assert_eq!(r.copies[0].0, Pa::new(64));
+        assert_eq!(r.copies[0].1, os.geometry().page_base(replacement));
+        // App page 1 now translates into the replacement page.
+        let pa = os.translate(AppAddr::new(70)).unwrap();
+        assert_eq!(os.geometry().page_of(pa), replacement);
+        assert_eq!(os.retired_pages(), 1);
+        assert_eq!(os.free_pool(), 1);
+        assert_eq!(os.failure_reports(), 1);
+    }
+
+    #[test]
+    fn retirement_without_pool_drops_page() {
+        let mut os = small_os(0);
+        let r = os.handle_failure(Pa::new(70)).expect("should retire");
+        assert_eq!(r.replacement, None);
+        assert!(r.copies.is_empty());
+        assert_eq!(os.translate(AppAddr::new(70)), None);
+        assert_eq!(os.mapped_app_pages(), 7);
+        // Redirection still lands somewhere valid, at the same offset.
+        let pa = os.translate_or_redirect(AppAddr::new(70)).unwrap();
+        assert_eq!(pa.index() % 64, 6);
+        // And deterministically.
+        assert_eq!(os.translate_or_redirect(AppAddr::new(70)), Some(pa));
+    }
+
+    #[test]
+    fn duplicate_report_is_ignored() {
+        let mut os = small_os(1);
+        let first = os.handle_failure(Pa::new(0));
+        assert!(first.is_some());
+        let again = os.handle_failure(Pa::new(1)); // same page 0
+        assert!(again.is_none());
+        assert_eq!(os.retired_pages(), 1);
+        assert_eq!(os.failure_reports(), 1);
+    }
+
+    #[test]
+    fn report_on_reserved_page_is_ignored() {
+        // Page 7 is in the free pool (reserve 1) and backs no app page.
+        let mut os = small_os(1);
+        assert!(os.handle_failure(Pa::new(7 * 64)).is_none());
+        assert_eq!(os.retired_pages(), 0);
+    }
+
+    #[test]
+    fn replacement_page_can_itself_retire() {
+        let mut os = small_os(1);
+        let r1 = os.handle_failure(Pa::new(0)).unwrap();
+        let repl = r1.replacement.unwrap();
+        // Fail the replacement; pool is now dry, app page 0 drops.
+        let repl_pa = os.geometry().page_base(repl);
+        let r2 = os.handle_failure(repl_pa).unwrap();
+        assert_eq!(r2.retired, repl);
+        assert_eq!(r2.replacement, None);
+        assert_eq!(os.translate(AppAddr::new(0)), None);
+        assert_eq!(os.retired_pages(), 2);
+    }
+
+    #[test]
+    fn usable_fraction_tracks_retirements() {
+        let mut os = small_os(0);
+        os.handle_failure(Pa::new(0)).unwrap();
+        os.handle_failure(Pa::new(64)).unwrap();
+        assert!((os.usable_fraction() - 6.0 / 8.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn redirect_exhausts_gracefully() {
+        let mut os = small_os(0);
+        for p in 0..8 {
+            os.handle_failure(Pa::new(p * 64)).unwrap();
+        }
+        assert_eq!(os.mapped_app_pages(), 0);
+        assert_eq!(os.translate_or_redirect(AppAddr::new(0)), None);
+    }
+
+    #[test]
+    fn retired_iter_matches_reports() {
+        let mut os = small_os(0);
+        os.handle_failure(Pa::new(130)).unwrap(); // page 2
+        os.handle_failure(Pa::new(450)).unwrap(); // page 7
+        let retired: Vec<PageId> = os.retired_iter().collect();
+        assert_eq!(retired, vec![PageId::new(2), PageId::new(7)]);
+        assert!(os.is_retired(PageId::new(2)));
+        assert!(!os.is_retired(PageId::new(3)));
+    }
+
+    #[test]
+    #[should_panic(expected = "outside application space")]
+    fn translate_out_of_range_panics() {
+        small_os(0).translate(AppAddr::new(512));
+    }
+
+    mod properties {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            /// Any retirement sequence keeps the table consistent: mapped
+            /// app pages point at distinct, unretired physical pages, and
+            /// the accounting identities hold.
+            #[test]
+            fn retirement_sequences_keep_invariants(
+                reserve in 0u64..4,
+                reports in proptest::collection::vec(0u64..512, 0..64),
+            ) {
+                let geo = Geometry::builder().num_blocks(512).build().unwrap();
+                let mut os = OsMemory::builder(geo).reserve_pages(reserve).build();
+                let initial_free = os.free_pool();
+                for pa in reports {
+                    os.handle_failure(Pa::new(pa));
+                    // Identities after every step:
+                    let mut seen = std::collections::HashSet::new();
+                    let mut mapped = 0;
+                    for app in 0..os.app_pages() {
+                        if let Some(pa0) = os.translate(AppAddr::new(app * 64)) {
+                            let phys = os.geometry().page_of(pa0);
+                            prop_assert!(!os.is_retired(phys), "app page on retired phys");
+                            prop_assert!(seen.insert(phys), "two app pages share a phys page");
+                            mapped += 1;
+                        }
+                    }
+                    prop_assert_eq!(mapped, os.mapped_app_pages());
+                    // Pages are conserved: mapped + free + retired = total.
+                    prop_assert_eq!(
+                        os.mapped_app_pages() + os.free_pool() + os.retired_pages(),
+                        os.geometry().num_pages(),
+                        "page conservation violated"
+                    );
+                    let _ = initial_free;
+                }
+            }
+
+            /// Redirection is deterministic and always lands on a mapped
+            /// page at the same in-page offset.
+            #[test]
+            fn redirection_is_stable(
+                drops in proptest::collection::vec(0u64..8, 0..7),
+                addr in 0u64..512,
+            ) {
+                let geo = Geometry::builder().num_blocks(512).build().unwrap();
+                let mut os = OsMemory::builder(geo).build();
+                for p in drops {
+                    os.retire_page(PageId::new(p));
+                }
+                let a = os.translate_or_redirect(AppAddr::new(addr));
+                let b = os.translate_or_redirect(AppAddr::new(addr));
+                prop_assert_eq!(a, b);
+                if let Some(pa) = a {
+                    prop_assert_eq!(pa.index() % 64, addr % 64);
+                    prop_assert!(!os.is_retired(os.geometry().page_of(pa)));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn redirected_writes_keep_offsets_stable() {
+        // Hot block at offset 5 of page 3 stays at offset 5 wherever it
+        // lands, so hot data stays hot after compaction.
+        let mut os = small_os(0);
+        os.handle_failure(Pa::new(3 * 64)).unwrap();
+        let pa = os.translate_or_redirect(AppAddr::new(3 * 64 + 5)).unwrap();
+        assert_eq!(pa.index() % 64, 5);
+    }
+}

@@ -1,0 +1,30 @@
+//! The outcome of an access-error exception.
+
+use wlr_base::{Pa, PageId};
+
+/// What the OS did in response to a reported access error (paper §III-A:
+//  "a standard procedure for OS to handle the exception is to exclude the
+//  page associated with the error from its allocation pool").
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Retirement {
+    /// The physical page taken out of service. Its PAs are now
+    /// software-unreachable — from WL-Reviver's point of view, freshly
+    /// reserved virtual spare space.
+    pub retired: PageId,
+    /// The replacement physical page the application data moved to, if the
+    /// free pool had one. `None` means the pool was dry and the
+    /// application's footprint shrank by one page.
+    pub replacement: Option<PageId>,
+    /// Block copies the OS performs to relocate the page's data,
+    /// `(from, to)` in PA space. Empty when there is no replacement. The
+    /// caller executes these against the (revived) memory controller so
+    /// that the copy traffic wears the PCM and is access-accounted.
+    pub copies: Vec<(Pa, Pa)>,
+}
+
+impl Retirement {
+    /// Number of blocks relocated.
+    pub fn copied_blocks(&self) -> usize {
+        self.copies.len()
+    }
+}

@@ -1,0 +1,641 @@
+//! The PCM device: wear, failures, accesses.
+//!
+//! [`PcmDevice`] models the chip below the memory controller. It knows
+//! nothing about physical addresses, wear-leveling, or failure hiding — it
+//! exposes raw block reads/writes by device address (DA) and reports when a
+//! write pushes a block past its (ECC-mediated) endurance.
+//!
+//! Two bookkeeping features exist purely for the experiments:
+//!
+//! * **Access accounting** ([`AccessStats`]): every read and write is
+//!   counted, which is how the paper's "average access time measured in
+//!   number of PCM accesses" (Table II) is produced.
+//! * **Content tags**: optionally, every block stores a 64-bit tag standing
+//!   in for its data. The integration tests use tags as an integrity
+//!   oracle: after arbitrary migrations, failures and revivals, reading a
+//!   PA must return the last tag written to that PA.
+
+use crate::ecc::{Ecp, ErrorCorrection};
+use crate::lifetime::LifetimeModel;
+use wlr_base::{Da, Geometry};
+
+/// Result of a block write.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WriteOutcome {
+    /// The write succeeded on a healthy block.
+    Ok,
+    /// The write pushed the block past its correctable endurance; the block
+    /// is now dead and the write's data was not stored.
+    NewFailure,
+    /// The block was already dead; the access is counted but stores nothing.
+    AlreadyDead,
+}
+
+/// Result of a block read.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReadOutcome {
+    /// The block is healthy; data (tag) is valid.
+    Ok,
+    /// The block is dead; returned data is whatever the failure left behind.
+    Dead,
+}
+
+/// Raw access counters (each unit is one PCM array access).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct AccessStats {
+    /// Number of block reads serviced.
+    pub reads: u64,
+    /// Number of block writes serviced (including failed ones — the array
+    /// is still cycled).
+    pub writes: u64,
+}
+
+impl AccessStats {
+    /// Total array accesses (reads + writes).
+    pub fn total(&self) -> u64 {
+        self.reads + self.writes
+    }
+}
+
+/// Builder for [`PcmDevice`]; see [`PcmDevice::builder`].
+#[derive(Debug)]
+pub struct PcmDeviceBuilder {
+    geometry: Geometry,
+    extra_blocks: u64,
+    endurance_mean: f64,
+    endurance_cov: f64,
+    seed: u64,
+    ecc: Option<Box<dyn ErrorCorrection>>,
+    track_contents: bool,
+}
+
+impl PcmDeviceBuilder {
+    /// Adds `extra` device blocks beyond the software-visible space.
+    /// Wear-leveling schemes use these for buffer lines (e.g. Start-Gap's
+    /// gap line).
+    pub fn extra_blocks(mut self, extra: u64) -> Self {
+        self.extra_blocks = extra;
+        self
+    }
+
+    /// Mean cell endurance in writes (paper: 10⁸; scaled default: 10⁴).
+    pub fn endurance_mean(mut self, mean: f64) -> Self {
+        self.endurance_mean = mean;
+        self
+    }
+
+    /// Cell-lifetime coefficient of variation (paper: 0.2).
+    pub fn endurance_cov(mut self, cov: f64) -> Self {
+        self.endurance_cov = cov;
+        self
+    }
+
+    /// Experiment seed; all cell lifetimes derive from it.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Error-correction scheme (default: ECP6).
+    pub fn ecc(mut self, ecc: Box<dyn ErrorCorrection>) -> Self {
+        self.ecc = Some(ecc);
+        self
+    }
+
+    /// Enables per-block 64-bit content tags (integrity-oracle mode).
+    /// Costs 8 bytes per block; off by default.
+    pub fn track_contents(mut self, on: bool) -> Self {
+        self.track_contents = on;
+        self
+    }
+
+    /// Constructs the device.
+    pub fn build(self) -> PcmDevice {
+        let total = self.geometry.num_blocks() + self.extra_blocks;
+        let total_usize = usize::try_from(total).expect("device too large for host");
+        let lifetime = LifetimeModel::new(
+            self.endurance_mean,
+            self.endurance_cov,
+            self.geometry.block_bits() as u32,
+            self.seed,
+        );
+        PcmDevice {
+            geometry: self.geometry,
+            total_blocks: total,
+            lifetime,
+            ecc: self.ecc.unwrap_or_else(|| Box::new(Ecp::ecp6())),
+            wear: vec![0; total_usize],
+            threshold: vec![0; total_usize],
+            failures: vec![0; total_usize],
+            dead: vec![false; total_usize],
+            contents: if self.track_contents {
+                Some(vec![0; total_usize])
+            } else {
+                None
+            },
+            dead_count: 0,
+            stats: AccessStats::default(),
+        }
+    }
+}
+
+/// The simulated PCM chip.
+///
+/// See the crate-level example for typical use.
+#[derive(Debug)]
+pub struct PcmDevice {
+    geometry: Geometry,
+    total_blocks: u64,
+    lifetime: LifetimeModel,
+    ecc: Box<dyn ErrorCorrection>,
+    wear: Vec<u32>,
+    /// Next cell-failure threshold per block; 0 = not yet materialized.
+    threshold: Vec<u32>,
+    /// Cell failures suffered so far per block.
+    failures: Vec<u8>,
+    dead: Vec<bool>,
+    contents: Option<Vec<u64>>,
+    dead_count: u64,
+    stats: AccessStats,
+}
+
+impl PcmDevice {
+    /// Starts building a device over `geometry` (defaults: ECP6, endurance
+    /// N(10⁴, CoV 0.2), seed 0, no extra blocks, no content tracking).
+    pub fn builder(geometry: Geometry) -> PcmDeviceBuilder {
+        PcmDeviceBuilder {
+            geometry,
+            extra_blocks: 0,
+            endurance_mean: 1e4,
+            endurance_cov: 0.2,
+            seed: 0,
+            ecc: None,
+            track_contents: false,
+        }
+    }
+
+    /// The software-visible geometry.
+    pub fn geometry(&self) -> &Geometry {
+        &self.geometry
+    }
+
+    /// Total device blocks, including extra (buffer) blocks.
+    pub fn total_blocks(&self) -> u64 {
+        self.total_blocks
+    }
+
+    /// The lifetime model in force.
+    pub fn lifetime_model(&self) -> &LifetimeModel {
+        &self.lifetime
+    }
+
+    /// Label of the configured ECC scheme.
+    pub fn ecc_label(&self) -> String {
+        self.ecc.label()
+    }
+
+    /// Remaining shared ECC pool entries, if the scheme has a pool.
+    pub fn ecc_pool_remaining(&self) -> Option<u64> {
+        self.ecc.pool_remaining()
+    }
+
+    #[inline]
+    fn check(&self, da: Da) {
+        assert!(
+            da.index() < self.total_blocks,
+            "{da} out of range (device has {} blocks)",
+            self.total_blocks
+        );
+    }
+
+    /// Reads block `da`. Counts one PCM access.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `da` is outside the device.
+    #[inline]
+    pub fn read(&mut self, da: Da) -> ReadOutcome {
+        self.check(da);
+        self.stats.reads += 1;
+        if self.dead[da.as_usize()] {
+            ReadOutcome::Dead
+        } else {
+            ReadOutcome::Ok
+        }
+    }
+
+    /// Writes block `da`. Counts one PCM access, wears the block, and
+    /// reports a new uncorrectable failure if one occurs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `da` is outside the device.
+    #[inline]
+    pub fn write(&mut self, da: Da) -> WriteOutcome {
+        self.check(da);
+        self.stats.writes += 1;
+        let i = da.as_usize();
+        if self.dead[i] {
+            return WriteOutcome::AlreadyDead;
+        }
+        self.wear[i] = self.wear[i].saturating_add(1);
+        if self.threshold[i] == 0 {
+            self.threshold[i] = clamp_u32(self.lifetime.threshold(da.index(), 1));
+        }
+        while self.wear[i] >= self.threshold[i] {
+            // One more cell just failed.
+            let nth = u32::from(self.failures[i]) + 1;
+            assert!(nth < 250, "implausible cell-failure count on {da}");
+            self.failures[i] = nth as u8;
+            if !self.ecc.correct(da, nth) {
+                self.dead[i] = true;
+                self.dead_count += 1;
+                return WriteOutcome::NewFailure;
+            }
+            self.threshold[i] = clamp_u32(self.lifetime.threshold(da.index(), nth + 1));
+        }
+        WriteOutcome::Ok
+    }
+
+    /// Writes block `da` and, in content-tracking mode, stores `tag` as its
+    /// data (only if the write succeeded — a failing write loses its data,
+    /// which is exactly the hazard WL-Reviver's delayed-acquisition logic
+    /// must handle).
+    pub fn write_tagged(&mut self, da: Da, tag: u64) -> WriteOutcome {
+        let outcome = self.write(da);
+        if outcome == WriteOutcome::Ok {
+            if let Some(c) = &mut self.contents {
+                c[da.as_usize()] = tag;
+            }
+        }
+        outcome
+    }
+
+    /// The content tag of block `da` (0 if never written or content
+    /// tracking is off). Does not count an access; pair with [`Self::read`].
+    pub fn tag(&self, da: Da) -> u64 {
+        self.check(da);
+        self.contents
+            .as_ref()
+            .map_or(0, |c| c[da.as_usize()])
+    }
+
+    /// Whether content tags are being tracked.
+    pub fn tracks_contents(&self) -> bool {
+        self.contents.is_some()
+    }
+
+    /// Whether block `da` is dead.
+    #[inline]
+    pub fn is_dead(&self, da: Da) -> bool {
+        self.check(da);
+        self.dead[da.as_usize()]
+    }
+
+    /// Number of dead blocks.
+    pub fn dead_blocks(&self) -> u64 {
+        self.dead_count
+    }
+
+    /// Number of dead blocks with address below `bound` — used to report
+    /// failure ratios over the software-visible space when the controller
+    /// has appended private device blocks (buffer lines, backup regions).
+    pub fn dead_blocks_under(&self, bound: u64) -> u64 {
+        let end = usize::try_from(bound.min(self.total_blocks)).expect("fits");
+        self.dead[..end].iter().filter(|&&d| d).count() as u64
+    }
+
+    /// Fraction of all device blocks that are dead.
+    pub fn dead_fraction(&self) -> f64 {
+        self.dead_count as f64 / self.total_blocks as f64
+    }
+
+    /// Wear (write count) of block `da`.
+    pub fn wear(&self, da: Da) -> u64 {
+        self.check(da);
+        u64::from(self.wear[da.as_usize()])
+    }
+
+    /// The full wear vector, for leveling-quality analysis.
+    pub fn wear_snapshot(&self) -> &[u32] {
+        &self.wear
+    }
+
+    /// Cell failures suffered so far by block `da`.
+    pub fn cell_failures(&self, da: Da) -> u32 {
+        self.check(da);
+        u32::from(self.failures[da.as_usize()])
+    }
+
+    /// Forces block `da` dead without wearing it or counting accesses.
+    /// Used to set up fixed failure ratios (Table II).
+    pub fn inject_dead(&mut self, da: Da) {
+        self.check(da);
+        let i = da.as_usize();
+        if !self.dead[i] {
+            self.dead[i] = true;
+            self.dead_count += 1;
+        }
+    }
+
+    /// Access counters accumulated so far.
+    pub fn stats(&self) -> AccessStats {
+        self.stats
+    }
+
+    /// Resets access counters (not wear or failures) — used to scope
+    /// measurement windows.
+    pub fn reset_stats(&mut self) {
+        self.stats = AccessStats::default();
+    }
+
+    /// Iterator over all dead block addresses.
+    pub fn dead_iter(&self) -> impl Iterator<Item = Da> + '_ {
+        self.dead
+            .iter()
+            .enumerate()
+            .filter(|(_, &d)| d)
+            .map(|(i, _)| Da::new(i as u64))
+    }
+}
+
+#[inline]
+fn clamp_u32(v: u64) -> u32 {
+    u32::try_from(v).unwrap_or(u32::MAX)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ecc::{NoCorrection, Payg};
+
+    fn small_device(ecc: Box<dyn ErrorCorrection>) -> PcmDevice {
+        let geo = Geometry::builder().num_blocks(64).build().unwrap();
+        PcmDevice::builder(geo)
+            .endurance_mean(200.0)
+            .endurance_cov(0.2)
+            .seed(1)
+            .ecc(ecc)
+            .build()
+    }
+
+    fn hammer_to_death(dev: &mut PcmDevice, da: Da) -> u64 {
+        let mut writes = 0;
+        loop {
+            writes += 1;
+            match dev.write(da) {
+                WriteOutcome::NewFailure => return writes,
+                WriteOutcome::AlreadyDead => panic!("block died without NewFailure"),
+                WriteOutcome::Ok => {}
+            }
+            assert!(writes < 10_000_000, "block never died");
+        }
+    }
+
+    #[test]
+    fn fresh_device_is_healthy() {
+        let dev = small_device(Box::new(Ecp::ecp6()));
+        assert_eq!(dev.dead_blocks(), 0);
+        assert_eq!(dev.dead_fraction(), 0.0);
+        assert_eq!(dev.stats(), AccessStats::default());
+        assert_eq!(dev.ecc_label(), "ECP6");
+    }
+
+    #[test]
+    fn death_matches_lifetime_model() {
+        let mut dev = small_device(Box::new(Ecp::ecp6()));
+        let da = Da::new(7);
+        let expect = dev.lifetime_model().death_threshold(da.index(), 6);
+        let writes = hammer_to_death(&mut dev, da);
+        assert_eq!(writes, expect);
+        assert!(dev.is_dead(da));
+        assert_eq!(dev.dead_blocks(), 1);
+        assert_eq!(dev.cell_failures(da), 7);
+    }
+
+    #[test]
+    fn no_correction_dies_at_first_cell() {
+        let mut dev = small_device(Box::new(NoCorrection));
+        let da = Da::new(3);
+        let expect = dev.lifetime_model().threshold(da.index(), 1);
+        assert_eq!(hammer_to_death(&mut dev, da), expect);
+    }
+
+    #[test]
+    fn ecp6_outlives_ecp1_on_same_block() {
+        let geo = Geometry::builder().num_blocks(64).build().unwrap();
+        let mk = |ecc: Box<dyn ErrorCorrection>| {
+            PcmDevice::builder(geo)
+                .endurance_mean(200.0)
+                .seed(7)
+                .ecc(ecc)
+                .build()
+        };
+        let da = Da::new(11);
+        let mut d1 = mk(Box::new(Ecp::ecp1()));
+        let mut d6 = mk(Box::new(Ecp::ecp6()));
+        let w1 = hammer_to_death(&mut d1, da);
+        let w6 = hammer_to_death(&mut d6, da);
+        assert!(w6 > w1, "ECP6 ({w6}) must outlast ECP1 ({w1})");
+    }
+
+    #[test]
+    fn writes_after_death_are_counted_but_inert() {
+        let mut dev = small_device(Box::new(NoCorrection));
+        let da = Da::new(0);
+        hammer_to_death(&mut dev, da);
+        let wear_at_death = dev.wear(da);
+        assert_eq!(dev.write(da), WriteOutcome::AlreadyDead);
+        assert_eq!(dev.wear(da), wear_at_death, "dead blocks do not wear");
+        assert_eq!(dev.read(da), ReadOutcome::Dead);
+    }
+
+    #[test]
+    fn access_stats_count_reads_and_writes() {
+        let mut dev = small_device(Box::new(Ecp::ecp6()));
+        dev.read(Da::new(0));
+        dev.read(Da::new(1));
+        dev.write(Da::new(2));
+        let s = dev.stats();
+        assert_eq!(s.reads, 2);
+        assert_eq!(s.writes, 1);
+        assert_eq!(s.total(), 3);
+        dev.reset_stats();
+        assert_eq!(dev.stats().total(), 0);
+    }
+
+    #[test]
+    fn content_tags_follow_successful_writes() {
+        let geo = Geometry::builder().num_blocks(64).build().unwrap();
+        let mut dev = PcmDevice::builder(geo)
+            .endurance_mean(1e6)
+            .seed(3)
+            .track_contents(true)
+            .build();
+        let da = Da::new(5);
+        assert_eq!(dev.tag(da), 0);
+        assert_eq!(dev.write_tagged(da, 0xDEAD), WriteOutcome::Ok);
+        assert_eq!(dev.tag(da), 0xDEAD);
+    }
+
+    #[test]
+    fn failed_write_loses_its_data() {
+        let geo = Geometry::builder().num_blocks(64).build().unwrap();
+        let mut dev = PcmDevice::builder(geo)
+            .endurance_mean(100.0)
+            .seed(3)
+            .ecc(Box::new(NoCorrection))
+            .track_contents(true)
+            .build();
+        let da = Da::new(2);
+        let mut last_good = 0;
+        let mut i = 0u64;
+        loop {
+            i += 1;
+            match dev.write_tagged(da, i) {
+                WriteOutcome::Ok => last_good = i,
+                WriteOutcome::NewFailure => break,
+                WriteOutcome::AlreadyDead => unreachable!(),
+            }
+        }
+        assert_eq!(
+            dev.tag(da),
+            last_good,
+            "the failing write must not appear stored"
+        );
+    }
+
+    #[test]
+    fn inject_dead_is_idempotent_and_stat_free() {
+        let mut dev = small_device(Box::new(Ecp::ecp6()));
+        dev.inject_dead(Da::new(9));
+        dev.inject_dead(Da::new(9));
+        assert_eq!(dev.dead_blocks(), 1);
+        assert!(dev.is_dead(Da::new(9)));
+        assert_eq!(dev.stats().total(), 0);
+    }
+
+    #[test]
+    fn dead_iter_reports_exactly_the_dead() {
+        let mut dev = small_device(Box::new(Ecp::ecp6()));
+        dev.inject_dead(Da::new(1));
+        dev.inject_dead(Da::new(40));
+        let dead: Vec<Da> = dev.dead_iter().collect();
+        assert_eq!(dead, vec![Da::new(1), Da::new(40)]);
+    }
+
+    #[test]
+    fn extra_blocks_are_addressable() {
+        let geo = Geometry::builder().num_blocks(64).build().unwrap();
+        let mut dev = PcmDevice::builder(geo).extra_blocks(1).build();
+        assert_eq!(dev.total_blocks(), 65);
+        assert_eq!(dev.write(Da::new(64)), WriteOutcome::Ok);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_write_panics() {
+        let mut dev = small_device(Box::new(Ecp::ecp6()));
+        dev.write(Da::new(64));
+    }
+
+    #[test]
+    fn payg_extends_lifetime_until_pool_dries() {
+        let geo = Geometry::builder().num_blocks(64).build().unwrap();
+        // Large pool: behaves like ECP6 for a single hammered block.
+        let mut rich = PcmDevice::builder(geo)
+            .endurance_mean(200.0)
+            .seed(9)
+            .ecc(Box::new(Payg::new(1_000, 6)))
+            .build();
+        // Empty pool: behaves like ECP1.
+        let mut poor = PcmDevice::builder(geo)
+            .endurance_mean(200.0)
+            .seed(9)
+            .ecc(Box::new(Payg::new(0, 6)))
+            .build();
+        let da = Da::new(13);
+        let w_rich = hammer_to_death(&mut rich, da);
+        let w_poor = hammer_to_death(&mut poor, da);
+        assert!(w_rich > w_poor, "pool must extend life: {w_rich} vs {w_poor}");
+        // Failures 2..=6 draw from the pool (the first is local ECP1).
+        assert_eq!(rich.ecc_pool_remaining(), Some(1_000 - 5));
+    }
+
+    mod properties {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            /// Device behaviour is a pure function of (seed, op sequence).
+            #[test]
+            fn deterministic_under_identical_traffic(
+                seed: u64,
+                ops in proptest::collection::vec((0u64..64, proptest::bool::ANY), 0..300),
+            ) {
+                let geo = Geometry::builder().num_blocks(64).build().unwrap();
+                let mk = || PcmDevice::builder(geo)
+                    .endurance_mean(150.0)
+                    .seed(seed)
+                    .ecc(Box::new(Ecp::ecp1()))
+                    .build();
+                let mut a = mk();
+                let mut b = mk();
+                for (da, is_write) in ops {
+                    let da = Da::new(da);
+                    if is_write {
+                        prop_assert_eq!(a.write(da), b.write(da));
+                    } else {
+                        prop_assert_eq!(a.read(da), b.read(da));
+                    }
+                }
+                prop_assert_eq!(a.dead_blocks(), b.dead_blocks());
+                prop_assert_eq!(a.stats(), b.stats());
+            }
+
+            /// Dead blocks stay dead; wear never decreases; dead count
+            /// equals the dead iterator's length.
+            #[test]
+            fn monotone_decay(
+                seed: u64,
+                writes in proptest::collection::vec(0u64..32, 0..500),
+            ) {
+                let geo = Geometry::builder().num_blocks(64).build().unwrap();
+                let mut dev = PcmDevice::builder(geo)
+                    .endurance_mean(100.0)
+                    .seed(seed)
+                    .ecc(Box::new(Ecp::new(2)))
+                    .build();
+                let mut prev_dead = 0u64;
+                let mut prev_wear = vec![0u64; 64];
+                for da in writes {
+                    let da = Da::new(da);
+                    let was_dead = dev.is_dead(da);
+                    let out = dev.write(da);
+                    if was_dead {
+                        prop_assert_eq!(out, WriteOutcome::AlreadyDead);
+                    }
+                    prop_assert!(dev.dead_blocks() >= prev_dead);
+                    prev_dead = dev.dead_blocks();
+                    for i in 0..64u64 {
+                        let w = dev.wear(Da::new(i));
+                        prop_assert!(w >= prev_wear[i as usize]);
+                        prev_wear[i as usize] = w;
+                    }
+                }
+                prop_assert_eq!(dev.dead_iter().count() as u64, dev.dead_blocks());
+            }
+        }
+    }
+
+    #[test]
+    fn wear_snapshot_tracks_writes() {
+        let mut dev = small_device(Box::new(Ecp::ecp6()));
+        for _ in 0..5 {
+            dev.write(Da::new(4));
+        }
+        assert_eq!(dev.wear(Da::new(4)), 5);
+        assert_eq!(dev.wear_snapshot()[4], 5);
+        assert_eq!(dev.wear(Da::new(5)), 0);
+    }
+}

@@ -1,0 +1,276 @@
+//! Error-correction schemes deciding when cell failures kill a block.
+//!
+//! The paper's evaluation (§IV-B) uses two life-extending schemes below the
+//! wear-leveler:
+//!
+//! * **ECP6** (Schechter et al., ISCA'10): six error-correcting pointers
+//!   per 512-bit group; the group (here: block) survives its first six cell
+//!   failures and dies on the seventh.
+//! * **PAYG** (Qureshi, MICRO'11): ECP1 locally plus a *global* pool of
+//!   correction entries sized well below worst case (≈19.5 metadata bits
+//!   per group vs ECP6's 61). A block's second and later cell failures draw
+//!   entries from the pool; once the pool runs dry, the next failure is
+//!   uncorrectable. Because entries chain, a hot group can absorb far more
+//!   than ECP6's six failures while the pool lasts — that is PAYG's whole
+//!   advantage — bounded here by a structural per-block ceiling of 64
+//!   (see DESIGN.md §3.5).
+//!
+//! Schemes implement [`ErrorCorrection`]; the device calls
+//! [`ErrorCorrection::correct`] once per cell failure, in order, and kills
+//! the block on the first `false`.
+
+use core::fmt;
+use wlr_base::Da;
+
+/// A life-extending error-correction scheme.
+///
+/// The device reports each block's cell failures in order (`nth` = 1 for
+/// the block's first failed cell). An implementation returns `true` if the
+/// failure is corrected (the block stays alive) and `false` if it is
+/// uncorrectable (the block is dead).
+pub trait ErrorCorrection: fmt::Debug {
+    /// Attempts to correct the `nth` (1-based) cell failure of block `da`.
+    fn correct(&mut self, da: Da, nth: u32) -> bool;
+
+    /// Short scheme label used in experiment output (e.g. `"ECP6"`).
+    fn label(&self) -> String;
+
+    /// Remaining shared correction resources, if the scheme has any
+    /// (`None` for purely local schemes like ECP).
+    fn pool_remaining(&self) -> Option<u64> {
+        None
+    }
+}
+
+/// Error-Correcting Pointers with a fixed number of entries per block.
+///
+/// ```
+/// use wlr_base::Da;
+/// use wlr_pcm::ecc::{Ecp, ErrorCorrection};
+/// let mut ecp = Ecp::new(2);
+/// let da = Da::new(0);
+/// assert!(ecp.correct(da, 1));
+/// assert!(ecp.correct(da, 2));
+/// assert!(!ecp.correct(da, 3));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Ecp {
+    entries: u32,
+}
+
+impl Ecp {
+    /// An ECP scheme with `entries` correction entries per block.
+    pub fn new(entries: u32) -> Self {
+        Ecp { entries }
+    }
+
+    /// The paper's base configuration: ECP6 (61 metadata bits per 512-bit
+    /// group).
+    pub fn ecp6() -> Self {
+        Ecp::new(6)
+    }
+
+    /// ECP1: a single correction entry, used as PAYG's local scheme.
+    pub fn ecp1() -> Self {
+        Ecp::new(1)
+    }
+
+    /// Number of correction entries per block.
+    pub fn entries(&self) -> u32 {
+        self.entries
+    }
+}
+
+impl ErrorCorrection for Ecp {
+    fn correct(&mut self, _da: Da, nth: u32) -> bool {
+        nth <= self.entries
+    }
+
+    fn label(&self) -> String {
+        format!("ECP{}", self.entries)
+    }
+}
+
+/// Pay-As-You-Go: local ECP1 plus a global pool of correction entries.
+///
+/// ```
+/// use wlr_base::Da;
+/// use wlr_pcm::ecc::{ErrorCorrection, Payg};
+/// let mut payg = Payg::new(1, 6); // one pool entry, cap 6
+/// let a = Da::new(0);
+/// let b = Da::new(1);
+/// assert!(payg.correct(a, 1));        // local ECP1
+/// assert!(payg.correct(a, 2));        // takes the pool entry
+/// assert_eq!(payg.pool_remaining(), Some(0));
+/// assert!(payg.correct(b, 1));        // b's local entry still works
+/// assert!(!payg.correct(b, 2));       // pool is dry
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Payg {
+    local_entries: u32,
+    pool: u64,
+    pool_capacity: u64,
+    cap: u32,
+}
+
+impl Payg {
+    /// A PAYG scheme with `pool` global entries and a per-block ceiling of
+    /// `cap` corrected cells (local + global).
+    pub fn new(pool: u64, cap: u32) -> Self {
+        Payg {
+            local_entries: 1,
+            pool,
+            pool_capacity: pool,
+            cap,
+        }
+    }
+
+    /// Pool sized as `ratio` entries per block, the paper's default budget
+    /// (≈0.77 entries per group for 19.5 avg metadata bits — DESIGN.md
+    /// §3.5). Unlike fixed ECP, PAYG lets a hot group chain many global
+    /// entries; the per-block ceiling models the structural limit of the
+    /// chained-entry format, not ECP6's six.
+    pub fn with_ratio(num_blocks: u64, ratio: f64) -> Self {
+        assert!(ratio >= 0.0, "pool ratio must be non-negative");
+        Payg::new((num_blocks as f64 * ratio).floor() as u64, 64)
+    }
+
+    /// The paper's default: 0.77 pool entries per block.
+    pub fn paper_default(num_blocks: u64) -> Self {
+        Payg::with_ratio(num_blocks, 0.77)
+    }
+
+    /// Total pool capacity in entries.
+    pub fn pool_capacity(&self) -> u64 {
+        self.pool_capacity
+    }
+}
+
+impl ErrorCorrection for Payg {
+    fn correct(&mut self, _da: Da, nth: u32) -> bool {
+        if nth > self.cap {
+            return false;
+        }
+        if nth <= self.local_entries {
+            return true;
+        }
+        if self.pool > 0 {
+            self.pool -= 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn label(&self) -> String {
+        "PAYG".to_string()
+    }
+
+    fn pool_remaining(&self) -> Option<u64> {
+        Some(self.pool)
+    }
+}
+
+/// No correction at all: every cell failure kills its block. Useful as a
+/// lower-bound baseline and in unit tests.
+///
+/// ```
+/// use wlr_base::Da;
+/// use wlr_pcm::ecc::{ErrorCorrection, NoCorrection};
+/// assert!(!NoCorrection.correct(Da::new(0), 1));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct NoCorrection;
+
+impl ErrorCorrection for NoCorrection {
+    fn correct(&mut self, _da: Da, _nth: u32) -> bool {
+        false
+    }
+
+    fn label(&self) -> String {
+        "none".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ecp_corrects_up_to_entries() {
+        let mut e = Ecp::ecp6();
+        let da = Da::new(9);
+        for nth in 1..=6 {
+            assert!(e.correct(da, nth), "ECP6 must correct failure {nth}");
+        }
+        assert!(!e.correct(da, 7));
+        assert_eq!(e.label(), "ECP6");
+        assert_eq!(e.pool_remaining(), None);
+    }
+
+    #[test]
+    fn ecp_zero_entries_fails_immediately() {
+        let mut e = Ecp::new(0);
+        assert!(!e.correct(Da::new(0), 1));
+    }
+
+    #[test]
+    fn payg_pool_is_shared_across_blocks() {
+        let mut p = Payg::new(3, 6);
+        // Three different blocks each burn one pool entry for their 2nd
+        // failure; the fourth block is out of luck.
+        for b in 0..3u64 {
+            assert!(p.correct(Da::new(b), 1));
+            assert!(p.correct(Da::new(b), 2), "block {b} should get an entry");
+        }
+        assert!(p.correct(Da::new(3), 1));
+        assert!(!p.correct(Da::new(3), 2));
+        assert_eq!(p.pool_remaining(), Some(0));
+    }
+
+    #[test]
+    fn payg_respects_cap() {
+        let mut p = Payg::new(1000, 3);
+        let da = Da::new(0);
+        assert!(p.correct(da, 1));
+        assert!(p.correct(da, 2));
+        assert!(p.correct(da, 3));
+        assert!(!p.correct(da, 4), "cap must bound corrections");
+        // The cap rejection must not burn a pool entry.
+        assert_eq!(p.pool_remaining(), Some(998));
+    }
+
+    #[test]
+    fn payg_ratio_sizing() {
+        let p = Payg::with_ratio(1000, 0.77);
+        assert_eq!(p.pool_capacity(), 770);
+        let p = Payg::paper_default(65536);
+        assert_eq!(p.pool_capacity(), (65536.0f64 * 0.77) as u64);
+    }
+
+    #[test]
+    fn payg_label() {
+        assert_eq!(Payg::new(1, 6).label(), "PAYG");
+    }
+
+    #[test]
+    fn no_correction_always_fails() {
+        let mut n = NoCorrection;
+        assert!(!n.correct(Da::new(5), 1));
+        assert_eq!(n.label(), "none");
+    }
+
+    #[test]
+    fn trait_object_usable() {
+        let mut schemes: Vec<Box<dyn ErrorCorrection>> = vec![
+            Box::new(Ecp::ecp6()),
+            Box::new(Payg::new(10, 6)),
+            Box::new(NoCorrection),
+        ];
+        let results: Vec<bool> = schemes
+            .iter_mut()
+            .map(|s| s.correct(Da::new(1), 1))
+            .collect();
+        assert_eq!(results, vec![true, true, false]);
+    }
+}

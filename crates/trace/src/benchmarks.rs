@@ -1,0 +1,176 @@
+//! The paper's Table I benchmark presets.
+//!
+//! Each variant reproduces one row of Table I: the benchmark's name, its
+//! suite, and its per-block write CoV, which is the property the
+//! evaluation keys on. Workloads are built page-clustered (64-block runs)
+//! because program heat is page-granular — the reason Start-Gap carries an
+//! address randomizer at all.
+
+use crate::cov::{CovTargetedWorkload, SpatialMode};
+
+/// One benchmark from Table I of the paper.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Benchmark {
+    /// PARSEC option pricing, CoV 8.88.
+    Blackscholes,
+    /// PARSEC online stream clustering, CoV 11.30.
+    Streamcluster,
+    /// PARSEC swaption portfolio pricing, CoV 13.17.
+    Swaptions,
+    /// NPB Multi-Grid, CoV 40.87 — the paper's "highly non-uniform"
+    /// representative.
+    Mg,
+    /// SPLASH-2 fast Fourier transform, CoV 13.87.
+    Fft,
+    /// SPLASH-2 ocean simulation, CoV 4.15 — the paper's "moderately
+    /// non-uniform" representative.
+    Ocean,
+    /// SPLASH-2 integer radix sort, CoV 5.54.
+    Radix,
+    /// SPLASH-2 molecular dynamics, CoV 5.44.
+    WaterSpatial,
+}
+
+impl Benchmark {
+    /// All Table I rows, in the paper's order.
+    pub fn table1() -> [Benchmark; 8] {
+        [
+            Benchmark::Blackscholes,
+            Benchmark::Streamcluster,
+            Benchmark::Swaptions,
+            Benchmark::Mg,
+            Benchmark::Fft,
+            Benchmark::Ocean,
+            Benchmark::Radix,
+            Benchmark::WaterSpatial,
+        ]
+    }
+
+    /// The benchmark's name as printed in the paper.
+    pub fn name(self) -> &'static str {
+        match self {
+            Benchmark::Blackscholes => "blackscholes",
+            Benchmark::Streamcluster => "streamcluster",
+            Benchmark::Swaptions => "swaptions",
+            Benchmark::Mg => "mg",
+            Benchmark::Fft => "fft",
+            Benchmark::Ocean => "ocean",
+            Benchmark::Radix => "radix",
+            Benchmark::WaterSpatial => "water-spatial",
+        }
+    }
+
+    /// The suite the benchmark comes from.
+    pub fn suite(self) -> &'static str {
+        match self {
+            Benchmark::Blackscholes | Benchmark::Streamcluster | Benchmark::Swaptions => "PARSEC",
+            Benchmark::Mg => "NPB",
+            Benchmark::Fft | Benchmark::Ocean | Benchmark::Radix | Benchmark::WaterSpatial => {
+                "SPLASH-2"
+            }
+        }
+    }
+
+    /// The paper's measured write CoV (Table I).
+    pub fn write_cov(self) -> f64 {
+        match self {
+            Benchmark::Blackscholes => 8.88,
+            Benchmark::Streamcluster => 11.30,
+            Benchmark::Swaptions => 13.17,
+            Benchmark::Mg => 40.87,
+            Benchmark::Fft => 13.87,
+            Benchmark::Ocean => 4.15,
+            Benchmark::Radix => 5.54,
+            Benchmark::WaterSpatial => 5.44,
+        }
+    }
+
+    /// The paper's one-line description of the benchmark.
+    pub fn description(self) -> &'static str {
+        match self {
+            Benchmark::Blackscholes => "Option pricing",
+            Benchmark::Streamcluster => "Online clustering of an input stream",
+            Benchmark::Swaptions => "Pricing of a portfolio of swaptions",
+            Benchmark::Mg => "Multi-Grid on communication",
+            Benchmark::Fft => "fast fourier transform",
+            Benchmark::Ocean => "large-scale ocean movements",
+            Benchmark::Radix => "integer radix sort",
+            Benchmark::WaterSpatial => "molecular dynamics N-body problem",
+        }
+    }
+
+    /// Builds the benchmark's synthetic workload over `app_blocks` blocks.
+    pub fn build(self, app_blocks: u64, seed: u64) -> CovTargetedWorkload {
+        CovTargetedWorkload::with_label(
+            app_blocks,
+            self.write_cov(),
+            SpatialMode::Clustered { run_blocks: 64 },
+            seed,
+            self.name().to_string(),
+        )
+    }
+}
+
+impl core::fmt::Display for Benchmark {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generator::Workload;
+
+    #[test]
+    fn table1_has_eight_rows() {
+        assert_eq!(Benchmark::table1().len(), 8);
+    }
+
+    #[test]
+    fn covs_match_the_paper() {
+        let expect = [
+            ("blackscholes", "PARSEC", 8.88),
+            ("streamcluster", "PARSEC", 11.30),
+            ("swaptions", "PARSEC", 13.17),
+            ("mg", "NPB", 40.87),
+            ("fft", "SPLASH-2", 13.87),
+            ("ocean", "SPLASH-2", 4.15),
+            ("radix", "SPLASH-2", 5.54),
+            ("water-spatial", "SPLASH-2", 5.44),
+        ];
+        for (b, (name, suite, cov)) in Benchmark::table1().iter().zip(expect) {
+            assert_eq!(b.name(), name);
+            assert_eq!(b.suite(), suite);
+            assert_eq!(b.write_cov(), cov);
+        }
+    }
+
+    #[test]
+    fn built_workloads_achieve_their_cov() {
+        for b in Benchmark::table1() {
+            let w = b.build(1 << 13, 1);
+            let got = w.exact_cov();
+            let want = b.write_cov();
+            assert!(
+                (got - want).abs() / want < 1e-3,
+                "{b}: achieved {got} want {want}"
+            );
+            assert_eq!(w.label(), b.name());
+        }
+    }
+
+    #[test]
+    fn extremes_are_ocean_and_mg() {
+        let covs: Vec<f64> = Benchmark::table1().iter().map(|b| b.write_cov()).collect();
+        let min = covs.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = covs.iter().cloned().fold(0.0, f64::max);
+        assert_eq!(min, Benchmark::Ocean.write_cov());
+        assert_eq!(max, Benchmark::Mg.write_cov());
+    }
+
+    #[test]
+    fn display_matches_name() {
+        assert_eq!(Benchmark::Mg.to_string(), "mg");
+    }
+}

@@ -1,0 +1,56 @@
+//! Synthetic memory-write workloads.
+//!
+//! The paper drives its trace-based simulation with write traces of eight
+//! programs from PARSEC, NPB and SPLASH-2, collected with Pin and
+//! characterized *entirely* by the coefficient of variation (CoV) of their
+//! per-block write counts (Table I). Those traces are not distributable,
+//! so this crate provides generators that reproduce the property the
+//! evaluation actually depends on — the write-count distribution over
+//! blocks, pinned to each benchmark's published CoV — plus the adversarial
+//! patterns the wear-leveling literature considers (repeated-address and
+//! birthday-paradox attacks). See `DESIGN.md` §3.1 for the substitution
+//! argument.
+//!
+//! * [`generator::Workload`] — the trait: an infinite, deterministic
+//!   stream of application block addresses to write.
+//! * [`cov::CovTargetedWorkload`] — the main generator: a lognormal
+//!   quantile weight profile calibrated by search to an exact target CoV,
+//!   laid out with page-clustered spatial locality and sampled in O(1)
+//!   through a Walker alias table.
+//! * [`benchmarks`] — Table I presets (`blackscholes` 8.88 … `mg` 40.87).
+//! * [`attack`] — repeated-address and birthday-paradox attackers.
+//! * [`mix`] — uniform, Zipf and hot/cold-region reference generators.
+//!
+//! # Example
+//!
+//! ```
+//! use wlr_trace::benchmarks::Benchmark;
+//! use wlr_trace::generator::Workload;
+//!
+//! let mut w = Benchmark::Mg.build(1 << 12, 7);
+//! let addr = w.next_write();
+//! assert!(addr.index() < 1 << 12);
+//! // The generator's weight profile hits the paper's CoV for mg.
+//! let cov = w.exact_cov();
+//! assert!((cov - 40.87).abs() < 0.05, "cov = {cov}");
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod alias;
+pub mod attack;
+pub mod benchmarks;
+pub mod cov;
+pub mod file;
+pub mod generator;
+pub mod mix;
+pub mod stats;
+
+pub use alias::AliasTable;
+pub use attack::{BirthdayAttack, RepeatAttack};
+pub use benchmarks::Benchmark;
+pub use cov::{CovTargetedWorkload, SpatialMode};
+pub use file::{TraceReader, TraceWorkload, TraceWriter};
+pub use generator::Workload;
+pub use mix::{HotRegionWorkload, UniformWorkload, ZipfWorkload};

@@ -1,0 +1,59 @@
+//! Empirical workload measurement.
+//!
+//! The `table1` experiment binary validates that every synthetic
+//! benchmark's *sampled* write stream reproduces its target CoV — not just
+//! the analytic weight profile — using these helpers.
+
+use crate::generator::Workload;
+use wlr_base::stats::Summary;
+
+/// Draws `samples` writes from `workload` and returns the CoV of the
+/// resulting per-block write counts.
+///
+/// ```
+/// use wlr_trace::{stats::measure_cov, UniformWorkload};
+/// let cov = measure_cov(&mut UniformWorkload::new(64, 1), 64_000);
+/// assert!(cov < 0.2, "uniform sampling CoV should be tiny: {cov}");
+/// ```
+pub fn measure_cov<W: Workload + ?Sized>(workload: &mut W, samples: u64) -> f64 {
+    let counts = count_writes(workload, samples);
+    let mut s = Summary::new();
+    for &c in &counts {
+        s.push(c as f64);
+    }
+    s.cov()
+}
+
+/// Draws `samples` writes and returns the per-block count vector.
+pub fn count_writes<W: Workload + ?Sized>(workload: &mut W, samples: u64) -> Vec<u64> {
+    let mut counts = vec![0u64; usize::try_from(workload.len()).expect("space too large")];
+    for _ in 0..samples {
+        counts[workload.next_write().as_usize()] += 1;
+    }
+    counts
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::benchmarks::Benchmark;
+    use crate::mix::UniformWorkload;
+
+    #[test]
+    fn count_totals_match_samples() {
+        let counts = count_writes(&mut UniformWorkload::new(32, 1), 10_000);
+        assert_eq!(counts.iter().sum::<u64>(), 10_000);
+    }
+
+    #[test]
+    fn measured_cov_tracks_benchmark_target() {
+        // ocean (CoV 4.15) over a small space: sampled CoV approaches the
+        // profile CoV as samples grow.
+        let mut w = Benchmark::Ocean.build(2048, 3);
+        let cov = measure_cov(&mut w, 3_000_000);
+        assert!(
+            (cov - 4.15).abs() < 0.3,
+            "sampled CoV {cov} too far from 4.15"
+        );
+    }
+}

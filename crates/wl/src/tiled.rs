@@ -1,0 +1,353 @@
+//! Region-tiled Start-Gap — the configuration the Start-Gap paper
+//! actually deploys at scale.
+//!
+//! A single gap line serving 2²⁴ blocks rotates too slowly to level
+//! anything; Qureshi et al. therefore split memory into regions of a few
+//! hundred lines, each with its own gap and start registers, behind one
+//! *global* static randomizer that scatters hot addresses across regions.
+//! [`TiledStartGap`] reproduces that: `tiles` independent [`StartGap`]
+//! instances over a shared [`AddressRandomizer`], costing one gap line
+//! per tile.
+//!
+//! Device layout: tile `t` owns the contiguous DA range
+//! `[t·(tile+1), (t+1)·(tile+1))` — `tile` data lines plus its gap line —
+//! so `total_das = len + tiles`.
+
+use crate::randomizer::{AddressRandomizer, RandomizerKind};
+use crate::start_gap::StartGap;
+use crate::traits::{Migration, WearLeveler};
+use wlr_base::{Da, Pa};
+
+/// Builder for [`TiledStartGap`]; see [`TiledStartGap::builder`].
+#[derive(Debug)]
+pub struct TiledStartGapBuilder {
+    len: u64,
+    tiles: u64,
+    gap_interval: u64,
+    randomizer: RandomizerKind,
+}
+
+impl TiledStartGapBuilder {
+    /// Number of tiles (default 16). Must divide the PA-space size.
+    pub fn tiles(mut self, tiles: u64) -> Self {
+        self.tiles = tiles;
+        self
+    }
+
+    /// Writes per gap movement *per tile* (the paper's ψ, default 100).
+    pub fn gap_interval(mut self, psi: u64) -> Self {
+        self.gap_interval = psi;
+        self
+    }
+
+    /// The global randomization layer (default Feistel, seed 0).
+    pub fn randomizer(mut self, kind: RandomizerKind) -> Self {
+        self.randomizer = kind;
+        self
+    }
+
+    /// Builds the scheme.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tiles` is zero or does not divide the space, or under
+    /// [`StartGap`]'s builder conditions.
+    pub fn build(self) -> TiledStartGap {
+        assert!(self.tiles > 0, "need at least one tile");
+        assert_eq!(
+            self.len % self.tiles,
+            0,
+            "PA space {} is not a whole number of {} tiles",
+            self.len,
+            self.tiles
+        );
+        let tile_len = self.len / self.tiles;
+        let tiles = (0..self.tiles)
+            .map(|_| {
+                StartGap::builder(tile_len)
+                    .gap_interval(self.gap_interval)
+                    // Tiles are identity inside: the global randomizer
+                    // already scattered the addresses.
+                    .randomizer(RandomizerKind::Identity)
+                    .build()
+            })
+            .collect();
+        TiledStartGap {
+            len: self.len,
+            tile_len,
+            tiles,
+            randomizer: self.randomizer.build(self.len),
+            rr_cursor: 0,
+        }
+    }
+}
+
+/// Start-Gap tiled into independently-rotating regions behind one global
+/// randomizer (see module docs).
+///
+/// ```
+/// use wlr_base::Pa;
+/// use wlr_wl::{RandomizerKind, TiledStartGap, WearLeveler};
+///
+/// let mut wl = TiledStartGap::builder(1024)
+///     .tiles(8)
+///     .gap_interval(10)
+///     .randomizer(RandomizerKind::Feistel { seed: 3 })
+///     .build();
+/// assert_eq!(wl.total_das(), 1024 + 8); // one gap line per tile
+/// let da = wl.map(Pa::new(5));
+/// assert_eq!(wl.inverse(da), Some(Pa::new(5)));
+/// for _ in 0..10 { wl.record_write(Pa::new(5)); }
+/// assert!(wl.pending().is_some());
+/// ```
+#[derive(Debug)]
+pub struct TiledStartGap {
+    len: u64,
+    tile_len: u64,
+    tiles: Vec<StartGap>,
+    randomizer: Box<dyn AddressRandomizer>,
+    /// Round-robin scan start for serving indebted tiles fairly.
+    rr_cursor: usize,
+}
+
+impl TiledStartGap {
+    /// Starts building a tiled Start-Gap over `len` physical addresses.
+    pub fn builder(len: u64) -> TiledStartGapBuilder {
+        TiledStartGapBuilder {
+            len,
+            tiles: 16,
+            gap_interval: 100,
+            randomizer: RandomizerKind::Feistel { seed: 0 },
+        }
+    }
+
+    /// Number of tiles.
+    pub fn tiles(&self) -> u64 {
+        self.tiles.len() as u64
+    }
+
+    #[inline]
+    fn split(&self, ra: u64) -> (usize, u64) {
+        ((ra / self.tile_len) as usize, ra % self.tile_len)
+    }
+
+    /// DA base of tile `t` (each tile owns `tile_len + 1` device blocks).
+    #[inline]
+    fn tile_base(&self, t: usize) -> u64 {
+        t as u64 * (self.tile_len + 1)
+    }
+
+    fn first_indebted(&self) -> Option<usize> {
+        let n = self.tiles.len();
+        (0..n)
+            .map(|i| (self.rr_cursor + i) % n)
+            .find(|&t| self.tiles[t].pending().is_some())
+    }
+}
+
+impl WearLeveler for TiledStartGap {
+    fn len(&self) -> u64 {
+        self.len
+    }
+
+    fn total_das(&self) -> u64 {
+        self.len + self.tiles.len() as u64
+    }
+
+    #[inline]
+    fn map(&self, pa: Pa) -> Da {
+        assert!(pa.index() < self.len, "{pa} outside PA space {}", self.len);
+        let ra = self.randomizer.forward(pa.index());
+        let (t, local) = self.split(ra);
+        let local_da = self.tiles[t].map(Pa::new(local));
+        Da::new(self.tile_base(t) + local_da.index())
+    }
+
+    #[inline]
+    fn inverse(&self, da: Da) -> Option<Pa> {
+        assert!(
+            da.index() < self.total_das(),
+            "{da} outside DA space {}",
+            self.total_das()
+        );
+        let t = (da.index() / (self.tile_len + 1)) as usize;
+        let local_da = da.index() % (self.tile_len + 1);
+        let local_pa = self.tiles[t].inverse(Da::new(local_da))?;
+        let ra = t as u64 * self.tile_len + local_pa.index();
+        Some(Pa::new(self.randomizer.backward(ra)))
+    }
+
+    fn record_write(&mut self, pa: Pa) {
+        let ra = self.randomizer.forward(pa.index());
+        let (t, local) = self.split(ra);
+        self.tiles[t].record_write(Pa::new(local));
+    }
+
+    fn pending(&self) -> Option<Migration> {
+        let t = self.first_indebted()?;
+        let base = self.tile_base(t);
+        match self.tiles[t].pending()? {
+            Migration::Copy { src, dst } => Some(Migration::Copy {
+                src: Da::new(base + src.index()),
+                dst: Da::new(base + dst.index()),
+            }),
+            Migration::Swap { a, b } => Some(Migration::Swap {
+                a: Da::new(base + a.index()),
+                b: Da::new(base + b.index()),
+            }),
+        }
+    }
+
+    fn complete_migration(&mut self) {
+        let t = self
+            .first_indebted()
+            .expect("complete_migration without a pending one");
+        self.tiles[t].complete_migration();
+        self.rr_cursor = (t + 1) % self.tiles.len();
+    }
+
+    fn label(&self) -> String {
+        format!("Start-Gap[{}]", self.tiles.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn make(len: u64, tiles: u64, psi: u64) -> TiledStartGap {
+        TiledStartGap::builder(len)
+            .tiles(tiles)
+            .gap_interval(psi)
+            .randomizer(RandomizerKind::Feistel { seed: 9 })
+            .build()
+    }
+
+    fn assert_bijection(wl: &TiledStartGap) {
+        let mut hit = vec![false; wl.total_das() as usize];
+        for pa in 0..wl.len() {
+            let da = wl.map(Pa::new(pa));
+            assert!(!hit[da.as_usize()], "two PAs map to {da}");
+            hit[da.as_usize()] = true;
+            assert_eq!(wl.inverse(da), Some(Pa::new(pa)));
+        }
+        let gaps = hit.iter().filter(|&&h| !h).count();
+        assert_eq!(gaps as u64, wl.tiles(), "one unmapped gap line per tile");
+    }
+
+    #[test]
+    fn initial_bijection() {
+        assert_bijection(&make(256, 8, 10));
+    }
+
+    #[test]
+    fn bijection_survives_traffic() {
+        let mut wl = make(128, 4, 2);
+        for i in 0..2_000u64 {
+            wl.record_write(Pa::new((i * 37) % 128));
+            while wl.pending().is_some() {
+                wl.complete_migration();
+            }
+        }
+        assert_bijection(&wl);
+    }
+
+    #[test]
+    fn data_preserved() {
+        let n = 128u64;
+        let mut wl = make(n, 4, 3);
+        let mut data: Vec<Option<u64>> = vec![None; wl.total_das() as usize];
+        for pa in 0..n {
+            data[wl.map(Pa::new(pa)).as_usize()] = Some(pa);
+        }
+        for i in 0..3_000u64 {
+            wl.record_write(Pa::new((i * 13) % n));
+            while let Some(m) = wl.pending() {
+                if let Migration::Copy { src, dst } = m {
+                    data[dst.as_usize()] = data[src.as_usize()].take();
+                } else {
+                    panic!("tiled start-gap emits copies");
+                }
+                wl.complete_migration();
+            }
+        }
+        for pa in 0..n {
+            assert_eq!(data[wl.map(Pa::new(pa)).as_usize()], Some(pa));
+        }
+    }
+
+    #[test]
+    fn tiles_rotate_independently() {
+        // All writes land in one tile's addresses: only that tile migrates,
+        // and its migrations stay within its DA range.
+        let mut wl = make(256, 4, 1);
+        // Find 8 PAs that randomize into tile 0.
+        let tile0: Vec<u64> = (0..256)
+            .filter(|&p| wl.randomizer.forward(p) < 64)
+            .take(8)
+            .collect();
+        assert!(!tile0.is_empty());
+        for i in 0..64u64 {
+            wl.record_write(Pa::new(tile0[(i % tile0.len() as u64) as usize]));
+            while let Some(Migration::Copy { src, dst }) = wl.pending() {
+                assert!(src.index() < 65 && dst.index() < 65, "escaped tile 0");
+                wl.complete_migration();
+            }
+        }
+    }
+
+    #[test]
+    fn round_robin_serves_all_tiles() {
+        let mut wl = make(256, 4, 1);
+        // Uniform writes arm every tile; drain and check debt clears.
+        for i in 0..256u64 {
+            wl.record_write(Pa::new(i));
+        }
+        let mut served = 0;
+        while wl.pending().is_some() {
+            wl.complete_migration();
+            served += 1;
+            assert!(served < 1_000, "drain did not terminate");
+        }
+        assert!(served >= 4, "every tile should have migrated");
+    }
+
+    #[test]
+    fn label_and_sizes() {
+        let wl = make(256, 8, 10);
+        assert_eq!(wl.label(), "Start-Gap[8]");
+        assert_eq!(wl.total_das(), 264);
+    }
+
+    #[test]
+    #[should_panic(expected = "whole number")]
+    fn indivisible_tiles_panic() {
+        make(100, 3, 1);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+        #[test]
+        fn fuzzed_bijection(seed: u64, writes in proptest::collection::vec(0u64..128, 0..300)) {
+            let mut wl = TiledStartGap::builder(128)
+                .tiles(4)
+                .gap_interval(2)
+                .randomizer(RandomizerKind::Feistel { seed })
+                .build();
+            for w in writes {
+                wl.record_write(Pa::new(w));
+                while wl.pending().is_some() {
+                    wl.complete_migration();
+                }
+            }
+            let mut hit = vec![false; wl.total_das() as usize];
+            for pa in 0..wl.len() {
+                let da = wl.map(Pa::new(pa));
+                prop_assert!(!hit[da.as_usize()]);
+                hit[da.as_usize()] = true;
+                prop_assert_eq!(wl.inverse(da), Some(Pa::new(pa)));
+            }
+        }
+    }
+}

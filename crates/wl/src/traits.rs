@@ -1,0 +1,177 @@
+//! The wear-leveler interface assumed by the WL-Reviver framework.
+//!
+//! §III of the paper: *"WL-Reviver assumes only one fundamental operation
+//! common to any of such schemes, which is to migrate data into a memory
+//! block."* A scheme therefore exposes:
+//!
+//! 1. a PA→DA bijection ([`WearLeveler::map`]) and its inverse
+//!    ([`WearLeveler::inverse`], Theorem 3 relies on one-to-one mapping);
+//! 2. a write-paced migration schedule: the controller reports serviced
+//!    software writes ([`WearLeveler::record_write`]), the scheme arms
+//!    [`Migration`]s ([`WearLeveler::pending`]), and the controller
+//!    acknowledges each performed migration
+//!    ([`WearLeveler::complete_migration`]).
+//!
+//! The two-phase pending/complete protocol is what allows the framework to
+//! *delay* a migration when no spare block exists (§III-A "delayed space
+//! acquisition") without modifying the scheme.
+
+use core::fmt;
+use wlr_base::{Da, Pa};
+
+/// One data-migration operation requested by a wear-leveling scheme.
+///
+/// Start-Gap copies into its (empty) gap line; Security Refresh swaps a
+/// pair of blocks. Theorem 3's "buffer block" is explicit in the former
+/// (the copy destination holds no live data) and implicit in the latter
+/// (a swap destroys nothing).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Migration {
+    /// Copy the contents of `src` into `dst`; after completion the PA that
+    /// mapped to `src` maps to `dst`, and `src` becomes the new buffer.
+    Copy {
+        /// Source device block.
+        src: Da,
+        /// Destination device block (the current buffer; holds no live data).
+        dst: Da,
+    },
+    /// Exchange the contents of `a` and `b`; after completion the PAs that
+    /// mapped to `a` and `b` are interchanged.
+    Swap {
+        /// First block of the pair.
+        a: Da,
+        /// Second block of the pair.
+        b: Da,
+    },
+}
+
+impl Migration {
+    /// The device blocks this migration writes into.
+    pub fn write_targets(&self) -> Vec<Da> {
+        match *self {
+            Migration::Copy { dst, .. } => vec![dst],
+            Migration::Swap { a, b } => vec![a, b],
+        }
+    }
+
+    /// The device blocks this migration reads from.
+    pub fn read_sources(&self) -> Vec<Da> {
+        match *self {
+            Migration::Copy { src, .. } => vec![src],
+            Migration::Swap { a, b } => vec![a, b],
+        }
+    }
+}
+
+impl fmt::Display for Migration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Migration::Copy { src, dst } => write!(f, "copy {src} -> {dst}"),
+            Migration::Swap { a, b } => write!(f, "swap {a} <-> {b}"),
+        }
+    }
+}
+
+/// A PCM wear-leveling scheme (see module docs for the protocol).
+///
+/// # Contract
+///
+/// * `map` is a bijection from the `len()` PAs into the `total_das()`
+///   device blocks; `inverse(map(pa)) == Some(pa)` at every instant.
+/// * `pending()` is stable until `complete_migration()` or the next
+///   `record_write` that arms further work; completing with no pending
+///   migration panics (a protocol violation).
+/// * After `complete_migration()`, `map` reflects the migrated layout.
+pub trait WearLeveler: fmt::Debug {
+    /// Number of physical addresses (software-visible blocks) managed.
+    fn len(&self) -> u64;
+
+    /// Whether the scheme manages an empty space (never true in practice).
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Number of device blocks used, including buffer lines
+    /// (`len()` for in-place schemes, `len() + 1` for Start-Gap).
+    fn total_das(&self) -> u64;
+
+    /// Translates a physical address to its current device address.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pa` is outside `[0, len())`.
+    fn map(&self, pa: Pa) -> Da;
+
+    /// Translates a device address back to the physical address currently
+    /// mapped to it, or `None` for an unmapped buffer block (the gap).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `da` is outside `[0, total_das())`.
+    fn inverse(&self, da: Da) -> Option<Pa>;
+
+    /// Reports one serviced software write to `pa`. May arm migrations.
+    fn record_write(&mut self, pa: Pa);
+
+    /// The migration the scheme wants performed now, if any.
+    fn pending(&self) -> Option<Migration>;
+
+    /// Acknowledges that the pending migration's data movement has been
+    /// performed; updates the mapping.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no migration is pending.
+    fn complete_migration(&mut self);
+
+    /// Scheme label for experiment output (e.g. `"Start-Gap"`).
+    fn label(&self) -> String;
+}
+
+/// Drives `wl` until no migration is pending, applying each migration with
+/// `apply`. Test/bootstrap helper for callers that never defer migrations.
+pub fn drain_migrations<W, F>(wl: &mut W, mut apply: F)
+where
+    W: WearLeveler + ?Sized,
+    F: FnMut(Migration),
+{
+    while let Some(m) = wl.pending() {
+        apply(m);
+        wl.complete_migration();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn migration_targets_and_sources() {
+        let c = Migration::Copy {
+            src: Da::new(1),
+            dst: Da::new(2),
+        };
+        assert_eq!(c.write_targets(), vec![Da::new(2)]);
+        assert_eq!(c.read_sources(), vec![Da::new(1)]);
+        let s = Migration::Swap {
+            a: Da::new(3),
+            b: Da::new(4),
+        };
+        assert_eq!(s.write_targets(), vec![Da::new(3), Da::new(4)]);
+        assert_eq!(s.read_sources(), vec![Da::new(3), Da::new(4)]);
+    }
+
+    #[test]
+    fn migration_display() {
+        let c = Migration::Copy {
+            src: Da::new(1),
+            dst: Da::new(2),
+        };
+        assert_eq!(c.to_string(), "copy DA(1) -> DA(2)");
+        let s = Migration::Swap {
+            a: Da::new(3),
+            b: Da::new(4),
+        };
+        assert_eq!(s.to_string(), "swap DA(3) <-> DA(4)");
+    }
+}

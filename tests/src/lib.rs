@@ -1,0 +1,8 @@
+//! Shared helpers for the cross-crate integration tests.
+//!
+//! The actual tests live in `tests/tests/*.rs`; this library only hosts
+//! utilities they share (scenario builders, invariant walkers).
+
+#![warn(missing_docs)]
+
+pub mod scenario;

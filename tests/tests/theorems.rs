@@ -1,0 +1,108 @@
+//! The paper's Theorems 1–3 as runtime-checked properties, fuzzed across
+//! seeds, workloads and wear-leveling schemes.
+//!
+//! The `check_invariants(true)` configuration makes the framework assert,
+//! after every serviced request:
+//!
+//! * **Theorem 1** — every software-accessible failed block is linked, and
+//!   its chain resolves in one step to a healthy shadow (or the block is
+//!   on a PA–DA loop and holds no data);
+//! * **Theorem 2** — every unlinked reserved PA is in a retired page and
+//!   not doubly used;
+//! * **Theorem 3** — the scheme never copies data into a mapped block
+//!   (checked at migration time).
+//!
+//! A run completing without panicking *is* the assertion of the theorems;
+//! these tests additionally check that the runs exercised the interesting
+//! machinery (links, switches, loops, suspensions).
+
+use proptest::prelude::*;
+use wl_reviver::sim::{SchemeKind, StopCondition};
+use wlr_tests::scenario::{checked_sim, cov_workload};
+
+#[test]
+fn theorems_hold_deep_into_failures_start_gap() {
+    let mut sim = checked_sim(SchemeKind::ReviverStartGap, 11).build();
+    let out = sim.run(StopCondition::DeadFraction(0.20));
+    assert!(out.survival <= 0.80 + 1e-9);
+    assert!(
+        sim.controller().device().dead_blocks() > 150,
+        "the run should have accumulated many failures"
+    );
+}
+
+#[test]
+fn theorems_hold_deep_into_failures_security_refresh() {
+    let mut sim = checked_sim(SchemeKind::ReviverSecurityRefresh, 12).build();
+    sim.run(StopCondition::DeadFraction(0.18));
+    assert!(sim.controller().device().dead_blocks() > 150);
+}
+
+#[test]
+fn machinery_is_actually_exercised() {
+    // A deep run must have linked, switched, looped and suspended; a run
+    // that never hits those paths wouldn't be testing the theorems.
+    let mut sim = checked_sim(SchemeKind::ReviverStartGap, 13).build();
+    sim.run(StopCondition::DeadFraction(0.18));
+    let counters = sim
+        .controller()
+        .as_reviver()
+        .expect("scheme is the reviver")
+        .counters();
+    assert!(counters.links > 100, "links: {}", counters.links);
+    assert!(counters.switches > 0, "switches: {}", counters.switches);
+    assert!(counters.spare_grants > 1, "grants: {}", counters.spare_grants);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// Random seeds and skews: no invariant violation, no data loss, for
+    /// WL-Reviver over Start-Gap.
+    #[test]
+    fn fuzzed_start_gap(seed in 0u64..1_000_000, cov in 0.5f64..20.0) {
+        let blocks = 1 << 10;
+        let mut sim = checked_sim(SchemeKind::ReviverStartGap, seed)
+            .workload(cov_workload(blocks, cov, seed))
+            .build();
+        sim.run(StopCondition::DeadFraction(0.04));
+        prop_assert_eq!(sim.verify_all(), 0);
+    }
+
+    /// Same for Security Refresh: the framework is scheme-agnostic.
+    #[test]
+    fn fuzzed_security_refresh(seed in 0u64..1_000_000, cov in 0.5f64..20.0) {
+        let blocks = 1 << 10;
+        let mut sim = checked_sim(SchemeKind::ReviverSecurityRefresh, seed)
+            .workload(cov_workload(blocks, cov, seed))
+            .build();
+        sim.run(StopCondition::DeadFraction(0.04));
+        prop_assert_eq!(sim.verify_all(), 0);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(3))]
+
+    /// The extensions hold to the same bar: region-tiled Start-Gap…
+    #[test]
+    fn fuzzed_tiled_start_gap(seed in 0u64..1_000_000, cov in 0.5f64..12.0) {
+        let blocks = 1 << 10;
+        let mut sim = checked_sim(SchemeKind::ReviverTiledStartGap, seed)
+            .workload(cov_workload(blocks, cov, seed))
+            .build();
+        sim.run(StopCondition::DeadFraction(0.03));
+        prop_assert_eq!(sim.verify_all(), 0);
+    }
+
+    /// …and the stacked two-level Security Refresh.
+    #[test]
+    fn fuzzed_two_level_sr(seed in 0u64..1_000_000, cov in 0.5f64..12.0) {
+        let blocks = 1 << 10;
+        let mut sim = checked_sim(SchemeKind::ReviverTwoLevelSecurityRefresh, seed)
+            .workload(cov_workload(blocks, cov, seed))
+            .build();
+        sim.run(StopCondition::DeadFraction(0.03));
+        prop_assert_eq!(sim.verify_all(), 0);
+    }
+}
