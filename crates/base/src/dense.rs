@@ -1,0 +1,356 @@
+//! Dense, fixed-capacity index tables for the write hot path.
+//!
+//! Every failure-era table in the controllers — failed-block pointers,
+//! inverse pointers, FREE-p/LLS links, the simulator's integrity oracle —
+//! is keyed by a block index bounded by the device size, which is known
+//! at construction. A `HashMap<u64, _>` pays hashing and probing on every
+//! access to what is really an array index. [`DenseMap`] and [`DenseSet`]
+//! replace those tables with a flat slot array plus a presence bitset:
+//! O(1) unhashed lookups, and ascending-key iteration that is
+//! deterministic across runs (a `HashMap`'s order is not).
+//!
+//! Memory is `capacity × size_of::<V>()` plus one bit per key, paid up
+//! front — the right trade at the simulator's scaled geometries (a 2¹⁶
+//! block device costs 512 KiB per `u64`-valued table).
+
+use core::fmt;
+
+const WORD_BITS: usize = 64;
+
+/// A map from `u64` keys in `[0, capacity)` to values, backed by a flat
+/// slot array and a presence bitset.
+///
+/// ```
+/// use wlr_base::dense::DenseMap;
+/// let mut m: DenseMap<u64> = DenseMap::with_capacity(128);
+/// assert_eq!(m.insert(7, 700), None);
+/// assert_eq!(m.insert(7, 701), Some(700));
+/// assert_eq!(m.get(7), Some(&701));
+/// assert_eq!(m.remove(7), Some(701));
+/// assert!(m.is_empty());
+/// ```
+#[derive(Clone)]
+pub struct DenseMap<V> {
+    slots: Vec<V>,
+    present: Vec<u64>,
+    len: usize,
+}
+
+impl<V: Copy + Default> DenseMap<V> {
+    /// An empty map accepting keys in `[0, capacity)`.
+    pub fn with_capacity(capacity: u64) -> Self {
+        let cap = usize::try_from(capacity).expect("capacity exceeds address space");
+        DenseMap {
+            slots: vec![V::default(); cap],
+            present: vec![0u64; cap.div_ceil(WORD_BITS)],
+            len: 0,
+        }
+    }
+
+    /// Key capacity (exclusive upper bound on keys).
+    pub fn capacity(&self) -> u64 {
+        self.slots.len() as u64
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the map holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    #[inline]
+    fn bit(&self, k: u64) -> (usize, u64) {
+        let k = k as usize;
+        debug_assert!(k < self.slots.len(), "key {k} outside dense capacity");
+        (k / WORD_BITS, 1u64 << (k % WORD_BITS))
+    }
+
+    /// Whether `k` is present.
+    ///
+    /// # Panics
+    ///
+    /// Panics (all accessors do) if `k >= capacity`.
+    #[inline]
+    pub fn contains_key(&self, k: u64) -> bool {
+        let (w, m) = self.bit(k);
+        self.present[w] & m != 0
+    }
+
+    /// The value at `k`, if present.
+    #[inline]
+    pub fn get(&self, k: u64) -> Option<&V> {
+        if self.contains_key(k) {
+            Some(&self.slots[k as usize])
+        } else {
+            None
+        }
+    }
+
+    /// Inserts `v` at `k`, returning the previous value if any.
+    #[inline]
+    pub fn insert(&mut self, k: u64, v: V) -> Option<V> {
+        let (w, m) = self.bit(k);
+        let old = if self.present[w] & m != 0 {
+            Some(self.slots[k as usize])
+        } else {
+            self.present[w] |= m;
+            self.len += 1;
+            None
+        };
+        self.slots[k as usize] = v;
+        old
+    }
+
+    /// Removes the entry at `k`, returning its value if it was present.
+    #[inline]
+    pub fn remove(&mut self, k: u64) -> Option<V> {
+        let (w, m) = self.bit(k);
+        if self.present[w] & m == 0 {
+            return None;
+        }
+        self.present[w] &= !m;
+        self.len -= 1;
+        Some(self.slots[k as usize])
+    }
+
+    /// Entries in ascending key order.
+    pub fn iter(&self) -> impl Iterator<Item = (u64, &V)> + '_ {
+        iter_bits(&self.present).map(move |k| (k, &self.slots[k as usize]))
+    }
+
+    /// Keys in ascending order.
+    pub fn keys(&self) -> impl Iterator<Item = u64> + '_ {
+        iter_bits(&self.present)
+    }
+}
+
+impl<V: Copy + Default> std::ops::Index<u64> for DenseMap<V> {
+    type Output = V;
+
+    fn index(&self, k: u64) -> &V {
+        self.get(k).expect("key not present in dense map")
+    }
+}
+
+impl<V: Copy + Default + fmt::Debug> fmt::Debug for DenseMap<V> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_map().entries(self.iter()).finish()
+    }
+}
+
+/// A set of `u64` keys in `[0, capacity)`, backed by a bitset.
+///
+/// ```
+/// use wlr_base::dense::DenseSet;
+/// let mut s = DenseSet::with_capacity(64);
+/// assert!(s.insert(9));
+/// assert!(!s.insert(9));
+/// assert!(s.contains(9));
+/// assert!(s.remove(9));
+/// assert!(s.is_empty());
+/// ```
+#[derive(Clone)]
+pub struct DenseSet {
+    present: Vec<u64>,
+    capacity: u64,
+    len: usize,
+}
+
+impl DenseSet {
+    /// An empty set accepting keys in `[0, capacity)`.
+    pub fn with_capacity(capacity: u64) -> Self {
+        let cap = usize::try_from(capacity).expect("capacity exceeds address space");
+        DenseSet {
+            present: vec![0u64; cap.div_ceil(WORD_BITS)],
+            capacity,
+            len: 0,
+        }
+    }
+
+    /// Key capacity (exclusive upper bound on keys).
+    pub fn capacity(&self) -> u64 {
+        self.capacity
+    }
+
+    /// Number of members.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    #[inline]
+    fn bit(&self, k: u64) -> (usize, u64) {
+        debug_assert!(k < self.capacity, "key {k} outside dense capacity");
+        ((k as usize) / WORD_BITS, 1u64 << (k as usize % WORD_BITS))
+    }
+
+    /// Whether `k` is a member.
+    ///
+    /// # Panics
+    ///
+    /// Panics (all accessors do) if `k >= capacity`.
+    #[inline]
+    pub fn contains(&self, k: u64) -> bool {
+        let (w, m) = self.bit(k);
+        self.present[w] & m != 0
+    }
+
+    /// Adds `k`; returns whether it was newly inserted.
+    #[inline]
+    pub fn insert(&mut self, k: u64) -> bool {
+        let (w, m) = self.bit(k);
+        if self.present[w] & m != 0 {
+            return false;
+        }
+        self.present[w] |= m;
+        self.len += 1;
+        true
+    }
+
+    /// Removes `k`; returns whether it was a member.
+    #[inline]
+    pub fn remove(&mut self, k: u64) -> bool {
+        let (w, m) = self.bit(k);
+        if self.present[w] & m == 0 {
+            return false;
+        }
+        self.present[w] &= !m;
+        self.len -= 1;
+        true
+    }
+
+    /// Members in ascending order.
+    pub fn iter(&self) -> impl Iterator<Item = u64> + '_ {
+        iter_bits(&self.present)
+    }
+}
+
+impl fmt::Debug for DenseSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_set().entries(self.iter()).finish()
+    }
+}
+
+/// Ascending indices of the set bits in `words`.
+fn iter_bits(words: &[u64]) -> impl Iterator<Item = u64> + '_ {
+    words.iter().enumerate().flat_map(|(w, &bits)| {
+        let base = (w * WORD_BITS) as u64;
+        std::iter::successors(if bits == 0 { None } else { Some(bits) }, |&b| {
+            let b = b & (b - 1);
+            if b == 0 {
+                None
+            } else {
+                Some(b)
+            }
+        })
+        .map(move |b| base + b.trailing_zeros() as u64)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::Rng;
+    use std::collections::{HashMap, HashSet};
+
+    #[test]
+    fn map_insert_get_remove_roundtrip() {
+        let mut m: DenseMap<u64> = DenseMap::with_capacity(200);
+        assert!(m.is_empty());
+        assert_eq!(m.insert(3, 30), None);
+        assert_eq!(m.insert(199, 40), None);
+        assert_eq!(m.len(), 2);
+        assert_eq!(m.get(3), Some(&30));
+        assert_eq!(m.get(4), None);
+        assert!(m.contains_key(199));
+        assert_eq!(m.insert(3, 31), Some(30));
+        assert_eq!(m.len(), 2);
+        assert_eq!(m.remove(3), Some(31));
+        assert_eq!(m.remove(3), None);
+        assert_eq!(m.len(), 1);
+        assert_eq!(m[199], 40);
+    }
+
+    #[test]
+    fn map_iterates_in_ascending_key_order() {
+        let mut m: DenseMap<u64> = DenseMap::with_capacity(1 << 10);
+        for k in [512, 3, 64, 65, 1023, 0] {
+            m.insert(k, k * 10);
+        }
+        let keys: Vec<u64> = m.keys().collect();
+        assert_eq!(keys, vec![0, 3, 64, 65, 512, 1023]);
+        let pairs: Vec<(u64, u64)> = m.iter().map(|(k, &v)| (k, v)).collect();
+        assert!(pairs.iter().all(|&(k, v)| v == k * 10));
+    }
+
+    #[test]
+    fn map_agrees_with_hashmap_under_random_ops() {
+        let mut rng = Rng::stream(0xDE5E, 0);
+        let cap = 512u64;
+        let mut dense: DenseMap<u64> = DenseMap::with_capacity(cap);
+        let mut model: HashMap<u64, u64> = HashMap::new();
+        for _ in 0..20_000 {
+            let k = rng.gen_range(cap);
+            match rng.gen_range(3) {
+                0 => {
+                    let v = rng.next_u64();
+                    assert_eq!(dense.insert(k, v), model.insert(k, v));
+                }
+                1 => assert_eq!(dense.remove(k), model.remove(&k)),
+                _ => assert_eq!(dense.get(k), model.get(&k)),
+            }
+            assert_eq!(dense.len(), model.len());
+        }
+        let mut expect: Vec<(u64, u64)> = model.into_iter().collect();
+        expect.sort_unstable();
+        let got: Vec<(u64, u64)> = dense.iter().map(|(k, &v)| (k, v)).collect();
+        assert_eq!(got, expect, "iteration must be the sorted entry set");
+    }
+
+    #[test]
+    fn set_agrees_with_hashset_under_random_ops() {
+        let mut rng = Rng::stream(0xDE5E, 1);
+        let cap = 300u64;
+        let mut dense = DenseSet::with_capacity(cap);
+        let mut model: HashSet<u64> = HashSet::new();
+        for _ in 0..10_000 {
+            let k = rng.gen_range(cap);
+            match rng.gen_range(3) {
+                0 => assert_eq!(dense.insert(k), model.insert(k)),
+                1 => assert_eq!(dense.remove(k), model.remove(&k)),
+                _ => assert_eq!(dense.contains(k), model.contains(&k)),
+            }
+            assert_eq!(dense.len(), model.len());
+        }
+        let mut expect: Vec<u64> = model.into_iter().collect();
+        expect.sort_unstable();
+        assert_eq!(dense.iter().collect::<Vec<_>>(), expect);
+    }
+
+    #[test]
+    fn boundary_keys_work() {
+        let mut m: DenseMap<u8> = DenseMap::with_capacity(64);
+        m.insert(0, 1);
+        m.insert(63, 2);
+        assert_eq!(m.keys().collect::<Vec<_>>(), vec![0, 63]);
+        let mut s = DenseSet::with_capacity(65);
+        s.insert(64);
+        assert!(s.contains(64));
+        assert_eq!(s.iter().collect::<Vec<_>>(), vec![64]);
+    }
+
+    #[test]
+    #[should_panic(expected = "key not present")]
+    fn index_of_absent_key_panics() {
+        let m: DenseMap<u64> = DenseMap::with_capacity(8);
+        let _ = m[3];
+    }
+}

@@ -37,10 +37,11 @@
 #![warn(missing_docs)]
 
 pub mod addr;
+pub mod dense;
 pub mod geometry;
 pub mod rng;
 pub mod stats;
 
-pub use addr::{AppAddr, Da, PageId, Pa};
+pub use addr::{AppAddr, Da, Pa, PageId};
 pub use geometry::Geometry;
 pub use rng::Rng;

@@ -182,7 +182,9 @@ mod tests {
     fn deterministic_for_same_seed() {
         let seq = |seed| {
             let mut os = OrderStatistics::new(Rng::seed_from(seed), 32);
-            (0..32).map(|_| os.next_uniform().unwrap()).collect::<Vec<_>>()
+            (0..32)
+                .map(|_| os.next_uniform().unwrap())
+                .collect::<Vec<_>>()
         };
         assert_eq!(seq(23), seq(23));
         assert_ne!(seq(23), seq(24));

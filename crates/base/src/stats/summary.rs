@@ -353,64 +353,85 @@ mod tests {
 
     mod properties {
         use super::*;
-        use proptest::prelude::*;
+        use crate::rng::Rng;
 
-        proptest! {
-            /// Welford accumulation agrees with the batch formulas.
-            #[test]
-            fn summary_matches_batch_formulas(xs in proptest::collection::vec(-1e6f64..1e6, 0..200)) {
+        fn random_vec(rng: &mut Rng, lo: f64, hi: f64, max_len: u64) -> Vec<f64> {
+            let len = rng.gen_range(max_len);
+            (0..len).map(|_| lo + rng.gen_f64() * (hi - lo)).collect()
+        }
+
+        /// Welford accumulation agrees with the batch formulas.
+        #[test]
+        fn summary_matches_batch_formulas() {
+            let mut rng = Rng::stream(0x57A7, 0);
+            for _ in 0..32 {
+                let xs = random_vec(&mut rng, -1e6, 1e6, 200);
                 let mut s = Summary::new();
                 for &x in &xs {
                     s.push(x);
                 }
-                prop_assert!((s.mean() - mean(&xs)).abs() <= 1e-6 * (1.0 + mean(&xs).abs()));
-                prop_assert!((s.variance() - variance(&xs)).abs() <= 1e-3 * (1.0 + variance(&xs)));
+                assert!((s.mean() - mean(&xs)).abs() <= 1e-6 * (1.0 + mean(&xs).abs()));
+                assert!((s.variance() - variance(&xs)).abs() <= 1e-3 * (1.0 + variance(&xs)));
             }
+        }
 
-            /// Merging any split equals sequential accumulation.
-            #[test]
-            fn merge_equals_sequential(
-                xs in proptest::collection::vec(-1e4f64..1e4, 0..100),
-                cut in 0usize..100,
-            ) {
-                let cut = cut.min(xs.len());
+        /// Merging any split equals sequential accumulation.
+        #[test]
+        fn merge_equals_sequential() {
+            let mut rng = Rng::stream(0x57A7, 1);
+            for _ in 0..32 {
+                let xs = random_vec(&mut rng, -1e4, 1e4, 100);
+                let cut = (rng.gen_range(100) as usize).min(xs.len());
                 let mut whole = Summary::new();
-                for &x in &xs { whole.push(x); }
+                for &x in &xs {
+                    whole.push(x);
+                }
                 let (mut l, mut r) = (Summary::new(), Summary::new());
-                for &x in &xs[..cut] { l.push(x); }
-                for &x in &xs[cut..] { r.push(x); }
+                for &x in &xs[..cut] {
+                    l.push(x);
+                }
+                for &x in &xs[cut..] {
+                    r.push(x);
+                }
                 l.merge(&r);
-                prop_assert_eq!(l.count(), whole.count());
-                prop_assert!((l.mean() - whole.mean()).abs() < 1e-6);
-                prop_assert!((l.variance() - whole.variance()).abs() < 1e-3 * (1.0 + whole.variance()));
+                assert_eq!(l.count(), whole.count());
+                assert!((l.mean() - whole.mean()).abs() < 1e-6);
+                assert!((l.variance() - whole.variance()).abs() < 1e-3 * (1.0 + whole.variance()));
             }
+        }
 
-            /// Percentiles are monotone in q and bounded by the extremes.
-            #[test]
-            fn percentile_monotone(xs in proptest::collection::vec(-1e6f64..1e6, 1..100)) {
+        /// Percentiles are monotone in q and bounded by the extremes.
+        #[test]
+        fn percentile_monotone() {
+            let mut rng = Rng::stream(0x57A7, 2);
+            for _ in 0..32 {
+                let mut xs = random_vec(&mut rng, -1e6, 1e6, 99);
+                xs.push(rng.gen_f64()); // at least one element
                 let mut prev = f64::NEG_INFINITY;
                 for q in [0.0, 10.0, 25.0, 50.0, 75.0, 90.0, 100.0] {
                     let p = percentile(&xs, q);
-                    prop_assert!(p >= prev);
+                    assert!(p >= prev);
                     prev = p;
                 }
                 let lo = xs.iter().cloned().fold(f64::INFINITY, f64::min);
                 let hi = xs.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
-                prop_assert_eq!(percentile(&xs, 0.0), lo);
-                prop_assert_eq!(percentile(&xs, 100.0), hi);
+                assert_eq!(percentile(&xs, 0.0), lo);
+                assert_eq!(percentile(&xs, 100.0), hi);
             }
+        }
 
-            /// Histograms never lose observations.
-            #[test]
-            fn histogram_conserves_counts(
-                xs in proptest::collection::vec(-100f64..200.0, 0..300),
-                buckets in 1usize..32,
-            ) {
+        /// Histograms never lose observations.
+        #[test]
+        fn histogram_conserves_counts() {
+            let mut rng = Rng::stream(0x57A7, 3);
+            for _ in 0..32 {
+                let xs = random_vec(&mut rng, -100.0, 200.0, 300);
+                let buckets = 1 + rng.gen_range(31) as usize;
                 let mut h = Histogram::new(0.0, 100.0, buckets);
                 for &x in &xs {
                     h.record(x);
                 }
-                prop_assert_eq!(h.total(), xs.len() as u64);
+                assert_eq!(h.total(), xs.len() as u64);
             }
         }
     }

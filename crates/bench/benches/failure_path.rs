@@ -2,10 +2,11 @@
 //! uncached redirection (pointer + shadow) vs cached redirection, the
 //! simulation-level counterpart of Table II's access-time metric.
 
-use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
 use wl_reviver::controller::{Controller, WriteResult};
 use wl_reviver::reviver::RevivedController;
 use wlr_base::{Geometry, Pa, PageId};
+use wlr_bench::timing::bench;
 use wlr_pcm::{Ecp, PcmDevice};
 use wlr_wl::{RandomizerKind, StartGap};
 
@@ -36,37 +37,24 @@ fn controller(cache: Option<usize>) -> (RevivedController, Pa) {
     (ctl, pa)
 }
 
-fn bench_failure_path(c: &mut Criterion) {
-    let mut group = c.benchmark_group("access");
-
+fn main() {
     let (mut ctl, _) = controller(None);
     let healthy = Pa::new(300);
-    group.bench_function("healthy_read", |b| {
-        b.iter(|| black_box(ctl.read(healthy)))
-    });
+    bench("access/healthy_read", || black_box(ctl.read(healthy)));
 
     let (mut ctl, failed) = controller(None);
-    group.bench_function("failed_read_uncached", |b| {
-        b.iter(|| black_box(ctl.read(failed)))
+    bench("access/failed_read_uncached", || {
+        black_box(ctl.read(failed))
     });
 
     let (mut ctl, failed) = controller(Some(32 * 1024));
     ctl.read(failed); // warm the cache
-    group.bench_function("failed_read_cached", |b| {
-        b.iter(|| black_box(ctl.read(failed)))
-    });
+    bench("access/failed_read_cached", || black_box(ctl.read(failed)));
 
     let (mut ctl, failed) = controller(None);
     let mut i = 0u64;
-    group.bench_function("failed_write_uncached", |b| {
-        b.iter(|| {
-            i += 1;
-            black_box(ctl.write(failed, i))
-        })
+    bench("access/failed_write_uncached", || {
+        i += 1;
+        black_box(ctl.write(failed, i))
     });
-
-    group.finish();
 }
-
-criterion_group!(benches, bench_failure_path);
-criterion_main!(benches);

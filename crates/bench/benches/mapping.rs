@@ -2,8 +2,9 @@
 //! and their randomizers — the operation on every memory access, which is
 //! why the paper insists on algebraic functions instead of tables.
 
-use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
 use wlr_base::Pa;
+use wlr_bench::timing::bench;
 use wlr_wl::{
     AddressRandomizer, FeistelRandomizer, RandomizerKind, SecurityRefresh, StartGap,
     TableRandomizer, WearLeveler,
@@ -11,61 +12,43 @@ use wlr_wl::{
 
 const N: u64 = 1 << 16;
 
-fn bench_mapping(c: &mut Criterion) {
-    let mut group = c.benchmark_group("map");
-
+fn main() {
     let sg_feistel = StartGap::builder(N)
         .randomizer(RandomizerKind::Feistel { seed: 1 })
         .build();
-    group.bench_function("start_gap_feistel", |b| {
-        let mut i = 0u64;
-        b.iter(|| {
-            i = (i + 12345) % N;
-            black_box(sg_feistel.map(Pa::new(i)))
-        })
+    let mut i = 0u64;
+    bench("map/start_gap_feistel", || {
+        i = (i + 12345) % N;
+        black_box(sg_feistel.map(Pa::new(i)))
     });
 
     let sg_table = StartGap::builder(N)
         .randomizer(RandomizerKind::Table { seed: 1 })
         .build();
-    group.bench_function("start_gap_table", |b| {
-        let mut i = 0u64;
-        b.iter(|| {
-            i = (i + 12345) % N;
-            black_box(sg_table.map(Pa::new(i)))
-        })
+    let mut i = 0u64;
+    bench("map/start_gap_table", || {
+        i = (i + 12345) % N;
+        black_box(sg_table.map(Pa::new(i)))
     });
 
     let sr = SecurityRefresh::builder(N).region_blocks(1 << 12).build();
-    group.bench_function("security_refresh", |b| {
-        let mut i = 0u64;
-        b.iter(|| {
-            i = (i + 12345) % N;
-            black_box(sr.map(Pa::new(i)))
-        })
+    let mut i = 0u64;
+    bench("map/security_refresh", || {
+        i = (i + 12345) % N;
+        black_box(sr.map(Pa::new(i)))
     });
 
-    group.finish();
-
-    let mut group = c.benchmark_group("randomizer");
     let feistel = FeistelRandomizer::new(N, 7);
-    group.bench_function("feistel_forward", |b| {
-        let mut i = 0u64;
-        b.iter(|| {
-            i = (i + 12345) % N;
-            black_box(feistel.forward(i))
-        })
+    let mut i = 0u64;
+    bench("randomizer/feistel_forward", || {
+        i = (i + 12345) % N;
+        black_box(feistel.forward(i))
     });
-    let table = TableRandomizer::new(N, 7);
-    group.bench_function("table_forward", |b| {
-        let mut i = 0u64;
-        b.iter(|| {
-            i = (i + 12345) % N;
-            black_box(table.forward(i))
-        })
-    });
-    group.finish();
-}
 
-criterion_group!(benches, bench_mapping);
-criterion_main!(benches);
+    let table = TableRandomizer::new(N, 7);
+    let mut i = 0u64;
+    bench("randomizer/table_forward", || {
+        i = (i + 12345) % N;
+        black_box(table.forward(i))
+    });
+}

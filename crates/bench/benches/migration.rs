@@ -2,10 +2,11 @@
 //! controller on a healthy chip, including the scheme's migrations — the
 //! framework's steady-state overhead.
 
-use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use std::hint::black_box;
 use wl_reviver::controller::Controller;
 use wl_reviver::reviver::RevivedController;
 use wlr_base::{Geometry, Pa};
+use wlr_bench::timing::bench;
 use wlr_pcm::{Ecp, PcmDevice};
 use wlr_wl::{RandomizerKind, SecurityRefresh, StartGap};
 
@@ -39,32 +40,23 @@ fn controller_sr(interval: u64) -> RevivedController {
     RevivedController::builder(device, Box::new(wl)).build()
 }
 
-fn bench_migration(c: &mut Criterion) {
-    let mut group = c.benchmark_group("writes_with_migrations");
-    group.throughput(Throughput::Elements(1));
-
+fn main() {
     for psi in [10u64, 100] {
         let mut ctl = controller_sg(psi);
         let mut i = 0u64;
-        group.bench_function(format!("start_gap_psi{psi}"), |b| {
-            b.iter(|| {
+        bench(
+            &format!("writes_with_migrations/start_gap_psi{psi}"),
+            || {
                 i += 1;
                 black_box(ctl.write(Pa::new(i % N), i))
-            })
-        });
+            },
+        );
     }
 
     let mut ctl = controller_sr(100);
     let mut i = 0u64;
-    group.bench_function("security_refresh_int100", |b| {
-        b.iter(|| {
-            i += 1;
-            black_box(ctl.write(Pa::new(i % N), i))
-        })
+    bench("writes_with_migrations/security_refresh_int100", || {
+        i += 1;
+        black_box(ctl.write(Pa::new(i % N), i))
     });
-
-    group.finish();
 }
-
-criterion_group!(benches, bench_migration);
-criterion_main!(benches);

@@ -2,8 +2,8 @@
 //! full stack (workload → OS → controller → device), the number that
 //! bounds every figure's wall-clock cost.
 
-use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use wl_reviver::sim::{SchemeKind, Simulation, StopCondition};
+use wlr_bench::timing::bench;
 use wlr_trace::Benchmark;
 
 fn sim(scheme: SchemeKind) -> Simulation {
@@ -19,11 +19,7 @@ fn sim(scheme: SchemeKind) -> Simulation {
         .build()
 }
 
-fn bench_sim(c: &mut Criterion) {
-    let mut group = c.benchmark_group("sim_writes");
-    group.throughput(Throughput::Elements(10_000));
-    group.sample_size(20);
-
+fn main() {
     for (name, scheme) in [
         ("ecc_only", SchemeKind::EccOnly),
         ("start_gap", SchemeKind::StartGapOnly),
@@ -33,15 +29,16 @@ fn bench_sim(c: &mut Criterion) {
     ] {
         let mut s = sim(scheme);
         let mut target = 0u64;
-        group.bench_function(name, |b| {
-            b.iter(|| {
-                target += 10_000;
-                s.run(StopCondition::Writes(target))
-            })
+        // Each iteration advances the same simulation by a 10k-write slab,
+        // so the per-iteration cost is 10_000 simulated writes.
+        let m = bench(&format!("sim_writes/{name}"), || {
+            target += 10_000;
+            s.run(StopCondition::Writes(target))
         });
+        println!(
+            "{:<44} {:>14.0} simulated writes/s",
+            format!("sim_writes/{name} (per write)"),
+            m.per_sec * 10_000.0
+        );
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_sim);
-criterion_main!(benches);

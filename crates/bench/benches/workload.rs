@@ -1,49 +1,35 @@
 //! Microbenchmark: workload generation and trace I/O throughput — the
 //! simulator's front end, which must stay far off the critical path.
 
-use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use std::hint::black_box;
+use wlr_bench::timing::bench;
 use wlr_trace::{Benchmark, TraceWorkload, TraceWriter, UniformWorkload, Workload, ZipfWorkload};
 
-fn bench_workload(c: &mut Criterion) {
+fn main() {
     let blocks = 1u64 << 16;
 
-    let mut group = c.benchmark_group("next_write");
-    group.throughput(Throughput::Elements(1));
     let mut uniform = UniformWorkload::new(blocks, 1);
-    group.bench_function("uniform", |b| b.iter(|| black_box(uniform.next_write())));
+    bench("next_write/uniform", || black_box(uniform.next_write()));
     let mut zipf = ZipfWorkload::new(blocks, 1.1, 1);
-    group.bench_function("zipf", |b| b.iter(|| black_box(zipf.next_write())));
+    bench("next_write/zipf", || black_box(zipf.next_write()));
     let mut mg = Benchmark::Mg.build(blocks, 1);
-    group.bench_function("cov_targeted_mg", |b| b.iter(|| black_box(mg.next_write())));
-    group.finish();
+    bench("next_write/cov_targeted_mg", || black_box(mg.next_write()));
 
-    let mut group = c.benchmark_group("construction");
-    group.sample_size(10);
-    group.bench_function("cov_targeted_build_64k", |b| {
-        b.iter(|| black_box(Benchmark::Ocean.build(blocks, 3)))
+    bench("construction/cov_targeted_build_64k", || {
+        black_box(Benchmark::Ocean.build(blocks, 3))
     });
-    group.finish();
 
-    let mut group = c.benchmark_group("trace_io");
-    group.sample_size(10);
     let dir = std::env::temp_dir().join("wltr-bench");
     std::fs::create_dir_all(&dir).unwrap();
     let path = dir.join("bench.wltr");
-    group.throughput(Throughput::Elements(100_000));
-    group.bench_function("write_100k_records", |b| {
-        b.iter(|| {
-            let mut src = Benchmark::Ocean.build(blocks, 5);
-            let mut w = TraceWriter::create(&path, blocks).unwrap();
-            w.record_from(&mut src, 100_000).unwrap();
-            w.finish().unwrap();
-        })
+    bench("trace_io/write_100k_records", || {
+        let mut src = Benchmark::Ocean.build(blocks, 5);
+        let mut w = TraceWriter::create(&path, blocks).unwrap();
+        w.record_from(&mut src, 100_000).unwrap();
+        w.finish().unwrap();
     });
-    group.bench_function("load_100k_records", |b| {
-        b.iter(|| black_box(TraceWorkload::load(&path).unwrap()))
+    bench("trace_io/load_100k_records", || {
+        black_box(TraceWorkload::load(&path).unwrap())
     });
-    group.finish();
     std::fs::remove_file(&path).ok();
 }
-
-criterion_group!(benches, bench_workload);
-criterion_main!(benches);

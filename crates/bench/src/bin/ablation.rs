@@ -8,7 +8,15 @@
 //! `cache`, `randomizer`, `security-refresh`, or `all`.
 
 use wl_reviver::sim::{SchemeKind, Simulation, SimulationBuilder, StopCondition};
-use wlr_bench::{exp_seed, print_table, scaled_gap_interval};
+use wlr_bench::{exp_seed, print_table, run_pooled, scaled_gap_interval};
+
+/// Boxes a row-producing closure for [`run_pooled`]: every ablation's
+/// independent configurations run concurrently on the shared pool.
+fn row_job(
+    job: impl FnOnce() -> Vec<String> + Send + 'static,
+) -> Box<dyn FnOnce() -> Vec<String> + Send> {
+    Box::new(job)
+}
 use wlr_trace::Benchmark;
 use wlr_wl::RandomizerKind;
 
@@ -29,59 +37,83 @@ fn base(scheme: SchemeKind) -> SimulationBuilder {
 
 /// One-step chains (Figures 2–3) vs letting chains grow.
 fn chains() {
-    let mut rows = Vec::new();
-    for (name, switching) in [("one-step (paper)", true), ("unbounded chains", false)] {
-        let mut sim = base(SchemeKind::ReviverStartGap)
-            .reviver_chain_switching(switching)
-            .build();
-        sim.run(StopCondition::DeadFraction(0.20));
-        let ctl = sim.controller().as_reviver().unwrap();
-        let lengths = ctl.chain_lengths();
-        let max = lengths.iter().max().copied().unwrap_or(0);
-        let avg = if lengths.is_empty() {
-            0.0
-        } else {
-            lengths.iter().map(|&l| l as f64).sum::<f64>() / lengths.len() as f64
-        };
-        let req = sim.controller().request_stats();
-        rows.push(vec![
-            name.to_string(),
-            format!("{}", sim.writes_issued()),
-            format!("{:.3}", req.avg_access_time()),
-            format!("{avg:.2}"),
-            max.to_string(),
-            ctl.counters().switches.to_string(),
-        ]);
-    }
+    let jobs = [("one-step (paper)", true), ("unbounded chains", false)]
+        .map(|(name, switching)| {
+            row_job(move || {
+                let mut sim = base(SchemeKind::ReviverStartGap)
+                    .reviver_chain_switching(switching)
+                    .build();
+                sim.run(StopCondition::DeadFraction(0.20));
+                let ctl = sim.controller().as_reviver().unwrap();
+                let lengths = ctl.chain_lengths();
+                let max = lengths.iter().max().copied().unwrap_or(0);
+                let avg = if lengths.is_empty() {
+                    0.0
+                } else {
+                    lengths.iter().map(|&l| l as f64).sum::<f64>() / lengths.len() as f64
+                };
+                let req = sim.controller().request_stats();
+                vec![
+                    name.to_string(),
+                    format!("{}", sim.writes_issued()),
+                    format!("{:.3}", req.avg_access_time()),
+                    format!("{avg:.2}"),
+                    max.to_string(),
+                    ctl.counters().switches.to_string(),
+                ]
+            })
+        })
+        .into_iter()
+        .collect();
+    let rows = run_pooled(jobs);
     print_table(
         "chain switching (run to 20% failed blocks, ocean)",
-        &["mode", "writes", "avg access", "avg chain", "max chain", "switches"],
+        &[
+            "mode",
+            "writes",
+            "avg access",
+            "avg chain",
+            "max chain",
+            "switches",
+        ],
         &rows,
     );
 }
 
 /// Reactive (delayed, paper) vs proactive page acquisition.
 fn acquisition() {
-    let mut rows = Vec::new();
-    for (name, proactive) in [("reactive (paper)", false), ("proactive (new IRQ)", true)] {
-        let mut sim = base(SchemeKind::ReviverStartGap)
-            .reviver_proactive(proactive)
-            .build();
-        sim.run(StopCondition::DeadFraction(0.20));
-        let ctl = sim.controller().as_reviver().unwrap();
-        let c = ctl.counters();
-        rows.push(vec![
-            name.to_string(),
-            format!("{}", sim.writes_issued()),
-            c.suspensions.to_string(),
-            c.fake_reports.to_string(),
-            sim.lost_writes().to_string(),
-            sim.os().failure_reports().to_string(),
-        ]);
-    }
+    let jobs = [("reactive (paper)", false), ("proactive (new IRQ)", true)]
+        .map(|(name, proactive)| {
+            row_job(move || {
+                let mut sim = base(SchemeKind::ReviverStartGap)
+                    .reviver_proactive(proactive)
+                    .build();
+                sim.run(StopCondition::DeadFraction(0.20));
+                let ctl = sim.controller().as_reviver().unwrap();
+                let c = ctl.counters();
+                vec![
+                    name.to_string(),
+                    format!("{}", sim.writes_issued()),
+                    c.suspensions.to_string(),
+                    c.fake_reports.to_string(),
+                    sim.lost_writes().to_string(),
+                    sim.os().failure_reports().to_string(),
+                ]
+            })
+        })
+        .into_iter()
+        .collect();
+    let rows = run_pooled(jobs);
     print_table(
         "space acquisition policy (run to 20% failed blocks, ocean)",
-        &["mode", "writes", "suspensions", "fake reports", "lost writes", "OS exceptions"],
+        &[
+            "mode",
+            "writes",
+            "suspensions",
+            "fake reports",
+            "lost writes",
+            "OS exceptions",
+        ],
         &rows,
     );
     println!("The proactive variant avoids sacrificed writes at the cost of a new");
@@ -91,58 +123,79 @@ fn acquisition() {
 /// Inverse-pointer width: 2/4/8-byte pointers change the section size and
 /// the spares harvested per page (Figure 4's layout).
 fn ptr_section() {
-    let mut rows = Vec::new();
-    for bytes in [2u64, 4, 8, 16] {
-        let mut sim = base(SchemeKind::ReviverStartGap)
-            .reviver_pointer_bytes(bytes)
-            .build();
-        sim.run(StopCondition::DeadFraction(0.20));
-        let ctl = sim.controller().as_reviver().unwrap();
-        let ppb = 64 / bytes;
-        let section = 64u64.div_ceil(ppb + 1);
-        rows.push(vec![
-            format!("{bytes} B"),
-            format!("{section} blocks"),
-            format!("{}", 64 - section),
-            format!("{}", ctl.counters().spare_grants),
-            format!("{}", sim.os().retired_pages()),
-            format!("{}", sim.writes_issued()),
-        ]);
-    }
+    let jobs = [2u64, 4, 8, 16]
+        .map(|bytes| {
+            row_job(move || {
+                let mut sim = base(SchemeKind::ReviverStartGap)
+                    .reviver_pointer_bytes(bytes)
+                    .build();
+                sim.run(StopCondition::DeadFraction(0.20));
+                let ctl = sim.controller().as_reviver().unwrap();
+                let ppb = 64 / bytes;
+                let section = 64u64.div_ceil(ppb + 1);
+                vec![
+                    format!("{bytes} B"),
+                    format!("{section} blocks"),
+                    format!("{}", 64 - section),
+                    format!("{}", ctl.counters().spare_grants),
+                    format!("{}", sim.os().retired_pages()),
+                    format!("{}", sim.writes_issued()),
+                ]
+            })
+        })
+        .into_iter()
+        .collect();
+    let rows = run_pooled(jobs);
     print_table(
         "inverse-pointer width (per 64-block page; run to 20% failed)",
-        &["pointer", "section", "spares/page", "grants", "pages lost", "writes"],
+        &[
+            "pointer",
+            "section",
+            "spares/page",
+            "grants",
+            "pages lost",
+            "writes",
+        ],
         &rows,
     );
 }
 
 /// Remap-cache size sweep (Table II uses 32 KB).
 fn cache() {
-    let mut rows = Vec::new();
-    for kib in [0usize, 1, 4, 16, 32, 128] {
-        let mut builder = base(SchemeKind::ReviverStartGap);
-        if kib > 0 {
-            builder = builder.cache_bytes(kib * 1024);
-        }
-        let mut sim = builder.build();
-        sim.run(StopCondition::DeadFraction(0.20));
-        // Measure a fresh window at the final failure level.
-        sim.controller_mut().reset_request_stats();
-        sim.run(StopCondition::Writes(sim.writes_issued() + 500_000));
-        let req = sim.controller().request_stats();
-        let hit = sim
-            .controller()
-            .as_reviver()
-            .unwrap()
-            .cache_hit_ratio()
-            .map(|h| format!("{:.1}%", h * 100.0))
-            .unwrap_or_else(|| "-".into());
-        rows.push(vec![
-            if kib == 0 { "none".into() } else { format!("{kib} KiB") },
-            format!("{:.4}", req.avg_access_time()),
-            hit,
-        ]);
-    }
+    let jobs = [0usize, 1, 4, 16, 32, 128]
+        .map(|kib| {
+            row_job(move || {
+                let mut builder = base(SchemeKind::ReviverStartGap);
+                if kib > 0 {
+                    builder = builder.cache_bytes(kib * 1024);
+                }
+                let mut sim = builder.build();
+                sim.run(StopCondition::DeadFraction(0.20));
+                // Measure a fresh window at the final failure level.
+                sim.controller_mut().reset_request_stats();
+                sim.run(StopCondition::Writes(sim.writes_issued() + 500_000));
+                let req = sim.controller().request_stats();
+                let hit = sim
+                    .controller()
+                    .as_reviver()
+                    .unwrap()
+                    .cache_hit_ratio()
+                    .map(|h| format!("{:.1}%", h * 100.0))
+                    .unwrap_or_else(|| "-".into());
+                vec![
+                    if kib == 0 {
+                        "none".into()
+                    } else {
+                        format!("{kib} KiB")
+                    },
+                    format!("{:.4}", req.avg_access_time()),
+                    hit,
+                ]
+            })
+        })
+        .into_iter()
+        .collect();
+    let rows = run_pooled(jobs);
     print_table(
         "remap-cache size at 20% failed blocks (ocean)",
         &["cache", "avg access", "hit ratio"],
@@ -152,27 +205,33 @@ fn cache() {
 
 /// Start-Gap randomizer variants under WL-Reviver.
 fn randomizer() {
-    let mut rows = Vec::new();
     let seed = exp_seed();
+    let mut jobs: Vec<Box<dyn FnOnce() -> Vec<String> + Send>> = Vec::new();
     for (name, kind) in [
         ("Feistel (paper FPB)", RandomizerKind::Feistel { seed }),
         ("table (paper RIB)", RandomizerKind::Table { seed }),
-        ("half-restricted (LLS)", RandomizerKind::HalfRestricted { seed }),
+        (
+            "half-restricted (LLS)",
+            RandomizerKind::HalfRestricted { seed },
+        ),
         ("identity (none)", RandomizerKind::Identity),
     ] {
         for bench in [Benchmark::Ocean, Benchmark::Mg] {
-            let mut sim = base(SchemeKind::ReviverStartGap)
-                .sg_randomizer(kind)
-                .workload(bench.build(BLOCKS, seed))
-                .build();
-            let out = sim.run(StopCondition::UsableBelow(0.70));
-            rows.push(vec![
-                name.to_string(),
-                bench.name().to_string(),
-                out.writes_issued.to_string(),
-            ]);
+            jobs.push(row_job(move || {
+                let mut sim = base(SchemeKind::ReviverStartGap)
+                    .sg_randomizer(kind)
+                    .workload(bench.build(BLOCKS, seed))
+                    .build();
+                let out = sim.run(StopCondition::UsableBelow(0.70));
+                vec![
+                    name.to_string(),
+                    bench.name().to_string(),
+                    out.writes_issued.to_string(),
+                ]
+            }));
         }
     }
+    let rows = run_pooled(jobs);
     print_table(
         "address randomization under WL-Reviver (writes to 30% space loss)",
         &["randomizer", "workload", "lifetime"],
@@ -187,7 +246,7 @@ fn randomizer() {
 
 /// Framework generality: Security Refresh with and without revival.
 fn security_refresh() {
-    let mut rows = Vec::new();
+    let mut jobs: Vec<Box<dyn FnOnce() -> Vec<String> + Send>> = Vec::new();
     for (name, scheme) in [
         ("ECP6-SR", SchemeKind::SecurityRefreshOnly),
         ("ECP6-SR-WLR", SchemeKind::ReviverSecurityRefresh),
@@ -197,15 +256,20 @@ fn security_refresh() {
         ("ECP6-SG16-WLR", SchemeKind::ReviverTiledStartGap),
     ] {
         for bench in [Benchmark::Ocean, Benchmark::Mg] {
-            let mut sim = base(scheme).workload(bench.build(BLOCKS, exp_seed())).build();
-            let out = sim.run(StopCondition::UsableBelow(0.70));
-            rows.push(vec![
-                name.to_string(),
-                bench.name().to_string(),
-                out.writes_issued.to_string(),
-            ]);
+            jobs.push(row_job(move || {
+                let mut sim = base(scheme)
+                    .workload(bench.build(BLOCKS, exp_seed()))
+                    .build();
+                let out = sim.run(StopCondition::UsableBelow(0.70));
+                vec![
+                    name.to_string(),
+                    bench.name().to_string(),
+                    out.writes_issued.to_string(),
+                ]
+            }));
         }
     }
+    let rows = run_pooled(jobs);
     print_table(
         "framework generality: four schemes, one framework (lifetime)",
         &["stack", "workload", "lifetime"],
@@ -220,11 +284,14 @@ fn security_refresh() {
 /// page retirement, Zombie's spare-block pairing (leveling frozen),
 /// FREE-p's pre-reserve, and WL-Reviver.
 fn page_recovery() {
-    let mut rows = Vec::new();
+    let mut jobs: Vec<Box<dyn FnOnce() -> Vec<String> + Send>> = Vec::new();
     for (name, scheme) in [
         ("ECP6 (page retirement)", SchemeKind::EccOnly),
         ("ECP6-SG-Zombie", SchemeKind::Zombie),
-        ("ECP6-SG-FREEp 10%", SchemeKind::Freep { reserve_frac: 0.10 }),
+        (
+            "ECP6-SG-FREEp 10%",
+            SchemeKind::Freep { reserve_frac: 0.10 },
+        ),
         ("ECP6-SG-WLR", SchemeKind::ReviverStartGap),
     ] {
         for bench in [Benchmark::Ocean, Benchmark::Mg] {
@@ -237,15 +304,18 @@ fn page_recovery() {
                 }
                 _ => BLOCKS,
             };
-            let mut sim = base(scheme).workload(bench.build(app, exp_seed())).build();
-            let out = sim.run(StopCondition::UsableBelow(0.80));
-            rows.push(vec![
-                name.to_string(),
-                bench.name().to_string(),
-                out.writes_issued.to_string(),
-            ]);
+            jobs.push(row_job(move || {
+                let mut sim = base(scheme).workload(bench.build(app, exp_seed())).build();
+                let out = sim.run(StopCondition::UsableBelow(0.80));
+                vec![
+                    name.to_string(),
+                    bench.name().to_string(),
+                    out.writes_issued.to_string(),
+                ]
+            }));
         }
     }
+    let rows = run_pooled(jobs);
     print_table(
         "page-recovery strategies (writes to 20% space loss)",
         &["strategy", "workload", "lifetime"],

@@ -1,0 +1,165 @@
+//! `bench_core` — end-to-end write-engine throughput, tracked over time.
+//!
+//! Runs one full lifetime curve (uniform traffic to 70 % usable space)
+//! for each key scheme stack and reports simulated writes per wall-clock
+//! second. Results are written to `BENCH_core.json`:
+//!
+//! * first run (no file): records the numbers as both `baseline` and
+//!   `current`;
+//! * later runs: preserves the existing `baseline` block verbatim,
+//!   replaces `current`, and reports `speedup_vs_baseline` per stack.
+//!
+//! So the committed baseline is the throughput of the tree the file was
+//! first generated from, and the JSON carries the perf trajectory of the
+//! hot path across PRs. Delete the file (or set `WLR_BENCH_RESET=1`) to
+//! re-baseline. `WLR_BENCH_OUT` overrides the output path.
+
+use std::fmt::Write as _;
+use std::time::Instant;
+use wl_reviver::sim::{SchemeKind, StopCondition};
+use wlr_bench::{exp_builder, exp_seed, EXP_BLOCKS, EXP_ENDURANCE};
+
+const STACKS: &[(&str, SchemeKind)] = &[
+    ("EccOnly", SchemeKind::EccOnly),
+    ("StartGap", SchemeKind::StartGapOnly),
+    ("ReviverStartGap", SchemeKind::ReviverStartGap),
+    ("ReviverSecurityRefresh", SchemeKind::ReviverSecurityRefresh),
+];
+
+/// Usable-space floor the lifetime run ends at (the paper's Figure 5
+/// axis limit); deep enough that the failure-era machinery dominates.
+const STOP_USABLE: f64 = 0.70;
+
+#[derive(Debug)]
+struct Row {
+    name: &'static str,
+    writes: u64,
+    seconds: f64,
+    wps: f64,
+}
+
+fn measure() -> Vec<Row> {
+    STACKS
+        .iter()
+        .map(|&(name, scheme)| {
+            let mut sim = exp_builder().scheme(scheme).build();
+            let start = Instant::now();
+            let out = sim.run(StopCondition::UsableBelow(STOP_USABLE));
+            let seconds = start.elapsed().as_secs_f64();
+            let wps = out.writes_issued as f64 / seconds;
+            eprintln!(
+                "  {name:<24} {:>12} writes in {seconds:>7.2}s = {wps:>12.0} writes/s",
+                out.writes_issued
+            );
+            Row {
+                name,
+                writes: out.writes_issued,
+                seconds,
+                wps,
+            }
+        })
+        .collect()
+}
+
+fn stacks_json(rows: &[Row]) -> String {
+    let mut s = String::from("{");
+    for (i, r) in rows.iter().enumerate() {
+        if i > 0 {
+            s.push_str(", ");
+        }
+        write!(
+            s,
+            "\"{}\": {{\"writes_issued\": {}, \"seconds\": {:.3}, \"writes_per_sec\": {:.0}}}",
+            r.name, r.writes, r.seconds, r.wps
+        )
+        .expect("string write");
+    }
+    s.push('}');
+    s
+}
+
+/// Extracts the `"baseline": { ... }` object (brace-balanced) from a
+/// previous report, if present.
+fn extract_baseline(json: &str) -> Option<String> {
+    let start = json.find("\"baseline\":")? + "\"baseline\":".len();
+    let open = start + json[start..].find('{')?;
+    let mut depth = 0usize;
+    for (i, c) in json[open..].char_indices() {
+        match c {
+            '{' => depth += 1,
+            '}' => {
+                depth -= 1;
+                if depth == 0 {
+                    return Some(json[open..=open + i].to_string());
+                }
+            }
+            _ => {}
+        }
+    }
+    None
+}
+
+/// Pulls `"<name>" ... "writes_per_sec": <x>` out of a baseline block.
+fn baseline_wps(baseline: &str, name: &str) -> Option<f64> {
+    let at = baseline.find(&format!("\"{name}\":"))?;
+    let tail = &baseline[at..];
+    let at = tail.find("\"writes_per_sec\":")? + "\"writes_per_sec\":".len();
+    let tail = tail[at..].trim_start();
+    let end = tail
+        .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-' || c == 'e' || c == '+'))
+        .unwrap_or(tail.len());
+    tail[..end].parse().ok()
+}
+
+fn main() {
+    let out_path = std::env::var("WLR_BENCH_OUT").unwrap_or_else(|_| "BENCH_core.json".into());
+    let reset = std::env::var("WLR_BENCH_RESET").is_ok_and(|v| v == "1");
+
+    eprintln!(
+        "bench_core: {} blocks, endurance {:.0}, seed {}, stop usable<{STOP_USABLE}",
+        EXP_BLOCKS,
+        EXP_ENDURANCE,
+        exp_seed()
+    );
+    let rows = measure();
+    let current = stacks_json(&rows);
+
+    let baseline = if reset {
+        None
+    } else {
+        std::fs::read_to_string(&out_path)
+            .ok()
+            .as_deref()
+            .and_then(extract_baseline)
+    };
+    let is_first = baseline.is_none();
+    let baseline = baseline.unwrap_or_else(|| current.clone());
+
+    let mut speedups = String::from("{");
+    for (i, r) in rows.iter().enumerate() {
+        if i > 0 {
+            speedups.push_str(", ");
+        }
+        let ratio = baseline_wps(&baseline, r.name).map_or(1.0, |b| r.wps / b);
+        write!(speedups, "\"{}\": {:.2}", r.name, ratio).expect("string write");
+    }
+    speedups.push('}');
+
+    let report = format!(
+        "{{\n  \"config\": {{\"blocks\": {EXP_BLOCKS}, \"endurance\": {EXP_ENDURANCE}, \
+         \"seed\": {}, \"stop\": \"usable:{STOP_USABLE}\"}},\n  \"baseline\": {baseline},\n  \
+         \"current\": {current},\n  \"speedup_vs_baseline\": {speedups}\n}}\n",
+        exp_seed()
+    );
+    std::fs::write(&out_path, &report).expect("write BENCH_core.json");
+    eprintln!(
+        "{} {out_path} ({})",
+        if is_first { "created" } else { "updated" },
+        if is_first {
+            "baseline recorded from this tree"
+        } else {
+            "baseline preserved"
+        }
+    );
+    println!("{report}");
+}

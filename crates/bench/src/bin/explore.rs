@@ -24,12 +24,14 @@
 //! --stop C            writes:<n> | dead:<frac> | usable:<frac> [usable:0.7]
 //! --cache BYTES       remap cache size [none]
 //! --seed N            experiment seed [42]
+//! --seeds N           replicate over N seeds (seed..seed+N) on the worker
+//!                     pool and report mean/min/max [1]
 //! --sample N          writes between samples [auto]
 //! --curve             print the full usable/survival series
 //! ```
 
 use wl_reviver::sim::{EccKind, SchemeKind, Simulation, StopCondition};
-use wlr_bench::scaled_gap_interval;
+use wlr_bench::{run_curve, run_replicated, scaled_gap_interval, SeededCurveFn};
 use wlr_trace::{
     Benchmark, BirthdayAttack, CovTargetedWorkload, RepeatAttack, SpatialMode, TraceWorkload,
     UniformWorkload, Workload, ZipfWorkload,
@@ -47,6 +49,7 @@ struct Args {
     stop: String,
     cache: Option<usize>,
     seed: u64,
+    seeds: u64,
     sample: Option<u64>,
     curve: bool,
 }
@@ -68,6 +71,7 @@ fn parse_args() -> Args {
         stop: "usable:0.7".into(),
         cache: None,
         seed: 42,
+        seeds: 1,
         sample: None,
         curve: false,
     };
@@ -88,6 +92,7 @@ fn parse_args() -> Args {
             "--stop" => args.stop = val("--stop"),
             "--cache" => args.cache = Some(parse_num(&val("--cache")) as usize),
             "--seed" => args.seed = parse_num(&val("--seed")),
+            "--seeds" => args.seeds = parse_num(&val("--seeds")).max(1),
             "--sample" => args.sample = Some(parse_num(&val("--sample"))),
             "--curve" => args.curve = true,
             "--help" | "-h" => usage("help requested"),
@@ -202,6 +207,80 @@ fn parse_stop(s: &str) -> StopCondition {
     }
 }
 
+/// Multi-seed mode: one job per seed through the shared worker pool,
+/// summarized as mean/min/max.
+fn run_replicates(args: &Args, scheme: SchemeKind, stop: StopCondition, psi: u64, app_blocks: u64) {
+    let seeds: Vec<u64> = (args.seed..args.seed + args.seeds).collect();
+    let label = format!("{}/{}/{}", args.scheme, args.workload, args.stop);
+    let a = ArgsForJob {
+        blocks: args.blocks,
+        endurance: args.endurance,
+        cov: args.cov,
+        ecc: args.ecc.clone(),
+        workload: args.workload.clone(),
+        cache: args.cache,
+        sample: args.sample,
+    };
+    eprintln!(
+        "running {label} on {} blocks × {} seeds (ψ={psi}, endurance {:.0}) …",
+        args.blocks, args.seeds, args.endurance
+    );
+    let configs: Vec<(String, SeededCurveFn)> = vec![(
+        label.clone(),
+        Box::new(move |seed| {
+            let mut builder = Simulation::builder()
+                .num_blocks(a.blocks)
+                .endurance_mean(a.endurance)
+                .endurance_cov(a.cov)
+                .gap_interval(psi)
+                .sr_refresh_interval(psi)
+                .ecc(parse_ecc(&a.ecc))
+                .scheme(scheme)
+                .seed(seed)
+                .workload_boxed(parse_workload(&a.workload, app_blocks, seed));
+            if let Some(bytes) = a.cache {
+                builder = builder.cache_bytes(bytes);
+            }
+            if let Some(sample) = a.sample {
+                builder = builder.sample_interval(sample);
+            }
+            run_curve(&format!("s{seed}"), builder.build(), stop)
+        }),
+    )];
+    let rep = run_replicated(configs, &seeds).remove(0);
+    let show = |name: &str, (mean, min, max): (f64, f64, f64), pct: bool| {
+        if pct {
+            println!(
+                "{name}: mean {:.2}%  min {:.2}%  max {:.2}%",
+                mean * 100.0,
+                min * 100.0,
+                max * 100.0
+            );
+        } else {
+            println!("{name}: mean {mean:.0}  min {min:.0}  max {max:.0}");
+        }
+    };
+    println!("replicates        : {}", args.seeds);
+    show("writes issued     ", rep.writes_stats(), false);
+    show("usable space      ", rep.stats(|c| c.outcome.usable), true);
+    show(
+        "block survival    ",
+        rep.stats(|c| c.outcome.survival),
+        true,
+    );
+}
+
+/// The plain-data subset of [`Args`] a replicate job needs.
+struct ArgsForJob {
+    blocks: u64,
+    endurance: f64,
+    cov: f64,
+    ecc: String,
+    workload: String,
+    cache: Option<usize>,
+    sample: Option<u64>,
+}
+
 fn main() {
     let args = parse_args();
     let psi = args
@@ -229,6 +308,12 @@ fn main() {
     let probe = builder.build();
     let app_blocks = probe.os().app_blocks();
     drop(probe);
+
+    if args.seeds > 1 {
+        run_replicates(&args, scheme, stop, psi, app_blocks);
+        return;
+    }
+
     let mut builder = Simulation::builder()
         .num_blocks(args.blocks)
         .endurance_mean(args.endurance)
@@ -259,7 +344,10 @@ fn main() {
     let out = sim.run(stop);
 
     if args.curve {
-        println!("{:>14} {:>9} {:>9} {:>10} {:>7}", "writes", "usable", "survival", "avg access", "wl");
+        println!(
+            "{:>14} {:>9} {:>9} {:>10} {:>7}",
+            "writes", "usable", "survival", "avg access", "wl"
+        );
         for p in sim.series() {
             println!(
                 "{:>14} {:>8.2}% {:>8.2}% {:>10.4} {:>7}",
@@ -276,10 +364,20 @@ fn main() {
     println!("stop reason       : {:?}", out.reason);
     println!("usable space      : {:.2}%", out.usable * 100.0);
     println!("block survival    : {:.2}%", out.survival * 100.0);
-    println!("dead blocks       : {}", sim.controller().device().dead_blocks());
+    println!(
+        "dead blocks       : {}",
+        sim.controller().device().dead_blocks()
+    );
     println!("pages retired     : {}", sim.os().retired_pages());
     println!("OS failure reports: {}", sim.os().failure_reports());
-    println!("wear leveling     : {}", if sim.controller().wl_active() { "active" } else { "frozen" });
+    println!(
+        "wear leveling     : {}",
+        if sim.controller().wl_active() {
+            "active"
+        } else {
+            "frozen"
+        }
+    );
     if let Some(r) = sim.controller().as_reviver() {
         let c = r.counters();
         println!(

@@ -8,86 +8,65 @@
 //! ```
 
 use wl_reviver::sim::{SchemeKind, StopCondition};
-use wlr_bench::{exp_builder, exp_seed, print_table, run_curve, run_parallel, Curve, EXP_BLOCKS};
+use wlr_bench::{
+    exp_builder, print_table, replicate_seeds, run_curve, run_replicated, Curve, SeededCurveFn,
+    EXP_BLOCKS,
+};
 use wlr_trace::Benchmark;
 
-/// Replicates per configuration (`WLR_REPLICATES`, default 1); seeds are
-/// `exp_seed() + r`.
-fn replicates() -> u64 {
-    std::env::var("WLR_REPLICATES")
-        .ok()
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(1)
-        .max(1)
-}
-
-fn job(
-    bench: Benchmark,
-    scheme: SchemeKind,
-    seed: u64,
-    label: String,
-) -> Box<dyn FnOnce() -> Curve + Send> {
-    Box::new(move || {
-        let sim = exp_builder()
-            .seed(seed)
-            .scheme(scheme)
-            .workload(bench.build(EXP_BLOCKS, seed))
-            .build();
-        run_curve(&label, sim, StopCondition::UsableBelow(0.70))
-    })
-}
-
-fn mean_sd(xs: &[f64]) -> (f64, f64) {
-    let n = xs.len() as f64;
-    let mean = xs.iter().sum::<f64>() / n;
-    let var = xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n;
-    (mean, var.sqrt())
+fn config(bench: Benchmark, scheme: SchemeKind, label: String) -> (String, SeededCurveFn) {
+    let l = label.clone();
+    (
+        label,
+        Box::new(move |seed| {
+            let sim = exp_builder()
+                .seed(seed)
+                .scheme(scheme)
+                .workload(bench.build(EXP_BLOCKS, seed))
+                .build();
+            run_curve(&l, sim, StopCondition::UsableBelow(0.70))
+        }),
+    )
 }
 
 fn main() {
-    let reps = replicates();
+    let seeds = replicate_seeds();
+    let reps = seeds.len();
     println!(
         "Figure 5 — writes to fail 30% of the PCM's blocks (lifetime; {reps} replicate{})\n",
         if reps == 1 { "" } else { "s" }
     );
     let mut configs = Vec::new();
     for bench in Benchmark::table1() {
-        for r in 0..reps {
-            let seed = exp_seed() + r;
-            for (tag, scheme) in [
-                ("ECP6-SG", SchemeKind::StartGapOnly),
-                ("ECP6-SG-WLR", SchemeKind::ReviverStartGap),
-            ] {
-                let label = format!("{bench}/{tag}/s{seed}");
-                configs.push((label.clone(), job(bench, scheme, seed, label)));
-            }
+        for (tag, scheme) in [
+            ("ECP6-SG", SchemeKind::StartGapOnly),
+            ("ECP6-SG-WLR", SchemeKind::ReviverStartGap),
+        ] {
+            configs.push(config(bench, scheme, format!("{bench}/{tag}")));
         }
     }
-    let curves = run_parallel(configs);
+    let curves = run_replicated(configs, &seeds);
 
+    let writes = |c: &Curve| c.outcome.writes_issued as f64;
     let mut rows = Vec::new();
     for (i, bench) in Benchmark::table1().iter().enumerate() {
-        let base = i as u64 * reps * 2;
-        let sg: Vec<f64> = (0..reps)
-            .map(|r| curves[(base + 2 * r) as usize].outcome.writes_issued as f64)
-            .collect();
-        let wlr: Vec<f64> = (0..reps)
-            .map(|r| curves[(base + 2 * r + 1) as usize].outcome.writes_issued as f64)
-            .collect();
-        let (sg_m, sg_sd) = mean_sd(&sg);
-        let (wlr_m, wlr_sd) = mean_sd(&wlr);
-        let fmt = |m: f64, sd: f64| {
+        let sg = &curves[2 * i];
+        let wlr = &curves[2 * i + 1];
+        let (sg_m, _, _) = sg.writes_stats();
+        let (wlr_m, _, _) = wlr.writes_stats();
+        let fmt = |rep: &wlr_bench::ReplicatedCurve| {
+            let (m, _, _) = rep.writes_stats();
             if reps == 1 {
                 format!("{m:.0}")
             } else {
-                format!("{m:.0} ±{sd:.0}")
+                format!("{m:.0} ±{:.0}", rep.stddev(writes))
             }
         };
         rows.push(vec![
             bench.name().to_string(),
             format!("{:.2}", bench.write_cov()),
-            fmt(sg_m, sg_sd),
-            fmt(wlr_m, wlr_sd),
+            fmt(sg),
+            fmt(wlr),
             format!("+{:.0}%", (wlr_m / sg_m - 1.0) * 100.0),
         ]);
     }

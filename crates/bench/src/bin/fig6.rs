@@ -42,7 +42,10 @@ fn main() {
     ];
 
     for (panel, bench) in [("(a)", Benchmark::Ocean), ("(b)", Benchmark::Mg)] {
-        println!("--- Figure 6{panel}: {bench} (CoV {:.2}) ---\n", bench.write_cov());
+        println!(
+            "--- Figure 6{panel}: {bench} (CoV {:.2}) ---\n",
+            bench.write_cov()
+        );
         let configs = stacks
             .iter()
             .map(|(name, ecc, scheme)| {

@@ -35,8 +35,14 @@ fn main() {
         ("WL-Reviver".into(), SchemeKind::ReviverStartGap),
         ("FREE-p 0%".into(), SchemeKind::Freep { reserve_frac: 0.0 }),
         ("FREE-p 5%".into(), SchemeKind::Freep { reserve_frac: 0.05 }),
-        ("FREE-p 10%".into(), SchemeKind::Freep { reserve_frac: 0.10 }),
-        ("FREE-p 15%".into(), SchemeKind::Freep { reserve_frac: 0.15 }),
+        (
+            "FREE-p 10%".into(),
+            SchemeKind::Freep { reserve_frac: 0.10 },
+        ),
+        (
+            "FREE-p 15%".into(),
+            SchemeKind::Freep { reserve_frac: 0.15 },
+        ),
     ];
 
     for (panel, bench) in [("(a)", Benchmark::Ocean), ("(b)", Benchmark::Mg)] {

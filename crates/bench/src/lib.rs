@@ -20,7 +20,10 @@
 
 #![warn(missing_docs)]
 
-use std::sync::Mutex;
+pub mod timing;
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
 use wl_reviver::metrics::TimeSeries;
 use wl_reviver::sim::{Outcome, Simulation, SimulationBuilder, StopCondition};
 
@@ -62,6 +65,12 @@ pub fn exp_builder() -> SimulationBuilder {
         .seed(exp_seed())
 }
 
+/// A pooled unit of work producing a `T`.
+pub type PooledJob<T> = Box<dyn FnOnce() -> T + Send>;
+
+/// A seed-parameterized curve factory, for multi-seed sweeps.
+pub type SeededCurveFn = Box<dyn Fn(u64) -> Curve + Send + Sync>;
+
 /// Result of one named curve run.
 #[derive(Debug)]
 pub struct Curve {
@@ -83,34 +92,156 @@ pub fn run_curve(label: &str, mut sim: Simulation, stop: StopCondition) -> Curve
     }
 }
 
-/// Runs several labelled configurations in parallel (one OS thread each)
-/// and returns the curves in input order.
-pub fn run_parallel(
-    configs: Vec<(String, Box<dyn FnOnce() -> Curve + Send>)>,
-) -> Vec<Curve> {
-    let n = configs.len();
-    let results: Mutex<Vec<Option<Curve>>> = Mutex::new((0..n).map(|_| None).collect());
+/// Runs `jobs` on a pool of worker threads and returns the results in
+/// input order.
+///
+/// The pool is capped at the machine's available parallelism (and at the
+/// job count); workers claim jobs by atomic index, so a mix of long and
+/// short runs keeps every core busy instead of pinning one thread per
+/// configuration. Results are generic so binaries can pool whole table
+/// rows, not just curves.
+pub fn run_pooled<T: Send>(jobs: Vec<PooledJob<T>>) -> Vec<T> {
+    let n = jobs.len();
+    let threads = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(1)
+        .min(n)
+        .max(1);
+    let queue: Vec<Mutex<Option<PooledJob<T>>>> =
+        jobs.into_iter().map(|j| Mutex::new(Some(j))).collect();
+    let results: Vec<Mutex<Option<T>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    let next = AtomicUsize::new(0);
     std::thread::scope(|scope| {
-        for (i, (label, job)) in configs.into_iter().enumerate() {
-            let results = &results;
-            scope.spawn(move || {
-                eprintln!("  running {label} …");
-                let curve = job();
-                results.lock().expect("no panics hold the lock")[i] = Some(curve);
+        for _ in 0..threads {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let job = queue[i]
+                    .lock()
+                    .expect("no panics hold the lock")
+                    .take()
+                    .expect("each job is claimed once");
+                let out = job();
+                *results[i].lock().expect("no panics hold the lock") = Some(out);
             });
         }
     });
     results
-        .into_inner()
-        .expect("threads joined")
         .into_iter()
-        .map(|c| c.expect("every job ran"))
+        .map(|m| {
+            m.into_inner()
+                .expect("threads joined")
+                .expect("every job ran")
+        })
+        .collect()
+}
+
+/// Runs several labelled configurations through the shared worker pool
+/// and returns the curves in input order.
+pub fn run_parallel(configs: Vec<(String, PooledJob<Curve>)>) -> Vec<Curve> {
+    let jobs = configs
+        .into_iter()
+        .map(|(label, job)| {
+            Box::new(move || {
+                eprintln!("  running {label} …");
+                job()
+            }) as PooledJob<Curve>
+        })
+        .collect();
+    run_pooled(jobs)
+}
+
+/// One configuration run across several replicate seeds.
+#[derive(Debug)]
+pub struct ReplicatedCurve {
+    /// Configuration label (without the seed suffix).
+    pub label: String,
+    /// One curve per seed, in seed order.
+    pub replicates: Vec<Curve>,
+}
+
+impl ReplicatedCurve {
+    /// `(mean, min, max)` of a per-replicate statistic.
+    pub fn stats(&self, f: impl Fn(&Curve) -> f64) -> (f64, f64, f64) {
+        let xs: Vec<f64> = self.replicates.iter().map(f).collect();
+        let mean = xs.iter().sum::<f64>() / xs.len() as f64;
+        let min = xs.iter().copied().fold(f64::INFINITY, f64::min);
+        let max = xs.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        (mean, min, max)
+    }
+
+    /// `(mean, min, max)` of the final write count (the lifetime metric).
+    pub fn writes_stats(&self) -> (f64, f64, f64) {
+        self.stats(|c| c.outcome.writes_issued as f64)
+    }
+
+    /// Population standard deviation of a per-replicate statistic.
+    pub fn stddev(&self, f: impl Fn(&Curve) -> f64) -> f64 {
+        let xs: Vec<f64> = self.replicates.iter().map(f).collect();
+        let mean = xs.iter().sum::<f64>() / xs.len() as f64;
+        (xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / xs.len() as f64).sqrt()
+    }
+}
+
+/// Replicate seeds for multi-seed sweeps: `exp_seed() + r` for
+/// `r in 0..WLR_REPLICATES` (default 1).
+pub fn replicate_seeds() -> Vec<u64> {
+    let reps: u64 = std::env::var("WLR_REPLICATES")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(1)
+        .max(1);
+    (0..reps).map(|r| exp_seed() + r).collect()
+}
+
+/// Runs every labelled configuration once per seed through the shared
+/// worker pool (all `configs × seeds` jobs interleave across the pool),
+/// aggregating the replicates per configuration in input order.
+///
+/// # Panics
+///
+/// Panics if `seeds` is empty.
+pub fn run_replicated(
+    configs: Vec<(String, SeededCurveFn)>,
+    seeds: &[u64],
+) -> Vec<ReplicatedCurve> {
+    assert!(!seeds.is_empty(), "need at least one replicate seed");
+    let mut labels = Vec::with_capacity(configs.len());
+    let mut jobs: Vec<PooledJob<Curve>> = Vec::new();
+    for (label, factory) in configs {
+        let factory = Arc::new(factory);
+        for &seed in seeds {
+            let factory = Arc::clone(&factory);
+            let label = label.clone();
+            jobs.push(Box::new(move || {
+                eprintln!("  running {label} [seed {seed}] …");
+                factory(seed)
+            }));
+        }
+        labels.push(label);
+    }
+    let mut curves = run_pooled(jobs).into_iter();
+    labels
+        .into_iter()
+        .map(|label| ReplicatedCurve {
+            label,
+            replicates: seeds
+                .iter()
+                .map(|_| curves.next().expect("one curve per job"))
+                .collect(),
+        })
         .collect()
 }
 
 /// Prints one curve as a `(writes, metric)` column block, sampled down to
 /// at most `max_rows` evenly spaced rows.
-pub fn print_series(curve: &Curve, metric: impl Fn(&wl_reviver::metrics::SamplePoint) -> f64, max_rows: usize) {
+pub fn print_series(
+    curve: &Curve,
+    metric: impl Fn(&wl_reviver::metrics::SamplePoint) -> f64,
+    max_rows: usize,
+) {
     println!("## {}", curve.label);
     println!("{:>14} {:>9}", "writes", "value");
     let points = curve.series.points();
@@ -168,7 +299,7 @@ mod tests {
 
     #[test]
     fn parallel_preserves_order() {
-        let configs: Vec<(String, Box<dyn FnOnce() -> Curve + Send>)> = (0..4)
+        let configs: Vec<(String, PooledJob<Curve>)> = (0..4)
             .map(|i| {
                 let label = format!("c{i}");
                 let l2 = label.clone();
@@ -183,7 +314,7 @@ mod tests {
                             survival: 1.0,
                             usable: 1.0,
                         },
-                    }) as Box<dyn FnOnce() -> Curve + Send>,
+                    }) as PooledJob<Curve>,
                 )
             })
             .collect();
@@ -191,6 +322,60 @@ mod tests {
         for (i, c) in curves.iter().enumerate() {
             assert_eq!(c.label, format!("c{i}"));
             assert_eq!(c.outcome.writes_issued, i as u64);
+        }
+    }
+
+    #[test]
+    fn pooled_handles_more_jobs_than_threads() {
+        // 64 jobs on a bounded pool: all must run, in input order.
+        let jobs: Vec<PooledJob<u64>> = (0..64u64)
+            .map(|i| Box::new(move || i * i) as PooledJob<u64>)
+            .collect();
+        let out = run_pooled(jobs);
+        assert_eq!(out, (0..64u64).map(|i| i * i).collect::<Vec<_>>());
+    }
+
+    fn dummy_curve(label: &str, writes: u64) -> Curve {
+        Curve {
+            label: label.to_string(),
+            series: TimeSeries::new(),
+            outcome: Outcome {
+                writes_issued: writes,
+                reason: wl_reviver::sim::StopReason::HardCap,
+                survival: 1.0,
+                usable: 1.0,
+            },
+        }
+    }
+
+    #[test]
+    fn replicated_groups_by_config_and_aggregates() {
+        let configs: Vec<(String, SeededCurveFn)> = (0..3u64)
+            .map(|i| {
+                (
+                    format!("r{i}"),
+                    Box::new(move |seed: u64| dummy_curve("x", 100 * i + seed)) as SeededCurveFn,
+                )
+            })
+            .collect();
+        let reps = run_replicated(configs, &[10, 20, 30]);
+        assert_eq!(reps.len(), 3);
+        for (i, rep) in reps.iter().enumerate() {
+            assert_eq!(rep.label, format!("r{i}"));
+            assert_eq!(rep.replicates.len(), 3);
+            let base = 100.0 * i as f64;
+            let (mean, min, max) = rep.writes_stats();
+            assert_eq!(mean, base + 20.0);
+            assert_eq!(min, base + 10.0);
+            assert_eq!(max, base + 30.0);
+        }
+    }
+
+    #[test]
+    fn replicate_seeds_defaults_to_one() {
+        // WLR_REPLICATES unset in the test environment.
+        if std::env::var("WLR_REPLICATES").is_err() {
+            assert_eq!(replicate_seeds(), vec![exp_seed()]);
         }
     }
 }

@@ -1,0 +1,65 @@
+//! A dependency-free microbenchmark harness.
+//!
+//! The bench targets under `benches/` are plain `harness = false`
+//! binaries; this module gives them a shared calibrate-then-measure loop
+//! (geometric warmup until the measured batch is long enough to swamp
+//! timer noise) and an aligned one-line-per-benchmark report, so the
+//! repo needs no external benchmark framework.
+
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+/// Minimum measured batch duration; long enough that `Instant` overhead
+/// and scheduler jitter are noise.
+const TARGET: Duration = Duration::from_millis(200);
+
+/// One measured result.
+#[derive(Debug, Clone)]
+pub struct Measurement {
+    /// `group/name` label.
+    pub label: String,
+    /// Mean wall-clock nanoseconds per iteration.
+    pub ns_per_iter: f64,
+    /// Iterations per second (`1e9 / ns_per_iter`).
+    pub per_sec: f64,
+}
+
+/// Times `f` until the batch runs for at least [`TARGET`], growing the
+/// iteration count geometrically, then prints and returns the result.
+pub fn bench<R>(label: &str, mut f: impl FnMut() -> R) -> Measurement {
+    let mut iters: u64 = 1;
+    loop {
+        let start = Instant::now();
+        for _ in 0..iters {
+            black_box(f());
+        }
+        let elapsed = start.elapsed();
+        if elapsed >= TARGET {
+            let ns_per_iter = elapsed.as_nanos() as f64 / iters as f64;
+            let m = Measurement {
+                label: label.to_string(),
+                ns_per_iter,
+                per_sec: 1e9 / ns_per_iter,
+            };
+            println!(
+                "{:<44} {:>14.1} ns/iter {:>16.0} /s",
+                m.label, m.ns_per_iter, m.per_sec
+            );
+            return m;
+        }
+        // Scale the next batch toward the target in one or two hops.
+        iters = iters.saturating_mul(4);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_reports_sane_numbers() {
+        let m = bench("test/noop_add", || std::hint::black_box(1u64) + 1);
+        assert!(m.ns_per_iter > 0.0);
+        assert!(m.per_sec > 0.0);
+    }
+}

@@ -14,7 +14,7 @@
 
 use crate::cache::RemapCache;
 use crate::controller::{Controller, RequestStats, WriteResult};
-use std::collections::HashMap;
+use wlr_base::dense::DenseMap;
 use wlr_base::{Da, Geometry, Pa, PageId};
 use wlr_pcm::{PcmDevice, WriteOutcome};
 use wlr_wl::{Migration, WearLeveler};
@@ -71,13 +71,14 @@ impl FreepControllerBuilder {
             .rev()
             .map(Da::new)
             .collect();
+        let total = self.device.total_blocks();
         FreepController {
             geo,
             device: self.device,
             wl: self.wl,
             reserve_blocks: self.reserve_blocks,
             slots,
-            links: HashMap::new(),
+            links: DenseMap::with_capacity(total),
             frozen: false,
             cache: self.cache_bytes.map(RemapCache::with_capacity_bytes),
             req: RequestStats::default(),
@@ -115,7 +116,7 @@ pub struct FreepController {
     /// Free reserved slots (device addresses outside the WL domain).
     slots: Vec<Da>,
     /// failed DA → slot DA (FREE-p's direct link; slots never move).
-    links: HashMap<u64, Da>,
+    links: DenseMap<Da>,
     /// Set when a failure reached the wear-leveler: migrations stop
     /// forever and the mapping fossilizes.
     frozen: bool,
@@ -161,7 +162,7 @@ impl FreepController {
                 return Some(Da::new(s));
             }
         }
-        let s = self.links.get(&da.index()).copied();
+        let s = self.links.get(da.index()).copied();
         if let Some(s) = s {
             self.device.read(da); // pointer read from the failed block
             if acct {
@@ -509,7 +510,7 @@ mod tests {
         assert!(frozen_at.is_some());
         // Blocks linked before the freeze keep working.
         assert!(ctl.counters().links >= 1);
-        let linked_da = *ctl.links.keys().next().unwrap();
+        let linked_da = ctl.links.keys().next().unwrap();
         let linked_pa = ctl.wl.inverse(Da::new(linked_da)).unwrap();
         assert_eq!(ctl.write(linked_pa, 123), WriteResult::Ok);
         assert_eq!(ctl.read(linked_pa), 123);
@@ -522,8 +523,7 @@ mod tests {
             .seed(6)
             .ecc(Box::new(Ecp::ecp6()))
             .build();
-        let mut ctl =
-            FreepController::builder(device, Box::new(NoWearLeveling::new(N)), 0).build();
+        let mut ctl = FreepController::builder(device, Box::new(NoWearLeveling::new(N)), 0).build();
         assert_eq!(ctl.label(), "ECP6");
         let pa = Pa::new(3);
         let mut reported = false;

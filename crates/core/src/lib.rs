@@ -60,7 +60,7 @@ pub use cache::RemapCache;
 pub use controller::{Controller, RequestStats, WriteResult};
 pub use freep::FreepController;
 pub use lls::LlsController;
-pub use reviver::{RevivedController, ReviverCounters};
 pub use metrics::WearReport;
-pub use zombie::ZombieController;
+pub use reviver::{RevivedController, ReviverCounters};
 pub use sim::{SchemeKind, Simulation, StopCondition};
+pub use zombie::ZombieController;

@@ -29,7 +29,8 @@
 
 use crate::cache::RemapCache;
 use crate::controller::{Controller, RequestStats, WriteResult};
-use std::collections::{HashMap, VecDeque};
+use std::collections::VecDeque;
+use wlr_base::dense::DenseMap;
 use wlr_base::{Da, Geometry, Pa, PageId};
 use wlr_pcm::{PcmDevice, WriteOutcome};
 use wlr_wl::{Migration, WearLeveler};
@@ -108,6 +109,7 @@ impl LlsControllerBuilder {
             self.device.total_blocks() >= backup_base + self.chunk_blocks * self.max_chunks,
             "device lacks the backup region"
         );
+        let total = self.device.total_blocks();
         LlsController {
             geo,
             device: self.device,
@@ -118,7 +120,7 @@ impl LlsControllerBuilder {
             backup_base,
             chunks_acquired: 0,
             group_free: vec![VecDeque::new(); self.groups as usize],
-            links: HashMap::new(),
+            links: DenseMap::with_capacity(total),
             frozen: false,
             chunk_wanted: false,
             next_victim_page: geo.num_pages(),
@@ -143,7 +145,7 @@ pub struct LlsController {
     /// Free backup slots per salvage group.
     group_free: Vec<VecDeque<Da>>,
     /// failed DA → backup DA.
-    links: HashMap<u64, Da>,
+    links: DenseMap<Da>,
     frozen: bool,
     /// Set when a failure needs a chunk; the next write surfaces the
     /// request to the OS.
@@ -243,7 +245,7 @@ impl LlsController {
                 return Some(Da::new(b));
             }
         }
-        let b = self.links.get(&da.index()).copied();
+        let b = self.links.get(da.index()).copied();
         if let Some(b) = b {
             self.device.read(da); // the failed block
             self.device.read(Da::new(self.backup_base)); // the bitmap
@@ -458,10 +460,9 @@ impl Controller for LlsController {
         if self.chunk_wanted {
             let pages_per_chunk = self.chunk_blocks / self.geo.blocks_per_page();
             let lo = self.next_victim_page - pages_per_chunk;
-            if page.index() >= lo && page.index() < self.next_victim_page
-                && page.index() == lo {
-                    self.commit_chunk();
-                }
+            if page.index() >= lo && page.index() < self.next_victim_page && page.index() == lo {
+                self.commit_chunk();
+            }
         }
         // Failure-triggered retirements (post-freeze) carry no benefit.
     }
@@ -562,7 +563,10 @@ mod tests {
                 WriteResult::Ok => {}
                 WriteResult::RequestPages(pages) => {
                     // One chunk = chunk_blocks/bpp pages from the top.
-                    assert_eq!(pages.len() as u64, (N / 16) / 64 + u64::from(!(N / 16).is_multiple_of(64)));
+                    assert_eq!(
+                        pages.len() as u64,
+                        (N / 16) / 64 + u64::from(!(N / 16).is_multiple_of(64))
+                    );
                     for p in pages {
                         ctl.on_page_retired(p);
                     }

@@ -34,7 +34,8 @@
 
 use crate::cache::RemapCache;
 use crate::controller::{Controller, RequestStats, WriteResult};
-use std::collections::{HashMap, VecDeque};
+use std::collections::VecDeque;
+use wlr_base::dense::{DenseMap, DenseSet};
 use wlr_base::{Da, Geometry, Pa, PageId};
 use wlr_pcm::{PcmDevice, WriteOutcome};
 use wlr_wl::{Migration, WearLeveler};
@@ -141,14 +142,17 @@ impl RevivedControllerBuilder {
             self.wl.total_das()
         );
         let ppb = (geo.block_bytes() / self.pointer_bytes).max(1);
+        // Dense tables: failed-DA keys are bounded by the device size,
+        // PA keys by the visible space — both known here.
+        let total = self.device.total_blocks();
         RevivedController {
             geo,
             device: self.device,
             wl: self.wl,
-            ptr: HashMap::new(),
-            inv: HashMap::new(),
+            ptr: DenseMap::with_capacity(total),
+            inv: DenseMap::with_capacity(geo.num_blocks()),
             spares: VecDeque::new(),
-            ptr_slot: HashMap::new(),
+            ptr_slot: DenseMap::with_capacity(geo.num_blocks()),
             retired: vec![false; geo.num_pages() as usize],
             suspended: false,
             mig_buf: VecDeque::new(),
@@ -161,7 +165,7 @@ impl RevivedControllerBuilder {
             proactive: self.proactive_acquisition,
             in_write_da: 0,
             pending_meta: Vec::new(),
-            section_pas: std::collections::HashSet::new(),
+            section_pas: DenseSet::with_capacity(geo.num_blocks()),
         }
     }
 }
@@ -215,15 +219,15 @@ pub struct RevivedController {
     wl: Box<dyn WearLeveler>,
     /// failed DA → its virtual shadow PA (stored *in* the failed block on
     /// real hardware, plus a status bit).
-    ptr: HashMap<u64, Pa>,
+    ptr: DenseMap<Pa>,
     /// virtual shadow PA → failed DA (the inverse pointers of Figure 4).
-    inv: HashMap<u64, Da>,
+    inv: DenseMap<Da>,
     /// Unlinked reserved PAs (the current/last registers of §III-A,
     /// generalized to a queue across multiple retired pages).
     spares: VecDeque<Pa>,
     /// Reserved PA → the pointer-section PA whose block stores its
     /// inverse pointer.
-    ptr_slot: HashMap<u64, Pa>,
+    ptr_slot: DenseMap<Pa>,
     /// Retired-page bitmap (§III-A; persisted across reboots on hardware).
     retired: Vec<bool>,
     suspended: bool,
@@ -245,7 +249,7 @@ pub struct RevivedController {
     /// Deferred inverse-pointer writes awaiting a quiescent flush point.
     pending_meta: Vec<Pa>,
     /// Pointer-section PAs (their blocks hold live inverse-pointer data).
-    section_pas: std::collections::HashSet<u64>,
+    section_pas: DenseSet,
 }
 
 impl RevivedController {
@@ -281,7 +285,7 @@ impl RevivedController {
     pub fn loop_blocks(&self) -> u64 {
         self.ptr
             .iter()
-            .filter(|(&da, &v)| self.wl.map(v).index() == da)
+            .filter(|&(da, &v)| self.wl.map(v).index() == da)
             .count() as u64
     }
 
@@ -289,7 +293,7 @@ impl RevivedController {
     /// the shadow block it currently resolves to, and whether that shadow
     /// is itself dead. `None` if `da` is not linked.
     pub fn chain_info(&self, da: Da) -> Option<(Pa, Da, bool)> {
-        let v = *self.ptr.get(&da.index())?;
+        let v = *self.ptr.get(da.index())?;
         let sda = self.wl.map(v);
         Some((v, sda, self.device.is_dead(sda)))
     }
@@ -308,10 +312,10 @@ impl RevivedController {
     pub fn chain_lengths(&self) -> Vec<u32> {
         self.ptr
             .keys()
-            .map(|&d| {
+            .map(|d| {
                 let mut cur = Da::new(d);
                 let mut steps = 0u32;
-                while let Some(&v) = self.ptr.get(&cur.index()) {
+                while let Some(&v) = self.ptr.get(cur.index()) {
                     let next = self.wl.map(v);
                     steps += 1;
                     if next == cur || !self.device.is_dead(next) {
@@ -389,7 +393,7 @@ impl RevivedController {
     /// the old PA to the spare pool (degenerate self-loop escape).
     fn relink(&mut self, da: Da, v_new: Pa, v_old: Pa) {
         self.ptr.insert(da.index(), v_new);
-        self.inv.remove(&v_old.index());
+        self.inv.remove(v_old.index());
         self.inv.insert(v_new.index(), da);
         self.spares.push_back(v_old);
         if let Some(c) = &mut self.cache {
@@ -404,8 +408,8 @@ impl RevivedController {
     /// and 3(b)), restoring one-step chains and leaving one block on a
     /// PA–DA loop.
     fn switch(&mut self, d0: Da, d1: Da) {
-        let v0 = self.ptr[&d0.index()];
-        let v1 = self.ptr[&d1.index()];
+        let v0 = self.ptr[d0.index()];
+        let v1 = self.ptr[d1.index()];
         self.ptr.insert(d0.index(), v1);
         self.ptr.insert(d1.index(), v0);
         self.inv.insert(v1.index(), d0);
@@ -431,7 +435,7 @@ impl RevivedController {
                 return Some(Pa::new(v));
             }
         }
-        let v = self.ptr.get(&da.index()).copied();
+        let v = self.ptr.get(da.index()).copied();
         if let Some(v) = v {
             self.dev_read(da, acct); // pointer read
             if let Some(c) = &mut self.cache {
@@ -463,7 +467,7 @@ impl RevivedController {
     }
 
     fn do_meta_write(&mut self, v: Pa) {
-        let Some(slot) = self.ptr_slot.get(&v.index()).copied() else {
+        let Some(slot) = self.ptr_slot.get(v.index()).copied() else {
             // `v` predates any grant (possible only in hand-built tests).
             self.counters.meta_skips += 1;
             return;
@@ -482,8 +486,7 @@ impl RevivedController {
         // repairs enqueue rewrites), so budget generously — and when the
         // budget runs out, give up on the remainder instead of failing:
         // inverse pointers are rebuildable by scanning (paper §III-B).
-        let mut fuel =
-            self.pending_meta.len() + 4 * (self.spares.len() + self.ptr.len()) + 256;
+        let mut fuel = self.pending_meta.len() + 4 * (self.spares.len() + self.ptr.len()) + 256;
         while let Some(v) = self.pending_meta.pop() {
             if fuel == 0 {
                 self.counters.meta_skips += self.pending_meta.len() as u64 + 1;
@@ -498,7 +501,7 @@ impl RevivedController {
     /// Reads the inverse-pointer block covering reserved PA `v`
     /// (accounting only; the simulator's `inv` map is authoritative).
     fn meta_read(&mut self, v: Pa) {
-        if let Some(slot) = self.ptr_slot.get(&v.index()).copied() {
+        if let Some(slot) = self.ptr_slot.get(v.index()).copied() {
             let da = self.wl.map(slot);
             self.device.read(da);
         }
@@ -531,7 +534,7 @@ impl RevivedController {
             }
         }
         // `da` is dead. Ensure it is linked.
-        if !self.ptr.contains_key(&da.index()) {
+        if !self.ptr.contains_key(da.index()) {
             let v = self.take_spare()?;
             self.link(da, v);
         }
@@ -573,7 +576,7 @@ impl RevivedController {
                 }
             }
             // The shadow is already dead: a two-step chain has formed.
-            if !self.ptr.contains_key(&sda.index()) {
+            if !self.ptr.contains_key(sda.index()) {
                 let v2 = self.take_spare()?;
                 self.link(sda, v2);
             }
@@ -597,14 +600,14 @@ impl RevivedController {
         if !self.is_reserved(p) {
             return true; // software data
         }
-        match self.inv.get(&p.index()) {
+        match self.inv.get(p.index()) {
             // Linked virtual shadow: the block is its head's shadow and
             // holds the head's data — unless the head *is* this block
             // (a PA–DA loop), which holds nothing.
             Some(&d0) => d0 != src,
             // Unlinked reserved PA: a spare (garbage) or a pointer-section
             // block (live metadata).
-            None => self.section_pas.contains(&p.index()),
+            None => self.section_pas.contains(p.index()),
         }
     }
 
@@ -626,7 +629,7 @@ impl RevivedController {
                 return (self.device.tag(cur), false);
             }
             fuel -= 1;
-            match self.ptr.get(&cur.index()).copied() {
+            match self.ptr.get(cur.index()).copied() {
                 Some(v) => {
                     self.dev_read(cur, false); // pointer read
                     let next = self.wl.map(v);
@@ -723,7 +726,7 @@ impl RevivedController {
         if !self.is_reserved(p) {
             return;
         }
-        let Some(&d0) = self.inv.get(&p.index()) else {
+        let Some(&d0) = self.inv.get(p.index()) else {
             return;
         };
         // Locating the chain head requires reading the inverse pointer.
@@ -732,7 +735,7 @@ impl RevivedController {
             return;
         }
         debug_assert!(
-            self.ptr.contains_key(&target.index()),
+            self.ptr.contains_key(target.index()),
             "dead migration target must have been linked by write_da"
         );
         self.switch(d0, target);
@@ -748,7 +751,7 @@ impl RevivedController {
     ///
     /// Panics if any invariant is violated.
     pub fn assert_invariants(&self) {
-        for (&da_idx, &v) in &self.ptr {
+        for (da_idx, &v) in self.ptr.iter() {
             let da = Da::new(da_idx);
             assert!(self.device.is_dead(da), "linked block {da} is not dead");
             assert!(
@@ -756,7 +759,7 @@ impl RevivedController {
                 "virtual shadow {v} of {da} is not in a retired page"
             );
             assert_eq!(
-                self.inv.get(&v.index()),
+                self.inv.get(v.index()),
                 Some(&da),
                 "inverse pointer of {v} is inconsistent"
             );
@@ -768,21 +771,19 @@ impl RevivedController {
             // ran the spares dry) may transiently carry a dead shadow; it
             // is healed lazily on the next touch, exactly like an
             // undiscovered failure (Theorem 2's note).
-            let accessible = self
-                .safe_inverse(da)
-                .is_some_and(|p| !self.is_reserved(p));
+            let accessible = self.safe_inverse(da).is_some_and(|p| !self.is_reserved(p));
             assert!(
                 !self.switching || !accessible || !self.device.is_dead(sda) || sda == da,
                 "two-step chain at {da} (PA {:?}, v {v}): shadow {sda} is dead (linked: {}, shadow inverse {:?})",
                 self.safe_inverse(da),
-                self.ptr.contains_key(&sda.index()),
+                self.ptr.contains_key(sda.index()),
                 self.safe_inverse(sda),
             );
         }
         for &v in &self.spares {
             assert!(self.is_reserved(v), "spare {v} outside retired pages");
             assert!(
-                !self.inv.contains_key(&v.index()),
+                !self.inv.contains_key(v.index()),
                 "spare {v} is still linked"
             );
         }
@@ -792,7 +793,7 @@ impl RevivedController {
             if let Some(p) = self.safe_inverse(da) {
                 if !self.is_reserved(p) {
                     assert!(
-                        self.ptr.contains_key(&da.index()),
+                        self.ptr.contains_key(da.index()),
                         "software-accessible dead block {da} (PA {p}) unlinked"
                     );
                 }
@@ -847,9 +848,7 @@ impl Controller for RevivedController {
                 Some(v) => {
                     let next = self.wl.map(v);
                     if self.suspended {
-                        if let Some(&(_, t)) =
-                            self.mig_buf.iter().find(|(d, _)| *d == next)
-                        {
+                        if let Some(&(_, t)) = self.mig_buf.iter().find(|(d, _)| *d == next) {
                             return t;
                         }
                     }
@@ -862,10 +861,7 @@ impl Controller for RevivedController {
                         self.dev_read(next, true);
                         return self.device.tag(next);
                     }
-                    debug_assert!(
-                        !self.switching,
-                        "multi-step chain under switching at {da}"
-                    );
+                    debug_assert!(!self.switching, "multi-step chain under switching at {da}");
                     cur = next;
                 }
                 None => {
@@ -1002,10 +998,10 @@ impl Controller for RevivedController {
             }
             for v in self.geo.page_pas(PageId::new(page_idx as u64)) {
                 let idx = v.index();
-                if self.section_pas.contains(&idx) || self.inv.contains_key(&idx) {
+                if self.section_pas.contains(idx) || self.inv.contains_key(idx) {
                     continue;
                 }
-                if self.ptr_slot.contains_key(&idx) {
+                if self.ptr_slot.contains_key(idx) {
                     self.spares.push_back(v);
                 }
             }
@@ -1228,7 +1224,9 @@ mod tests {
         os.grant(&mut ctl, PageId::new(3));
         let mut rng = wlr_base::rng::Rng::seed_from(99);
         for i in 0..60_000u64 {
-            let Some(pa) = os.pick_pa(&mut rng, N) else { break };
+            let Some(pa) = os.pick_pa(&mut rng, N) else {
+                break;
+            };
             match ctl.write(pa, i) {
                 WriteResult::Ok => {}
                 WriteResult::ReportFailure(rep) => {
@@ -1286,7 +1284,9 @@ mod tests {
         let mut i = 0u64;
         while i < 200_000 {
             i += 1;
-            let Some(pa) = os.pick_pa(&mut rng, N) else { break };
+            let Some(pa) = os.pick_pa(&mut rng, N) else {
+                break;
+            };
             match ctl.write(pa, i) {
                 WriteResult::Ok => {}
                 WriteResult::ReportFailure(rep) => {
@@ -1320,7 +1320,9 @@ mod tests {
         loop {
             i += 1;
             assert!(i < 400_000, "never suspended");
-            let Some(pa) = os.pick_pa(&mut rng, N) else { break };
+            let Some(pa) = os.pick_pa(&mut rng, N) else {
+                break;
+            };
             match ctl.write(pa, i) {
                 WriteResult::Ok => {
                     value_of.insert(pa.index(), i);
@@ -1361,7 +1363,9 @@ mod tests {
         let mut rng = wlr_base::rng::Rng::seed_from(4);
         let mut model: std::collections::HashMap<u64, u64> = Default::default();
         for i in 0..80_000u64 {
-            let Some(pa) = os.pick_pa(&mut rng, N) else { break };
+            let Some(pa) = os.pick_pa(&mut rng, N) else {
+                break;
+            };
             match ctl.write(pa, i) {
                 WriteResult::Ok => {
                     model.insert(pa.index(), i);

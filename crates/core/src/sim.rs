@@ -19,15 +19,14 @@ use crate::lls::LlsController;
 use crate::metrics::{SamplePoint, TimeSeries};
 use crate::reviver::RevivedController;
 use crate::zombie::ZombieController;
-use std::collections::HashMap;
+use wlr_base::dense::DenseMap;
 use wlr_base::rng::Rng;
 use wlr_base::{AppAddr, Geometry, Pa};
 use wlr_os::OsMemory;
 use wlr_pcm::{Ecp, ErrorCorrection, Payg, PcmDevice};
 use wlr_trace::{UniformWorkload, Workload};
 use wlr_wl::{
-    NoWearLeveling, RandomizerKind, SecurityRefresh, Stacked, StartGap, TiledStartGap,
-    WearLeveler,
+    NoWearLeveling, RandomizerKind, SecurityRefresh, Stacked, StartGap, TiledStartGap, WearLeveler,
 };
 
 /// Which error-correction scheme to configure.
@@ -381,13 +380,12 @@ impl SimulationBuilder {
                 )
                 .build(),
             ),
-            SchemeKind::StartGapOnly => Box::new(
-                FreepController::builder(mk_device(1, contents), sg(feistel), 0)
-                    .build(),
-            ),
-            SchemeKind::SecurityRefreshOnly => Box::new(
-                FreepController::builder(mk_device(0, contents), sr(self.seed), 0).build(),
-            ),
+            SchemeKind::StartGapOnly => {
+                Box::new(FreepController::builder(mk_device(1, contents), sg(feistel), 0).build())
+            }
+            SchemeKind::SecurityRefreshOnly => {
+                Box::new(FreepController::builder(mk_device(0, contents), sr(self.seed), 0).build())
+            }
             SchemeKind::Freep { .. } => {
                 let mut b = FreepController::builder(
                     mk_device(1 + reserve_blocks, contents),
@@ -414,8 +412,7 @@ impl SimulationBuilder {
                 Box::new(b.build())
             }
             SchemeKind::Zombie => {
-                let mut b =
-                    ZombieController::builder(mk_device(1, contents), sg(feistel));
+                let mut b = ZombieController::builder(mk_device(1, contents), sg(feistel));
                 if let Some(bytes) = self.cache_bytes {
                     b = b.cache_bytes(bytes);
                 }
@@ -514,14 +511,16 @@ impl SimulationBuilder {
             series: TimeSeries::new(),
             sample_interval,
             last_req: (0, 0),
+            next_sample: sample_interval,
             expected: if self.verify_integrity {
-                Some(HashMap::new())
+                Some(Oracle::with_capacity(app_blocks))
             } else {
                 None
             },
             verify_rng: Rng::stream(self.seed, 0x07AC1E),
             integrity_errors: 0,
             retirements: 0,
+            grants: 0,
             lost_writes: 0,
             hard_cap: self.hard_cap,
         }
@@ -542,19 +541,69 @@ pub struct Simulation {
     /// `(requests, accesses)` at the previous sample, for windowed
     /// average access time.
     last_req: (u64, u64),
+    /// Next write count at which to record a sample. Always strictly
+    /// ahead of `writes_issued`; advanced by `sample_interval` each time.
+    next_sample: u64,
     /// Integrity oracle: app address → expected tag.
-    expected: Option<HashMap<u64, u64>>,
+    expected: Option<Oracle>,
     verify_rng: Rng,
     integrity_errors: u64,
     retirements: u64,
+    /// Pages granted to the controller (`on_page_retired` calls). Watched
+    /// by the batched run loop: together with `retirements` it covers
+    /// every way `usable_fraction` can change.
+    grants: u64,
     lost_writes: u64,
     hard_cap: u64,
+}
+
+/// The integrity oracle's store: a dense app-address → tag table plus an
+/// incrementally-maintained sorted key list. The seed-state engine
+/// re-sorted the key set at every sample to make verification traffic
+/// deterministic; keeping the list sorted across inserts (most writes hit
+/// an existing key and touch only the table) preserves the exact same
+/// pick sequence at O(log n) amortized instead of O(n log n) per sample.
+#[derive(Debug)]
+struct Oracle {
+    map: DenseMap<u64>,
+    /// The present keys in ascending order, kept in lockstep with `map`.
+    keys: Vec<u64>,
+}
+
+impl Oracle {
+    fn with_capacity(capacity: u64) -> Self {
+        Oracle {
+            map: DenseMap::with_capacity(capacity),
+            keys: Vec::new(),
+        }
+    }
+
+    fn insert(&mut self, k: u64, v: u64) {
+        if self.map.insert(k, v).is_none() {
+            let pos = self.keys.binary_search(&k).unwrap_err();
+            self.keys.insert(pos, k);
+        }
+    }
+
+    fn remove(&mut self, k: u64) {
+        if self.map.remove(k).is_some() {
+            let pos = self
+                .keys
+                .binary_search(&k)
+                .expect("oracle key list out of sync");
+            self.keys.remove(pos);
+        }
+    }
 }
 
 /// What a single step did.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum StepOutcome {
     Serviced,
+    /// Integrity mode only: the write's page was gone, the data was
+    /// dropped. Such a write never records a sample (the seed-state
+    /// engine returned before its sample check).
+    Discarded,
     Exhausted,
 }
 
@@ -658,7 +707,8 @@ impl Simulation {
         1.0 - self.controller.visible_dead_fraction()
     }
 
-    /// Issues exactly one software write (test/diagnostic entry point).
+    /// Issues exactly one software write. Sampling lives in
+    /// [`Self::maybe_sample`], called by the batched [`Self::run`] loop.
     fn step(&mut self) -> StepOutcome {
         let addr = self.workload.next_write();
         self.writes_issued += 1;
@@ -675,7 +725,7 @@ impl Simulation {
                 let t = self.os.translate(addr);
                 if t.is_none() {
                     self.lost_writes += 1;
-                    return StepOutcome::Serviced;
+                    return StepOutcome::Discarded;
                 }
                 t
             }
@@ -686,22 +736,39 @@ impl Simulation {
             return StepOutcome::Exhausted;
         };
         self.pa_write(pa, tag, 0);
-        if let Some(expected) = &mut self.expected {
+        if let Some(oracle) = &mut self.expected {
             // The data survives iff the address still translates (its page
             // was kept or relocated with copies).
             if self.os.translate(addr).is_some() {
-                expected.insert(addr.index(), tag);
+                oracle.insert(addr.index(), tag);
             } else {
-                expected.remove(&addr.index());
+                oracle.remove(addr.index());
             }
         }
-        if self.writes_issued.is_multiple_of(self.sample_interval) {
+        StepOutcome::Serviced
+    }
+
+    /// Records a sample (and oracle spot-checks) if `writes_issued` has
+    /// reached the next sample boundary. `discarded` suppresses the
+    /// recording but still advances the boundary, matching the seed-state
+    /// engine, whose discarded writes skipped the sample check entirely.
+    fn maybe_sample(&mut self, discarded: bool) {
+        if self.writes_issued < self.next_sample {
+            return;
+        }
+        while self.next_sample <= self.writes_issued {
+            let n = self.next_sample.saturating_add(self.sample_interval);
+            if n == self.next_sample {
+                break; // interval so large the boundary saturated
+            }
+            self.next_sample = n;
+        }
+        if !discarded {
             self.record_sample();
             if self.expected.is_some() {
                 self.verify_some(32);
             }
         }
-        StepOutcome::Serviced
     }
 
     /// Writes `tag` to `pa`, playing the OS on failure reports and page
@@ -724,12 +791,14 @@ impl Simulation {
                             self.retirements += 1;
                             let copies = ret.copies.clone();
                             self.controller.on_page_retired(page);
+                            self.grants += 1;
                             for (src, dst) in copies {
                                 let t = self.controller.read(src);
                                 self.pa_write(dst, t, depth + 1);
                             }
                         } else {
                             self.controller.on_page_retired(page);
+                            self.grants += 1;
                         }
                     }
                     // Retry the original write now that the pages landed.
@@ -750,6 +819,7 @@ impl Simulation {
         };
         self.retirements += 1;
         self.controller.on_page_retired(ret.retired);
+        self.grants += 1;
         if ret.copies.is_empty() {
             // Pool dry: the application page was dropped.
             self.lost_writes += 1;
@@ -804,19 +874,18 @@ impl Simulation {
     /// Reads back `count` random tracked addresses and compares with the
     /// oracle; increments [`Self::integrity_errors`] on mismatch.
     fn verify_some(&mut self, count: usize) {
-        let Some(expected) = &self.expected else {
+        let Some(oracle) = &self.expected else {
             return;
         };
-        if expected.is_empty() {
+        // The key list is kept sorted so verification traffic is
+        // deterministic, exactly as the seed-state engine's per-sample
+        // sort made it.
+        if oracle.keys.is_empty() {
             return;
         }
-        let mut keys: Vec<u64> = expected.keys().copied().collect();
-        // Sorted so verification traffic is deterministic (HashMap order
-        // is not), keeping whole runs exactly seed-reproducible.
-        keys.sort_unstable();
         let mut picks = Vec::with_capacity(count);
-        for _ in 0..count.min(keys.len()) {
-            let k = keys[self.verify_rng.gen_range(keys.len() as u64) as usize];
+        for _ in 0..count.min(oracle.keys.len()) {
+            let k = oracle.keys[self.verify_rng.gen_range(oracle.keys.len() as u64) as usize];
             picks.push(k);
         }
         for k in picks {
@@ -824,7 +893,7 @@ impl Simulation {
             let Some(pa) = self.os.translate(addr) else {
                 continue;
             };
-            let want = self.expected.as_ref().unwrap()[&k];
+            let want = self.expected.as_ref().unwrap().map[k];
             let got = self.controller.read(pa);
             if got != want {
                 self.integrity_errors += 1;
@@ -835,11 +904,12 @@ impl Simulation {
     /// Diagnostic variant of [`Self::verify_all`]: returns each mismatch
     /// as `(app address, expected tag, observed tag)`.
     pub fn find_mismatches(&mut self) -> Vec<(u64, u64, u64)> {
-        let Some(expected) = self.expected.clone() else {
-            return Vec::new();
+        let pairs: Vec<(u64, u64)> = match &self.expected {
+            Some(o) => o.map.iter().map(|(k, &v)| (k, v)).collect(),
+            None => return Vec::new(),
         };
         let mut out = Vec::new();
-        for (&k, &want) in &expected {
+        for (k, want) in pairs {
             let addr = AppAddr::new(k);
             let Some(pa) = self.os.translate(addr) else {
                 continue;
@@ -855,11 +925,12 @@ impl Simulation {
     /// Reads back *every* tracked address (expensive; tests only).
     /// Returns the number of mismatches found in this pass.
     pub fn verify_all(&mut self) -> u64 {
-        let Some(expected) = self.expected.clone() else {
-            return 0;
+        let pairs: Vec<(u64, u64)> = match &self.expected {
+            Some(o) => o.map.iter().map(|(k, &v)| (k, v)).collect(),
+            None => return 0,
         };
         let mut errors = 0;
-        for (&k, &want) in &expected {
+        for (k, want) in pairs {
             let addr = AppAddr::new(k);
             let Some(pa) = self.os.translate(addr) else {
                 continue;
@@ -876,17 +947,77 @@ impl Simulation {
     /// is reached. Can be called repeatedly with different conditions to
     /// continue the same run.
     pub fn run(&mut self, stop: StopCondition) -> Outcome {
-        let reason = loop {
+        let reason = 'outer: loop {
             if self.writes_issued >= self.hard_cap {
                 break StopReason::HardCap;
             }
             if self.condition_met(stop) {
                 break StopReason::ConditionMet;
             }
-            match self.step() {
-                StepOutcome::Serviced => {}
-                StepOutcome::Exhausted => break StopReason::MemoryExhausted,
+            // Batch writes up to the next point where anything must be
+            // re-checked: the hard cap, the sample boundary, or a Writes
+            // target. Both bounds are strictly ahead (checked above, and
+            // `next_sample > writes_issued` is an invariant), so at least
+            // one write is issued per iteration. Within a batch the stop
+            // condition is re-evaluated only when a watched event says it
+            // could have changed.
+            let mut limit = self.hard_cap.min(self.next_sample);
+            if let StopCondition::Writes(n) = stop {
+                limit = limit.min(n);
             }
+            let batch = limit - self.writes_issued;
+            let mut last = StepOutcome::Serviced;
+            match stop {
+                StopCondition::Writes(_) => {
+                    // Counted by `limit`; nothing else can trip it.
+                    for _ in 0..batch {
+                        last = self.step();
+                        if last == StepOutcome::Exhausted {
+                            break 'outer StopReason::MemoryExhausted;
+                        }
+                    }
+                }
+                StopCondition::UsableBelow(_) => {
+                    // Usable space moves only when a page retires or the
+                    // controller is granted one — watch those counters.
+                    let watch = (self.retirements, self.grants);
+                    for _ in 0..batch {
+                        last = self.step();
+                        if last == StepOutcome::Exhausted {
+                            break 'outer StopReason::MemoryExhausted;
+                        }
+                        if (self.retirements, self.grants) != watch {
+                            break;
+                        }
+                    }
+                }
+                StopCondition::DeadFraction(f) => {
+                    let n = self.geo.num_blocks();
+                    let dead = self.controller.device().dead_blocks();
+                    if dead as f64 / n as f64 >= f {
+                        // Past the total-dead gate the exact visible scan
+                        // can flip on any write (the mapping moves), so
+                        // fall back to single-stepping.
+                        last = self.step();
+                        if last == StepOutcome::Exhausted {
+                            break 'outer StopReason::MemoryExhausted;
+                        }
+                    } else {
+                        // Below the gate the condition cannot trip until
+                        // another block dies — watch the dead count.
+                        for _ in 0..batch {
+                            last = self.step();
+                            if last == StepOutcome::Exhausted {
+                                break 'outer StopReason::MemoryExhausted;
+                            }
+                            if self.controller.device().dead_blocks() != dead {
+                                break;
+                            }
+                        }
+                    }
+                }
+            }
+            self.maybe_sample(last == StepOutcome::Discarded);
         };
         self.record_sample();
         Outcome {
@@ -1263,5 +1394,66 @@ mod tests {
             .num_blocks(1 << 12)
             .workload(wlr_trace::UniformWorkload::new(17, 0))
             .build();
+    }
+
+    /// Regression for the oracle's verification-order contract: the
+    /// incrementally-maintained key list must at every point equal the
+    /// seed-state engine's collect-then-`sort_unstable` of the key set,
+    /// or verification picks (and thus whole oracle runs) silently
+    /// diverge across engines.
+    #[test]
+    fn oracle_key_list_tracks_sorted_key_set() {
+        use std::collections::HashMap;
+        let mut oracle = Oracle::with_capacity(512);
+        let mut model: HashMap<u64, u64> = HashMap::new();
+        let mut rng = Rng::stream(0x0AC1E, 0);
+        for i in 0..20_000u64 {
+            let k = rng.gen_range(512);
+            if rng.gen_range(4) == 0 {
+                oracle.remove(k);
+                model.remove(&k);
+            } else {
+                oracle.insert(k, i);
+                model.insert(k, i);
+            }
+            if i % 997 == 0 {
+                let mut sorted: Vec<u64> = model.keys().copied().collect();
+                sorted.sort_unstable();
+                assert_eq!(oracle.keys, sorted, "key list diverged at op {i}");
+            }
+        }
+        assert_eq!(oracle.map.len(), model.len());
+        for (k, &v) in &model {
+            assert_eq!(oracle.map.get(*k), Some(&v));
+        }
+    }
+
+    /// The batched engine must sample at exactly the same write counts as
+    /// per-write `is_multiple_of` checking, across every stop kind.
+    #[test]
+    fn batched_sampling_lands_on_exact_boundaries() {
+        for stop in [
+            StopCondition::Writes(23_000),
+            StopCondition::DeadFraction(0.05),
+            StopCondition::UsableBelow(0.95),
+        ] {
+            let mut sim = Simulation::builder()
+                .num_blocks(1 << 10)
+                .endurance_mean(1_500.0)
+                .scheme(SchemeKind::ReviverStartGap)
+                .gap_interval(10)
+                .seed(21)
+                .sample_interval(3_000)
+                .build();
+            let out = sim.run(stop);
+            for p in sim.series().points() {
+                assert!(
+                    p.writes % 3_000 == 0 || p.writes == out.writes_issued,
+                    "off-boundary sample at {} under {stop:?}",
+                    p.writes
+                );
+            }
+            assert!(sim.series().len() >= 2, "no samples under {stop:?}");
+        }
     }
 }

@@ -25,7 +25,7 @@
 
 use crate::cache::RemapCache;
 use crate::controller::{Controller, RequestStats, WriteResult};
-use std::collections::HashMap;
+use wlr_base::dense::DenseMap;
 use wlr_base::{Da, Geometry, Pa, PageId};
 use wlr_pcm::{PcmDevice, WriteOutcome};
 use wlr_wl::{Migration, WearLeveler};
@@ -70,12 +70,13 @@ impl ZombieControllerBuilder {
             geo.num_blocks(),
             "wear-leveler PA space must match the geometry"
         );
+        let total = self.device.total_blocks();
         ZombieController {
             geo,
             device: self.device,
             wl: self.wl,
             spares: Vec::new(),
-            links: HashMap::new(),
+            links: DenseMap::with_capacity(total),
             frozen: false,
             retired: vec![false; geo.num_pages() as usize],
             cache: self.cache_bytes.map(RemapCache::with_capacity_bytes),
@@ -110,7 +111,7 @@ pub struct ZombieController {
     /// frozen by the time any are used).
     spares: Vec<Da>,
     /// failed DA → spare DA (Zombie's direct pairing pointer).
-    links: HashMap<u64, Da>,
+    links: DenseMap<Da>,
     frozen: bool,
     retired: Vec<bool>,
     cache: Option<RemapCache>,
@@ -150,7 +151,7 @@ impl ZombieController {
                 return Some(Da::new(s));
             }
         }
-        let s = self.links.get(&da.index()).copied();
+        let s = self.links.get(da.index()).copied();
         if let Some(s) = s {
             self.device.read(da); // pairing pointer lives in the failed block
             if acct {
@@ -328,7 +329,7 @@ impl Controller for ZombieController {
             .geo
             .page_pas(page)
             .map(|pa| self.wl.map(pa))
-            .filter(|&da| !self.device.is_dead(da) && !self.links.contains_key(&da.index()))
+            .filter(|&da| !self.device.is_dead(da) && !self.links.contains_key(da.index()))
             .collect();
         self.spares.extend(healthy);
         self.counters.page_grants += 1;

@@ -34,8 +34,12 @@ impl OsMemoryBuilder {
         let app_pages = num_pages - self.reserve_pages;
         let table: Vec<Option<PageId>> = (0..app_pages).map(|p| Some(PageId::new(p))).collect();
         let free: Vec<PageId> = (app_pages..num_pages).rev().map(PageId::new).collect();
+        let bpp = self.geometry.blocks_per_page();
         OsMemory {
             geometry: self.geometry,
+            bpp_split: bpp
+                .is_power_of_two()
+                .then(|| (bpp.trailing_zeros(), bpp - 1)),
             table,
             free,
             retired: vec![false; num_pages as usize],
@@ -56,6 +60,10 @@ impl OsMemoryBuilder {
 #[derive(Debug, Clone)]
 pub struct OsMemory {
     geometry: Geometry,
+    /// `(shift, mask)` for the blocks-per-page split, precomputed when the
+    /// ratio is a power of two (it is at every supported geometry) to keep
+    /// 64-bit division off the translation fast path.
+    bpp_split: Option<(u32, u64)>,
     /// Application page → physical page (None once dropped).
     table: Vec<Option<PageId>>,
     /// Free physical pages (LIFO for determinism).
@@ -96,6 +104,19 @@ impl OsMemory {
         self.app_pages() * self.geometry.blocks_per_page()
     }
 
+    /// `(page, in-page offset)` of a block index — shift/mask when the
+    /// blocks-per-page ratio allows, division otherwise.
+    #[inline]
+    fn split(&self, idx: u64) -> (u64, u64) {
+        match self.bpp_split {
+            Some((shift, mask)) => (idx >> shift, idx & mask),
+            None => {
+                let bpp = self.geometry.blocks_per_page();
+                (idx / bpp, idx % bpp)
+            }
+        }
+    }
+
     /// Translates an application block address to its current PA, or
     /// `None` if the containing application page has been dropped.
     ///
@@ -105,8 +126,7 @@ impl OsMemory {
     #[inline]
     pub fn translate(&self, addr: AppAddr) -> Option<Pa> {
         let bpp = self.geometry.blocks_per_page();
-        let page = addr.index() / bpp;
-        let offset = addr.index() % bpp;
+        let (page, offset) = self.split(addr.index());
         assert!(
             page < self.app_pages(),
             "{addr} outside application space ({} pages)",
@@ -128,8 +148,7 @@ impl OsMemory {
             return None;
         }
         let bpp = self.geometry.blocks_per_page();
-        let page = addr.index() / bpp;
-        let offset = addr.index() % bpp;
+        let (page, offset) = self.split(addr.index());
         let pick = SplitMix64::mix(0x0D1E_C7ED, page) % self.mapped_list.len() as u64;
         let target_app = self.mapped_list[pick as usize];
         let phys = self.table[target_app as usize].expect("mapped_list entry must be mapped");
@@ -177,10 +196,7 @@ impl OsMemory {
             return None;
         }
         // Find which application page currently maps to this physical page.
-        let app = self
-            .table
-            .iter()
-            .position(|&t| t == Some(phys))?;
+        let app = self.table.iter().position(|&t| t == Some(phys))?;
         self.retired[phys.as_usize()] = true;
         self.retired_count += 1;
 
@@ -394,62 +410,60 @@ mod tests {
 
     mod properties {
         use super::*;
-        use proptest::prelude::*;
+        use wlr_base::rng::Rng;
 
-        proptest! {
-            /// Any retirement sequence keeps the table consistent: mapped
-            /// app pages point at distinct, unretired physical pages, and
-            /// the accounting identities hold.
-            #[test]
-            fn retirement_sequences_keep_invariants(
-                reserve in 0u64..4,
-                reports in proptest::collection::vec(0u64..512, 0..64),
-            ) {
+        /// Any retirement sequence keeps the table consistent: mapped
+        /// app pages point at distinct, unretired physical pages, and
+        /// the accounting identities hold.
+        #[test]
+        fn retirement_sequences_keep_invariants() {
+            let mut rng = Rng::stream(0x9A6E, 0);
+            for _ in 0..12 {
+                let reserve = rng.gen_range(4);
                 let geo = Geometry::builder().num_blocks(512).build().unwrap();
                 let mut os = OsMemory::builder(geo).reserve_pages(reserve).build();
-                let initial_free = os.free_pool();
-                for pa in reports {
-                    os.handle_failure(Pa::new(pa));
+                for _ in 0..rng.gen_range(64) {
+                    os.handle_failure(Pa::new(rng.gen_range(512)));
                     // Identities after every step:
                     let mut seen = std::collections::HashSet::new();
                     let mut mapped = 0;
                     for app in 0..os.app_pages() {
                         if let Some(pa0) = os.translate(AppAddr::new(app * 64)) {
                             let phys = os.geometry().page_of(pa0);
-                            prop_assert!(!os.is_retired(phys), "app page on retired phys");
-                            prop_assert!(seen.insert(phys), "two app pages share a phys page");
+                            assert!(!os.is_retired(phys), "app page on retired phys");
+                            assert!(seen.insert(phys), "two app pages share a phys page");
                             mapped += 1;
                         }
                     }
-                    prop_assert_eq!(mapped, os.mapped_app_pages());
+                    assert_eq!(mapped, os.mapped_app_pages());
                     // Pages are conserved: mapped + free + retired = total.
-                    prop_assert_eq!(
+                    assert_eq!(
                         os.mapped_app_pages() + os.free_pool() + os.retired_pages(),
                         os.geometry().num_pages(),
                         "page conservation violated"
                     );
-                    let _ = initial_free;
                 }
             }
+        }
 
-            /// Redirection is deterministic and always lands on a mapped
-            /// page at the same in-page offset.
-            #[test]
-            fn redirection_is_stable(
-                drops in proptest::collection::vec(0u64..8, 0..7),
-                addr in 0u64..512,
-            ) {
+        /// Redirection is deterministic and always lands on a mapped
+        /// page at the same in-page offset.
+        #[test]
+        fn redirection_is_stable() {
+            let mut rng = Rng::stream(0x9A6E, 1);
+            for _ in 0..32 {
                 let geo = Geometry::builder().num_blocks(512).build().unwrap();
                 let mut os = OsMemory::builder(geo).build();
-                for p in drops {
-                    os.retire_page(PageId::new(p));
+                for _ in 0..rng.gen_range(7) {
+                    os.retire_page(PageId::new(rng.gen_range(8)));
                 }
+                let addr = rng.gen_range(512);
                 let a = os.translate_or_redirect(AppAddr::new(addr));
                 let b = os.translate_or_redirect(AppAddr::new(addr));
-                prop_assert_eq!(a, b);
+                assert_eq!(a, b);
                 if let Some(pa) = a {
-                    prop_assert_eq!(pa.index() % 64, addr % 64);
-                    prop_assert!(!os.is_retired(os.geometry().page_of(pa)));
+                    assert_eq!(pa.index() % 64, addr % 64);
+                    assert!(!os.is_retired(os.geometry().page_of(pa)));
                 }
             }
         }

@@ -158,10 +158,7 @@ impl Workload for BirthdayAttack {
     }
 
     fn label(&self) -> String {
-        format!(
-            "birthday-attack({}x{})",
-            self.set_size, self.epoch_writes
-        )
+        format!("birthday-attack({}x{})", self.set_size, self.epoch_writes)
     }
 }
 

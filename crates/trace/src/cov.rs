@@ -72,7 +72,13 @@ impl CovTargetedWorkload {
     /// unreachable for this address-space size (the profile's CoV is
     /// bounded by ≈√(n−1); e.g. a 16-block space cannot reach CoV 40).
     pub fn new(len: u64, target_cov: f64, spatial: SpatialMode, seed: u64) -> Self {
-        Self::with_label(len, target_cov, spatial, seed, format!("cov{target_cov:.2}"))
+        Self::with_label(
+            len,
+            target_cov,
+            spatial,
+            seed,
+            format!("cov{target_cov:.2}"),
+        )
     }
 
     /// As [`Self::new`] with an explicit label (used by the Table I
@@ -262,17 +268,11 @@ mod tests {
 
     #[test]
     fn clustered_mode_concentrates_hot_pages() {
-        let w = CovTargetedWorkload::new(
-            4096,
-            10.0,
-            SpatialMode::Clustered { run_blocks: 64 },
-            7,
-        );
+        let w = CovTargetedWorkload::new(4096, 10.0, SpatialMode::Clustered { run_blocks: 64 }, 7);
         // Per-page total weight should be much more dispersed than under
         // scattering: the hottest page should hold a large share.
-        let page_weight = |weights: &[f64]| -> Vec<f64> {
-            weights.chunks(64).map(|c| c.iter().sum()).collect()
-        };
+        let page_weight =
+            |weights: &[f64]| -> Vec<f64> { weights.chunks(64).map(|c| c.iter().sum()).collect() };
         let clustered_pages = page_weight(w.weights());
         let s = CovTargetedWorkload::new(4096, 10.0, SpatialMode::Scattered, 7);
         let scattered_pages = page_weight(s.weights());

@@ -78,7 +78,10 @@ impl ZipfWorkload {
     /// Panics if `len == 0` or `s` is negative or non-finite.
     pub fn new(len: u64, s: f64, seed: u64) -> Self {
         assert!(len > 0, "workload address space must be nonzero");
-        assert!(s.is_finite() && s >= 0.0, "Zipf exponent must be finite, non-negative");
+        assert!(
+            s.is_finite() && s >= 0.0,
+            "Zipf exponent must be finite, non-negative"
+        );
         let n = usize::try_from(len).expect("space too large");
         let weights: Vec<f64> = (0..n).map(|i| 1.0 / ((i + 1) as f64).powf(s)).collect();
         let cov = coefficient_of_variation(&weights);

@@ -64,7 +64,7 @@ pub mod traits;
 pub use none::NoWearLeveling;
 pub use randomizer::{
     AddressRandomizer, FeistelRandomizer, HalfRestrictedRandomizer, IdentityRandomizer,
-    RandomizerKind, TableRandomizer,
+    MemoizedRandomizer, RandomizerKind, TableRandomizer,
 };
 pub use security_refresh::SecurityRefresh;
 pub use stacked::Stacked;

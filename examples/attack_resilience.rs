@@ -36,7 +36,10 @@ fn main() {
         "writes to lose 15% of a {}-block chip under attack (endurance {:.0})\n",
         BLOCKS, ENDURANCE
     );
-    println!("{:<28} {:>14} {:>14} {:>10}", "attack", "ECP6-SG", "ECP6-SG-WLR", "gain");
+    println!(
+        "{:<28} {:>14} {:>14} {:>10}",
+        "attack", "ECP6-SG", "ECP6-SG-WLR", "gain"
+    );
 
     type AttackFactory = fn(u64) -> Box<dyn Workload>;
     let attacks: Vec<(&str, AttackFactory)> = vec![

@@ -22,12 +22,8 @@ const ENDURANCE: f64 = 8_000.0;
 const PSI: u64 = 10;
 
 fn lifetime(scheme: SchemeKind, cov: f64, seed: u64) -> u64 {
-    let workload = CovTargetedWorkload::new(
-        BLOCKS,
-        cov,
-        SpatialMode::Clustered { run_blocks: 64 },
-        seed,
-    );
+    let workload =
+        CovTargetedWorkload::new(BLOCKS, cov, SpatialMode::Clustered { run_blocks: 64 }, seed);
     let mut sim = Simulation::builder()
         .num_blocks(BLOCKS)
         .endurance_mean(ENDURANCE)

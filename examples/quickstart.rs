@@ -33,7 +33,10 @@ fn main() {
         blocks * 64 / 1024,
     );
     println!("workload: ocean (write CoV 4.15), running to 70% usable space…\n");
-    println!("{:>14} {:>10} {:>10} {:>12}", "writes", "usable", "survival", "avg access");
+    println!(
+        "{:>14} {:>10} {:>10} {:>12}",
+        "writes", "usable", "survival", "avg access"
+    );
 
     let outcome = sim.run(StopCondition::UsableBelow(0.70));
     for p in sim.series() {
@@ -46,7 +49,10 @@ fn main() {
         );
     }
 
-    println!("\nstopped after {} writes ({:?})", outcome.writes_issued, outcome.reason);
+    println!(
+        "\nstopped after {} writes ({:?})",
+        outcome.writes_issued, outcome.reason
+    );
     println!(
         "pages retired: {}   OS failure reports: {}   lost writes: {}",
         sim.os().retired_pages(),

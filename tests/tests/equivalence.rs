@@ -1,0 +1,172 @@
+//! Golden determinism tests for the write engine.
+//!
+//! The hot-path refactor (dense index tables, batched stepping, the
+//! incremental oracle order) must be *behaviour-preserving*: for a fixed
+//! seed, every scheme stack must produce a bit-identical `Outcome` and
+//! `TimeSeries` to the pre-refactor engine. The goldens below are FNV-1a
+//! fingerprints of those structures captured from the seed-state
+//! (HashMap-table, per-write-checked) engine; any engine change that
+//! alters a single sample bit or the final write count fails here.
+//!
+//! To re-capture after an *intentional* behaviour change, run:
+//!
+//! ```text
+//! WLR_CAPTURE_GOLDEN=1 cargo test -p wlr-tests --release \
+//!     --test equivalence -- --nocapture
+//! ```
+//!
+//! and paste the printed table over `GOLDEN`.
+
+use wl_reviver::metrics::TimeSeries;
+use wl_reviver::sim::{Outcome, SchemeKind, Simulation, StopCondition};
+
+const BLOCKS: u64 = 1 << 10;
+const ENDURANCE: f64 = 300.0;
+const PSI: u64 = 7;
+const SEED: u64 = 7;
+/// Deep into the failure era (mean wear ≈ 0.9× endurance) so links,
+/// switches, page retirements and redirection all shape the curves.
+const STOP_WRITES: u64 = 280_000;
+
+/// Every scheme kind the simulation can build, with a stable label.
+fn all_schemes() -> Vec<(&'static str, SchemeKind)> {
+    vec![
+        ("ecc", SchemeKind::EccOnly),
+        ("sg", SchemeKind::StartGapOnly),
+        ("sr", SchemeKind::SecurityRefreshOnly),
+        ("freep", SchemeKind::Freep { reserve_frac: 0.1 }),
+        ("lls", SchemeKind::Lls),
+        ("reviver-sg", SchemeKind::ReviverStartGap),
+        ("reviver-sr", SchemeKind::ReviverSecurityRefresh),
+        ("reviver-tiled", SchemeKind::ReviverTiledStartGap),
+        ("reviver-sr2", SchemeKind::ReviverTwoLevelSecurityRefresh),
+    ]
+}
+
+fn sim(scheme: SchemeKind, verify: bool) -> Simulation {
+    Simulation::builder()
+        .num_blocks(BLOCKS)
+        .endurance_mean(ENDURANCE)
+        .gap_interval(PSI)
+        .sr_refresh_interval(PSI)
+        .scheme(scheme)
+        .seed(SEED)
+        .verify_integrity(verify)
+        .build()
+}
+
+struct Fnv(u64);
+
+impl Fnv {
+    fn new() -> Self {
+        Fnv(0xcbf2_9ce4_8422_2325)
+    }
+
+    fn u64(&mut self, x: u64) {
+        for b in x.to_le_bytes() {
+            self.0 ^= b as u64;
+            self.0 = self.0.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+
+    fn f64(&mut self, x: f64) {
+        self.u64(x.to_bits());
+    }
+}
+
+/// Bit-exact fingerprint of an outcome plus the full sampled series.
+fn fingerprint(outcome: &Outcome, series: &TimeSeries) -> u64 {
+    let mut h = Fnv::new();
+    h.u64(outcome.writes_issued);
+    h.u64(format!("{:?}", outcome.reason).len() as u64);
+    h.f64(outcome.survival);
+    h.f64(outcome.usable);
+    for p in series.points() {
+        h.u64(p.writes);
+        h.f64(p.survival);
+        h.f64(p.usable);
+        h.f64(p.avg_access_time);
+        h.u64(p.wl_active as u64);
+    }
+    h.0
+}
+
+/// Goldens captured from the seed-state engine (see module docs).
+const GOLDEN: &[(&str, u64)] = &[
+    ("ecc", 0xd30e0db011aee6f9),
+    ("sg", 0xce1adf2f1ee9f99c),
+    ("sr", 0x35e1b9827b561ff0),
+    ("freep", 0xf70fda549cea7b5c),
+    ("lls", 0xcb262ff9cfc1b02a),
+    ("reviver-sg", 0x82a91d5fa092d560),
+    ("reviver-sr", 0x74ac0550cb0985e1),
+    ("reviver-tiled", 0xacabc7818ee1fc51),
+    ("reviver-sr2", 0xb9bcda0cdd26c283),
+];
+
+/// Goldens for integrity-oracle runs (exercises the verification-order
+/// path: key picks must match the seed engine's sort-then-index picks).
+const GOLDEN_ORACLE: &[(&str, u64)] = &[
+    ("reviver-sg", 0x2788c618225eac3e),
+    ("reviver-sr", 0xdec389ce3669ea13),
+];
+
+fn run_fingerprint(scheme: SchemeKind, verify: bool) -> u64 {
+    let mut s = sim(scheme, verify);
+    let out = s.run(StopCondition::Writes(STOP_WRITES));
+    if verify {
+        assert_eq!(s.verify_all(), 0, "data loss under {scheme:?}");
+    }
+    fingerprint(&out, s.series())
+}
+
+#[test]
+fn outcomes_match_seed_engine_goldens() {
+    let capture = std::env::var("WLR_CAPTURE_GOLDEN").is_ok_and(|v| v == "1");
+    for (label, scheme) in all_schemes() {
+        let fp = run_fingerprint(scheme, false);
+        if capture {
+            println!("    (\"{label}\", {fp:#018x}),");
+            continue;
+        }
+        let golden = GOLDEN
+            .iter()
+            .find(|(l, _)| *l == label)
+            .unwrap_or_else(|| panic!("no golden for {label}"))
+            .1;
+        assert_eq!(
+            fp, golden,
+            "{label}: engine output diverged from the seed-state engine"
+        );
+    }
+}
+
+#[test]
+fn oracle_runs_match_seed_engine_goldens() {
+    let capture = std::env::var("WLR_CAPTURE_GOLDEN").is_ok_and(|v| v == "1");
+    for &(label, scheme) in &[
+        ("reviver-sg", SchemeKind::ReviverStartGap),
+        ("reviver-sr", SchemeKind::ReviverSecurityRefresh),
+    ] {
+        let fp = run_fingerprint(scheme, true);
+        if capture {
+            println!("    (\"{label}\", {fp:#018x}), // oracle");
+            continue;
+        }
+        let golden = GOLDEN_ORACLE
+            .iter()
+            .find(|(l, _)| *l == label)
+            .unwrap_or_else(|| panic!("no oracle golden for {label}"))
+            .1;
+        assert_eq!(fp, golden, "{label}: oracle-mode run diverged");
+    }
+}
+
+/// Replay determinism: two identical runs of the same build agree. This
+/// guards the fingerprints above against flakiness in the harness itself.
+#[test]
+fn same_build_is_deterministic() {
+    let a = run_fingerprint(SchemeKind::ReviverStartGap, false);
+    let b = run_fingerprint(SchemeKind::ReviverStartGap, false);
+    assert_eq!(a, b);
+}

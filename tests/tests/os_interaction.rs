@@ -72,7 +72,9 @@ fn retirement_copies_wear_the_pcm() {
 
 #[test]
 fn os_reserve_pool_absorbs_early_retirements() {
-    let mut sim = fast_sim(SchemeKind::EccOnly, 36).os_reserve_pages(8).build();
+    let mut sim = fast_sim(SchemeKind::EccOnly, 36)
+        .os_reserve_pages(8)
+        .build();
     sim.run(StopCondition::Writes(400_000));
     // While the pool lasts, the application footprint is intact.
     if sim.os().retired_pages() <= 8 {

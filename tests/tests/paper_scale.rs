@@ -5,7 +5,6 @@
 //! Ignored by default (hundreds of MB of simulated device state); run
 //! with `cargo test -p wlr-tests --test paper_scale -- --ignored`.
 
-use wl_reviver::controller::Controller;
 use wl_reviver::sim::{SchemeKind, Simulation, StopCondition};
 use wlr_trace::Benchmark;
 
@@ -25,7 +24,10 @@ fn one_gigabyte_chip_runs() {
     assert_eq!(sim.geometry().num_blocks(), blocks);
     let out = sim.run(StopCondition::Writes(20_000_000));
     assert_eq!(out.writes_issued, 20_000_000);
-    assert_eq!(out.usable, 1.0, "no failures expected this early at 1e8 endurance");
+    assert_eq!(
+        out.usable, 1.0,
+        "no failures expected this early at 1e8 endurance"
+    );
     // The mapping machinery really ran: the gap rotated ~200k positions.
     assert!(sim.controller().device().stats().writes > out.writes_issued);
 }

@@ -3,10 +3,9 @@
 //! final state — the property that lets real Pin traces substitute for
 //! the synthetic generators.
 
-use wl_reviver::controller::Controller;
 use wl_reviver::sim::{SchemeKind, StopCondition};
 use wlr_tests::scenario::checked_sim;
-use wlr_trace::{Benchmark, TraceWorkload, TraceWriter, Workload};
+use wlr_trace::{Benchmark, TraceWorkload, TraceWriter};
 
 fn trace_path(name: &str) -> std::path::PathBuf {
     let dir = std::env::temp_dir().join("wlr-integration-traces");
