@@ -1,0 +1,230 @@
+//! `crash_sweep` — CrashMonkey-style power-loss sweep over every stack.
+//!
+//! Replays the same seeded workload once per crash point, cutting power
+//! at every Nth device write, recovering, and driving the run to its
+//! normal end. After each recovery *and* at the end of each run the
+//! integrity oracle re-reads every live logical address; any mismatch is
+//! a violation and fails the sweep (exit code 1).
+//!
+//! Reviver stacks crash at device-write granularity through the seeded
+//! [`FaultPlan`]; baseline stacks model fully-persistent metadata and
+//! crash at software-write boundaries instead (the paper grants them
+//! this), so the same sweep shape covers all nine stacks.
+//!
+//! Knobs (see EXPERIMENTS.md):
+//!
+//! * `WLR_FAULT_SEED`   — workload/device seed (default 42)
+//! * `WLR_CRASH_INTERVAL` — distance between crash points in device
+//!   writes (default 1000)
+//! * `WLR_CRASH_FROM` / `WLR_CRASH_TO` — sweep range (default
+//!   1000..37000, healthy era through deep wear-out; later points than
+//!   a stack's lifetime simply never fire)
+//! * `WLR_CRASH_STACKS` — comma-separated stack filter (default: all)
+
+use wl_reviver::recovery::RecoveryReport;
+use wl_reviver::sim::{SchemeKind, Simulation, StopCondition, StopReason};
+use wlr_bench::{print_table, run_pooled, PooledJob};
+use wlr_pcm::FaultPlan;
+
+const BLOCKS: u64 = 1 << 10;
+/// Short lifetime so each crash-point replay is cheap; the sweep's value
+/// is in the *number* of cut positions, not the length of each run.
+const ENDURANCE: f64 = 60.0;
+const STOP: u64 = 55_000;
+
+fn env_u64(name: &str, default: u64) -> u64 {
+    std::env::var(name)
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(default)
+}
+
+fn fault_seed() -> u64 {
+    env_u64("WLR_FAULT_SEED", 42)
+}
+
+fn all_stacks() -> Vec<(&'static str, SchemeKind, bool)> {
+    vec![
+        ("ecc", SchemeKind::EccOnly, false),
+        ("sg", SchemeKind::StartGapOnly, false),
+        ("sr", SchemeKind::SecurityRefreshOnly, false),
+        ("freep", SchemeKind::Freep { reserve_frac: 0.1 }, false),
+        ("lls", SchemeKind::Lls, false),
+        ("reviver-sg", SchemeKind::ReviverStartGap, true),
+        ("reviver-sr", SchemeKind::ReviverSecurityRefresh, true),
+        ("reviver-tiled", SchemeKind::ReviverTiledStartGap, true),
+        (
+            "reviver-sr2",
+            SchemeKind::ReviverTwoLevelSecurityRefresh,
+            true,
+        ),
+    ]
+}
+
+fn rig(scheme: SchemeKind, seed: u64) -> Simulation {
+    Simulation::builder()
+        .num_blocks(BLOCKS)
+        .endurance_mean(ENDURANCE)
+        .gap_interval(5)
+        .sr_refresh_interval(5)
+        .scheme(scheme)
+        .seed(seed)
+        .sample_interval(10_000)
+        .verify_integrity(true)
+        .build()
+}
+
+fn rig_with_plan(scheme: SchemeKind, seed: u64, plan: FaultPlan) -> Simulation {
+    Simulation::builder()
+        .num_blocks(BLOCKS)
+        .endurance_mean(ENDURANCE)
+        .gap_interval(5)
+        .sr_refresh_interval(5)
+        .scheme(scheme)
+        .seed(seed)
+        .sample_interval(10_000)
+        .verify_integrity(true)
+        .fault_plan(plan)
+        .build()
+}
+
+/// Result of one crash-point replay.
+struct Point {
+    fired: bool,
+    violations: u64,
+    report: RecoveryReport,
+}
+
+/// Crash a reviver stack at device-write `k`, recover, finish the run.
+fn reviver_point(scheme: SchemeKind, seed: u64, k: u64) -> Point {
+    let mut sim = rig_with_plan(scheme, seed, FaultPlan::new().power_loss_at_write(k));
+    let out = sim.run(StopCondition::Writes(STOP));
+    let mut violations = 0;
+    let mut report = RecoveryReport::default();
+    let fired = out.reason == StopReason::PowerLoss;
+    if fired {
+        report = sim.recover();
+        violations += sim.verify_all();
+        sim.run(StopCondition::Writes(STOP));
+    }
+    violations += sim.verify_all();
+    violations += sim.integrity_errors();
+    Point {
+        fired,
+        violations,
+        report,
+    }
+}
+
+/// Reboot a baseline stack at software-write boundary `k`, finish the run.
+fn baseline_point(scheme: SchemeKind, seed: u64, k: u64) -> Point {
+    let mut sim = rig(scheme, seed);
+    let out = sim.run(StopCondition::Writes(k));
+    let mut violations = 0;
+    let fired = out.reason == StopReason::ConditionMet;
+    if fired {
+        sim.recover();
+        violations += sim.verify_all();
+        sim.run(StopCondition::Writes(STOP));
+    }
+    violations += sim.verify_all();
+    Point {
+        fired,
+        violations,
+        report: RecoveryReport::default(),
+    }
+}
+
+fn main() {
+    let seed = fault_seed();
+    let interval = env_u64("WLR_CRASH_INTERVAL", 1_000).max(1);
+    let from = env_u64("WLR_CRASH_FROM", 1_000);
+    let to = env_u64("WLR_CRASH_TO", 37_000);
+    let filter = std::env::var("WLR_CRASH_STACKS").ok();
+    let stacks: Vec<_> = all_stacks()
+        .into_iter()
+        .filter(|(name, _, _)| {
+            filter
+                .as_deref()
+                .is_none_or(|f| f.split(',').any(|s| s.trim() == *name))
+        })
+        .collect();
+    let points: Vec<u64> = (from..to).step_by(interval as usize).collect();
+    eprintln!(
+        "crash_sweep: {} blocks, endurance {ENDURANCE:.0}, seed {seed}, \
+         {} stacks x {} crash points (every {interval} writes in {from}..{to})",
+        BLOCKS,
+        stacks.len(),
+        points.len(),
+    );
+
+    let jobs: Vec<PooledJob<(usize, Point)>> = stacks
+        .iter()
+        .enumerate()
+        .flat_map(|(si, &(_, scheme, is_reviver))| {
+            points.iter().map(move |&k| {
+                Box::new(move || {
+                    let p = if is_reviver {
+                        reviver_point(scheme, seed, k)
+                    } else {
+                        baseline_point(scheme, seed, k)
+                    };
+                    (si, p)
+                }) as PooledJob<(usize, Point)>
+            })
+        })
+        .collect();
+    let results = run_pooled(jobs);
+
+    let mut rows = Vec::new();
+    let mut total_fired = 0u64;
+    let mut total_violations = 0u64;
+    for (si, (name, _, _)) in stacks.iter().enumerate() {
+        let mut fired = 0u64;
+        let mut violations = 0u64;
+        let mut agg = RecoveryReport::default();
+        for p in results.iter().filter(|(j, _)| *j == si).map(|(_, p)| p) {
+            if p.fired {
+                fired += 1;
+            }
+            violations += p.violations;
+            agg.absorb(&p.report);
+        }
+        total_fired += fired;
+        total_violations += violations;
+        rows.push(vec![
+            name.to_string(),
+            format!("{fired}/{}", points.len()),
+            violations.to_string(),
+            agg.blocks_scanned.to_string(),
+            agg.links_recovered.to_string(),
+            agg.torn_links_dropped.to_string(),
+            agg.torn_switch_repairs.to_string(),
+            agg.migration_replays.to_string(),
+        ]);
+    }
+    print_table(
+        "crash sweep",
+        &[
+            "stack",
+            "fired",
+            "violations",
+            "scanned",
+            "links",
+            "torn",
+            "switch-fix",
+            "replays",
+        ],
+        &rows,
+    );
+    println!(
+        "{} crash points fired across {} stacks; {} oracle violations",
+        total_fired,
+        stacks.len(),
+        total_violations
+    );
+    if total_violations > 0 {
+        eprintln!("FAIL: crash sweep found {total_violations} oracle violations");
+        std::process::exit(1);
+    }
+}

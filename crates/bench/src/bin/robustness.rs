@@ -1,0 +1,229 @@
+//! `robustness` — recovery-cost benchmark, tracked over time.
+//!
+//! For each reviver stack, sweeps a set of seeded power-loss points
+//! through one lifetime workload and measures what recovery costs at
+//! each: PCM blocks scanned, links rebuilt, journaled migration lines
+//! replayed, spares recovered, and recovery wall-clock time. Results go
+//! to `BENCH_robustness.json` with the same baseline discipline as
+//! `bench_core`:
+//!
+//! * first run (no file): records the numbers as both `baseline` and
+//!   `current`;
+//! * later runs: preserves the existing `baseline` verbatim, replaces
+//!   `current`, and reports `scan_ratio_vs_baseline` per stack.
+//!
+//! Delete the file (or set `WLR_BENCH_RESET=1`) to re-baseline;
+//! `WLR_BENCH_OUT` overrides the output path; `WLR_FAULT_SEED` and
+//! `WLR_CRASH_INTERVAL` pick the fault schedule (see EXPERIMENTS.md).
+
+use std::fmt::Write as _;
+use std::time::Instant;
+use wl_reviver::recovery::RecoveryReport;
+use wl_reviver::sim::{SchemeKind, Simulation, StopCondition, StopReason};
+use wlr_pcm::FaultPlan;
+
+const BLOCKS: u64 = 1 << 10;
+const ENDURANCE: f64 = 60.0;
+const STOP: u64 = 55_000;
+
+const STACKS: &[(&str, SchemeKind)] = &[
+    ("ReviverStartGap", SchemeKind::ReviverStartGap),
+    ("ReviverSecurityRefresh", SchemeKind::ReviverSecurityRefresh),
+    ("ReviverTiledStartGap", SchemeKind::ReviverTiledStartGap),
+    (
+        "ReviverTwoLevelSecurityRefresh",
+        SchemeKind::ReviverTwoLevelSecurityRefresh,
+    ),
+];
+
+fn env_u64(name: &str, default: u64) -> u64 {
+    std::env::var(name)
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(default)
+}
+
+#[derive(Debug)]
+struct Row {
+    name: &'static str,
+    crashes: u64,
+    report: RecoveryReport,
+    recover_seconds: f64,
+    violations: u64,
+}
+
+fn measure(seed: u64, interval: u64) -> Vec<Row> {
+    STACKS
+        .iter()
+        .map(|&(name, scheme)| {
+            let mut crashes = 0u64;
+            let mut violations = 0u64;
+            let mut agg = RecoveryReport::default();
+            let mut recover_seconds = 0.0;
+            for k in (interval..50_000).step_by(interval as usize) {
+                let mut sim = Simulation::builder()
+                    .num_blocks(BLOCKS)
+                    .endurance_mean(ENDURANCE)
+                    .gap_interval(5)
+                    .sr_refresh_interval(5)
+                    .scheme(scheme)
+                    .seed(seed)
+                    .sample_interval(10_000)
+                    .verify_integrity(true)
+                    .fault_plan(FaultPlan::new().power_loss_at_write(k))
+                    .build();
+                let out = sim.run(StopCondition::Writes(STOP));
+                if out.reason != StopReason::PowerLoss {
+                    continue;
+                }
+                crashes += 1;
+                let t = Instant::now();
+                let report = sim.recover();
+                recover_seconds += t.elapsed().as_secs_f64();
+                agg.absorb(&report);
+                violations += sim.verify_all();
+                sim.run(StopCondition::Writes(STOP));
+                violations += sim.verify_all();
+            }
+            eprintln!(
+                "  {name:<32} {crashes:>3} crashes: {:>8} blocks scanned, {:>5} links, \
+                 {:>4} replays, {violations} violations",
+                agg.blocks_scanned, agg.links_recovered, agg.migration_replays
+            );
+            Row {
+                name,
+                crashes,
+                report: agg,
+                recover_seconds,
+                violations,
+            }
+        })
+        .collect()
+}
+
+fn stacks_json(rows: &[Row]) -> String {
+    let mut s = String::from("{");
+    for (i, r) in rows.iter().enumerate() {
+        if i > 0 {
+            s.push_str(", ");
+        }
+        let per = |x: u64| x as f64 / r.crashes.max(1) as f64;
+        write!(
+            s,
+            "\"{}\": {{\"crashes\": {}, \"blocks_scanned_per_crash\": {:.1}, \
+             \"links_recovered_per_crash\": {:.2}, \"migration_replays_per_crash\": {:.3}, \
+             \"spares_recovered_per_crash\": {:.1}, \"torn_links_dropped\": {}, \
+             \"torn_switch_repairs\": {}, \"healed_links\": {}, \
+             \"recover_seconds_total\": {:.4}, \"violations\": {}}}",
+            r.name,
+            r.crashes,
+            per(r.report.blocks_scanned),
+            per(r.report.links_recovered),
+            per(r.report.migration_replays),
+            per(r.report.spares_recovered),
+            r.report.torn_links_dropped,
+            r.report.torn_switch_repairs,
+            r.report.healed_links,
+            r.recover_seconds,
+            r.violations
+        )
+        .expect("string write");
+    }
+    s.push('}');
+    s
+}
+
+/// Extracts the `"baseline": { ... }` object (brace-balanced) from a
+/// previous report, if present.
+fn extract_baseline(json: &str) -> Option<String> {
+    let start = json.find("\"baseline\":")? + "\"baseline\":".len();
+    let open = start + json[start..].find('{')?;
+    let mut depth = 0usize;
+    for (i, c) in json[open..].char_indices() {
+        match c {
+            '{' => depth += 1,
+            '}' => {
+                depth -= 1;
+                if depth == 0 {
+                    return Some(json[open..=open + i].to_string());
+                }
+            }
+            _ => {}
+        }
+    }
+    None
+}
+
+/// Pulls `"<name>" ... "blocks_scanned_per_crash": <x>` out of a block.
+fn baseline_scanned(baseline: &str, name: &str) -> Option<f64> {
+    let at = baseline.find(&format!("\"{name}\":"))?;
+    let tail = &baseline[at..];
+    let at = tail.find("\"blocks_scanned_per_crash\":")? + "\"blocks_scanned_per_crash\":".len();
+    let tail = tail[at..].trim_start();
+    let end = tail
+        .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-' || c == 'e' || c == '+'))
+        .unwrap_or(tail.len());
+    tail[..end].parse().ok()
+}
+
+fn main() {
+    let out_path =
+        std::env::var("WLR_BENCH_OUT").unwrap_or_else(|_| "BENCH_robustness.json".into());
+    let reset = std::env::var("WLR_BENCH_RESET").is_ok_and(|v| v == "1");
+    let seed = env_u64("WLR_FAULT_SEED", 42);
+    let interval = env_u64("WLR_CRASH_INTERVAL", 5_000).max(1);
+
+    eprintln!(
+        "robustness: {BLOCKS} blocks, endurance {ENDURANCE:.0}, seed {seed}, \
+         crash every {interval} device writes"
+    );
+    let rows = measure(seed, interval);
+    let total_violations: u64 = rows.iter().map(|r| r.violations).sum();
+    let current = stacks_json(&rows);
+
+    let baseline = if reset {
+        None
+    } else {
+        std::fs::read_to_string(&out_path)
+            .ok()
+            .as_deref()
+            .and_then(extract_baseline)
+    };
+    let is_first = baseline.is_none();
+    let baseline = baseline.unwrap_or_else(|| current.clone());
+
+    let mut ratios = String::from("{");
+    for (i, r) in rows.iter().enumerate() {
+        if i > 0 {
+            ratios.push_str(", ");
+        }
+        let per = r.report.blocks_scanned as f64 / r.crashes.max(1) as f64;
+        let ratio =
+            baseline_scanned(&baseline, r.name)
+                .map_or(1.0, |b| if b > 0.0 { per / b } else { 1.0 });
+        write!(ratios, "\"{}\": {:.2}", r.name, ratio).expect("string write");
+    }
+    ratios.push('}');
+
+    let report = format!(
+        "{{\n  \"config\": {{\"blocks\": {BLOCKS}, \"endurance\": {ENDURANCE}, \
+         \"seed\": {seed}, \"crash_interval\": {interval}, \"stop\": \"writes:{STOP}\"}},\n  \
+         \"baseline\": {baseline},\n  \"current\": {current},\n  \
+         \"scan_ratio_vs_baseline\": {ratios}\n}}\n"
+    );
+    std::fs::write(&out_path, &report).expect("write BENCH_robustness.json");
+    eprintln!(
+        "{} {out_path} ({})",
+        if is_first { "created" } else { "updated" },
+        if is_first {
+            "baseline recorded from this tree"
+        } else {
+            "baseline preserved"
+        }
+    );
+    println!("{report}");
+    if total_violations > 0 {
+        eprintln!("FAIL: {total_violations} oracle violations during the sweep");
+        std::process::exit(1);
+    }
+}

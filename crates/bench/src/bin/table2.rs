@@ -138,6 +138,7 @@ fn inject_to_ratio(ctl: &mut Ctl, ratio: f64, rng: &mut Rng, retired: &mut [bool
                         ctl.ctl().on_page_retired(p);
                     }
                 }
+                WriteResult::Dropped(e) => panic!("write dropped without faults: {e}"),
             }
         }
     }

@@ -19,8 +19,11 @@
 //! the page's PAs as virtual spare space.
 
 use core::fmt;
-use wlr_base::{Geometry, Pa, PageId};
+use wlr_base::{Da, Geometry, Pa, PageId};
 use wlr_pcm::PcmDevice;
+
+use crate::error::ReviverError;
+use crate::recovery::RecoveryReport;
 
 /// Outcome of a software write request.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -36,6 +39,11 @@ pub enum WriteResult {
     /// avoids). The triggering write was *not* serviced; retry it after
     /// granting the pages.
     RequestPages(Vec<PageId>),
+    /// The write could not be serviced or reported — power was cut
+    /// mid-operation, or torn metadata degraded the access. Nothing was
+    /// stored; the simulator decides whether to crash-stop or retry after
+    /// recovery.
+    Dropped(ReviverError),
 }
 
 /// Request-level access accounting: the basis of Table II's "average PCM
@@ -82,6 +90,10 @@ pub trait Controller: fmt::Debug {
     /// The underlying device, for wear/failure inspection.
     fn device(&self) -> &PcmDevice;
 
+    /// The underlying device, mutably — the fault-injection harness uses
+    /// this to restore power and schedule crash points.
+    fn device_mut(&mut self) -> &mut PcmDevice;
+
     /// Dead blocks within the software-visible space, as a fraction of it.
     fn visible_dead_fraction(&self) -> f64 {
         let n = self.geometry().num_blocks();
@@ -121,9 +133,40 @@ pub trait Controller: fmt::Debug {
     /// Default: nothing to lose.
     fn simulate_reboot(&mut self) {}
 
+    /// Recovers from a power cut: restores device power and rebuilds
+    /// volatile state from whatever survived, reporting the cost. The
+    /// baselines' metadata is modeled as fully persistent (they crash
+    /// only at software-write boundaries), so the default is a plain
+    /// reboot; WL-Reviver overrides this with its §III-B scan.
+    fn recover(&mut self) -> RecoveryReport {
+        self.device_mut().restore_power();
+        self.simulate_reboot();
+        RecoveryReport::default()
+    }
+
+    /// Whether `page`'s retirement reached durable storage — the commit
+    /// point the simulator's retirement transaction consults after a
+    /// crash. Baselines persist retirements synchronously.
+    fn retirement_persisted(&self, _page: PageId) -> bool {
+        true
+    }
+
+    /// The software PA whose data currently lives in device block `da`,
+    /// if the controller can tell (used to reconcile silent write
+    /// failures). `None` means the block holds no attributable data.
+    fn logical_owner(&self, _da: Da) -> Option<Pa> {
+        None
+    }
+
     /// Downcast to the WL-Reviver controller, when that is what this is
     /// (gives experiments access to the framework's event counters).
     fn as_reviver(&self) -> Option<&crate::reviver::RevivedController> {
+        None
+    }
+
+    /// Mutable variant of [`Self::as_reviver`] (gives the fault-injection
+    /// harness access to `inject_dead` and `restore_from`).
+    fn as_reviver_mut(&mut self) -> Option<&mut crate::reviver::RevivedController> {
         None
     }
 

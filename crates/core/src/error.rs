@@ -1,0 +1,82 @@
+//! Typed failure signals for the revived controller.
+//!
+//! The seed-state framework signalled "no spare PA" with a private unit
+//! struct and treated every other unexpected condition as a panic
+//! (`unreachable!`, fuel assertions). Under fault injection those
+//! conditions become *reachable* — a power cut mid-chain-repair leaves the
+//! repair unfinished, torn metadata can surface a dead block with no link
+//! — so they are now typed errors carried through [`crate::WriteResult`]
+//! and handled by the simulator instead of aborting the process.
+
+use core::fmt;
+
+/// Why a controller operation could not complete.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReviverError {
+    /// The operation needed a spare PA and the pool is empty (delayed
+    /// space acquisition kicks in: the next software write is sacrificed
+    /// as a failure report).
+    NeedSpare,
+    /// Power was lost mid-operation: the device dropped the write and
+    /// every subsequent one. The controller's persistent metadata is
+    /// frozen at the cut; volatile state is rebuilt by
+    /// [`crate::reviver::RevivedController::recover`].
+    PowerLoss,
+    /// A chain repair failed to converge within its fuel budget at this
+    /// device address — torn metadata produced a cycle the one-step
+    /// machinery cannot untangle. The controller degrades instead of
+    /// panicking; recovery re-derives the chains from persisted pointers.
+    ChainDiverged {
+        /// Device address where the repair gave up.
+        da: u64,
+    },
+    /// A dead block reachable from software carried no link — legal only
+    /// as Theorem 2's "undiscovered failure" state; hit during an access
+    /// that expected the link to exist.
+    UnlinkedDead {
+        /// The unlinked dead device address.
+        da: u64,
+    },
+}
+
+impl fmt::Display for ReviverError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ReviverError::NeedSpare => write!(f, "no spare PA available"),
+            ReviverError::PowerLoss => write!(f, "power lost mid-operation"),
+            ReviverError::ChainDiverged { da } => {
+                write!(f, "chain repair failed to converge at device block {da}")
+            }
+            ReviverError::UnlinkedDead { da } => {
+                write!(f, "software-reachable dead block {da} has no link")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ReviverError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_names_the_block() {
+        assert_eq!(
+            ReviverError::ChainDiverged { da: 42 }.to_string(),
+            "chain repair failed to converge at device block 42"
+        );
+        assert_eq!(
+            ReviverError::UnlinkedDead { da: 7 }.to_string(),
+            "software-reachable dead block 7 has no link"
+        );
+        assert!(ReviverError::NeedSpare.to_string().contains("spare"));
+        assert!(ReviverError::PowerLoss.to_string().contains("power"));
+    }
+
+    #[test]
+    fn error_trait_object() {
+        let e: Box<dyn std::error::Error> = Box::new(ReviverError::PowerLoss);
+        assert!(e.to_string().contains("power"));
+    }
+}

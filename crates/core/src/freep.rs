@@ -227,6 +227,10 @@ impl FreepController {
                     self.counters.links += 1;
                     target = slot;
                 }
+                // Injected power loss: the write is dropped. Baselines
+                // model all their state as persistent, so there is
+                // nothing to tear — the request is simply not serviced.
+                WriteOutcome::Lost => return Err(()),
             }
         }
     }
@@ -351,6 +355,10 @@ impl Controller for FreepController {
         &self.device
     }
 
+    fn device_mut(&mut self) -> &mut PcmDevice {
+        &mut self.device
+    }
+
     fn reserved_blocks(&self) -> u64 {
         self.reserve_blocks
     }
@@ -463,7 +471,7 @@ mod tests {
                     reported = true;
                     break;
                 }
-                WriteResult::RequestPages(_) => unreachable!(),
+                other => unreachable!("unexpected write result: {other:?}"),
             }
         }
         assert!(reported);
@@ -483,7 +491,7 @@ mod tests {
                     reports += 1;
                     break;
                 }
-                WriteResult::RequestPages(_) => unreachable!(),
+                other => unreachable!("unexpected write result: {other:?}"),
             }
         }
         assert_eq!(reports, 1);
@@ -504,7 +512,7 @@ mod tests {
                     frozen_at = Some(i);
                     break;
                 }
-                WriteResult::RequestPages(_) => unreachable!(),
+                other => unreachable!("unexpected write result: {other:?}"),
             }
         }
         assert!(frozen_at.is_some());

@@ -49,18 +49,22 @@
 
 pub mod cache;
 pub mod controller;
+pub mod error;
 pub mod freep;
 pub mod lls;
 pub mod metrics;
+pub mod recovery;
 pub mod reviver;
 pub mod sim;
 pub mod zombie;
 
 pub use cache::RemapCache;
 pub use controller::{Controller, RequestStats, WriteResult};
+pub use error::ReviverError;
 pub use freep::FreepController;
 pub use lls::LlsController;
 pub use metrics::WearReport;
+pub use recovery::{PersistedMeta, RecoveryReport, TornMeta};
 pub use reviver::{RevivedController, ReviverCounters};
 pub use sim::{SchemeKind, Simulation, StopCondition};
 pub use zombie::ZombieController;

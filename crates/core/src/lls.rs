@@ -321,6 +321,8 @@ impl LlsController {
                     // A fresh failure needs a same-group backup slot.
                     target = self.link_to_slot(target, group)?;
                 }
+                // Injected power loss: drop the write, expose nothing.
+                WriteOutcome::Lost => return Err(false),
             }
         }
     }
@@ -471,6 +473,10 @@ impl Controller for LlsController {
         &self.device
     }
 
+    fn device_mut(&mut self) -> &mut PcmDevice {
+        &mut self.device
+    }
+
     fn reserved_blocks(&self) -> u64 {
         // The space cost of acquired chunks is already visible as retired
         // software pages; counting it here would double-book it.
@@ -572,7 +578,7 @@ mod tests {
                     }
                     requested = true;
                 }
-                WriteResult::ReportFailure(_) => panic!("should request, not report"),
+                other => panic!("should request, got {other:?}"),
             }
             if requested && ctl.counters().links > 0 {
                 break;
@@ -678,7 +684,7 @@ mod tests {
             match os_write(&mut ctl, pa, i) {
                 WriteResult::Ok => {}
                 WriteResult::ReportFailure(_) => break,
-                WriteResult::RequestPages(_) => unreachable!("os_write grants"),
+                other => unreachable!("unexpected write result: {other:?}"),
             }
         }
         assert!(

@@ -17,13 +17,14 @@ use crate::controller::{Controller, WriteResult};
 use crate::freep::FreepController;
 use crate::lls::LlsController;
 use crate::metrics::{SamplePoint, TimeSeries};
+use crate::recovery::RecoveryReport;
 use crate::reviver::RevivedController;
 use crate::zombie::ZombieController;
 use wlr_base::dense::DenseMap;
 use wlr_base::rng::Rng;
 use wlr_base::{AppAddr, Geometry, Pa};
 use wlr_os::OsMemory;
-use wlr_pcm::{Ecp, ErrorCorrection, Payg, PcmDevice};
+use wlr_pcm::{Ecp, ErrorCorrection, FaultPlan, Payg, PcmDevice};
 use wlr_trace::{UniformWorkload, Workload};
 use wlr_wl::{
     NoWearLeveling, RandomizerKind, SecurityRefresh, Stacked, StartGap, TiledStartGap, WearLeveler,
@@ -100,6 +101,10 @@ pub enum StopReason {
     MemoryExhausted,
     /// The safety cap on total writes was hit.
     HardCap,
+    /// An injected power loss cut the run short. Call
+    /// [`Simulation::recover`] to restore power, rebuild the controller's
+    /// volatile state, and continue running.
+    PowerLoss,
 }
 
 /// Final state of a run.
@@ -143,6 +148,7 @@ pub struct SimulationBuilder {
     reviver_pointer_bytes: u64,
     reviver_chain_switching: bool,
     reviver_proactive: bool,
+    fault_plan: Option<FaultPlan>,
 }
 
 impl SimulationBuilder {
@@ -301,6 +307,15 @@ impl SimulationBuilder {
         self
     }
 
+    /// Installs a fault-injection schedule on the device (power losses,
+    /// silent write failures, transient read errors). An empty plan is
+    /// equivalent to none: the fault machinery stays entirely out of the
+    /// hot path and runs are bit-identical to fault-free ones.
+    pub fn fault_plan(mut self, plan: FaultPlan) -> Self {
+        self.fault_plan = Some(plan);
+        self
+    }
+
     /// Constructs the simulation.
     ///
     /// # Panics
@@ -336,15 +351,20 @@ impl SimulationBuilder {
             EccKind::Payg { ratio } => Box::new(Payg::with_ratio(self.num_blocks, ratio)),
         };
 
+        let fault_active = self.fault_plan.as_ref().is_some_and(|p| !p.is_empty());
+        let fault_plan = self.fault_plan;
         let mk_device = |extra: u64, contents: bool| {
-            PcmDevice::builder(geo)
+            let mut b = PcmDevice::builder(geo)
                 .extra_blocks(extra)
                 .endurance_mean(self.endurance_mean)
                 .endurance_cov(self.endurance_cov)
                 .seed(self.seed)
                 .ecc(ecc)
-                .track_contents(contents)
-                .build()
+                .track_contents(contents);
+            if let Some(plan) = fault_plan {
+                b = b.fault_plan(plan);
+            }
+            b.build()
         };
         let sg = |kind: RandomizerKind| -> Box<dyn WearLeveler> {
             Box::new(
@@ -523,6 +543,8 @@ impl SimulationBuilder {
             grants: 0,
             lost_writes: 0,
             hard_cap: self.hard_cap,
+            fault_active,
+            silent_seen: 0,
         }
     }
 }
@@ -555,6 +577,12 @@ pub struct Simulation {
     grants: u64,
     lost_writes: u64,
     hard_cap: u64,
+    /// Whether a non-empty fault plan is installed. Gates every piece of
+    /// fault bookkeeping (OS snapshots, exemptions, power polling) so
+    /// fault-free runs stay bit-identical to the seed engine.
+    fault_active: bool,
+    /// Silent-failure log entries already reconciled with the oracle.
+    silent_seen: usize,
 }
 
 /// The integrity oracle's store: a dense app-address → tag table plus an
@@ -605,6 +633,9 @@ enum StepOutcome {
     /// engine returned before its sample check).
     Discarded,
     Exhausted,
+    /// An injected power loss fired during this write: the device is
+    /// dropping all writes until [`Simulation::recover`] runs.
+    PowerLost,
 }
 
 impl Simulation {
@@ -637,6 +668,7 @@ impl Simulation {
             reviver_pointer_bytes: 4,
             reviver_chain_switching: true,
             reviver_proactive: false,
+            fault_plan: None,
         }
     }
 
@@ -735,15 +767,30 @@ impl Simulation {
         let Some(pa) = translated else {
             return StepOutcome::Exhausted;
         };
-        self.pa_write(pa, tag, 0);
+        let placed = self.pa_write(pa, tag, 0);
+        if self.fault_active && self.controller.device().power_lost() {
+            // The in-flight write is torn by definition: neither its old
+            // nor its new content is promised across the crash, so the
+            // oracle stops tracking the address (it resumes on the next
+            // post-recovery write).
+            if let Some(oracle) = &mut self.expected {
+                oracle.remove(addr.index());
+            }
+            self.reconcile_silent_failures();
+            return StepOutcome::PowerLost;
+        }
         if let Some(oracle) = &mut self.expected {
             // The data survives iff the address still translates (its page
-            // was kept or relocated with copies).
-            if self.os.translate(addr).is_some() {
+            // was kept or relocated with copies) — and, under fault
+            // injection, iff the write actually landed somewhere.
+            if self.os.translate(addr).is_some() && (placed || !self.fault_active) {
                 oracle.insert(addr.index(), tag);
             } else {
                 oracle.remove(addr.index());
             }
+        }
+        if self.fault_active {
+            self.reconcile_silent_failures();
         }
         StepOutcome::Serviced
     }
@@ -772,66 +819,148 @@ impl Simulation {
     }
 
     /// Writes `tag` to `pa`, playing the OS on failure reports and page
-    /// requests. Retirement copies recurse (bounded by `depth`).
-    fn pa_write(&mut self, pa: Pa, tag: u64, depth: u8) {
+    /// requests. Retirement copies recurse (bounded by `depth`). Returns
+    /// whether the data ended up stored somewhere (always ignored in
+    /// fault-free runs, whose oracle keys off translation alone).
+    fn pa_write(&mut self, pa: Pa, tag: u64, depth: u8) -> bool {
         if depth > 8 {
             self.lost_writes += 1;
-            return;
+            return false;
         }
         for _ in 0..4 {
             match self.controller.write(pa, tag) {
-                WriteResult::Ok => return,
+                WriteResult::Ok => return true,
                 WriteResult::ReportFailure(rep) => {
-                    self.handle_report(rep, (pa, tag), depth);
-                    return;
+                    return self.handle_report(rep, (pa, tag), depth);
                 }
                 WriteResult::RequestPages(pages) => {
                     for page in pages {
+                        let snap = self.fault_active.then(|| self.os.clone());
                         if let Some(ret) = self.os.retire_page(page) {
                             self.retirements += 1;
                             let copies = ret.copies.clone();
                             self.controller.on_page_retired(page);
+                            if self.rolled_back_retirement(page, snap) {
+                                return false;
+                            }
                             self.grants += 1;
                             for (src, dst) in copies {
                                 let t = self.controller.read(src);
-                                self.pa_write(dst, t, depth + 1);
+                                let ok = self.pa_write(dst, t, depth + 1);
+                                if self.fault_active && !ok {
+                                    self.exempt_pa(dst);
+                                }
                             }
                         } else {
                             self.controller.on_page_retired(page);
+                            if self.rolled_back_retirement(page, snap) {
+                                return false;
+                            }
                             self.grants += 1;
                         }
                     }
                     // Retry the original write now that the pages landed.
                 }
+                WriteResult::Dropped(_) => {
+                    // Power cut or degraded metadata: nothing stored,
+                    // nothing to report. The run loop notices the power
+                    // state; degraded accesses just lose this write.
+                    self.lost_writes += 1;
+                    return false;
+                }
             }
         }
         self.lost_writes += 1;
+        false
     }
 
     /// OS exception handler: retire the page, grant it to the controller,
     /// and relocate its data — substituting the freshly-written tag for
-    /// the failing block's stale content.
-    fn handle_report(&mut self, rep: Pa, fresh: (Pa, u64), depth: u8) {
+    /// the failing block's stale content. Returns whether the fresh data
+    /// got placed.
+    fn handle_report(&mut self, rep: Pa, fresh: (Pa, u64), depth: u8) -> bool {
+        let snap = self.fault_active.then(|| self.os.clone());
         let Some(ret) = self.os.handle_failure(rep) else {
             // Stale report: the page is already gone; so is the data.
             self.lost_writes += 1;
-            return;
+            return false;
         };
-        self.retirements += 1;
         self.controller.on_page_retired(ret.retired);
+        if self.rolled_back_retirement(ret.retired, snap) {
+            self.lost_writes += 1;
+            return false;
+        }
+        self.retirements += 1;
         self.grants += 1;
         if ret.copies.is_empty() {
             // Pool dry: the application page was dropped.
             self.lost_writes += 1;
-            return;
+            return false;
         }
+        let mut fresh_placed = false;
         for (src, dst) in ret.copies {
-            let t = if src == fresh.0 {
-                fresh.1
+            let (t, is_fresh) = if src == fresh.0 {
+                (fresh.1, true)
             } else {
-                self.controller.read(src)
+                (self.controller.read(src), false)
             };
-            self.pa_write(dst, t, depth + 1);
+            let ok = self.pa_write(dst, t, depth + 1);
+            if is_fresh {
+                fresh_placed = ok;
+            }
+            if self.fault_active && !ok && !is_fresh {
+                self.exempt_pa(dst);
+            }
+        }
+        fresh_placed
+    }
+
+    /// Retirement transaction check: if a power cut struck before the
+    /// retirement's durable commit (`Controller::retirement_persisted`),
+    /// the grant never happened as far as recovery is concerned — roll the
+    /// OS back to the pre-retirement snapshot so both sides agree. Returns
+    /// true when the rollback fired. No-op (and no snapshot is ever taken)
+    /// without an active fault plan.
+    fn rolled_back_retirement(&mut self, page: wlr_base::PageId, snap: Option<OsMemory>) -> bool {
+        if !self.fault_active || self.controller.retirement_persisted(page) {
+            return false;
+        }
+        self.os = snap.expect("snapshot taken when faults are active");
+        true
+    }
+
+    /// Removes from the oracle the application address currently mapped
+    /// to `pa` (a relocation copy that never landed because of an
+    /// injected fault). Fault paths only — linear in tracked addresses.
+    fn exempt_pa(&mut self, pa: Pa) {
+        let Some(oracle) = &self.expected else {
+            return;
+        };
+        let hit = oracle.keys.iter().copied().find(|&k| {
+            self.os
+                .translate(AppAddr::new(k))
+                .is_some_and(|cand| cand == pa)
+        });
+        if let Some(k) = hit {
+            self.expected.as_mut().unwrap().remove(k);
+        }
+    }
+
+    /// Reconciles newly-logged silent write failures with the oracle: the
+    /// device reported those writes as stored but the block died, so
+    /// whichever logical address owns the block has lost its data through
+    /// no fault of the controller. The owner is resolved through the
+    /// controller's current mapping and exempted from verification; the
+    /// failure itself surfaces later as a normal (reported) failure when
+    /// the block is next touched.
+    fn reconcile_silent_failures(&mut self) {
+        let log_len = self.controller.device().silent_failures().len();
+        while self.silent_seen < log_len {
+            let da = self.controller.device().silent_failures()[self.silent_seen];
+            self.silent_seen += 1;
+            if let Some(pa) = self.controller.logical_owner(da) {
+                self.exempt_pa(pa);
+            }
         }
     }
 
@@ -869,6 +998,21 @@ impl Simulation {
     /// [`crate::controller::Controller::simulate_reboot`].
     pub fn simulate_reboot(&mut self) {
         self.controller.simulate_reboot();
+    }
+
+    /// Recovers from an injected power loss: restores device power and
+    /// has the controller rebuild its volatile state from persistent
+    /// metadata, returning the recovery-cost report. Safe to call when
+    /// power was never lost (it is then just a reboot). After it returns,
+    /// [`Self::run`] can continue the interrupted run.
+    pub fn recover(&mut self) -> RecoveryReport {
+        let report = self.controller.recover();
+        if self.fault_active {
+            // Recovery's journal replay may itself have touched blocks;
+            // reconcile any silent failures it surfaced.
+            self.reconcile_silent_failures();
+        }
+        report
     }
 
     /// Reads back `count` random tracked addresses and compares with the
@@ -975,6 +1119,9 @@ impl Simulation {
                         if last == StepOutcome::Exhausted {
                             break 'outer StopReason::MemoryExhausted;
                         }
+                        if last == StepOutcome::PowerLost {
+                            break 'outer StopReason::PowerLoss;
+                        }
                     }
                 }
                 StopCondition::UsableBelow(_) => {
@@ -985,6 +1132,9 @@ impl Simulation {
                         last = self.step();
                         if last == StepOutcome::Exhausted {
                             break 'outer StopReason::MemoryExhausted;
+                        }
+                        if last == StepOutcome::PowerLost {
+                            break 'outer StopReason::PowerLoss;
                         }
                         if (self.retirements, self.grants) != watch {
                             break;
@@ -1002,6 +1152,9 @@ impl Simulation {
                         if last == StepOutcome::Exhausted {
                             break 'outer StopReason::MemoryExhausted;
                         }
+                        if last == StepOutcome::PowerLost {
+                            break 'outer StopReason::PowerLoss;
+                        }
                     } else {
                         // Below the gate the condition cannot trip until
                         // another block dies — watch the dead count.
@@ -1009,6 +1162,9 @@ impl Simulation {
                             last = self.step();
                             if last == StepOutcome::Exhausted {
                                 break 'outer StopReason::MemoryExhausted;
+                            }
+                            if last == StepOutcome::PowerLost {
+                                break 'outer StopReason::PowerLoss;
                             }
                             if self.controller.device().dead_blocks() != dead {
                                 break;

@@ -213,6 +213,8 @@ impl ZombieController {
                     self.frozen = true;
                     target = self.link_last_dead(target)?;
                 }
+                // Injected power loss: drop the write.
+                WriteOutcome::Lost => return Err(()),
             }
         }
     }
@@ -339,6 +341,10 @@ impl Controller for ZombieController {
         &self.device
     }
 
+    fn device_mut(&mut self) -> &mut PcmDevice {
+        &mut self.device
+    }
+
     fn wl_active(&self) -> bool {
         !self.frozen
     }
@@ -409,7 +415,7 @@ mod tests {
                     reported = Some(rep);
                     break;
                 }
-                WriteResult::RequestPages(_) => unreachable!(),
+                other => unreachable!("unexpected write result: {other:?}"),
             }
         }
         assert_eq!(reported, Some(pa));
@@ -438,7 +444,7 @@ mod tests {
                     os_retired[page.as_usize()] = true;
                     ctl.on_page_retired(page);
                 }
-                WriteResult::RequestPages(_) => unreachable!(),
+                other => unreachable!("unexpected write result: {other:?}"),
             }
             if ctl.counters().links > 80 {
                 break;
@@ -470,7 +476,7 @@ mod tests {
                     ctl.on_page_retired(ctl.geometry().page_of(rep));
                     break;
                 }
-                WriteResult::RequestPages(_) => unreachable!(),
+                other => unreachable!("unexpected write result: {other:?}"),
             }
         }
         // Hammer another PA (outside the retired page) until it fails and

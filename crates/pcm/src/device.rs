@@ -16,6 +16,7 @@
 //!   PA must return the last tag written to that PA.
 
 use crate::ecc::{Ecp, ErrorCorrection};
+use crate::fault::{CrashPoint, FaultCounters, FaultInjector, FaultPlan, ReadFault, WriteFault};
 use crate::lifetime::LifetimeModel;
 use wlr_base::{Da, Geometry};
 
@@ -29,6 +30,10 @@ pub enum WriteOutcome {
     NewFailure,
     /// The block was already dead; the access is counted but stores nothing.
     AlreadyDead,
+    /// Power is lost (fault injection): the write was dropped entirely —
+    /// no access counted, no wear, nothing stored. Only possible when a
+    /// [`crate::fault::FaultPlan`] is configured.
+    Lost,
 }
 
 /// Result of a block read.
@@ -38,6 +43,10 @@ pub enum ReadOutcome {
     Ok,
     /// The block is dead; returned data is whatever the failure left behind.
     Dead,
+    /// A transient (soft) error the block's ECC scheme could not absorb
+    /// (fault injection). Unlike [`ReadOutcome::Dead`] the block is still
+    /// alive and a retry may succeed.
+    Transient,
 }
 
 /// Raw access counters (each unit is one PCM array access).
@@ -67,6 +76,7 @@ pub struct PcmDeviceBuilder {
     seed: u64,
     ecc: Option<Box<dyn ErrorCorrection>>,
     track_contents: bool,
+    fault_plan: Option<FaultPlan>,
 }
 
 impl PcmDeviceBuilder {
@@ -109,6 +119,14 @@ impl PcmDeviceBuilder {
         self
     }
 
+    /// Arms a fault-injection plan (power loss, silent failures,
+    /// transient read errors). Without one the device never fails
+    /// un-organically and the fault paths cost a single branch per access.
+    pub fn fault_plan(mut self, plan: FaultPlan) -> Self {
+        self.fault_plan = Some(plan);
+        self
+    }
+
     /// Constructs the device.
     pub fn build(self) -> PcmDevice {
         let total = self.geometry.num_blocks() + self.extra_blocks;
@@ -135,6 +153,7 @@ impl PcmDeviceBuilder {
             },
             dead_count: 0,
             stats: AccessStats::default(),
+            fault: self.fault_plan.map(FaultInjector::new),
         }
     }
 }
@@ -157,6 +176,9 @@ pub struct PcmDevice {
     contents: Option<Vec<u64>>,
     dead_count: u64,
     stats: AccessStats,
+    /// Present only when a fault plan is armed; `None` keeps the access
+    /// hot paths fault-free beyond one discriminant check.
+    fault: Option<FaultInjector>,
 }
 
 impl PcmDevice {
@@ -171,6 +193,7 @@ impl PcmDevice {
             seed: 0,
             ecc: None,
             track_contents: false,
+            fault_plan: None,
         }
     }
 
@@ -217,10 +240,42 @@ impl PcmDevice {
     pub fn read(&mut self, da: Da) -> ReadOutcome {
         self.check(da);
         self.stats.reads += 1;
+        if self.fault.is_some() {
+            return self.faulted_read(da);
+        }
         if self.dead[da.as_usize()] {
             ReadOutcome::Dead
         } else {
             ReadOutcome::Ok
+        }
+    }
+
+    /// Read path with a fault plan armed: consult the injector, then
+    /// route transient errors through the ECC scheme's headroom check.
+    #[cold]
+    fn faulted_read(&mut self, da: Da) -> ReadOutcome {
+        let fault = self.fault.as_mut().expect("caller checked");
+        let raised = fault.on_read();
+        if self.dead[da.as_usize()] {
+            return ReadOutcome::Dead;
+        }
+        match raised {
+            ReadFault::None => ReadOutcome::Ok,
+            ReadFault::Transient => {
+                // A soft error is one more bad cell to correct on this
+                // read; the scheme absorbs it iff a real (permanent)
+                // failure of the same rank would still be correctable.
+                // No entry is consumed — the cell recovers.
+                let nth = u32::from(self.failures[da.as_usize()]) + 1;
+                let corrected = self.ecc.would_correct(da, nth);
+                let fault = self.fault.as_mut().expect("caller checked");
+                fault.note_transient(corrected);
+                if corrected {
+                    ReadOutcome::Ok
+                } else {
+                    ReadOutcome::Transient
+                }
+            }
         }
     }
 
@@ -233,6 +288,11 @@ impl PcmDevice {
     #[inline]
     pub fn write(&mut self, da: Da) -> WriteOutcome {
         self.check(da);
+        if self.fault.is_some() {
+            if let Some(out) = self.faulted_write(da) {
+                return out;
+            }
+        }
         self.stats.writes += 1;
         let i = da.as_usize();
         if self.dead[i] {
@@ -257,13 +317,40 @@ impl PcmDevice {
         WriteOutcome::Ok
     }
 
+    /// Write path with a fault plan armed. `Some` short-circuits
+    /// [`Self::write`]; `None` falls through to the normal path.
+    #[cold]
+    fn faulted_write(&mut self, da: Da) -> Option<WriteOutcome> {
+        let fault = self.fault.as_mut().expect("caller checked");
+        match fault.on_write(da) {
+            WriteFault::None => None,
+            // Power lost: the array never sees the write — no access
+            // counted, no wear, nothing stored.
+            WriteFault::Lost => Some(WriteOutcome::Lost),
+            WriteFault::Silent => {
+                // The block dies but the device reports success (the
+                // paper's "failure is *sometimes* reported" caveat). The
+                // access is serviced and counted; the data is gone, which
+                // a later read/verify discovers via `is_dead`.
+                self.stats.writes += 1;
+                let i = da.as_usize();
+                if !self.dead[i] {
+                    self.dead[i] = true;
+                    self.dead_count += 1;
+                }
+                Some(WriteOutcome::Ok)
+            }
+        }
+    }
+
     /// Writes block `da` and, in content-tracking mode, stores `tag` as its
     /// data (only if the write succeeded — a failing write loses its data,
     /// which is exactly the hazard WL-Reviver's delayed-acquisition logic
-    /// must handle).
+    /// must handle). A silent injected failure reports `Ok` but stores
+    /// nothing: the block is dead.
     pub fn write_tagged(&mut self, da: Da, tag: u64) -> WriteOutcome {
         let outcome = self.write(da);
-        if outcome == WriteOutcome::Ok {
+        if outcome == WriteOutcome::Ok && !self.dead[da.as_usize()] {
             if let Some(c) = &mut self.contents {
                 c[da.as_usize()] = tag;
             }
@@ -336,6 +423,48 @@ impl PcmDevice {
         }
     }
 
+    /// Whether the device currently has power. Always `true` without a
+    /// fault plan.
+    #[inline]
+    pub fn powered(&self) -> bool {
+        self.fault.as_ref().is_none_or(FaultInjector::powered)
+    }
+
+    /// Whether an injected power loss is in effect (writes are being
+    /// dropped).
+    #[inline]
+    pub fn power_lost(&self) -> bool {
+        !self.powered()
+    }
+
+    /// Restores power after an injected loss (the reboot boundary);
+    /// no-op without a fault plan or with power intact.
+    pub fn restore_power(&mut self) {
+        if let Some(f) = &mut self.fault {
+            f.restore_power();
+        }
+    }
+
+    /// Reports a named controller crash point to the fault plan, which
+    /// may cut power here. No-op without a plan.
+    #[inline]
+    pub fn crash_point(&mut self, point: CrashPoint) {
+        if let Some(f) = &mut self.fault {
+            f.on_crash_point(point);
+        }
+    }
+
+    /// Fault counters, when a fault plan is armed.
+    pub fn fault_counters(&self) -> Option<FaultCounters> {
+        self.fault.as_ref().map(FaultInjector::counters)
+    }
+
+    /// Device addresses killed by silent write failures so far (empty
+    /// without a fault plan).
+    pub fn silent_failures(&self) -> &[Da] {
+        self.fault.as_ref().map_or(&[], FaultInjector::silent_log)
+    }
+
     /// Access counters accumulated so far.
     pub fn stats(&self) -> AccessStats {
         self.stats
@@ -385,6 +514,7 @@ mod tests {
                 WriteOutcome::NewFailure => return writes,
                 WriteOutcome::AlreadyDead => panic!("block died without NewFailure"),
                 WriteOutcome::Ok => {}
+                WriteOutcome::Lost => panic!("no fault plan armed"),
             }
             assert!(writes < 10_000_000, "block never died");
         }
@@ -493,7 +623,7 @@ mod tests {
             match dev.write_tagged(da, i) {
                 WriteOutcome::Ok => last_good = i,
                 WriteOutcome::NewFailure => break,
-                WriteOutcome::AlreadyDead => unreachable!(),
+                WriteOutcome::AlreadyDead | WriteOutcome::Lost => unreachable!(),
             }
         }
         assert_eq!(
@@ -628,6 +758,95 @@ mod tests {
                 }
                 assert_eq!(dev.dead_iter().count() as u64, dev.dead_blocks());
             }
+        }
+    }
+
+    mod faults {
+        use super::*;
+        use crate::fault::{CrashPoint, FaultPlan};
+
+        fn faulted(plan: FaultPlan) -> PcmDevice {
+            let geo = Geometry::builder().num_blocks(64).build().unwrap();
+            PcmDevice::builder(geo)
+                .endurance_mean(1e6)
+                .seed(2)
+                .track_contents(true)
+                .fault_plan(plan)
+                .build()
+        }
+
+        #[test]
+        fn power_loss_freezes_the_device_until_restored() {
+            let mut dev = faulted(FaultPlan::new().power_loss_at_write(1));
+            assert_eq!(dev.write_tagged(Da::new(0), 10), WriteOutcome::Ok);
+            let stats_before = dev.stats();
+            let wear_before = dev.wear(Da::new(1));
+            assert_eq!(dev.write_tagged(Da::new(1), 20), WriteOutcome::Lost);
+            assert!(dev.power_lost());
+            assert_eq!(dev.write_tagged(Da::new(2), 30), WriteOutcome::Lost);
+            // Lost writes leave no trace: stats, wear, and contents frozen.
+            assert_eq!(dev.stats(), stats_before);
+            assert_eq!(dev.wear(Da::new(1)), wear_before);
+            assert_eq!(dev.tag(Da::new(1)), 0);
+            dev.restore_power();
+            assert!(dev.powered());
+            assert_eq!(dev.write_tagged(Da::new(1), 40), WriteOutcome::Ok);
+            assert_eq!(dev.tag(Da::new(1)), 40);
+        }
+
+        #[test]
+        fn silent_failure_reports_ok_but_kills_and_drops_data() {
+            let mut dev = faulted(FaultPlan::new().silent_failure_at_write(1));
+            assert_eq!(dev.write_tagged(Da::new(5), 1), WriteOutcome::Ok);
+            assert_eq!(dev.tag(Da::new(5)), 1);
+            // The lying write: reports Ok, stores nothing, block is dead.
+            assert_eq!(dev.write_tagged(Da::new(5), 2), WriteOutcome::Ok);
+            assert_eq!(dev.tag(Da::new(5)), 1, "silent failure must drop data");
+            assert!(dev.is_dead(Da::new(5)));
+            assert_eq!(dev.silent_failures(), &[Da::new(5)]);
+            assert_eq!(dev.read(Da::new(5)), ReadOutcome::Dead);
+            assert_eq!(dev.fault_counters().unwrap().silent_failures, 1);
+        }
+
+        #[test]
+        fn crash_point_cuts_power_between_writes() {
+            let mut dev = faulted(FaultPlan::new().power_loss_at_point(CrashPoint::MidSwitch, 0));
+            assert_eq!(dev.write(Da::new(0)), WriteOutcome::Ok);
+            dev.crash_point(CrashPoint::MidSwitch);
+            assert!(dev.power_lost());
+            assert_eq!(dev.write(Da::new(1)), WriteOutcome::Lost);
+        }
+
+        #[test]
+        fn transient_read_corrected_while_ecc_has_headroom() {
+            // ECP6 device, fresh block: a soft error is absorbed.
+            let mut dev = faulted(FaultPlan::new().transient_read_at(0).transient_read_at(1));
+            assert_eq!(dev.read(Da::new(3)), ReadOutcome::Ok);
+            let c = dev.fault_counters().unwrap();
+            assert_eq!(c.transients_corrected, 1);
+            // Second transient lands on a block whose ECC is saturated.
+            let geo = Geometry::builder().num_blocks(64).build().unwrap();
+            let mut sat = PcmDevice::builder(geo)
+                .endurance_mean(1e6)
+                .seed(2)
+                .ecc(Box::new(Ecp::new(0)))
+                .fault_plan(FaultPlan::new().transient_read_at(0))
+                .build();
+            assert_eq!(sat.read(Da::new(3)), ReadOutcome::Transient);
+            assert!(!sat.is_dead(Da::new(3)), "transient must not kill");
+            assert_eq!(sat.fault_counters().unwrap().transients_uncorrectable, 1);
+        }
+
+        #[test]
+        fn unarmed_device_reports_no_fault_state() {
+            let mut dev = small_device(Box::new(Ecp::ecp6()));
+            assert!(dev.powered());
+            assert!(!dev.power_lost());
+            assert_eq!(dev.fault_counters(), None);
+            assert!(dev.silent_failures().is_empty());
+            dev.crash_point(CrashPoint::MidSwitch); // no-op
+            dev.restore_power(); // no-op
+            assert_eq!(dev.write(Da::new(0)), WriteOutcome::Ok);
         }
     }
 

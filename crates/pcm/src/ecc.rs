@@ -40,6 +40,16 @@ pub trait ErrorCorrection: fmt::Debug {
     fn pool_remaining(&self) -> Option<u64> {
         None
     }
+
+    /// Whether the scheme *would* absorb the `nth` (1-based) bad cell of
+    /// block `da` without consuming any resource — used for transient
+    /// (soft) read errors, which the hardware corrects in place when ECC
+    /// headroom remains but which do not burn a permanent entry. The
+    /// conservative default says no.
+    fn would_correct(&self, da: Da, nth: u32) -> bool {
+        let _ = (da, nth);
+        false
+    }
 }
 
 /// Error-Correcting Pointers with a fixed number of entries per block.
@@ -88,6 +98,10 @@ impl ErrorCorrection for Ecp {
 
     fn label(&self) -> String {
         format!("ECP{}", self.entries)
+    }
+
+    fn would_correct(&self, _da: Da, nth: u32) -> bool {
+        nth <= self.entries
     }
 }
 
@@ -168,6 +182,10 @@ impl ErrorCorrection for Payg {
 
     fn pool_remaining(&self) -> Option<u64> {
         Some(self.pool)
+    }
+
+    fn would_correct(&self, _da: Da, nth: u32) -> bool {
+        nth <= self.cap && (nth <= self.local_entries || self.pool > 0)
     }
 }
 

@@ -55,8 +55,10 @@
 
 pub mod device;
 pub mod ecc;
+pub mod fault;
 pub mod lifetime;
 
-pub use device::{AccessStats, PcmDevice, PcmDeviceBuilder, WriteOutcome};
+pub use device::{AccessStats, PcmDevice, PcmDeviceBuilder, ReadOutcome, WriteOutcome};
 pub use ecc::{Ecp, ErrorCorrection, NoCorrection, Payg};
+pub use fault::{CrashPoint, FaultCounters, FaultInjector, FaultPlan};
 pub use lifetime::LifetimeModel;

@@ -65,7 +65,7 @@ fn inject(ctl: &mut RevivedController, ratio: f64, rng: &mut Rng, retired: &mut 
                 retired[page.as_usize()] = true;
                 ctl.on_page_retired(page);
             }
-            WriteResult::RequestPages(_) => unreachable!("WL-Reviver never asks"),
+            other => unreachable!("unexpected write result without faults: {other:?}"),
         }
     }
 }

@@ -1,0 +1,315 @@
+//! Crash-recovery oracle: power loss at inconvenient moments must never
+//! lose committed data or corrupt the revival indirection.
+//!
+//! The model is a *freeze* crash: the injected power cut drops the write
+//! in flight and everything after it, so the persistent image (device
+//! contents, stored pointers, the retirement bitmap, the battery-backed
+//! migration journal) is exactly what a real cut would leave behind.
+//! `Simulation::recover` then rebuilds the controller's volatile state by
+//! scanning, the §III-B story, and the integrity oracle — which tracked
+//! logical contents *before* the crash — asserts post-recovery
+//! equivalence. Reviver stacks additionally run with structural invariant
+//! checking (one-step chains, Theorem-3 loop properties) enabled, so a
+//! recovery that "works" by luck still fails here.
+//!
+//! Baseline stacks model fully-persistent metadata (the paper grants
+//! them this); they crash only at software-write boundaries, which the
+//! boundary sweep below still exercises through the same oracle.
+//!
+//! The full ≥200-point CrashMonkey-style sweep lives in the release-mode
+//! `crash_sweep` bench bin (see EXPERIMENTS.md); this suite keeps a
+//! debug-friendly subset plus the targeted torn-metadata windows a blind
+//! sweep only hits by luck.
+
+use wl_reviver::sim::{SchemeKind, Simulation, SimulationBuilder, StopCondition, StopReason};
+use wlr_pcm::{CrashPoint, FaultPlan};
+
+const BLOCKS: u64 = 1 << 10;
+/// Short lifetime (~60k writes) so the failure era — links, switches,
+/// retirements, suspensions — is reached quickly even in debug builds.
+const ENDURANCE: f64 = 60.0;
+const STOP: u64 = 55_000;
+const SEED: u64 = 11;
+
+fn rig(scheme: SchemeKind) -> SimulationBuilder {
+    Simulation::builder()
+        .num_blocks(BLOCKS)
+        .endurance_mean(ENDURANCE)
+        .gap_interval(5)
+        .sr_refresh_interval(5)
+        .scheme(scheme)
+        .seed(SEED)
+        .sample_interval(10_000)
+        .verify_integrity(true)
+        .check_invariants(true)
+}
+
+/// Every scheme stack, flagged by whether it has a real recovery path
+/// (reviver stacks crash at device-write granularity; baselines at
+/// software-write boundaries).
+fn all_schemes() -> Vec<(&'static str, SchemeKind, bool)> {
+    vec![
+        ("ecc", SchemeKind::EccOnly, false),
+        ("sg", SchemeKind::StartGapOnly, false),
+        ("sr", SchemeKind::SecurityRefreshOnly, false),
+        ("freep", SchemeKind::Freep { reserve_frac: 0.1 }, false),
+        ("lls", SchemeKind::Lls, false),
+        ("reviver-sg", SchemeKind::ReviverStartGap, true),
+        ("reviver-sr", SchemeKind::ReviverSecurityRefresh, true),
+        ("reviver-tiled", SchemeKind::ReviverTiledStartGap, true),
+        (
+            "reviver-sr2",
+            SchemeKind::ReviverTwoLevelSecurityRefresh,
+            true,
+        ),
+    ]
+}
+
+/// Crashes a reviver stack at device-write index `k`, recovers, finishes
+/// the run, and asserts the oracle stayed clean throughout.
+fn crash_and_recover(label: &str, scheme: SchemeKind, k: u64) -> bool {
+    let plan = FaultPlan::new().power_loss_at_write(k);
+    let mut sim = rig(scheme).fault_plan(plan).build();
+    let out = sim.run(StopCondition::Writes(STOP));
+    let fired = out.reason == StopReason::PowerLoss;
+    if fired {
+        let report = sim.recover();
+        assert!(
+            !report.suspended || sim.controller().suspended(),
+            "{label} @{k}: recovery says suspended but controller is not"
+        );
+        assert_eq!(
+            sim.verify_all(),
+            0,
+            "{label} @{k}: logical contents diverged across the crash"
+        );
+        sim.run(StopCondition::Writes(STOP));
+    }
+    assert_eq!(
+        sim.verify_all(),
+        0,
+        "{label} @{k}: mismatch after post-recovery run"
+    );
+    assert_eq!(sim.integrity_errors(), 0, "{label} @{k}: online violations");
+    fired
+}
+
+/// Reboots a baseline stack at software-write boundary `k` (its metadata
+/// is modeled persistent) and asserts the oracle across the reboot.
+fn boundary_crash(label: &str, scheme: SchemeKind, k: u64) {
+    let mut sim = rig(scheme).build();
+    let out = sim.run(StopCondition::Writes(k));
+    if out.reason == StopReason::ConditionMet {
+        sim.recover();
+        assert_eq!(sim.verify_all(), 0, "{label} @{k}: reboot lost data");
+        sim.run(StopCondition::Writes(STOP));
+    }
+    assert_eq!(sim.verify_all(), 0, "{label} @{k}: mismatch at end of run");
+}
+
+#[test]
+fn crash_sweep_recovers_every_stack() {
+    // Crash points from the healthy era through deep wear-out. The
+    // release-mode `crash_sweep` bin widens this to hundreds of points.
+    let mut fired = 0u64;
+    for (label, scheme, is_reviver) in all_schemes() {
+        for &k in &[20_000u64, 32_000, 44_000] {
+            if is_reviver {
+                if crash_and_recover(label, scheme, k) {
+                    fired += 1;
+                }
+            } else {
+                boundary_crash(label, scheme, k);
+                fired += 1;
+            }
+        }
+    }
+    assert!(fired >= 20, "only {fired} crash points actually fired");
+}
+
+#[test]
+fn targeted_crash_points_recover() {
+    // The torn-metadata windows: mid-switch, mid-migration, mid-retire,
+    // mid-link. A write-index sweep hits these only by luck; the named
+    // crash points pin them deterministically.
+    let points = [
+        ("mid-switch", CrashPoint::MidSwitch),
+        ("mid-migration", CrashPoint::MidMigration),
+        ("mid-retire", CrashPoint::MidRetire),
+        ("mid-link", CrashPoint::MidLink),
+    ];
+    let mut fired = 0u64;
+    for (name, point) in points {
+        for occurrence in [0u64, 2] {
+            let plan = FaultPlan::new().power_loss_at_point(point, occurrence);
+            let mut sim = rig(SchemeKind::ReviverStartGap).fault_plan(plan).build();
+            let out = sim.run(StopCondition::Writes(STOP));
+            if out.reason != StopReason::PowerLoss {
+                continue; // the occurrence never happened in this run
+            }
+            fired += 1;
+            sim.recover();
+            assert_eq!(
+                sim.verify_all(),
+                0,
+                "{name}#{occurrence}: data diverged across the crash"
+            );
+            sim.run(StopCondition::Writes(STOP));
+            assert_eq!(
+                sim.verify_all(),
+                0,
+                "{name}#{occurrence}: mismatch after resuming"
+            );
+        }
+    }
+    assert!(fired >= 6, "only {fired}/8 targeted crash points fired");
+}
+
+#[test]
+fn torn_switch_is_repaired_on_recovery() {
+    // A cut between the two pointer writes of a virtual-shadow switch
+    // leaves both blocks claiming the same shadow; recovery must detect
+    // the collision and reassign the stale claimant (not drop data).
+    let plan = FaultPlan::new().power_loss_at_point(CrashPoint::MidSwitch, 0);
+    let mut sim = rig(SchemeKind::ReviverStartGap).fault_plan(plan).build();
+    let out = sim.run(StopCondition::Writes(STOP));
+    assert_eq!(
+        out.reason,
+        StopReason::PowerLoss,
+        "run ended without a switch ever happening"
+    );
+    let report = sim.recover();
+    assert!(
+        report.torn_switch_repairs >= 1,
+        "mid-switch crash produced no torn-switch repair: {report:?}"
+    );
+    assert_eq!(sim.verify_all(), 0, "torn-switch repair lost data");
+    sim.run(StopCondition::Writes(STOP));
+    assert_eq!(sim.verify_all(), 0, "post-repair run corrupted data");
+}
+
+#[test]
+fn recovery_reports_scan_and_replay_costs() {
+    // The recovery-cost accounting the `robustness` bench bin reports:
+    // a mid-life crash must actually scan retired pages and recover the
+    // links that existed before the cut.
+    let plan = FaultPlan::new().power_loss_at_write(30_000);
+    let mut sim = rig(SchemeKind::ReviverStartGap).fault_plan(plan).build();
+    let out = sim.run(StopCondition::Writes(STOP));
+    assert_eq!(out.reason, StopReason::PowerLoss);
+    let links_before = sim
+        .controller()
+        .as_reviver()
+        .expect("reviver stack")
+        .linked_blocks();
+    let report = sim.recover();
+    assert!(report.blocks_scanned > 0, "recovery scanned nothing");
+    assert!(
+        report.links_recovered + report.torn_links_dropped >= links_before,
+        "recovery dropped links on the floor: {report:?} vs {links_before} live"
+    );
+    assert_eq!(sim.verify_all(), 0);
+}
+
+#[test]
+fn silent_and_reported_failures_converge() {
+    // The paper's caveat: a failure is only *sometimes* reported. A
+    // device that conceals a write failure (reports Ok, block dead) must
+    // steer the system to the same retired-page set as one that reports
+    // it immediately — the failure surfaces on the next touch and takes
+    // the same retirement path. Wear leveling is quiesced (huge ψ) and
+    // organic endurance pushed out of reach so the injected fault is the
+    // only failure and device-write indices align with software writes.
+    for (fault_seed, k) in [(1u64, 3_000u64), (2, 7_000), (3, 12_000)] {
+        let quiet = |scheme| {
+            Simulation::builder()
+                .num_blocks(BLOCKS)
+                .endurance_mean(1e9)
+                .gap_interval(1_000_000)
+                .sr_refresh_interval(1_000_000)
+                .scheme(scheme)
+                .seed(SEED + fault_seed)
+                .verify_integrity(true)
+                .check_invariants(true)
+        };
+
+        // Silent run: the k-th device write kills its block, reports Ok.
+        let plan = FaultPlan::new().silent_failure_at_write(k);
+        let mut silent = quiet(SchemeKind::ReviverStartGap).fault_plan(plan).build();
+        silent.run(StopCondition::Writes(20_000));
+        let killed = {
+            let log = silent.controller().device().silent_failures();
+            assert_eq!(log.len(), 1, "silent fault never fired");
+            log[0]
+        };
+        assert_eq!(silent.verify_all(), 0, "silent failure corrupted data");
+        let silent_retired: Vec<_> = silent.os().retired_iter().collect();
+        assert!(
+            !silent_retired.is_empty(),
+            "concealed failure was never discovered"
+        );
+
+        // Reported run: same workload, same block killed at the same
+        // write boundary — but visibly, so the very next write to it
+        // reports. (Before the fault, no failures and no migrations run,
+        // so device-write index k is software write k.)
+        let mut reported = quiet(SchemeKind::ReviverStartGap).build();
+        reported.run(StopCondition::Writes(k));
+        reported
+            .controller_mut()
+            .as_reviver_mut()
+            .expect("reviver stack")
+            .inject_dead(killed);
+        reported.run(StopCondition::Writes(20_000));
+        assert_eq!(reported.verify_all(), 0, "reported failure corrupted data");
+        let reported_retired: Vec<_> = reported.os().retired_iter().collect();
+
+        assert_eq!(
+            silent_retired, reported_retired,
+            "seed {fault_seed}: silent and reported runs retired different pages"
+        );
+    }
+}
+
+#[test]
+fn transient_read_errors_interact_with_ecc() {
+    // Soft read errors are absorbed by ECC headroom where available and
+    // surfaced (retryable) where not — never corrupting logical data.
+    let plan = FaultPlan::new().seeded_transient_reads(SEED, 40, 0, 60_000);
+    let mut sim = rig(SchemeKind::ReviverStartGap).fault_plan(plan).build();
+    sim.run(StopCondition::Writes(STOP));
+    let counters = sim
+        .controller()
+        .device()
+        .fault_counters()
+        .expect("fault plan configured");
+    assert!(
+        counters.transients_corrected + counters.transients_uncorrectable > 0,
+        "no transient read ever fired"
+    );
+    assert_eq!(sim.verify_all(), 0, "transient reads corrupted data");
+    assert_eq!(sim.integrity_errors(), 0);
+}
+
+#[test]
+fn double_crash_recovers_twice() {
+    // A second cut while the first recovery's effects are still settling
+    // (journal replays, heals) must be just as recoverable.
+    let plan = FaultPlan::new()
+        .power_loss_at_write(20_000)
+        .power_loss_at_write(28_000);
+    let mut sim = rig(SchemeKind::ReviverStartGap).fault_plan(plan).build();
+    let mut crashes = 0;
+    loop {
+        let out = sim.run(StopCondition::Writes(STOP));
+        if out.reason == StopReason::PowerLoss {
+            crashes += 1;
+            sim.recover();
+            assert_eq!(sim.verify_all(), 0, "crash {crashes}: data diverged");
+        } else {
+            break;
+        }
+    }
+    assert_eq!(crashes, 2, "both scheduled cuts should fire");
+    assert_eq!(sim.verify_all(), 0);
+}

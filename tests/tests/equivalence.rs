@@ -170,3 +170,99 @@ fn same_build_is_deterministic() {
     let b = run_fingerprint(SchemeKind::ReviverStartGap, false);
     assert_eq!(a, b);
 }
+
+/// Persistence round-trip for every stack: run deep into the failure
+/// era, serialize the durable metadata (reviver stacks), power-cycle,
+/// recover, and the rebuilt controller must be behaviorally equal to the
+/// live one — same logical contents, durable image intact, and it keeps
+/// running cleanly afterwards. Baselines model persistent metadata, so
+/// for them the reboot must simply be a no-op behaviorally.
+#[test]
+fn persistence_round_trip_preserves_state_all_stacks() {
+    use wl_reviver::recovery::PersistedMeta;
+
+    for (label, scheme) in all_schemes() {
+        // A shorter rig than the golden config: deep wear by 40k writes.
+        let mut s = Simulation::builder()
+            .num_blocks(1 << 9)
+            .endurance_mean(100.0)
+            .gap_interval(PSI)
+            .sr_refresh_interval(PSI)
+            .scheme(scheme)
+            .seed(SEED)
+            .verify_integrity(true)
+            .build();
+        s.run(StopCondition::Writes(40_000));
+        assert_eq!(s.verify_all(), 0, "{label}: dirty before reboot");
+
+        let live = s.controller().as_reviver().map(|r| {
+            let meta = r.persisted_meta();
+            // The serialized image parses back to the identical mirror.
+            let image = meta.to_bytes();
+            let back = PersistedMeta::from_bytes(&image).expect("clean image parses");
+            assert_eq!(back.to_bytes(), image, "{label}: lossy serialization");
+            (image, r.linked_blocks(), r.spare_pas())
+        });
+
+        s.simulate_reboot();
+
+        assert_eq!(s.verify_all(), 0, "{label}: reboot lost logical data");
+        if let Some((image, links, spares)) = live {
+            let r = s.controller().as_reviver().expect("still a reviver");
+            assert_eq!(
+                r.persisted_meta().to_bytes(),
+                image,
+                "{label}: recovery corrupted the durable image"
+            );
+            assert_eq!(r.linked_blocks(), links, "{label}: links diverged");
+            assert_eq!(r.spare_pas(), spares, "{label}: spare pool diverged");
+        }
+
+        // The recovered controller keeps servicing the same workload.
+        s.run(StopCondition::Writes(50_000));
+        assert_eq!(s.verify_all(), 0, "{label}: post-reboot run corrupted");
+    }
+}
+
+/// A reviver controller rebuilt *from the serialized image alone* (the
+/// firmware-scan path, `restore_from`) equals the live controller.
+#[test]
+fn restore_from_serialized_image_matches_live_state() {
+    use wl_reviver::recovery::PersistedMeta;
+
+    let mut s = Simulation::builder()
+        .num_blocks(1 << 9)
+        .endurance_mean(100.0)
+        .gap_interval(PSI)
+        .sr_refresh_interval(PSI)
+        .scheme(SchemeKind::ReviverStartGap)
+        .seed(SEED)
+        .verify_integrity(true)
+        .build();
+    s.run(StopCondition::Writes(40_000));
+
+    let image = s
+        .controller()
+        .as_reviver()
+        .expect("reviver stack")
+        .persisted_meta()
+        .to_bytes();
+    let (links, spares) = {
+        let r = s.controller().as_reviver().unwrap();
+        (r.linked_blocks(), r.spare_pas())
+    };
+
+    let meta = PersistedMeta::from_bytes(&image).expect("clean image parses");
+    let report = s
+        .controller_mut()
+        .as_reviver_mut()
+        .expect("reviver stack")
+        .restore_from(meta);
+    assert!(report.blocks_scanned > 0, "restore scanned nothing");
+    assert_eq!(report.links_recovered, links, "links not all recovered");
+
+    let r = s.controller().as_reviver().unwrap();
+    assert_eq!(r.linked_blocks(), links);
+    assert_eq!(r.spare_pas(), spares);
+    assert_eq!(s.verify_all(), 0, "restore_from lost logical data");
+}
