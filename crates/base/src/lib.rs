@@ -12,6 +12,12 @@
 //!   We deliberately do not depend on external RNG crates: experiment
 //!   reproducibility depends on the exact generator, and owning it keeps
 //!   every figure regenerable forever.
+//! * [`interleave`] — the bank-interleaved address split used by the
+//!   multi-bank memory-controller front-end (`wlr-mc`): global block
+//!   address ↔ `(bank, local address)`, at cache-line or page striping.
+//! * [`pool`] — the shared work-stealing worker pool (scoped threads, so
+//!   jobs may borrow; results in input order) used by the experiment
+//!   harness and the front-end's parallel bank stepping.
 //! * [`stats`] — the special functions the PCM lifetime model needs
 //!   (inverse normal CDF, successive uniform order statistics) and summary
 //!   statistics (mean/CoV/percentiles) used by the workload generators and
@@ -39,9 +45,13 @@
 pub mod addr;
 pub mod dense;
 pub mod geometry;
+pub mod interleave;
+pub mod pool;
 pub mod rng;
 pub mod stats;
 
 pub use addr::{AppAddr, Da, Pa, PageId};
 pub use geometry::Geometry;
+pub use interleave::{Interleave, InterleaveMap};
+pub use pool::{run_pooled, PooledJob};
 pub use rng::Rng;

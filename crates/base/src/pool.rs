@@ -1,0 +1,101 @@
+//! The shared work-stealing worker pool.
+//!
+//! One pool implementation serves both consumers: the experiment harness
+//! (whole curve runs as `'static` jobs) and the multi-bank memory
+//! controller, whose drain phases lend the workers `&mut` borrows of the
+//! banks — hence the lifetime parameter on [`PooledJob`]. Workers claim
+//! jobs by atomic index, so a mix of long and short jobs keeps every
+//! core busy instead of pinning one thread per job; results come back in
+//! input order.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// A pooled unit of work producing a `T`. The lifetime bounds whatever
+/// the job borrows; `'static` for fully-owned jobs.
+pub type PooledJob<'a, T> = Box<dyn FnOnce() -> T + Send + 'a>;
+
+/// Runs `jobs` on a pool of worker threads and returns the results in
+/// input order.
+///
+/// The pool is capped at the machine's available parallelism (and at the
+/// job count). Jobs may borrow state outside the call (the pool uses
+/// scoped threads), which is how the memory-controller front-end steps
+/// its banks in place.
+pub fn run_pooled<'a, T: Send>(jobs: Vec<PooledJob<'a, T>>) -> Vec<T> {
+    let n = jobs.len();
+    let threads = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(1)
+        .min(n)
+        .max(1);
+    let queue: Vec<Mutex<Option<PooledJob<'a, T>>>> =
+        jobs.into_iter().map(|j| Mutex::new(Some(j))).collect();
+    let results: Vec<Mutex<Option<T>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    let next = AtomicUsize::new(0);
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let job = queue[i]
+                    .lock()
+                    .expect("no panics hold the lock")
+                    .take()
+                    .expect("each job is claimed once");
+                let out = job();
+                *results[i].lock().expect("no panics hold the lock") = Some(out);
+            });
+        }
+    });
+    results
+        .into_iter()
+        .map(|m| {
+            m.into_inner()
+                .expect("threads joined")
+                .expect("every job ran")
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn more_jobs_than_threads_all_run_in_order() {
+        let jobs: Vec<PooledJob<u64>> = (0..64u64)
+            .map(|i| Box::new(move || i * i) as PooledJob<u64>)
+            .collect();
+        let out = run_pooled(jobs);
+        assert_eq!(out, (0..64u64).map(|i| i * i).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn jobs_may_borrow_mutably_from_the_caller() {
+        // The pattern mc uses: each job owns a disjoint `&mut` into a
+        // caller-held Vec and mutates it in place.
+        let mut cells = vec![0u64; 16];
+        let jobs: Vec<PooledJob<usize>> = cells
+            .iter_mut()
+            .enumerate()
+            .map(|(i, c)| {
+                Box::new(move || {
+                    *c = i as u64 + 100;
+                    i
+                }) as PooledJob<usize>
+            })
+            .collect();
+        let ids = run_pooled(jobs);
+        assert_eq!(ids, (0..16).collect::<Vec<_>>());
+        assert_eq!(cells, (100..116).collect::<Vec<u64>>());
+    }
+
+    #[test]
+    fn empty_job_list_is_fine() {
+        let out: Vec<u8> = run_pooled(Vec::new());
+        assert!(out.is_empty());
+    }
+}

@@ -17,6 +17,7 @@
 use std::fmt::Write as _;
 use std::time::Instant;
 use wl_reviver::sim::{SchemeKind, StopCondition};
+use wlr_bench::report::{baseline_field, bench_out_path, load_baseline, write_report};
 use wlr_bench::{exp_builder, exp_seed, EXP_BLOCKS, EXP_ENDURANCE};
 
 const STACKS: &[(&str, SchemeKind)] = &[
@@ -78,42 +79,8 @@ fn stacks_json(rows: &[Row]) -> String {
     s
 }
 
-/// Extracts the `"baseline": { ... }` object (brace-balanced) from a
-/// previous report, if present.
-fn extract_baseline(json: &str) -> Option<String> {
-    let start = json.find("\"baseline\":")? + "\"baseline\":".len();
-    let open = start + json[start..].find('{')?;
-    let mut depth = 0usize;
-    for (i, c) in json[open..].char_indices() {
-        match c {
-            '{' => depth += 1,
-            '}' => {
-                depth -= 1;
-                if depth == 0 {
-                    return Some(json[open..=open + i].to_string());
-                }
-            }
-            _ => {}
-        }
-    }
-    None
-}
-
-/// Pulls `"<name>" ... "writes_per_sec": <x>` out of a baseline block.
-fn baseline_wps(baseline: &str, name: &str) -> Option<f64> {
-    let at = baseline.find(&format!("\"{name}\":"))?;
-    let tail = &baseline[at..];
-    let at = tail.find("\"writes_per_sec\":")? + "\"writes_per_sec\":".len();
-    let tail = tail[at..].trim_start();
-    let end = tail
-        .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-' || c == 'e' || c == '+'))
-        .unwrap_or(tail.len());
-    tail[..end].parse().ok()
-}
-
 fn main() {
-    let out_path = std::env::var("WLR_BENCH_OUT").unwrap_or_else(|_| "BENCH_core.json".into());
-    let reset = std::env::var("WLR_BENCH_RESET").is_ok_and(|v| v == "1");
+    let out_path = bench_out_path("BENCH_core.json");
 
     eprintln!(
         "bench_core: {} blocks, endurance {:.0}, seed {}, stop usable<{STOP_USABLE}",
@@ -124,42 +91,25 @@ fn main() {
     let rows = measure();
     let current = stacks_json(&rows);
 
-    let baseline = if reset {
-        None
-    } else {
-        std::fs::read_to_string(&out_path)
-            .ok()
-            .as_deref()
-            .and_then(extract_baseline)
-    };
-    let is_first = baseline.is_none();
-    let baseline = baseline.unwrap_or_else(|| current.clone());
-
+    let base = load_baseline(&out_path, &current);
     let mut speedups = String::from("{");
     for (i, r) in rows.iter().enumerate() {
         if i > 0 {
             speedups.push_str(", ");
         }
-        let ratio = baseline_wps(&baseline, r.name).map_or(1.0, |b| r.wps / b);
+        let ratio =
+            baseline_field(&base.block, r.name, "writes_per_sec").map_or(1.0, |b| r.wps / b);
         write!(speedups, "\"{}\": {:.2}", r.name, ratio).expect("string write");
     }
     speedups.push('}');
 
     let report = format!(
         "{{\n  \"config\": {{\"blocks\": {EXP_BLOCKS}, \"endurance\": {EXP_ENDURANCE}, \
-         \"seed\": {}, \"stop\": \"usable:{STOP_USABLE}\"}},\n  \"baseline\": {baseline},\n  \
+         \"seed\": {}, \"stop\": \"usable:{STOP_USABLE}\"}},\n  \"baseline\": {},\n  \
          \"current\": {current},\n  \"speedup_vs_baseline\": {speedups}\n}}\n",
-        exp_seed()
+        exp_seed(),
+        base.block
     );
-    std::fs::write(&out_path, &report).expect("write BENCH_core.json");
-    eprintln!(
-        "{} {out_path} ({})",
-        if is_first { "created" } else { "updated" },
-        if is_first {
-            "baseline recorded from this tree"
-        } else {
-            "baseline preserved"
-        }
-    );
+    write_report(&out_path, &report, base.is_first);
     println!("{report}");
 }

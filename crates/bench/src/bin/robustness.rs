@@ -20,6 +20,7 @@ use std::fmt::Write as _;
 use std::time::Instant;
 use wl_reviver::recovery::RecoveryReport;
 use wl_reviver::sim::{SchemeKind, Simulation, StopCondition, StopReason};
+use wlr_bench::report::{baseline_field, bench_out_path, env_u64, load_baseline, write_report};
 use wlr_pcm::FaultPlan;
 
 const BLOCKS: u64 = 1 << 10;
@@ -35,13 +36,6 @@ const STACKS: &[(&str, SchemeKind)] = &[
         SchemeKind::ReviverTwoLevelSecurityRefresh,
     ),
 ];
-
-fn env_u64(name: &str, default: u64) -> u64 {
-    std::env::var(name)
-        .ok()
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(default)
-}
 
 #[derive(Debug)]
 struct Row {
@@ -133,43 +127,8 @@ fn stacks_json(rows: &[Row]) -> String {
     s
 }
 
-/// Extracts the `"baseline": { ... }` object (brace-balanced) from a
-/// previous report, if present.
-fn extract_baseline(json: &str) -> Option<String> {
-    let start = json.find("\"baseline\":")? + "\"baseline\":".len();
-    let open = start + json[start..].find('{')?;
-    let mut depth = 0usize;
-    for (i, c) in json[open..].char_indices() {
-        match c {
-            '{' => depth += 1,
-            '}' => {
-                depth -= 1;
-                if depth == 0 {
-                    return Some(json[open..=open + i].to_string());
-                }
-            }
-            _ => {}
-        }
-    }
-    None
-}
-
-/// Pulls `"<name>" ... "blocks_scanned_per_crash": <x>` out of a block.
-fn baseline_scanned(baseline: &str, name: &str) -> Option<f64> {
-    let at = baseline.find(&format!("\"{name}\":"))?;
-    let tail = &baseline[at..];
-    let at = tail.find("\"blocks_scanned_per_crash\":")? + "\"blocks_scanned_per_crash\":".len();
-    let tail = tail[at..].trim_start();
-    let end = tail
-        .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-' || c == 'e' || c == '+'))
-        .unwrap_or(tail.len());
-    tail[..end].parse().ok()
-}
-
 fn main() {
-    let out_path =
-        std::env::var("WLR_BENCH_OUT").unwrap_or_else(|_| "BENCH_robustness.json".into());
-    let reset = std::env::var("WLR_BENCH_RESET").is_ok_and(|v| v == "1");
+    let out_path = bench_out_path("BENCH_robustness.json");
     let seed = env_u64("WLR_FAULT_SEED", 42);
     let interval = env_u64("WLR_CRASH_INTERVAL", 5_000).max(1);
 
@@ -181,26 +140,15 @@ fn main() {
     let total_violations: u64 = rows.iter().map(|r| r.violations).sum();
     let current = stacks_json(&rows);
 
-    let baseline = if reset {
-        None
-    } else {
-        std::fs::read_to_string(&out_path)
-            .ok()
-            .as_deref()
-            .and_then(extract_baseline)
-    };
-    let is_first = baseline.is_none();
-    let baseline = baseline.unwrap_or_else(|| current.clone());
-
+    let base = load_baseline(&out_path, &current);
     let mut ratios = String::from("{");
     for (i, r) in rows.iter().enumerate() {
         if i > 0 {
             ratios.push_str(", ");
         }
         let per = r.report.blocks_scanned as f64 / r.crashes.max(1) as f64;
-        let ratio =
-            baseline_scanned(&baseline, r.name)
-                .map_or(1.0, |b| if b > 0.0 { per / b } else { 1.0 });
+        let ratio = baseline_field(&base.block, r.name, "blocks_scanned_per_crash")
+            .map_or(1.0, |b| if b > 0.0 { per / b } else { 1.0 });
         write!(ratios, "\"{}\": {:.2}", r.name, ratio).expect("string write");
     }
     ratios.push('}');
@@ -208,19 +156,11 @@ fn main() {
     let report = format!(
         "{{\n  \"config\": {{\"blocks\": {BLOCKS}, \"endurance\": {ENDURANCE}, \
          \"seed\": {seed}, \"crash_interval\": {interval}, \"stop\": \"writes:{STOP}\"}},\n  \
-         \"baseline\": {baseline},\n  \"current\": {current},\n  \
-         \"scan_ratio_vs_baseline\": {ratios}\n}}\n"
+         \"baseline\": {},\n  \"current\": {current},\n  \
+         \"scan_ratio_vs_baseline\": {ratios}\n}}\n",
+        base.block
     );
-    std::fs::write(&out_path, &report).expect("write BENCH_robustness.json");
-    eprintln!(
-        "{} {out_path} ({})",
-        if is_first { "created" } else { "updated" },
-        if is_first {
-            "baseline recorded from this tree"
-        } else {
-            "baseline preserved"
-        }
-    );
+    write_report(&out_path, &report, base.is_first);
     println!("{report}");
     if total_violations > 0 {
         eprintln!("FAIL: {total_violations} oracle violations during the sweep");

@@ -1,0 +1,185 @@
+//! `service` — multi-bank front-end service benchmark, tracked over time.
+//!
+//! Sweeps the bank count (1 → 16 by default) over the same global
+//! address space and request stream, and reports sustained service
+//! throughput (wall-clock writes per second) plus queueing-latency
+//! percentiles per configuration. Every configuration must run its full
+//! request stream to completion — a dead bank mid-sweep is a failure.
+//! Results go to `BENCH_service.json` with the same baseline discipline
+//! as `bench_core`:
+//!
+//! * first run (no file): records the numbers as both `baseline` and
+//!   `current`;
+//! * later runs: preserves the existing `baseline` verbatim, replaces
+//!   `current`, and reports `speedup_vs_baseline` per bank count.
+//!
+//! Knobs (see EXPERIMENTS.md): `WLR_BANKS` (comma-separated bank counts,
+//! default `1,2,4,8,16`), `WLR_QUEUE_DEPTH` (default 64),
+//! `WLR_INTERLEAVE` (`cacheline`, `page`, or a block count; default
+//! cacheline), `WLR_WRITE_BUFFER` (DRAM buffer lines, default 32),
+//! `WLR_SERVICE_REQUESTS` (requests per configuration, default 2 000 000),
+//! plus the usual `WLR_SEED`, `WLR_BENCH_OUT`, `WLR_BENCH_RESET`.
+
+use std::fmt::Write as _;
+use std::time::Instant;
+use wlr_base::Interleave;
+use wlr_bench::report::{baseline_field, bench_out_path, env_u64, load_baseline, write_report};
+use wlr_bench::{exp_seed, scaled_gap_interval, EXP_BLOCKS, EXP_ENDURANCE};
+use wlr_mc::{McFrontend, McOutcome, McStopReason};
+use wlr_trace::UniformWorkload;
+
+fn bank_counts() -> Vec<usize> {
+    let raw = std::env::var("WLR_BANKS").unwrap_or_else(|_| "1,2,4,8,16".into());
+    let counts: Vec<usize> = raw
+        .split(',')
+        .filter_map(|s| s.trim().parse().ok())
+        .filter(|&n| n > 0)
+        .collect();
+    assert!(!counts.is_empty(), "WLR_BANKS `{raw}` has no valid counts");
+    counts
+}
+
+fn interleave() -> Interleave {
+    match std::env::var("WLR_INTERLEAVE") {
+        Ok(s) => Interleave::parse(&s)
+            .unwrap_or_else(|| panic!("WLR_INTERLEAVE `{s}` is not cacheline/page/<blocks>")),
+        Err(_) => Interleave::CacheLine,
+    }
+}
+
+#[derive(Debug)]
+struct Row {
+    banks: usize,
+    outcome: McOutcome,
+    seconds: f64,
+    wps: f64,
+}
+
+fn measure(requests: u64, queue_depth: usize, wbuf: usize, stripe: Interleave) -> Vec<Row> {
+    let seed = exp_seed();
+    bank_counts()
+        .into_iter()
+        .map(|banks| {
+            let local = EXP_BLOCKS / banks as u64;
+            let mut mc = McFrontend::builder()
+                .banks(banks)
+                .total_blocks(EXP_BLOCKS)
+                .endurance_mean(EXP_ENDURANCE)
+                .gap_interval(scaled_gap_interval(local, EXP_ENDURANCE))
+                .seed(seed)
+                .interleave(stripe)
+                .queue_depth(queue_depth)
+                .write_buffer_lines(wbuf)
+                .build()
+                .expect("bank count must divide the experiment space");
+            let mut workload = UniformWorkload::new(EXP_BLOCKS, seed);
+            let start = Instant::now();
+            let outcome = mc.run(&mut workload, requests);
+            let seconds = start.elapsed().as_secs_f64();
+            let wps = outcome.requests as f64 / seconds;
+            eprintln!(
+                "  banks={banks:<3} {:>10} requests in {seconds:>6.2}s = {wps:>12.0} writes/s  \
+                 p50={} p99={} ticks  ({} coalesced, {} absorbed)",
+                outcome.requests,
+                outcome.latency.p50(),
+                outcome.latency.p99(),
+                outcome.coalesced,
+                outcome.absorbed
+            );
+            Row {
+                banks,
+                outcome,
+                seconds,
+                wps,
+            }
+        })
+        .collect()
+}
+
+fn rows_json(rows: &[Row]) -> String {
+    let mut s = String::from("{");
+    for (i, r) in rows.iter().enumerate() {
+        if i > 0 {
+            s.push_str(", ");
+        }
+        let o = &r.outcome;
+        write!(
+            s,
+            "\"banks_{}\": {{\"requests\": {}, \"issued\": {}, \"absorbed\": {}, \
+             \"coalesced\": {}, \"drains\": {}, \"seconds\": {:.3}, \
+             \"writes_per_sec\": {:.0}, \"p50_ticks\": {}, \"p99_ticks\": {}}}",
+            r.banks,
+            o.requests,
+            o.issued,
+            o.absorbed,
+            o.coalesced,
+            o.drains,
+            r.seconds,
+            r.wps,
+            o.latency.p50(),
+            o.latency.p99()
+        )
+        .expect("string write");
+    }
+    s.push('}');
+    s
+}
+
+fn main() {
+    let out_path = bench_out_path("BENCH_service.json");
+    let requests = env_u64("WLR_SERVICE_REQUESTS", 2_000_000).max(1);
+    let queue_depth = env_u64("WLR_QUEUE_DEPTH", 64).max(1) as usize;
+    let wbuf = env_u64("WLR_WRITE_BUFFER", 32) as usize;
+    let stripe = interleave();
+
+    eprintln!(
+        "service: {EXP_BLOCKS} blocks, endurance {EXP_ENDURANCE:.0}, seed {}, \
+         {requests} requests, queue depth {queue_depth}, buffer {wbuf} lines, \
+         interleave {stripe}",
+        exp_seed()
+    );
+    let rows = measure(requests, queue_depth, wbuf, stripe);
+
+    let mut failures = 0u64;
+    for r in &rows {
+        if r.outcome.stop != McStopReason::TraceComplete {
+            eprintln!(
+                "FAIL: banks={} stopped early: {:?}",
+                r.banks, r.outcome.stop
+            );
+            failures += 1;
+        }
+        if !r.outcome.conserves_writes() {
+            eprintln!("FAIL: banks={} dropped requests on the floor", r.banks);
+            failures += 1;
+        }
+    }
+
+    let current = rows_json(&rows);
+    let base = load_baseline(&out_path, &current);
+    let mut speedups = String::from("{");
+    for (i, r) in rows.iter().enumerate() {
+        if i > 0 {
+            speedups.push_str(", ");
+        }
+        let name = format!("banks_{}", r.banks);
+        let ratio = baseline_field(&base.block, &name, "writes_per_sec").map_or(1.0, |b| r.wps / b);
+        write!(speedups, "\"{name}\": {ratio:.2}").expect("string write");
+    }
+    speedups.push('}');
+
+    let report = format!(
+        "{{\n  \"config\": {{\"blocks\": {EXP_BLOCKS}, \"endurance\": {EXP_ENDURANCE}, \
+         \"seed\": {}, \"requests\": {requests}, \"queue_depth\": {queue_depth}, \
+         \"write_buffer\": {wbuf}, \"interleave\": \"{stripe}\"}},\n  \"baseline\": {},\n  \
+         \"current\": {current},\n  \"speedup_vs_baseline\": {speedups}\n}}\n",
+        exp_seed(),
+        base.block
+    );
+    write_report(&out_path, &report, base.is_first);
+    println!("{report}");
+    if failures > 0 {
+        eprintln!("FAIL: {failures} configuration(s) did not sustain the request stream");
+        std::process::exit(1);
+    }
+}

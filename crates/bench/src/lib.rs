@@ -20,12 +20,14 @@
 
 #![warn(missing_docs)]
 
+pub mod report;
 pub mod timing;
 
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::Arc;
 use wl_reviver::metrics::TimeSeries;
 use wl_reviver::sim::{Outcome, Simulation, SimulationBuilder, StopCondition};
+
+pub use wlr_base::pool::run_pooled;
 
 /// Chip size (blocks) used by the figure experiments: 2¹⁴ blocks = 1 MB.
 pub const EXP_BLOCKS: u64 = 1 << 14;
@@ -65,8 +67,10 @@ pub fn exp_builder() -> SimulationBuilder {
         .seed(exp_seed())
 }
 
-/// A pooled unit of work producing a `T`.
-pub type PooledJob<T> = Box<dyn FnOnce() -> T + Send>;
+/// A pooled unit of work producing a `T` (the harness's jobs own their
+/// state, hence `'static`; the borrowing variant lives in
+/// [`wlr_base::pool`]).
+pub type PooledJob<T> = wlr_base::pool::PooledJob<'static, T>;
 
 /// A seed-parameterized curve factory, for multi-seed sweeps.
 pub type SeededCurveFn = Box<dyn Fn(u64) -> Curve + Send + Sync>;
@@ -90,52 +94,6 @@ pub fn run_curve(label: &str, mut sim: Simulation, stop: StopCondition) -> Curve
         series: sim.series().clone(),
         outcome,
     }
-}
-
-/// Runs `jobs` on a pool of worker threads and returns the results in
-/// input order.
-///
-/// The pool is capped at the machine's available parallelism (and at the
-/// job count); workers claim jobs by atomic index, so a mix of long and
-/// short runs keeps every core busy instead of pinning one thread per
-/// configuration. Results are generic so binaries can pool whole table
-/// rows, not just curves.
-pub fn run_pooled<T: Send>(jobs: Vec<PooledJob<T>>) -> Vec<T> {
-    let n = jobs.len();
-    let threads = std::thread::available_parallelism()
-        .map(|p| p.get())
-        .unwrap_or(1)
-        .min(n)
-        .max(1);
-    let queue: Vec<Mutex<Option<PooledJob<T>>>> =
-        jobs.into_iter().map(|j| Mutex::new(Some(j))).collect();
-    let results: Vec<Mutex<Option<T>>> = (0..n).map(|_| Mutex::new(None)).collect();
-    let next = AtomicUsize::new(0);
-    std::thread::scope(|scope| {
-        for _ in 0..threads {
-            scope.spawn(|| loop {
-                let i = next.fetch_add(1, Ordering::Relaxed);
-                if i >= n {
-                    break;
-                }
-                let job = queue[i]
-                    .lock()
-                    .expect("no panics hold the lock")
-                    .take()
-                    .expect("each job is claimed once");
-                let out = job();
-                *results[i].lock().expect("no panics hold the lock") = Some(out);
-            });
-        }
-    });
-    results
-        .into_iter()
-        .map(|m| {
-            m.into_inner()
-                .expect("threads joined")
-                .expect("every job ran")
-        })
-        .collect()
 }
 
 /// Runs several labelled configurations through the shared worker pool

@@ -1,0 +1,152 @@
+//! Shared plumbing for the `BENCH_*.json` perf reports.
+//!
+//! Every perf-tracking binary follows the same baseline discipline:
+//!
+//! * first run (no report file): record the measured numbers as both
+//!   `baseline` and `current`;
+//! * later runs: preserve the committed `baseline` block verbatim,
+//!   replace `current`, and report per-row ratios against the baseline.
+//!
+//! This module hosts the pieces they all need — the brace-balanced
+//! baseline extractor, the numeric field scraper, the
+//! `WLR_BENCH_OUT`/`WLR_BENCH_RESET` knobs, and small env parsing — so
+//! each binary only formats its own rows.
+
+/// Output path for a report: `WLR_BENCH_OUT` or the binary's default.
+pub fn bench_out_path(default: &str) -> String {
+    std::env::var("WLR_BENCH_OUT").unwrap_or_else(|_| default.to_string())
+}
+
+/// Whether `WLR_BENCH_RESET=1` asked for a fresh baseline.
+pub fn bench_reset() -> bool {
+    std::env::var("WLR_BENCH_RESET").is_ok_and(|v| v == "1")
+}
+
+/// Parses an integer env knob, falling back to `default` when unset or
+/// malformed.
+pub fn env_u64(name: &str, default: u64) -> u64 {
+    std::env::var(name)
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(default)
+}
+
+/// Extracts the `"baseline": { ... }` object (brace-balanced) from a
+/// previous report, if present.
+pub fn extract_baseline(json: &str) -> Option<String> {
+    let start = json.find("\"baseline\":")? + "\"baseline\":".len();
+    let open = start + json[start..].find('{')?;
+    let mut depth = 0usize;
+    for (i, c) in json[open..].char_indices() {
+        match c {
+            '{' => depth += 1,
+            '}' => {
+                depth -= 1;
+                if depth == 0 {
+                    return Some(json[open..=open + i].to_string());
+                }
+            }
+            _ => {}
+        }
+    }
+    None
+}
+
+/// Pulls the numeric `"<field>": <x>` that follows `"<name>":` out of a
+/// baseline block.
+pub fn baseline_field(baseline: &str, name: &str, field: &str) -> Option<f64> {
+    let at = baseline.find(&format!("\"{name}\":"))?;
+    let tail = &baseline[at..];
+    let key = format!("\"{field}\":");
+    let at = tail.find(&key)? + key.len();
+    let tail = tail[at..].trim_start();
+    let end = tail
+        .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-' || c == 'e' || c == '+'))
+        .unwrap_or(tail.len());
+    tail[..end].parse().ok()
+}
+
+/// The baseline block to report against, plus whether this run created it.
+#[derive(Debug)]
+pub struct Baseline {
+    /// The baseline JSON object (preserved from disk, or `current`).
+    pub block: String,
+    /// Whether no prior baseline existed (or a reset was requested).
+    pub is_first: bool,
+}
+
+/// Loads the committed baseline from `out_path`, honoring the reset knob;
+/// falls back to `current` (making this run the new baseline).
+pub fn load_baseline(out_path: &str, current: &str) -> Baseline {
+    let prior = if bench_reset() {
+        None
+    } else {
+        std::fs::read_to_string(out_path)
+            .ok()
+            .as_deref()
+            .and_then(extract_baseline)
+    };
+    let is_first = prior.is_none();
+    Baseline {
+        block: prior.unwrap_or_else(|| current.to_string()),
+        is_first,
+    }
+}
+
+/// Writes the report and prints the created/updated status line.
+///
+/// # Panics
+///
+/// Panics if the file cannot be written.
+pub fn write_report(out_path: &str, report: &str, is_first: bool) {
+    std::fs::write(out_path, report).expect("write bench report");
+    eprintln!(
+        "{} {out_path} ({})",
+        if is_first { "created" } else { "updated" },
+        if is_first {
+            "baseline recorded from this tree"
+        } else {
+            "baseline preserved"
+        }
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const REPORT: &str = r#"{
+  "config": {"blocks": 16384},
+  "baseline": {"A": {"writes_per_sec": 125000, "p99": 3}, "B": {"writes_per_sec": 8.5e4}},
+  "current": {"A": {"writes_per_sec": 150000, "p99": 2}}
+}"#;
+
+    #[test]
+    fn baseline_extraction_is_brace_balanced() {
+        let b = extract_baseline(REPORT).unwrap();
+        assert!(b.starts_with('{') && b.ends_with('}'));
+        assert!(b.contains("125000"));
+        assert!(!b.contains("150000"), "must not leak into current");
+    }
+
+    #[test]
+    fn field_scraper_reads_named_rows() {
+        let b = extract_baseline(REPORT).unwrap();
+        assert_eq!(baseline_field(&b, "A", "writes_per_sec"), Some(125000.0));
+        assert_eq!(baseline_field(&b, "A", "p99"), Some(3.0));
+        assert_eq!(baseline_field(&b, "B", "writes_per_sec"), Some(8.5e4));
+        assert_eq!(baseline_field(&b, "C", "writes_per_sec"), None);
+        assert_eq!(baseline_field(&b, "A", "missing"), None);
+    }
+
+    #[test]
+    fn missing_baseline_yields_none() {
+        assert_eq!(extract_baseline("{\"current\": {}}"), None);
+        assert_eq!(extract_baseline(""), None);
+    }
+
+    #[test]
+    fn env_u64_falls_back() {
+        assert_eq!(env_u64("WLR_TEST_SURELY_UNSET_KNOB", 7), 7);
+    }
+}

@@ -71,7 +71,7 @@ impl RequestStats {
 
 /// A memory controller: device + wear leveling + (optionally) a
 /// failure-revival strategy.
-pub trait Controller: fmt::Debug {
+pub trait Controller: fmt::Debug + Send {
     /// The software-visible geometry.
     fn geometry(&self) -> &Geometry;
 

@@ -63,8 +63,8 @@ pub use controller::{Controller, RequestStats, WriteResult};
 pub use error::ReviverError;
 pub use freep::FreepController;
 pub use lls::LlsController;
-pub use metrics::WearReport;
+pub use metrics::{WearHistogram, WearReport};
 pub use recovery::{PersistedMeta, RecoveryReport, TornMeta};
 pub use reviver::{RevivedController, ReviverCounters};
-pub use sim::{SchemeKind, Simulation, StopCondition};
+pub use sim::{BatchStatus, SchemeKind, Simulation, StopCondition};
 pub use zombie::ZombieController;

@@ -624,6 +624,33 @@ impl Oracle {
     }
 }
 
+/// How an externally-driven write batch ([`Simulation::run_batch`])
+/// ended. `consumed` counts the batch's addresses actually issued
+/// (including the one that tripped the exceptional outcome).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchStatus {
+    /// Every address in the batch was issued.
+    Completed,
+    /// The application's memory ran out mid-batch; the remaining
+    /// addresses were not issued.
+    MemoryExhausted {
+        /// Addresses issued before (and including) the exhausting write.
+        consumed: u64,
+    },
+    /// An injected power loss fired mid-batch; call
+    /// [`Simulation::recover`] before issuing more writes.
+    PowerLoss {
+        /// Addresses issued before the lights went out.
+        consumed: u64,
+    },
+    /// The safety cap on total writes was hit; the remaining addresses
+    /// were not issued.
+    HardCap {
+        /// Addresses issued before the cap.
+        consumed: u64,
+    },
+}
+
 /// What a single step did.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum StepOutcome {
@@ -739,10 +766,18 @@ impl Simulation {
         1.0 - self.controller.visible_dead_fraction()
     }
 
-    /// Issues exactly one software write. Sampling lives in
-    /// [`Self::maybe_sample`], called by the batched [`Self::run`] loop.
+    /// Issues exactly one software write drawn from the workload.
+    /// Sampling lives in [`Self::maybe_sample`], called by the batched
+    /// [`Self::run`] loop.
     fn step(&mut self) -> StepOutcome {
         let addr = self.workload.next_write();
+        self.step_addr(addr)
+    }
+
+    /// Issues exactly one software write of `addr`, bypassing the
+    /// workload — the multi-bank front-end drives each bank's simulation
+    /// by queued address through this path.
+    fn step_addr(&mut self, addr: AppAddr) -> StepOutcome {
         self.writes_issued += 1;
         self.seq += 1;
         let tag = self.seq;
@@ -1184,6 +1219,66 @@ impl Simulation {
         }
     }
 
+    /// Issues an externally-supplied sequence of software writes, with
+    /// the same sampling bookkeeping as [`Self::run`]. This is the entry
+    /// point the multi-bank front-end (`wlr-mc`) uses: the bank's write
+    /// stream comes from the controller's per-bank queue, not from the
+    /// simulation's own workload. Batch boundaries are invisible — any
+    /// partitioning of the same address sequence produces bit-identical
+    /// simulation state.
+    pub fn run_batch(&mut self, addrs: &[AppAddr]) -> BatchStatus {
+        for (i, &addr) in addrs.iter().enumerate() {
+            if self.writes_issued >= self.hard_cap {
+                return BatchStatus::HardCap { consumed: i as u64 };
+            }
+            let out = self.step_addr(addr);
+            self.maybe_sample(out == StepOutcome::Discarded);
+            match out {
+                StepOutcome::Exhausted => {
+                    return BatchStatus::MemoryExhausted {
+                        consumed: i as u64 + 1,
+                    };
+                }
+                StepOutcome::PowerLost => {
+                    return BatchStatus::PowerLoss {
+                        consumed: i as u64 + 1,
+                    };
+                }
+                StepOutcome::Serviced | StepOutcome::Discarded => {}
+            }
+        }
+        BatchStatus::Completed
+    }
+
+    /// A 64-bit FNV-1a fingerprint of the run's observable end state:
+    /// write/retirement counters, the full per-block wear image, dead
+    /// blocks, and the OS's retired-page count. Two runs that issued the
+    /// same writes through the same configuration fingerprint equal;
+    /// any divergence in wear, failure handling or retirement shows up
+    /// here. Used by the multi-bank determinism tests.
+    pub fn fingerprint(&self) -> u64 {
+        const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+        const PRIME: u64 = 0x0000_0100_0000_01B3;
+        let mut h = OFFSET;
+        let mut eat = |v: u64| {
+            for byte in v.to_le_bytes() {
+                h ^= u64::from(byte);
+                h = h.wrapping_mul(PRIME);
+            }
+        };
+        eat(self.writes_issued);
+        eat(self.retirements);
+        eat(self.grants);
+        eat(self.lost_writes);
+        eat(self.os.retired_pages());
+        let device = self.controller.device();
+        eat(device.dead_blocks());
+        for &w in device.wear_snapshot() {
+            eat(u64::from(w));
+        }
+        h
+    }
+
     fn condition_met(&self, stop: StopCondition) -> bool {
         match stop {
             StopCondition::Writes(n) => self.writes_issued >= n,
@@ -1582,6 +1677,85 @@ mod tests {
         for (k, &v) in &model {
             assert_eq!(oracle.map.get(*k), Some(&v));
         }
+    }
+
+    /// Externally-driven batches must be bit-identical to the same
+    /// addresses flowing through the simulation's own workload, and
+    /// invariant to how the sequence is partitioned into batches — the
+    /// contract the multi-bank front-end's determinism rests on.
+    #[test]
+    fn run_batch_matches_workload_driven_run() {
+        let mk = || {
+            Simulation::builder()
+                .num_blocks(1 << 10)
+                .endurance_mean(1_500.0)
+                .gap_interval(10)
+                .scheme(SchemeKind::ReviverStartGap)
+                .seed(33)
+                .sample_interval(2_000)
+                .build()
+        };
+        let mut on_workload = mk();
+        on_workload.run(StopCondition::Writes(40_000));
+
+        // Reproduce the default workload's stream out-of-band.
+        let app_blocks = mk().os().app_blocks();
+        let mut src = wlr_trace::UniformWorkload::new(app_blocks, 33);
+        let addrs: Vec<AppAddr> = (0..40_000).map(|_| src.next_write()).collect();
+
+        let mut whole = mk();
+        assert_eq!(whole.run_batch(&addrs), BatchStatus::Completed);
+        assert_eq!(whole.fingerprint(), on_workload.fingerprint());
+        assert_eq!(whole.writes_issued(), on_workload.writes_issued());
+
+        // Any partitioning of the same sequence is invisible.
+        let mut chunked = mk();
+        for chunk in addrs.chunks(777) {
+            assert_eq!(chunked.run_batch(chunk), BatchStatus::Completed);
+        }
+        assert_eq!(chunked.fingerprint(), whole.fingerprint());
+        assert_eq!(chunked.series().len(), whole.series().len());
+    }
+
+    #[test]
+    fn run_batch_respects_hard_cap() {
+        let mut sim = Simulation::builder()
+            .num_blocks(1 << 10)
+            .endurance_mean(1e9)
+            .scheme(SchemeKind::ReviverStartGap)
+            .seed(34)
+            .hard_cap(1_000)
+            .build();
+        let addrs: Vec<AppAddr> = (0..2_000).map(|i| AppAddr::new(i % 64)).collect();
+        assert_eq!(
+            sim.run_batch(&addrs),
+            BatchStatus::HardCap { consumed: 1_000 }
+        );
+        assert_eq!(sim.writes_issued(), 1_000);
+    }
+
+    #[test]
+    fn fingerprint_distinguishes_different_histories() {
+        let mk = |seed| {
+            Simulation::builder()
+                .num_blocks(1 << 10)
+                .endurance_mean(1_500.0)
+                .scheme(SchemeKind::ReviverStartGap)
+                .seed(seed)
+                .build()
+        };
+        let mut a = mk(1);
+        let mut b = mk(1);
+        let mut c = mk(2);
+        a.run(StopCondition::Writes(30_000));
+        b.run(StopCondition::Writes(30_000));
+        c.run(StopCondition::Writes(30_000));
+        assert_eq!(a.fingerprint(), b.fingerprint(), "same history must match");
+        assert_ne!(
+            a.fingerprint(),
+            c.fingerprint(),
+            "different seeds must differ"
+        );
     }
 
     /// The batched engine must sample at exactly the same write counts as

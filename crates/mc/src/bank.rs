@@ -1,0 +1,119 @@
+//! One bank: an independent `(wear-leveler, reviver, device)` stack.
+//!
+//! Each bank wraps a full single-domain [`Simulation`] over the bank's
+//! local address space. The front-end drains a bank by handing it the
+//! batch of local addresses its queue released; the bank issues them
+//! through [`Simulation::run_batch`], recovering in place from injected
+//! power losses and going permanently dead when its memory is exhausted.
+//! Banks never touch each other's state, which is what makes parallel
+//! bank stepping bit-identical to the sequential reference.
+
+use wl_reviver::sim::BatchStatus;
+use wl_reviver::Simulation;
+use wlr_base::AppAddr;
+
+/// A bank's simulation stack plus the front-end's per-bank bookkeeping.
+#[derive(Debug)]
+pub struct Bank {
+    id: usize,
+    sim: Simulation,
+    alive: bool,
+    issued: u64,
+    dropped: u64,
+    recoveries: u64,
+    /// When enabled, every address actually issued, in order — replaying
+    /// this log through an identically-configured standalone simulation
+    /// must reproduce the bank's fingerprint exactly.
+    issue_log: Option<Vec<u64>>,
+}
+
+impl Bank {
+    /// Wraps `sim` as bank `id`; `record_issue` enables the issue log.
+    pub fn new(id: usize, sim: Simulation, record_issue: bool) -> Self {
+        Bank {
+            id,
+            sim,
+            alive: true,
+            issued: 0,
+            dropped: 0,
+            recoveries: 0,
+            issue_log: record_issue.then(Vec::new),
+        }
+    }
+
+    /// Bank index.
+    pub fn id(&self) -> usize {
+        self.id
+    }
+
+    /// Whether the bank can still accept writes.
+    pub fn alive(&self) -> bool {
+        self.alive
+    }
+
+    /// Writes issued into the bank's simulation.
+    pub fn issued(&self) -> u64 {
+        self.issued
+    }
+
+    /// Writes dropped because the bank was (or went) dead.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Power-loss recoveries performed mid-drain.
+    pub fn recoveries(&self) -> u64 {
+        self.recoveries
+    }
+
+    /// The issue log, if recording was enabled.
+    pub fn issue_log(&self) -> Option<&[u64]> {
+        self.issue_log.as_deref()
+    }
+
+    /// The bank's underlying simulation.
+    pub fn sim(&self) -> &Simulation {
+        &self.sim
+    }
+
+    /// Issues a drained batch of bank-local addresses. Power losses are
+    /// recovered in place and the batch continues; memory exhaustion or
+    /// the hard cap kills the bank and drops the rest of the batch.
+    pub fn drain(&mut self, batch: &[u64]) {
+        if !self.alive {
+            self.dropped += batch.len() as u64;
+            return;
+        }
+        let addrs: Vec<AppAddr> = batch.iter().map(|&a| AppAddr::new(a)).collect();
+        let mut rest: &[AppAddr] = &addrs;
+        while !rest.is_empty() {
+            match self.sim.run_batch(rest) {
+                BatchStatus::Completed => {
+                    self.log_issued(rest);
+                    self.issued += rest.len() as u64;
+                    rest = &[];
+                }
+                BatchStatus::PowerLoss { consumed } => {
+                    self.log_issued(&rest[..consumed as usize]);
+                    self.issued += consumed;
+                    self.recoveries += 1;
+                    self.sim.recover();
+                    rest = &rest[consumed as usize..];
+                }
+                BatchStatus::MemoryExhausted { consumed } | BatchStatus::HardCap { consumed } => {
+                    self.log_issued(&rest[..consumed as usize]);
+                    self.issued += consumed;
+                    self.dropped += rest.len() as u64 - consumed;
+                    self.alive = false;
+                    rest = &[];
+                }
+            }
+        }
+    }
+
+    fn log_issued(&mut self, addrs: &[AppAddr]) {
+        if let Some(log) = &mut self.issue_log {
+            log.extend(addrs.iter().map(|a| a.index()));
+        }
+    }
+}

@@ -1,0 +1,615 @@
+//! Sharded multi-bank memory-controller front-end.
+//!
+//! Real PCM DIMMs are not one monolithic wear-leveling domain: the
+//! controller stripes the physical address space across many banks, each
+//! with its own wear-leveling hardware, and services them in parallel.
+//! This crate models that front-end on top of the single-domain
+//! simulation stack:
+//!
+//! * [`wlr_base::InterleaveMap`] splits every global block address into a
+//!   `(bank, local address)` pair at cache-line, page, or custom striping;
+//! * each [`bank::Bank`] is an independent `(wear-leveler, reviver,
+//!   device)` stack — a full [`wl_reviver::Simulation`] over its local
+//!   space, seeded from its own deterministic RNG stream;
+//! * a small DRAM [`wbuf::WriteBuffer`] absorbs hot-line rewrites before
+//!   they cost PCM endurance;
+//! * bounded per-bank [`queue::WriteQueue`]s coalesce pending writes and
+//!   release them in whole-fleet drains, stepped in parallel on the
+//!   shared worker pool ([`wlr_base::run_pooled`]);
+//! * [`stats`] aggregates cross-bank wear, queue-latency percentiles and
+//!   per-bank revival outcomes, and a [`McStopPolicy`] decides when the
+//!   memory as a whole is dead.
+//!
+//! # Determinism
+//!
+//! The front-end pipeline (buffer, queues, drain scheduling) is a pure
+//! function of the request stream, and banks never share state; the
+//! per-bank issue sequence is therefore identical whether drains step
+//! banks in parallel or sequentially, and each bank's end state is
+//! bit-identical to a standalone single-bank simulation replaying the
+//! same issue log (see [`McFrontend::reference_sim`]).
+//!
+//! # Example
+//!
+//! ```
+//! use wlr_mc::McFrontend;
+//! use wlr_trace::UniformWorkload;
+//!
+//! let mut mc = McFrontend::builder()
+//!     .banks(4)
+//!     .total_blocks(1 << 12)
+//!     .seed(7)
+//!     .build()
+//!     .unwrap();
+//! let mut w = UniformWorkload::new(1 << 12, 7);
+//! let out = mc.run(&mut w, 10_000);
+//! assert!(out.conserves_writes());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bank;
+pub mod queue;
+pub mod stats;
+pub mod wbuf;
+
+pub use bank::Bank;
+pub use queue::WriteQueue;
+pub use stats::{BankReport, LatencyHistogram, McOutcome, McStopPolicy, McStopReason};
+pub use wbuf::WriteBuffer;
+
+use wl_reviver::metrics::WearHistogram;
+use wl_reviver::sim::SchemeKind;
+use wl_reviver::Simulation;
+use wlr_base::interleave::{Interleave, InterleaveError, InterleaveMap};
+use wlr_base::pool::{run_pooled, PooledJob};
+use wlr_base::rng::SplitMix64;
+use wlr_base::Geometry;
+use wlr_trace::Workload;
+
+/// Per-bank seed streams are derived as `mix(seed, SALT ^ bank)` so the
+/// banks' endurance maps and keys are independent of each other and of
+/// any single-domain run with the same seed.
+const BANK_STREAM_SALT: u64 = 0x4d43_4241_4e4b_0000; // "MCBANK"
+
+/// The shared per-bank simulation configuration; also used to build the
+/// standalone reference simulation for determinism checks.
+#[derive(Debug, Clone, Copy)]
+struct BankConfig {
+    local_blocks: u64,
+    endurance_mean: f64,
+    endurance_cov: f64,
+    scheme: SchemeKind,
+    gap_interval: u64,
+    sample_interval: u64,
+    seed: u64,
+}
+
+impl BankConfig {
+    fn build_sim(&self, bank: usize) -> Simulation {
+        let mut b = Simulation::builder()
+            .num_blocks(self.local_blocks)
+            .endurance_mean(self.endurance_mean)
+            .endurance_cov(self.endurance_cov)
+            .scheme(self.scheme)
+            .gap_interval(self.gap_interval)
+            .seed(SplitMix64::mix(self.seed, BANK_STREAM_SALT ^ bank as u64));
+        if self.sample_interval != 0 {
+            b = b.sample_interval(self.sample_interval);
+        }
+        b.build()
+    }
+}
+
+/// Builder for [`McFrontend`]; see [`McFrontend::builder`].
+#[derive(Debug)]
+pub struct McFrontendBuilder {
+    banks: usize,
+    total_blocks: u64,
+    endurance_mean: f64,
+    endurance_cov: f64,
+    scheme: SchemeKind,
+    gap_interval: u64,
+    sample_interval: u64,
+    seed: u64,
+    interleave: Interleave,
+    queue_depth: usize,
+    write_buffer_lines: usize,
+    parallel: bool,
+    record_issue: bool,
+    stop_policy: McStopPolicy,
+}
+
+impl McFrontendBuilder {
+    /// Number of banks (default 4).
+    pub fn banks(mut self, banks: usize) -> Self {
+        self.banks = banks;
+        self
+    }
+
+    /// Global PCM capacity in blocks, split evenly across banks (default
+    /// 2¹⁴). Must divide into whole interleave rounds and valid per-bank
+    /// geometries.
+    pub fn total_blocks(mut self, blocks: u64) -> Self {
+        self.total_blocks = blocks;
+        self
+    }
+
+    /// Mean cell endurance per bank (default 10⁴).
+    pub fn endurance_mean(mut self, mean: f64) -> Self {
+        self.endurance_mean = mean;
+        self
+    }
+
+    /// Cell-lifetime CoV (default 0.2).
+    pub fn endurance_cov(mut self, cov: f64) -> Self {
+        self.endurance_cov = cov;
+        self
+    }
+
+    /// Per-bank controller stack (default [`SchemeKind::ReviverStartGap`]).
+    pub fn scheme(mut self, scheme: SchemeKind) -> Self {
+        self.scheme = scheme;
+        self
+    }
+
+    /// Start-Gap ψ for every bank (default 100).
+    pub fn gap_interval(mut self, psi: u64) -> Self {
+        self.gap_interval = psi;
+        self
+    }
+
+    /// Per-bank time-series sample interval (default: the simulation's
+    /// own default).
+    pub fn sample_interval(mut self, writes: u64) -> Self {
+        self.sample_interval = writes;
+        self
+    }
+
+    /// Experiment seed; each bank derives its own stream from it.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Striping granularity (default [`Interleave::CacheLine`]).
+    pub fn interleave(mut self, interleave: Interleave) -> Self {
+        self.interleave = interleave;
+        self
+    }
+
+    /// Per-bank write-queue depth in distinct addresses (default 64).
+    pub fn queue_depth(mut self, depth: usize) -> Self {
+        self.queue_depth = depth;
+        self
+    }
+
+    /// DRAM write-buffer capacity in lines; 0 disables it (default 32).
+    pub fn write_buffer_lines(mut self, lines: usize) -> Self {
+        self.write_buffer_lines = lines;
+        self
+    }
+
+    /// Step banks on the shared worker pool during drains (default) or
+    /// sequentially in bank order; the results are bit-identical.
+    pub fn parallel(mut self, on: bool) -> Self {
+        self.parallel = on;
+        self
+    }
+
+    /// Record every bank's issue log for determinism checks (costs
+    /// memory proportional to issued writes; default off).
+    pub fn record_issue(mut self, on: bool) -> Self {
+        self.record_issue = on;
+        self
+    }
+
+    /// Global-death policy (default [`McStopPolicy::FirstBankDead`]).
+    pub fn stop_policy(mut self, policy: McStopPolicy) -> Self {
+        self.stop_policy = policy;
+        self
+    }
+
+    /// Constructs the front-end.
+    ///
+    /// # Errors
+    ///
+    /// [`InterleaveError`] when the bank count or stripe is zero or the
+    /// global space does not divide into whole interleave rounds.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `total_blocks` is not a valid geometry (a whole number
+    /// of pages) or a bank's share is too small for a simulation.
+    pub fn build(self) -> Result<McFrontend, InterleaveError> {
+        let geo = Geometry::builder()
+            .num_blocks(self.total_blocks)
+            .build()
+            .expect("total_blocks must form a whole number of pages");
+        let stripe = self.interleave.stripe_blocks(&geo);
+        let map = InterleaveMap::new(self.banks as u64, stripe)?;
+        let local_blocks = map.local_space(self.total_blocks)?;
+        let cfg = BankConfig {
+            local_blocks,
+            endurance_mean: self.endurance_mean,
+            endurance_cov: self.endurance_cov,
+            scheme: self.scheme,
+            gap_interval: self.gap_interval,
+            sample_interval: self.sample_interval,
+            seed: self.seed,
+        };
+        let banks: Vec<Bank> = (0..self.banks)
+            .map(|i| Bank::new(i, cfg.build_sim(i), self.record_issue))
+            .collect();
+        let queues: Vec<WriteQueue> = (0..self.banks)
+            .map(|_| WriteQueue::new(self.queue_depth, local_blocks))
+            .collect();
+        let wbuf = WriteBuffer::new(self.write_buffer_lines, self.total_blocks);
+        Ok(McFrontend {
+            map,
+            cfg,
+            total_blocks: self.total_blocks,
+            banks,
+            queues,
+            wbuf,
+            latency: LatencyHistogram::new(),
+            tick: 0,
+            requests: 0,
+            drains: 0,
+            parallel: self.parallel,
+            stop_policy: self.stop_policy,
+            stop: None,
+        })
+    }
+}
+
+/// The multi-bank memory-controller front-end. See the crate docs.
+#[derive(Debug)]
+pub struct McFrontend {
+    map: InterleaveMap,
+    cfg: BankConfig,
+    total_blocks: u64,
+    banks: Vec<Bank>,
+    queues: Vec<WriteQueue>,
+    wbuf: WriteBuffer,
+    latency: LatencyHistogram,
+    /// Front-end clock: one tick per submitted request, plus the length
+    /// of the longest released batch per drain (banks service their
+    /// batches in lockstep parallel).
+    tick: u64,
+    requests: u64,
+    drains: u64,
+    parallel: bool,
+    stop_policy: McStopPolicy,
+    stop: Option<McStopReason>,
+}
+
+impl McFrontend {
+    /// Starts building a front-end with the default configuration.
+    pub fn builder() -> McFrontendBuilder {
+        McFrontendBuilder {
+            banks: 4,
+            total_blocks: 1 << 14,
+            endurance_mean: 1e4,
+            endurance_cov: 0.2,
+            scheme: SchemeKind::ReviverStartGap,
+            gap_interval: 100,
+            sample_interval: 0,
+            seed: 0,
+            interleave: Interleave::CacheLine,
+            queue_depth: 64,
+            write_buffer_lines: 32,
+            parallel: true,
+            record_issue: false,
+            stop_policy: McStopPolicy::FirstBankDead,
+        }
+    }
+
+    /// The global ↔ per-bank address mapping in use.
+    pub fn map(&self) -> &InterleaveMap {
+        &self.map
+    }
+
+    /// The banks, in bank order.
+    pub fn banks(&self) -> &[Bank] {
+        &self.banks
+    }
+
+    /// Requests submitted so far.
+    pub fn requests(&self) -> u64 {
+        self.requests
+    }
+
+    /// Current front-end clock value.
+    pub fn ticks(&self) -> u64 {
+        self.tick
+    }
+
+    /// The stop reason, once the stop policy has tripped.
+    pub fn stopped(&self) -> Option<McStopReason> {
+        self.stop
+    }
+
+    /// A fresh standalone simulation configured identically to bank
+    /// `bank` — replaying that bank's issue log through it must
+    /// reproduce the bank's fingerprint bit for bit.
+    pub fn reference_sim(&self, bank: usize) -> Simulation {
+        self.cfg.build_sim(bank)
+    }
+
+    /// Submits one write request for global block `global`. May trigger a
+    /// whole-fleet drain when the target bank's queue is full.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `global` is outside the configured global space.
+    pub fn submit(&mut self, global: u64) {
+        assert!(
+            global < self.total_blocks,
+            "request {global} outside the global space of {} blocks",
+            self.total_blocks
+        );
+        self.requests += 1;
+        self.tick += 1;
+        if let Some(line) = self.wbuf.admit(global) {
+            self.enqueue(line);
+        }
+    }
+
+    /// Flushes the write buffer, drains every queue, and summarizes the
+    /// run. The front-end can keep accepting requests afterwards; the
+    /// outcome covers everything submitted so far.
+    pub fn finish(&mut self) -> McOutcome {
+        let dirty = self.wbuf.flush();
+        for line in dirty {
+            self.enqueue(line);
+        }
+        self.drain_all();
+        let mut wear = WearHistogram::new();
+        for bank in &self.banks {
+            let sim = bank.sim();
+            let visible = sim.geometry().num_blocks() as usize;
+            wear.merge(&WearHistogram::from_wear(
+                &sim.controller().device().wear_snapshot()[..visible],
+            ));
+        }
+        McOutcome {
+            requests: self.requests,
+            absorbed: self.wbuf.absorbed(),
+            coalesced: self.queues.iter().map(WriteQueue::coalesced).sum(),
+            issued: self.banks.iter().map(Bank::issued).sum(),
+            dropped: self.banks.iter().map(Bank::dropped).sum(),
+            drains: self.drains,
+            ticks: self.tick,
+            stop: self.stop.unwrap_or(McStopReason::TraceComplete),
+            banks: self.banks.iter().map(BankReport::from_bank).collect(),
+            wear,
+            latency: self.latency.clone(),
+        }
+    }
+
+    /// Submits up to `requests` writes drawn from `workload` (stopping
+    /// early if the stop policy trips), then [`finish`](Self::finish)es.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the workload's address space differs from the
+    /// front-end's global space.
+    pub fn run(&mut self, workload: &mut dyn Workload, requests: u64) -> McOutcome {
+        assert_eq!(
+            workload.len(),
+            self.total_blocks,
+            "workload space must equal the global space"
+        );
+        for _ in 0..requests {
+            if self.stop.is_some() {
+                break;
+            }
+            let addr = workload.next_write();
+            self.submit(addr.index());
+        }
+        self.finish()
+    }
+
+    /// Routes a line to its bank queue, draining the whole fleet first if
+    /// that queue is full.
+    fn enqueue(&mut self, global: u64) {
+        let (bank, local) = self.map.split(global);
+        if self.queues[bank as usize].is_full() {
+            self.drain_all();
+        }
+        self.queues[bank as usize].push(local, self.tick);
+    }
+
+    /// Releases every queue and steps all banks over their batches — in
+    /// parallel on the worker pool, or sequentially in bank order; both
+    /// produce bit-identical bank states because banks share nothing.
+    fn drain_all(&mut self) {
+        let longest = self.queues.iter().map(WriteQueue::len).max().unwrap_or(0);
+        if longest == 0 {
+            return;
+        }
+        self.drains += 1;
+        let drain_start = self.tick;
+        let mut batches = Vec::with_capacity(self.queues.len());
+        for q in &mut self.queues {
+            let (addrs, latencies) = q.take(drain_start);
+            for l in latencies {
+                self.latency.push(l);
+            }
+            batches.push(addrs);
+        }
+        if self.parallel {
+            let jobs: Vec<PooledJob<'_, ()>> = self
+                .banks
+                .iter_mut()
+                .zip(batches.iter())
+                .map(|(bank, batch)| {
+                    let batch = batch.as_slice();
+                    Box::new(move || bank.drain(batch)) as PooledJob<'_, ()>
+                })
+                .collect();
+            run_pooled(jobs);
+        } else {
+            for (bank, batch) in self.banks.iter_mut().zip(batches.iter()) {
+                bank.drain(batch);
+            }
+        }
+        self.tick += longest as u64;
+        self.check_stop();
+    }
+
+    fn check_stop(&mut self) {
+        if self.stop.is_some() {
+            return;
+        }
+        let dead: Vec<usize> = self
+            .banks
+            .iter()
+            .filter(|b| !b.alive())
+            .map(Bank::id)
+            .collect();
+        if dead.is_empty() {
+            return;
+        }
+        match self.stop_policy {
+            McStopPolicy::FirstBankDead => self.stop = Some(McStopReason::BankDead(dead[0])),
+            McStopPolicy::Quorum(frac) => {
+                if dead.len() as f64 / self.banks.len() as f64 >= frac {
+                    self.stop = Some(McStopReason::QuorumDead(dead.len()));
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wlr_trace::UniformWorkload;
+
+    #[test]
+    fn traffic_splits_across_banks_and_conserves_writes() {
+        let mut mc = McFrontend::builder()
+            .banks(2)
+            .total_blocks(1 << 12)
+            .endurance_mean(1e9)
+            .write_buffer_lines(0)
+            .seed(3)
+            .build()
+            .unwrap();
+        let mut w = UniformWorkload::new(1 << 12, 3);
+        let out = mc.run(&mut w, 20_000);
+        assert_eq!(out.stop, McStopReason::TraceComplete);
+        assert!(out.conserves_writes(), "{out:?}");
+        assert_eq!(out.requests, 20_000);
+        assert_eq!(out.dropped, 0);
+        assert_eq!(out.banks.len(), 2);
+        for report in &out.banks {
+            // Uniform traffic over 2 banks: both get a substantial share.
+            assert!(
+                report.writes_issued > 6_000,
+                "bank {} starved: {}",
+                report.bank,
+                report.writes_issued
+            );
+        }
+        assert_eq!(out.wear.blocks(), 1 << 12);
+        assert!(!out.latency.is_empty());
+        assert!(out.drains > 0);
+    }
+
+    #[test]
+    fn write_buffer_absorbs_hot_line() {
+        let mut mc = McFrontend::builder()
+            .banks(2)
+            .total_blocks(1 << 12)
+            .endurance_mean(1e9)
+            .write_buffer_lines(4)
+            .seed(4)
+            .build()
+            .unwrap();
+        for _ in 0..1_000 {
+            mc.submit(17);
+        }
+        let out = mc.finish();
+        assert_eq!(out.absorbed, 999, "all rewrites of the hot line absorb");
+        assert_eq!(out.issued, 1, "only the flushed line reaches PCM");
+        assert!(out.conserves_writes());
+    }
+
+    #[test]
+    fn parallel_and_sequential_drains_are_bit_identical() {
+        let run = |parallel: bool| {
+            let mut mc = McFrontend::builder()
+                .banks(4)
+                .total_blocks(1 << 12)
+                .endurance_mean(2_000.0)
+                .gap_interval(8)
+                .parallel(parallel)
+                .seed(11)
+                .build()
+                .unwrap();
+            let mut w = UniformWorkload::new(1 << 12, 11);
+            mc.run(&mut w, 40_000)
+        };
+        let par = run(true);
+        let seq = run(false);
+        assert_eq!(par.banks.len(), seq.banks.len());
+        for (p, s) in par.banks.iter().zip(&seq.banks) {
+            assert_eq!(p.fingerprint, s.fingerprint, "bank {} diverged", p.bank);
+            assert_eq!(p.writes_issued, s.writes_issued);
+        }
+        assert_eq!(par.issued, seq.issued);
+        assert_eq!(par.coalesced, seq.coalesced);
+        assert_eq!(par.absorbed, seq.absorbed);
+    }
+
+    #[test]
+    fn first_dead_bank_stops_the_run() {
+        let mut mc = McFrontend::builder()
+            .banks(4)
+            .total_blocks(1 << 10)
+            .endurance_mean(300.0)
+            .scheme(SchemeKind::EccOnly)
+            .seed(5)
+            .build()
+            .unwrap();
+        let mut w = UniformWorkload::new(1 << 10, 5);
+        let out = mc.run(&mut w, 10_000_000);
+        assert!(
+            matches!(out.stop, McStopReason::BankDead(_)),
+            "expected a dead bank, got {:?}",
+            out.stop
+        );
+        assert!(out.conserves_writes(), "{out:?}");
+        assert!(out.banks.iter().any(|b| !b.alive));
+    }
+
+    #[test]
+    fn page_interleaving_builds_and_runs() {
+        let mut mc = McFrontend::builder()
+            .banks(2)
+            .total_blocks(1 << 12)
+            .interleave(Interleave::Page)
+            .endurance_mean(1e9)
+            .seed(6)
+            .build()
+            .unwrap();
+        assert_eq!(mc.map().stripe_blocks(), 64);
+        let mut w = UniformWorkload::new(1 << 12, 6);
+        let out = mc.run(&mut w, 5_000);
+        assert!(out.conserves_writes());
+    }
+
+    #[test]
+    fn indivisible_space_is_rejected() {
+        let err = McFrontend::builder()
+            .banks(3)
+            .total_blocks(1 << 12)
+            .interleave(Interleave::Page)
+            .build();
+        assert!(err.is_err(), "4096 blocks over 3 page-striped banks");
+    }
+}

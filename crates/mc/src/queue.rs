@@ -1,0 +1,152 @@
+//! Bounded per-bank write queue with address coalescing.
+//!
+//! Each bank owns one [`WriteQueue`]. The front-end enqueues bank-local
+//! block addresses as requests arrive; a queue holds at most `depth`
+//! distinct addresses, and a request to an address already queued is
+//! *coalesced* — real memory controllers merge pending writes to the same
+//! line, so only the last data ever reaches the array. The queue keeps
+//! the **earliest** arrival tick for a coalesced address: the merged
+//! write has been waiting since the first request to that line.
+
+use std::collections::VecDeque;
+use wlr_base::dense::DenseSet;
+
+/// A bounded FIFO of pending bank-local writes with O(1) coalescing.
+#[derive(Debug)]
+pub struct WriteQueue {
+    /// `(local address, arrival tick)` in arrival order.
+    slots: VecDeque<(u64, u64)>,
+    /// Dense membership index over the bank's local address space.
+    present: DenseSet,
+    depth: usize,
+    coalesced: u64,
+    enqueued: u64,
+}
+
+impl WriteQueue {
+    /// A queue of at most `depth` pending writes over a bank-local space
+    /// of `local_space` blocks.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `depth` is zero (a zero-depth queue can never accept a
+    /// write).
+    pub fn new(depth: usize, local_space: u64) -> Self {
+        assert!(depth > 0, "write queue depth must be nonzero");
+        WriteQueue {
+            slots: VecDeque::with_capacity(depth),
+            present: DenseSet::with_capacity(local_space),
+            depth,
+            coalesced: 0,
+            enqueued: 0,
+        }
+    }
+
+    /// Pending distinct addresses.
+    pub fn len(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Whether nothing is pending.
+    pub fn is_empty(&self) -> bool {
+        self.slots.is_empty()
+    }
+
+    /// Whether the queue cannot accept a new distinct address.
+    pub fn is_full(&self) -> bool {
+        self.slots.len() >= self.depth
+    }
+
+    /// Requests coalesced into an already-pending slot so far.
+    pub fn coalesced(&self) -> u64 {
+        self.coalesced
+    }
+
+    /// Distinct addresses ever accepted (drained or still pending).
+    pub fn enqueued(&self) -> u64 {
+        self.enqueued
+    }
+
+    /// Enqueues a write of `local` arriving at tick `now`. Returns `true`
+    /// if a new slot was taken, `false` if the write coalesced into a
+    /// pending one.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called on a full queue with a non-coalescing address;
+    /// the front-end drains all banks before that can happen.
+    pub fn push(&mut self, local: u64, now: u64) -> bool {
+        if self.present.contains(local) {
+            self.coalesced += 1;
+            return false;
+        }
+        assert!(!self.is_full(), "push on a full write queue");
+        self.present.insert(local);
+        self.slots.push_back((local, now));
+        self.enqueued += 1;
+        true
+    }
+
+    /// Empties the queue for a drain starting at tick `drain_start`,
+    /// returning the pending addresses in arrival order and each entry's
+    /// queueing latency in ticks: entry `i` completes at
+    /// `drain_start + i`, so its latency is `drain_start + i − arrival`.
+    pub fn take(&mut self, drain_start: u64) -> (Vec<u64>, Vec<u64>) {
+        let mut addrs = Vec::with_capacity(self.slots.len());
+        let mut latencies = Vec::with_capacity(self.slots.len());
+        for (i, (local, arrival)) in self.slots.drain(..).enumerate() {
+            self.present.remove(local);
+            addrs.push(local);
+            latencies.push((drain_start + i as u64).saturating_sub(arrival));
+        }
+        (addrs, latencies)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn coalesces_duplicates_keeping_first_arrival() {
+        let mut q = WriteQueue::new(4, 16);
+        assert!(q.push(3, 1));
+        assert!(q.push(5, 2));
+        assert!(!q.push(3, 3), "duplicate must coalesce");
+        assert_eq!(q.coalesced(), 1);
+        assert_eq!(q.len(), 2);
+        let (addrs, lats) = q.take(10);
+        assert_eq!(addrs, vec![3, 5]);
+        // Entry 0 (addr 3) completes at tick 10, arrived at 1 → latency 9.
+        // Entry 1 (addr 5) completes at tick 11, arrived at 2 → latency 9.
+        assert_eq!(lats, vec![9, 9]);
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn address_can_requeue_after_drain() {
+        let mut q = WriteQueue::new(2, 8);
+        q.push(1, 0);
+        q.take(0);
+        assert!(q.push(1, 1), "drained address is a fresh slot again");
+        assert_eq!(q.enqueued(), 2);
+    }
+
+    #[test]
+    fn full_detection_counts_distinct_only() {
+        let mut q = WriteQueue::new(2, 8);
+        q.push(0, 0);
+        q.push(0, 1); // coalesced, takes no slot
+        assert!(!q.is_full());
+        q.push(1, 2);
+        assert!(q.is_full());
+    }
+
+    #[test]
+    #[should_panic(expected = "full write queue")]
+    fn push_on_full_queue_panics() {
+        let mut q = WriteQueue::new(1, 8);
+        q.push(0, 0);
+        q.push(1, 1);
+    }
+}

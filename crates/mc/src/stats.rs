@@ -1,0 +1,283 @@
+//! Service-quality and outcome statistics for the multi-bank front-end.
+
+use crate::bank::Bank;
+use wl_reviver::metrics::WearHistogram;
+
+/// Queue-latency ticks below which counts are exact; beyond, latencies
+/// land in a single overflow bucket and percentiles report the observed
+/// maximum.
+const RESOLUTION: usize = 4096;
+
+/// An exact-count latency histogram over queueing delays in ticks.
+///
+/// Latencies `0..4096` are counted exactly; larger ones share an
+/// overflow bucket (with the true maximum tracked separately, so
+/// [`Self::percentile`] stays meaningful). Histograms from different
+/// banks or runs [`merge`](Self::merge) by plain addition.
+#[derive(Debug, Clone)]
+pub struct LatencyHistogram {
+    counts: Vec<u64>,
+    overflow: u64,
+    total: u64,
+    sum: u64,
+    max: u64,
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl LatencyHistogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        LatencyHistogram {
+            counts: vec![0; RESOLUTION],
+            overflow: 0,
+            total: 0,
+            sum: 0,
+            max: 0,
+        }
+    }
+
+    /// Records one latency observation.
+    pub fn push(&mut self, latency: u64) {
+        match self.counts.get_mut(latency as usize) {
+            Some(slot) => *slot += 1,
+            None => self.overflow += 1,
+        }
+        self.total += 1;
+        self.sum += latency;
+        self.max = self.max.max(latency);
+    }
+
+    /// Adds `other`'s observations into `self`.
+    pub fn merge(&mut self, other: &Self) {
+        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+            *a += b;
+        }
+        self.overflow += other.overflow;
+        self.total += other.total;
+        self.sum += other.sum;
+        self.max = self.max.max(other.max);
+    }
+
+    /// Observations recorded.
+    pub fn count(&self) -> u64 {
+        self.total
+    }
+
+    /// Whether nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.total == 0
+    }
+
+    /// Mean latency in ticks.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty histogram.
+    pub fn mean(&self) -> f64 {
+        assert!(self.total > 0, "mean of an empty latency histogram");
+        self.sum as f64 / self.total as f64
+    }
+
+    /// Largest latency observed.
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// The `q`-quantile latency (ceiling rank). Ranks falling in the
+    /// overflow bucket report the observed maximum.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty histogram or `q` outside `[0, 1]`.
+    pub fn percentile(&self, q: f64) -> u64 {
+        assert!(self.total > 0, "percentile of an empty latency histogram");
+        assert!((0.0..=1.0).contains(&q), "quantile {q} outside [0, 1]");
+        let rank = ((q * self.total as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (latency, &count) in self.counts.iter().enumerate() {
+            seen += count;
+            if seen >= rank {
+                return latency as u64;
+            }
+        }
+        self.max
+    }
+
+    /// Median latency.
+    pub fn p50(&self) -> u64 {
+        self.percentile(0.50)
+    }
+
+    /// 99th-percentile latency.
+    pub fn p99(&self) -> u64 {
+        self.percentile(0.99)
+    }
+}
+
+/// Why a multi-bank run stopped.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum McStopReason {
+    /// Every request was serviced.
+    TraceComplete,
+    /// Under [`McStopPolicy::FirstBankDead`]: this bank exhausted its
+    /// memory.
+    BankDead(usize),
+    /// Under [`McStopPolicy::Quorum`]: this many banks were dead.
+    QuorumDead(usize),
+}
+
+/// When the front-end declares the memory dead.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum McStopPolicy {
+    /// Stop as soon as any single bank dies (the whole-DIMM view: an
+    /// interleaved address space is unusable with a hole in it).
+    FirstBankDead,
+    /// Stop when at least this fraction of banks is dead (a controller
+    /// that can deinterleave around dead banks at reduced capacity).
+    Quorum(f64),
+}
+
+/// Per-bank end-of-run summary.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BankReport {
+    /// Bank index.
+    pub bank: usize,
+    /// Writes issued into the bank's PCM stack.
+    pub writes_issued: u64,
+    /// Writes dropped at or after the bank's death.
+    pub dropped: u64,
+    /// Page retirements the bank's OS performed.
+    pub retirements: u64,
+    /// Pages the bank's OS has retired in total.
+    pub retired_pages: u64,
+    /// Dead blocks on the bank's device.
+    pub dead_blocks: u64,
+    /// Final survival fraction of the bank's visible blocks.
+    pub survival: f64,
+    /// Final usable-space fraction of the bank.
+    pub usable: f64,
+    /// Power-loss recoveries performed mid-drain.
+    pub recoveries: u64,
+    /// Whether the bank was still alive at the end.
+    pub alive: bool,
+    /// The bank simulation's end-state fingerprint
+    /// ([`wl_reviver::Simulation::fingerprint`]).
+    pub fingerprint: u64,
+}
+
+impl BankReport {
+    /// Summarizes a bank after its last drain.
+    pub fn from_bank(bank: &Bank) -> Self {
+        let sim = bank.sim();
+        BankReport {
+            bank: bank.id(),
+            writes_issued: sim.writes_issued(),
+            dropped: bank.dropped(),
+            retirements: sim.retirements(),
+            retired_pages: sim.os().retired_pages(),
+            dead_blocks: sim.controller().device().dead_blocks(),
+            survival: sim.survival_fraction(),
+            usable: sim.usable_fraction(),
+            recoveries: bank.recoveries(),
+            alive: bank.alive(),
+            fingerprint: sim.fingerprint(),
+        }
+    }
+}
+
+/// End-of-run summary of a whole multi-bank front-end.
+#[derive(Debug, Clone)]
+pub struct McOutcome {
+    /// Requests submitted to the front-end.
+    pub requests: u64,
+    /// Requests absorbed by write-buffer hits (never reached PCM).
+    pub absorbed: u64,
+    /// Requests coalesced into already-queued writes.
+    pub coalesced: u64,
+    /// Writes issued into bank simulations.
+    pub issued: u64,
+    /// Writes dropped by dead banks.
+    pub dropped: u64,
+    /// Whole-fleet drains performed.
+    pub drains: u64,
+    /// Final front-end clock value.
+    pub ticks: u64,
+    /// Why the run ended.
+    pub stop: McStopReason,
+    /// Per-bank summaries, in bank order.
+    pub banks: Vec<BankReport>,
+    /// Wear distribution merged across every bank's visible blocks.
+    pub wear: WearHistogram,
+    /// Queueing-latency distribution across all banks.
+    pub latency: LatencyHistogram,
+}
+
+impl McOutcome {
+    /// Every submitted request is accounted for exactly once:
+    /// `requests = absorbed + coalesced + issued + dropped`. Holds after
+    /// [`finish`](crate::McFrontend::finish) (mid-run, requests still
+    /// sitting in the buffer or queues are not yet counted).
+    pub fn conserves_writes(&self) -> bool {
+        self.requests == self.absorbed + self.coalesced + self.issued + self.dropped
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percentiles_follow_exact_counts() {
+        let mut h = LatencyHistogram::new();
+        for lat in 1..=100u64 {
+            h.push(lat);
+        }
+        assert_eq!(h.count(), 100);
+        assert_eq!(h.p50(), 50);
+        assert_eq!(h.p99(), 99);
+        assert_eq!(h.percentile(1.0), 100);
+        assert_eq!(h.max(), 100);
+        assert!((h.mean() - 50.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn merge_equals_union() {
+        let mut a = LatencyHistogram::new();
+        let mut b = LatencyHistogram::new();
+        let mut whole = LatencyHistogram::new();
+        for lat in 0..50u64 {
+            a.push(lat);
+            whole.push(lat);
+        }
+        for lat in 50..200u64 {
+            b.push(lat * 40); // push some into overflow
+            whole.push(lat * 40);
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), whole.count());
+        assert_eq!(a.max(), whole.max());
+        for q in [0.1f64, 0.5, 0.9, 0.99] {
+            assert_eq!(a.percentile(q), whole.percentile(q));
+        }
+    }
+
+    #[test]
+    fn overflow_ranks_report_observed_max() {
+        let mut h = LatencyHistogram::new();
+        h.push(10);
+        h.push(1_000_000);
+        assert_eq!(h.p99(), 1_000_000);
+        assert_eq!(h.p50(), 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty latency histogram")]
+    fn empty_percentile_panics() {
+        LatencyHistogram::new().percentile(0.5);
+    }
+}

@@ -1,0 +1,121 @@
+//! A small DRAM write-buffer model in front of the bank queues.
+//!
+//! PCM controllers put a DRAM buffer between the last-level cache and the
+//! PCM array so that hot lines are rewritten in DRAM instead of burning
+//! PCM endurance. This model keeps the `cap` most-recently-admitted
+//! distinct global lines: a request that hits the buffer is *absorbed*
+//! (no PCM write happens at all); a miss admits the line and, once the
+//! buffer is over capacity, evicts the oldest line to its bank queue —
+//! FIFO, so eviction order is a pure function of the request stream and
+//! the multi-bank run stays deterministic.
+
+use std::collections::VecDeque;
+use wlr_base::dense::DenseSet;
+
+/// FIFO write buffer over global block addresses.
+#[derive(Debug)]
+pub struct WriteBuffer {
+    /// Buffered lines, oldest first. Empty forever when `cap` is zero.
+    fifo: VecDeque<u64>,
+    present: DenseSet,
+    cap: usize,
+    absorbed: u64,
+}
+
+impl WriteBuffer {
+    /// A buffer of `cap` lines over a global space of `space` blocks.
+    /// `cap = 0` disables buffering: every request passes straight
+    /// through.
+    pub fn new(cap: usize, space: u64) -> Self {
+        WriteBuffer {
+            fifo: VecDeque::with_capacity(cap),
+            present: DenseSet::with_capacity(space),
+            cap,
+            absorbed: 0,
+        }
+    }
+
+    /// Requests absorbed by buffer hits so far.
+    pub fn absorbed(&self) -> u64 {
+        self.absorbed
+    }
+
+    /// Lines currently buffered.
+    pub fn len(&self) -> usize {
+        self.fifo.len()
+    }
+
+    /// Whether the buffer holds no lines.
+    pub fn is_empty(&self) -> bool {
+        self.fifo.is_empty()
+    }
+
+    /// Admits a write of `global`. Returns the line the front-end must
+    /// now enqueue toward its bank: the request itself when buffering is
+    /// disabled, the evicted oldest line when the buffer overflowed, or
+    /// `None` when the write was absorbed or buffered without eviction.
+    pub fn admit(&mut self, global: u64) -> Option<u64> {
+        if self.cap == 0 {
+            return Some(global);
+        }
+        if self.present.contains(global) {
+            self.absorbed += 1;
+            return None;
+        }
+        self.present.insert(global);
+        self.fifo.push_back(global);
+        if self.fifo.len() > self.cap {
+            let oldest = self.fifo.pop_front().expect("buffer over cap is nonempty");
+            self.present.remove(oldest);
+            return Some(oldest);
+        }
+        None
+    }
+
+    /// Drains every buffered line in FIFO order (end of run: the dirty
+    /// lines must reach PCM).
+    pub fn flush(&mut self) -> Vec<u64> {
+        let out: Vec<u64> = self.fifo.drain(..).collect();
+        for &line in &out {
+            self.present.remove(line);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hot_line_rewrites_are_absorbed() {
+        let mut b = WriteBuffer::new(2, 16);
+        assert_eq!(b.admit(7), None);
+        assert_eq!(b.admit(7), None);
+        assert_eq!(b.admit(7), None);
+        assert_eq!(b.absorbed(), 2);
+        assert_eq!(b.flush(), vec![7]);
+    }
+
+    #[test]
+    fn overflow_evicts_oldest_fifo() {
+        let mut b = WriteBuffer::new(2, 16);
+        assert_eq!(b.admit(1), None);
+        assert_eq!(b.admit(2), None);
+        assert_eq!(b.admit(3), Some(1), "oldest line goes to its bank");
+        // The buffer is full, so re-admitting the evicted line evicts in turn.
+        assert_eq!(b.admit(1), Some(2), "evicted line is admissible again");
+        assert_eq!(b.admit(4), Some(3));
+        assert_eq!(b.flush(), vec![1, 4]);
+        assert!(b.is_empty());
+    }
+
+    #[test]
+    fn zero_capacity_bypasses() {
+        let mut b = WriteBuffer::new(0, 16);
+        assert_eq!(b.admit(5), Some(5));
+        assert_eq!(b.admit(5), Some(5));
+        assert_eq!(b.absorbed(), 0);
+        assert!(b.flush().is_empty());
+    }
+}

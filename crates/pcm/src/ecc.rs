@@ -28,7 +28,7 @@ use wlr_base::Da;
 /// the block's first failed cell). An implementation returns `true` if the
 /// failure is corrected (the block stays alive) and `false` if it is
 /// uncorrectable (the block is dead).
-pub trait ErrorCorrection: fmt::Debug {
+pub trait ErrorCorrection: fmt::Debug + Send {
     /// Attempts to correct the `nth` (1-based) cell failure of block `da`.
     fn correct(&mut self, da: Da, nth: u32) -> bool;
 

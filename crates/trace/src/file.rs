@@ -50,6 +50,9 @@ pub enum TraceFileError {
     },
     /// The file ended before `count` records were read.
     Truncated,
+    /// A delta record's varint ran past 64 bits: the bytes are not a
+    /// WLTR record stream (corruption, or a different format entirely).
+    MalformedVarint,
     /// The trace declares an empty address space or no records.
     Empty,
 }
@@ -64,6 +67,9 @@ impl std::fmt::Display for TraceFileError {
                 write!(f, "trace address {address} outside space of {space} blocks")
             }
             TraceFileError::Truncated => write!(f, "trace file ended early"),
+            TraceFileError::MalformedVarint => {
+                write!(f, "malformed record: varint exceeds 64 bits")
+            }
             TraceFileError::Empty => write!(f, "trace has no records or empty space"),
         }
     }
@@ -80,7 +86,14 @@ impl std::error::Error for TraceFileError {
 
 impl From<io::Error> for TraceFileError {
     fn from(e: io::Error) -> Self {
-        TraceFileError::Io(e)
+        // An EOF mid-read is a short file, not an environment failure:
+        // surface it as the typed `Truncated` so callers can distinguish
+        // "bad trace" from "bad filesystem".
+        if e.kind() == io::ErrorKind::UnexpectedEof {
+            TraceFileError::Truncated
+        } else {
+            TraceFileError::Io(e)
+        }
     }
 }
 
@@ -120,7 +133,7 @@ fn read_leb128(inp: &mut impl Read) -> Result<u64, TraceFileError> {
         }
         shift += 7;
         if shift >= 64 {
-            return Err(TraceFileError::Truncated);
+            return Err(TraceFileError::MalformedVarint);
         }
     }
 }
@@ -344,19 +357,36 @@ impl TraceWorkload {
     ///
     /// # Panics
     ///
-    /// Panics if `records` is empty or any address is out of range.
+    /// Panics if `records` is empty or any address is out of range; use
+    /// [`Self::try_from_records`] to get the typed error instead.
     pub fn from_records(space: u64, records: Vec<u64>) -> Self {
-        assert!(!records.is_empty(), "replay needs at least one record");
-        assert!(
-            records.iter().all(|&a| a < space),
-            "record outside the declared space"
-        );
-        TraceWorkload {
+        match Self::try_from_records(space, records) {
+            Ok(w) => w,
+            Err(TraceFileError::Empty) => panic!("replay needs at least one record"),
+            Err(e) => panic!("record outside the declared space: {e}"),
+        }
+    }
+
+    /// Fallible variant of [`Self::from_records`]: validates the record
+    /// set and returns the same typed errors the file reader produces.
+    ///
+    /// # Errors
+    ///
+    /// [`TraceFileError::Empty`] for no records or a zero-block space,
+    /// [`TraceFileError::AddressOutOfRange`] for a stray address.
+    pub fn try_from_records(space: u64, records: Vec<u64>) -> Result<Self, TraceFileError> {
+        if space == 0 || records.is_empty() {
+            return Err(TraceFileError::Empty);
+        }
+        if let Some(&address) = records.iter().find(|&&a| a >= space) {
+            return Err(TraceFileError::AddressOutOfRange { address, space });
+        }
+        Ok(TraceWorkload {
             space,
             records,
             cursor: 0,
             laps: 0,
-        }
+        })
     }
 
     /// Completed full passes over the trace.
@@ -506,6 +536,60 @@ mod tests {
         }
         assert!(matches!(result, Err(TraceFileError::Truncated)));
         std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn rejects_truncated_header_as_truncated_not_io() {
+        // 10 bytes: magic + version survive, the space field is cut short.
+        let path = tmp("short_header.wltr");
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(MAGIC);
+        bytes.extend_from_slice(&VERSION.to_le_bytes());
+        bytes.extend_from_slice(&[0u8; 2]);
+        std::fs::write(&path, &bytes).unwrap();
+        assert!(matches!(
+            TraceReader::open(&path),
+            Err(TraceFileError::Truncated)
+        ));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn rejects_overlong_varint_as_malformed() {
+        // A valid header followed by a record of eleven continuation
+        // bytes: a varint that can never terminate within 64 bits.
+        let path = tmp("overlong.wltr");
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(MAGIC);
+        bytes.extend_from_slice(&VERSION.to_le_bytes());
+        bytes.extend_from_slice(&64u64.to_le_bytes()); // space
+        bytes.extend_from_slice(&1u64.to_le_bytes()); // count
+        bytes.extend_from_slice(&[0x80u8; 11]);
+        std::fs::write(&path, &bytes).unwrap();
+        let mut r = TraceReader::open(&path).unwrap();
+        assert!(matches!(r.next(), Err(TraceFileError::MalformedVarint)));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn try_from_records_returns_typed_errors() {
+        assert!(matches!(
+            TraceWorkload::try_from_records(4, vec![]),
+            Err(TraceFileError::Empty)
+        ));
+        assert!(matches!(
+            TraceWorkload::try_from_records(0, vec![0]),
+            Err(TraceFileError::Empty)
+        ));
+        assert!(matches!(
+            TraceWorkload::try_from_records(4, vec![1, 4]),
+            Err(TraceFileError::AddressOutOfRange {
+                address: 4,
+                space: 4
+            })
+        ));
+        let ok = TraceWorkload::try_from_records(4, vec![1, 3]).unwrap();
+        assert_eq!(ok.records_per_lap(), 2);
     }
 
     #[test]

@@ -8,7 +8,7 @@ use wlr_base::AppAddr;
 /// Workloads are *write* streams because PCM endurance, and therefore the
 /// whole evaluation, is driven by writes; reads are modeled at the
 /// controller layer where they matter (Table II's access-time metric).
-pub trait Workload: fmt::Debug {
+pub trait Workload: fmt::Debug + Send {
     /// Size of the application address space in blocks; all generated
     /// addresses are below this.
     fn len(&self) -> u64;

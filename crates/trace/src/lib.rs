@@ -45,6 +45,7 @@ pub mod cov;
 pub mod file;
 pub mod generator;
 pub mod mix;
+pub mod shard;
 pub mod stats;
 
 pub use alias::AliasTable;
@@ -54,3 +55,4 @@ pub use cov::{CovTargetedWorkload, SpatialMode};
 pub use file::{TraceReader, TraceWorkload, TraceWriter};
 pub use generator::Workload;
 pub use mix::{HotRegionWorkload, UniformWorkload, ZipfWorkload};
+pub use shard::{shard_records, shard_trace, shard_workloads, ShardError};

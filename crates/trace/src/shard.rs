@@ -1,0 +1,231 @@
+//! Shard-aware trace replay for bank-interleaved memory controllers.
+//!
+//! A multi-bank front-end (the `wlr-mc` crate) splits one global address
+//! space across `N` banks with an [`InterleaveMap`]. A recorded trace (or
+//! any in-memory record stream) addresses the *global* space; each bank's
+//! simulator only understands its *local* space. This module performs the
+//! split: it routes every global record to its owning bank, translates it
+//! to the bank-local address, and hands back either the raw per-bank
+//! record vectors or ready-to-run [`TraceWorkload`] replays.
+//!
+//! The split is a pure function of the record stream and the interleave
+//! map — independent of how banks later execute — which is what makes
+//! parallel multi-bank runs bit-identical to their sequential reference.
+
+use crate::file::{TraceFileError, TraceReader, TraceWorkload};
+use std::path::Path;
+use wlr_base::interleave::{InterleaveError, InterleaveMap};
+
+/// Errors from sharding a global record stream across banks.
+#[derive(Debug)]
+pub enum ShardError {
+    /// The interleave map rejected the address-space size.
+    Interleave(InterleaveError),
+    /// Reading or validating the underlying trace failed.
+    Trace(TraceFileError),
+    /// A record lies outside the declared global space.
+    AddressOutOfRange {
+        /// Offending global address.
+        address: u64,
+        /// Declared global address-space size.
+        space: u64,
+    },
+    /// A bank received no records, so it cannot replay anything.
+    EmptyBank {
+        /// Bank index with an empty shard.
+        bank: u64,
+    },
+}
+
+impl std::fmt::Display for ShardError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ShardError::Interleave(e) => write!(f, "shard interleave error: {e}"),
+            ShardError::Trace(e) => write!(f, "shard trace error: {e}"),
+            ShardError::AddressOutOfRange { address, space } => {
+                write!(f, "record {address} outside global space of {space} blocks")
+            }
+            ShardError::EmptyBank { bank } => {
+                write!(f, "bank {bank} received no records")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ShardError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ShardError::Interleave(e) => Some(e),
+            ShardError::Trace(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<InterleaveError> for ShardError {
+    fn from(e: InterleaveError) -> Self {
+        ShardError::Interleave(e)
+    }
+}
+
+impl From<TraceFileError> for ShardError {
+    fn from(e: TraceFileError) -> Self {
+        ShardError::Trace(e)
+    }
+}
+
+/// Routes each global record to its bank and translates it to the
+/// bank-local address. Returns one record vector per bank, in bank
+/// order; banks that own no records get an empty vector.
+///
+/// # Errors
+///
+/// [`ShardError::AddressOutOfRange`] for a record at or past `space`.
+pub fn shard_records(
+    space: u64,
+    records: &[u64],
+    map: &InterleaveMap,
+) -> Result<Vec<Vec<u64>>, ShardError> {
+    let mut shards = vec![Vec::new(); map.banks() as usize];
+    for &address in records {
+        if address >= space {
+            return Err(ShardError::AddressOutOfRange { address, space });
+        }
+        let (bank, local) = map.split(address);
+        shards[bank as usize].push(local);
+    }
+    Ok(shards)
+}
+
+/// Shards a global record stream into one looping [`TraceWorkload`] per
+/// bank, each over the bank-local address space `map.local_space(space)`.
+///
+/// # Errors
+///
+/// [`ShardError::EmptyBank`] if any bank received no records (a replay
+/// workload must have at least one record to loop over), plus the errors
+/// of [`shard_records`] and of the interleave map's space validation.
+pub fn shard_workloads(
+    space: u64,
+    records: &[u64],
+    map: &InterleaveMap,
+) -> Result<Vec<TraceWorkload>, ShardError> {
+    let local_space = map.local_space(space)?;
+    let shards = shard_records(space, records, map)?;
+    let mut workloads = Vec::with_capacity(shards.len());
+    for (bank, shard) in shards.into_iter().enumerate() {
+        if shard.is_empty() {
+            return Err(ShardError::EmptyBank { bank: bank as u64 });
+        }
+        workloads.push(TraceWorkload::try_from_records(local_space, shard)?);
+    }
+    Ok(workloads)
+}
+
+/// Loads a WLTR trace file and shards it across `map`'s banks.
+///
+/// The trace's declared space must match the interleave map's
+/// divisibility requirement; records are routed exactly as
+/// [`shard_workloads`] does for in-memory streams.
+///
+/// # Errors
+///
+/// File-level [`TraceFileError`]s plus the errors of
+/// [`shard_workloads`].
+pub fn shard_trace(
+    path: impl AsRef<Path>,
+    map: &InterleaveMap,
+) -> Result<Vec<TraceWorkload>, ShardError> {
+    let mut reader = TraceReader::open(path)?;
+    let space = reader.space();
+    let mut records = Vec::with_capacity(reader.remaining() as usize);
+    while let Some(a) = reader.next()? {
+        records.push(a.index());
+    }
+    shard_workloads(space, &records, map)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::file::TraceWriter;
+    use crate::generator::Workload;
+    use wlr_base::AppAddr;
+
+    #[test]
+    fn sharding_partitions_and_translates() {
+        // 4 banks, stripe of 2 blocks, space 32: global g maps to bank
+        // (g/2)%4, local (g/2/4)*2 + g%2.
+        let map = InterleaveMap::new(4, 2).unwrap();
+        let records: Vec<u64> = (0..32).collect();
+        let shards = shard_records(32, &records, &map).unwrap();
+        assert_eq!(shards.len(), 4);
+        for (bank, shard) in shards.iter().enumerate() {
+            let bank = bank as u64;
+            assert_eq!(shard.len(), 8, "even split");
+            for &local in shard {
+                assert!(local < 8, "local addr within bank space");
+                let global = map.join(bank, local);
+                let (b2, l2) = map.split(global);
+                assert_eq!((b2, l2), (bank, local));
+            }
+        }
+        // Every record lands in exactly one shard.
+        let total: usize = shards.iter().map(Vec::len).sum();
+        assert_eq!(total, records.len());
+    }
+
+    #[test]
+    fn shard_order_preserved_within_bank() {
+        let map = InterleaveMap::new(2, 1).unwrap();
+        // Bank 0 owns even globals, bank 1 odd globals.
+        let records = vec![0u64, 2, 4, 1, 6, 3];
+        let shards = shard_records(8, &records, &map).unwrap();
+        assert_eq!(shards[0], vec![0, 1, 2, 3]);
+        assert_eq!(shards[1], vec![0, 1]);
+    }
+
+    #[test]
+    fn out_of_range_record_is_typed() {
+        let map = InterleaveMap::new(2, 1).unwrap();
+        let err = shard_records(8, &[8], &map).unwrap_err();
+        assert!(matches!(
+            err,
+            ShardError::AddressOutOfRange {
+                address: 8,
+                space: 8
+            }
+        ));
+    }
+
+    #[test]
+    fn empty_bank_is_typed() {
+        let map = InterleaveMap::new(2, 1).unwrap();
+        // Only even globals: bank 1 starves.
+        let err = shard_workloads(8, &[0, 2, 4], &map).unwrap_err();
+        assert!(matches!(err, ShardError::EmptyBank { bank: 1 }));
+    }
+
+    #[test]
+    fn shard_trace_round_trips_through_a_file() {
+        let dir = std::env::temp_dir().join("wltr-shard-tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("shard.wltr");
+        let mut w = TraceWriter::create(&path, 16).unwrap();
+        for a in [0u64, 1, 2, 3, 8, 9, 15, 7] {
+            w.record(AppAddr::new(a)).unwrap();
+        }
+        w.finish().unwrap();
+
+        let map = InterleaveMap::new(2, 2).unwrap();
+        let mut workloads = shard_trace(&path, &map).unwrap();
+        assert_eq!(workloads.len(), 2);
+        assert_eq!(workloads[0].len(), 8, "local space is half the global");
+        // Bank 0 owns stripes {0,2,4,6} → globals 0,1,8,9 (as locals 0,1,4,5).
+        let got: Vec<u64> = (0..workloads[0].records_per_lap())
+            .map(|_| workloads[0].next_write().index())
+            .collect();
+        assert_eq!(got, vec![0, 1, 4, 5]);
+        std::fs::remove_file(&path).ok();
+    }
+}

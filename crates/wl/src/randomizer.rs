@@ -23,7 +23,7 @@ use core::fmt;
 use wlr_base::rng::{Rng, SplitMix64};
 
 /// An invertible mapping on the block-address domain `[0, len)`.
-pub trait AddressRandomizer: fmt::Debug {
+pub trait AddressRandomizer: fmt::Debug + Send {
     /// Domain size.
     fn len(&self) -> u64;
 

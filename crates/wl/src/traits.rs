@@ -82,7 +82,7 @@ impl fmt::Display for Migration {
 ///   `record_write` that arms further work; completing with no pending
 ///   migration panics (a protocol violation).
 /// * After `complete_migration()`, `map` reflects the migrated layout.
-pub trait WearLeveler: fmt::Debug {
+pub trait WearLeveler: fmt::Debug + Send {
     /// Number of physical addresses (software-visible blocks) managed.
     fn len(&self) -> u64;
 
