@@ -44,6 +44,16 @@ fn measure() -> Vec<Row> {
         .iter()
         .map(|&(name, scheme)| {
             let mut sim = exp_builder().scheme(scheme).build();
+            // Benchmark the event spine's dispatch path, not its bypass:
+            // with a sink stacked, every emission walks the sink loop.
+            // writes_issued must stay bit-identical to the sink-free run
+            // (events are observability, not behavior).
+            // WLR_BENCH_NOSINK=1 removes the sink to price the bypass.
+            if std::env::var("WLR_BENCH_NOSINK").is_err() {
+                if let Some(r) = sim.controller_mut().as_reviver_mut() {
+                    r.add_sink(Box::new(wl_reviver::NoopSink));
+                }
+            }
             let start = Instant::now();
             let out = sim.run(StopCondition::UsableBelow(STOP_USABLE));
             let seconds = start.elapsed().as_secs_f64();

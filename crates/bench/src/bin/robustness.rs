@@ -47,6 +47,10 @@ struct Row {
 }
 
 fn measure(seed: u64, interval: u64) -> Vec<Row> {
+    // With WLR_TRACE_DUMP=1, each simulation carries a bounded ring of
+    // reviver events and the tail is dumped at every power-loss point —
+    // the last thing the controller did before the lights went out.
+    let trace_dump = std::env::var("WLR_TRACE_DUMP").is_ok_and(|v| v == "1");
     STACKS
         .iter()
         .map(|&(name, scheme)| {
@@ -55,7 +59,7 @@ fn measure(seed: u64, interval: u64) -> Vec<Row> {
             let mut agg = RecoveryReport::default();
             let mut recover_seconds = 0.0;
             for k in (interval..50_000).step_by(interval as usize) {
-                let mut sim = Simulation::builder()
+                let mut builder = Simulation::builder()
                     .num_blocks(BLOCKS)
                     .endurance_mean(ENDURANCE)
                     .gap_interval(5)
@@ -64,13 +68,22 @@ fn measure(seed: u64, interval: u64) -> Vec<Row> {
                     .seed(seed)
                     .sample_interval(10_000)
                     .verify_integrity(true)
-                    .fault_plan(FaultPlan::new().power_loss_at_write(k))
-                    .build();
+                    .fault_plan(FaultPlan::new().power_loss_at_write(k));
+                if trace_dump {
+                    builder = builder.trace_ring(64);
+                }
+                let mut sim = builder.build();
                 let out = sim.run(StopCondition::Writes(STOP));
                 if out.reason != StopReason::PowerLoss {
                     continue;
                 }
                 crashes += 1;
+                if trace_dump {
+                    if let Some(dump) = sim.trace_dump() {
+                        eprintln!("--- {name}: events before power loss at write {k} ---");
+                        eprint!("{dump}");
+                    }
+                }
                 let t = Instant::now();
                 let report = sim.recover();
                 recover_seconds += t.elapsed().as_secs_f64();

@@ -86,6 +86,14 @@ fn measure(requests: u64, queue_depth: usize, wbuf: usize, stripe: Interleave) -
                 outcome.coalesced,
                 outcome.absorbed
             );
+            let rv = &outcome.revival;
+            if rv.links + rv.spare_grants + rv.fake_reports > 0 {
+                eprintln!(
+                    "            revival: {} links, {} switches, {} spare grants, \
+                     {} suspensions, {} sacrificed writes",
+                    rv.links, rv.switches, rv.spare_grants, rv.suspensions, rv.fake_reports
+                );
+            }
             Row {
                 banks,
                 outcome,
@@ -107,7 +115,9 @@ fn rows_json(rows: &[Row]) -> String {
             s,
             "\"banks_{}\": {{\"requests\": {}, \"issued\": {}, \"absorbed\": {}, \
              \"coalesced\": {}, \"drains\": {}, \"seconds\": {:.3}, \
-             \"writes_per_sec\": {:.0}, \"p50_ticks\": {}, \"p99_ticks\": {}}}",
+             \"writes_per_sec\": {:.0}, \"p50_ticks\": {}, \"p99_ticks\": {}, \
+             \"revival\": {{\"links\": {}, \"switches\": {}, \"spare_grants\": {}, \
+             \"suspensions\": {}}}}}",
             r.banks,
             o.requests,
             o.issued,
@@ -117,7 +127,11 @@ fn rows_json(rows: &[Row]) -> String {
             r.seconds,
             r.wps,
             o.latency.p50(),
-            o.latency.p99()
+            o.latency.p99(),
+            o.revival.links,
+            o.revival.switches,
+            o.revival.spare_grants,
+            o.revival.suspensions
         )
         .expect("string write");
     }

@@ -24,7 +24,8 @@ pub struct Measurement {
     pub per_sec: f64,
 }
 
-/// Times `f` until the batch runs for at least [`TARGET`], growing the
+/// Times `f` until the batch runs for at least the target interval
+/// (`TARGET`, currently 200 ms), growing the
 /// iteration count geometrically, then prints and returns the result.
 pub fn bench<R>(label: &str, mut f: impl FnMut() -> R) -> Measurement {
     let mut iters: u64 = 1;

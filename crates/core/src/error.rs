@@ -56,6 +56,67 @@ impl fmt::Display for ReviverError {
 
 impl std::error::Error for ReviverError {}
 
+/// Why a [`crate::reviver::RevivedControllerBuilder`] rejected its knob
+/// combination ([`crate::reviver::RevivedControllerBuilder::try_build`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BuilderError {
+    /// `pointer_bytes(0)`: the inverse-pointer section cannot be sized
+    /// with zero-width pointers.
+    PointerBytesZero,
+    /// The requested remap cache is smaller than one cache set.
+    CacheTooSmall {
+        /// The requested capacity in bytes.
+        bytes: usize,
+        /// The minimum accepted capacity in bytes.
+        min: usize,
+    },
+    /// The wear-leveler's PA space disagrees with the device geometry.
+    PaSpaceMismatch {
+        /// PAs the wear-leveler covers.
+        wl: u64,
+        /// Blocks the geometry exposes.
+        geometry: u64,
+    },
+    /// The device has fewer blocks than the scheme's DA space needs
+    /// (missing gap/buffer blocks).
+    MissingBufferBlocks {
+        /// Blocks the device actually has.
+        device: u64,
+        /// Blocks the scheme's DA space requires.
+        required: u64,
+    },
+}
+
+impl fmt::Display for BuilderError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BuilderError::PointerBytesZero => {
+                write!(f, "pointer_bytes must be nonzero")
+            }
+            BuilderError::CacheTooSmall { bytes, min } => {
+                write!(
+                    f,
+                    "remap cache of {bytes} bytes is below the {min}-byte minimum"
+                )
+            }
+            BuilderError::PaSpaceMismatch { wl, geometry } => {
+                write!(
+                    f,
+                    "wear-leveler PA space must match the geometry: {wl} != {geometry}"
+                )
+            }
+            BuilderError::MissingBufferBlocks { device, required } => {
+                write!(
+                    f,
+                    "device lacks the scheme's buffer blocks: {device} < {required}"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for BuilderError {}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -60,11 +60,16 @@ pub mod zombie;
 
 pub use cache::RemapCache;
 pub use controller::{Controller, RequestStats, WriteResult};
-pub use error::ReviverError;
+pub use error::{BuilderError, ReviverError};
 pub use freep::FreepController;
 pub use lls::LlsController;
 pub use metrics::{WearHistogram, WearReport};
 pub use recovery::{PersistedMeta, RecoveryReport, TornMeta};
-pub use reviver::{RevivedController, ReviverCounters};
+#[cfg(feature = "trace-events")]
+pub use reviver::JsonlSink;
+pub use reviver::{
+    EventSink, InvariantSink, NoopSink, RecoveryPhase, RevivedController, ReviverCounters,
+    ReviverEvent, TraceRingSink, ViolationKind,
+};
 pub use sim::{BatchStatus, SchemeKind, Simulation, StopCondition};
 pub use zombie::ZombieController;

@@ -238,165 +238,21 @@ impl WearReport {
     }
 }
 
-/// A mergeable histogram of per-block wear, for folding per-bank wear
-/// images into controller-level aggregates without shipping whole
-/// snapshots around.
-///
-/// Counts land in power-of-two buckets (bucket `i` holds wear values
-/// with bit-width `i`, i.e. `[2^(i-1), 2^i)`, bucket 0 holds zeros), so
-/// two histograms merge by plain addition regardless of their wear
-/// ranges. Mean, CoV and max are tracked exactly from running moments;
-/// percentiles resolve to the upper bound of the containing bucket
-/// (within 2× of the true value, which is what cross-bank imbalance
-/// monitoring needs).
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub struct WearHistogram {
-    /// `buckets[i]` counts blocks whose wear has bit-width `i` (0..=32).
-    buckets: [u64; 33],
-    blocks: u64,
-    sum: u64,
-    /// Σ w², for the exact CoV. u128: 2³² blocks × (2³²)² still fits.
-    sum_sq: u128,
-    max: u32,
-}
-
-impl Default for WearHistogram {
-    fn default() -> Self {
-        WearHistogram {
-            buckets: [0; 33],
-            blocks: 0,
-            sum: 0,
-            sum_sq: 0,
-            max: 0,
-        }
-    }
-}
-
-impl WearHistogram {
-    /// An empty histogram.
-    pub fn new() -> Self {
-        Self::default()
-    }
-
-    /// Builds a histogram from a wear snapshot (see
-    /// [`wlr_pcm::PcmDevice::wear_snapshot`]), typically truncated to the
-    /// software-visible prefix.
-    pub fn from_wear(wear: &[u32]) -> Self {
-        let mut h = Self::new();
-        for &w in wear {
-            h.push(w);
-        }
-        h
-    }
-
-    /// Records one block's wear count.
-    pub fn push(&mut self, wear: u32) {
-        self.buckets[(32 - wear.leading_zeros()) as usize] += 1;
-        self.blocks += 1;
-        self.sum += u64::from(wear);
-        self.sum_sq += u128::from(wear) * u128::from(wear);
-        self.max = self.max.max(wear);
-    }
-
-    /// Folds another histogram into this one. The result is identical to
-    /// having pushed both histograms' blocks into one.
-    pub fn merge(&mut self, other: &WearHistogram) {
-        for (a, b) in self.buckets.iter_mut().zip(other.buckets.iter()) {
-            *a += b;
-        }
-        self.blocks += other.blocks;
-        self.sum += other.sum;
-        self.sum_sq += other.sum_sq;
-        self.max = self.max.max(other.max);
-    }
-
-    /// Number of blocks recorded.
-    pub fn blocks(&self) -> u64 {
-        self.blocks
-    }
-
-    /// Whether no blocks have been recorded.
-    pub fn is_empty(&self) -> bool {
-        self.blocks == 0
-    }
-
-    /// Mean wear (exact). 0 for an empty histogram.
-    pub fn mean(&self) -> f64 {
-        if self.blocks == 0 {
-            0.0
-        } else {
-            self.sum as f64 / self.blocks as f64
-        }
-    }
-
-    /// Maximum wear seen (exact).
-    pub fn max(&self) -> u32 {
-        self.max
-    }
-
-    /// Ratio of the maximum wear to the mean (exact; 0 on flat-zero or
-    /// empty histograms).
-    pub fn max_over_mean(&self) -> f64 {
-        let mean = self.mean();
-        if mean == 0.0 {
-            0.0
-        } else {
-            f64::from(self.max) / mean
-        }
-    }
-
-    /// Coefficient of variation of per-block wear (exact, from running
-    /// moments; 0 = perfectly flat).
-    pub fn cov(&self) -> f64 {
-        let mean = self.mean();
-        if self.blocks == 0 || mean == 0.0 {
-            return 0.0;
-        }
-        let n = self.blocks as f64;
-        let var = (self.sum_sq as f64 / n - mean * mean).max(0.0);
-        var.sqrt() / mean
-    }
-
-    /// The wear value at quantile `q` in `[0, 1]`, resolved to the upper
-    /// bound of its power-of-two bucket (exact for 0; within 2× above).
-    ///
-    /// # Panics
-    ///
-    /// Panics if `q` is outside `[0, 1]` or the histogram is empty.
-    pub fn percentile(&self, q: f64) -> u32 {
-        assert!((0.0..=1.0).contains(&q), "quantile {q} outside [0, 1]");
-        assert!(self.blocks > 0, "percentile of an empty histogram");
-        // Rank of the q-quantile block, 1-based, ceiling convention.
-        let rank = ((q * self.blocks as f64).ceil() as u64).max(1);
-        let mut seen = 0u64;
-        for (i, &c) in self.buckets.iter().enumerate() {
-            seen += c;
-            if seen >= rank {
-                return if i == 0 {
-                    0
-                } else {
-                    // Upper bound of bucket i is 2^i − 1, capped at the
-                    // exact observed max for the top occupied bucket.
-                    (((1u64 << i) - 1) as u32).min(self.max)
-                };
-            }
-        }
-        self.max
-    }
-}
+// The mergeable wear histogram now lives in `wlr_base::stats` (it is
+// shared with the multi-bank front-end's cross-bank aggregation); the
+// re-export keeps every historical `wl_reviver::metrics::WearHistogram`
+// path working.
+pub use wlr_base::stats::WearHistogram;
 
 #[cfg(test)]
 mod histogram_tests {
     use super::*;
 
     #[test]
-    fn moments_are_exact() {
+    fn histogram_cov_matches_exact_wear_report() {
+        // Matches the exact WearReport CoV on the same data — the
+        // re-exported base histogram and the local report must agree.
         let h = WearHistogram::from_wear(&[0, 1, 2, 3, 4, 5, 6, 7]);
-        assert_eq!(h.blocks(), 8);
-        assert_eq!(h.mean(), 3.5);
-        assert_eq!(h.max(), 7);
-        assert!((h.max_over_mean() - 2.0).abs() < 1e-12);
-        // Matches the exact WearReport CoV on the same data.
         let report = WearReport::from_wear(&[0, 1, 2, 3, 4, 5, 6, 7]);
         assert!(
             (h.cov() - report.cov).abs() < 1e-12,
@@ -404,58 +260,6 @@ mod histogram_tests {
             h.cov(),
             report.cov
         );
-    }
-
-    #[test]
-    fn merge_equals_union() {
-        let a_wear: Vec<u32> = (0..500).map(|i| i * 3 % 97).collect();
-        let b_wear: Vec<u32> = (0..300).map(|i| 1000 + i).collect();
-        let mut merged = WearHistogram::from_wear(&a_wear);
-        merged.merge(&WearHistogram::from_wear(&b_wear));
-
-        let mut union: Vec<u32> = a_wear;
-        union.extend(&b_wear);
-        let direct = WearHistogram::from_wear(&union);
-        assert_eq!(merged, direct);
-        assert!((merged.cov() - direct.cov()).abs() < 1e-12);
-    }
-
-    #[test]
-    fn percentiles_bound_the_true_quantile() {
-        let wear: Vec<u32> = (1..=1024).collect();
-        let h = WearHistogram::from_wear(&wear);
-        for q in [0.5f64, 0.9, 0.99] {
-            let true_q = wear[((q * 1024.0).ceil() as usize).max(1) - 1];
-            let est = h.percentile(q);
-            assert!(est >= true_q, "p{q}: {est} < true {true_q}");
-            assert!(
-                est < true_q.saturating_mul(2).max(2),
-                "p{q}: {est} ≥ 2×{true_q}"
-            );
-        }
-        assert_eq!(h.percentile(1.0), 1024);
-    }
-
-    #[test]
-    fn flat_and_empty_cases() {
-        let flat = WearHistogram::from_wear(&[9; 64]);
-        assert_eq!(flat.cov(), 0.0);
-        assert_eq!(flat.max_over_mean(), 1.0);
-        assert_eq!(flat.percentile(0.5), 9); // capped at the observed max
-
-        let zeros = WearHistogram::from_wear(&[0; 8]);
-        assert_eq!(zeros.percentile(0.99), 0);
-        assert_eq!(zeros.cov(), 0.0);
-
-        let empty = WearHistogram::new();
-        assert!(empty.is_empty());
-        assert_eq!(empty.mean(), 0.0);
-    }
-
-    #[test]
-    #[should_panic(expected = "empty histogram")]
-    fn empty_percentile_panics() {
-        WearHistogram::new().percentile(0.5);
     }
 }
 

@@ -1,0 +1,289 @@
+//! The write chain (core of §III-B): failure discovery, one-step
+//! switching, loop escape, and the migration machinery with the
+//! Theorem-3 repair.
+
+use super::events::ReviverEvent;
+use super::RevivedController;
+use crate::error::ReviverError;
+use wlr_base::{Da, Pa};
+use wlr_pcm::{CrashPoint, WriteOutcome};
+use wlr_wl::Migration;
+
+impl RevivedController {
+    /// Serves a write destined by the current mapping for `da`,
+    /// discovering failures, linking, and keeping chains at one step.
+    /// Metadata writes triggered inside are deferred (see
+    /// [`RevivedController::meta_write`]) to keep chain repair
+    /// non-re-entrant.
+    pub(super) fn write_da(&mut self, da: Da, tag: u64, acct: bool) -> Result<(), ReviverError> {
+        self.in_write_da += 1;
+        let r = self.write_da_inner(da, tag, acct);
+        self.in_write_da -= 1;
+        r
+    }
+
+    fn write_da_inner(&mut self, mut da: Da, tag: u64, acct: bool) -> Result<(), ReviverError> {
+        if !self.device.is_dead(da) {
+            match self.dev_write(da, tag, acct) {
+                WriteOutcome::Ok => return Ok(()),
+                WriteOutcome::NewFailure => {} // fall through: fresh failure
+                WriteOutcome::Lost => return Err(ReviverError::PowerLoss),
+                WriteOutcome::AlreadyDead => unreachable!("checked alive"),
+            }
+        }
+        // `da` is dead. Ensure it is linked.
+        if !self.links.ptr.contains_key(da.index()) {
+            let v = self.take_spare_or_park(da)?;
+            self.link(da, v);
+        }
+        // Follow/repair the chain until the data lands on a healthy block.
+        let mut fuel = self.pool.spares.len() + self.links.ptr.len() + 8;
+        loop {
+            if fuel == 0 {
+                // Reachable only through torn metadata: degrade, don't
+                // panic — recovery re-derives the chains.
+                self.degraded = true;
+                self.emit(ReviverEvent::InvariantViolation {
+                    da,
+                    kind: super::events::ViolationKind::ChainDiverged,
+                });
+                return Err(ReviverError::ChainDiverged { da: da.index() });
+            }
+            fuel -= 1;
+            let v = match self.resolve_ptr(da, acct) {
+                Some(v) => v,
+                None => return Err(ReviverError::UnlinkedDead { da: da.index() }),
+            };
+            let sda = self.wl.map(v);
+            if sda == da {
+                // `da` is on a PA–DA loop: it has no shadow. Give it a
+                // fresh virtual shadow; the old PA returns to the pool.
+                let v2 = self.take_spare()?;
+                self.relink(da, v2, v);
+                continue;
+            }
+            if !self.device.is_dead(sda) {
+                match self.dev_write(sda, tag, acct) {
+                    WriteOutcome::Ok => return Ok(()),
+                    WriteOutcome::NewFailure => {
+                        // Scenario 1 (Fig. 2c): the shadow died serving
+                        // this write. Link it and switch virtual shadows
+                        // (or, in the no-switching ablation, keep walking
+                        // the now-longer chain).
+                        let v2 = self.take_spare_or_park(sda)?;
+                        self.link(sda, v2);
+                        if self.switching {
+                            self.switch(da, sda);
+                        } else {
+                            da = sda;
+                        }
+                        continue;
+                    }
+                    WriteOutcome::Lost => return Err(ReviverError::PowerLoss),
+                    WriteOutcome::AlreadyDead => unreachable!("checked alive"),
+                }
+            }
+            // The shadow is already dead: a two-step chain has formed.
+            if !self.links.ptr.contains_key(sda.index()) {
+                let v2 = self.take_spare_or_park(sda)?;
+                self.link(sda, v2);
+            }
+            if self.switching {
+                self.switch(da, sda);
+            } else {
+                da = sda;
+            }
+        }
+    }
+
+    // ----- migrations ---------------------------------------------------
+
+    /// Whether the block `src` (about to be migrated out of) holds live
+    /// data under the *current* (pre-migration) mapping. See the comment
+    /// at the call site in [`RevivedController::run_migrations`].
+    pub(super) fn src_data_is_live(&self, src: Da) -> bool {
+        let Some(p) = self.safe_inverse(src) else {
+            return false; // unmapped buffer block
+        };
+        if !self.is_reserved(p) {
+            return true; // software data
+        }
+        match self.links.inv.get(p.index()) {
+            // Linked virtual shadow: the block is its head's shadow and
+            // holds the head's data — unless the head *is* this block
+            // (a PA–DA loop), which holds nothing.
+            Some(&d0) => d0 != src,
+            // Unlinked reserved PA: a spare (garbage) or a pointer-section
+            // block (live metadata).
+            None => self.pool.section_pas.contains(p.index()),
+        }
+    }
+
+    /// Reads the data a migration must move out of `src`, walking the
+    /// chain if `src` is failed (one step under switching; possibly more
+    /// in the no-switching ablation). Returns the data and whether the
+    /// walk ended at a healthy block — chains ending in a PA–DA loop or
+    /// an unlinked dead block hold no live data.
+    pub(super) fn migration_read(&mut self, src: Da) -> (u64, bool) {
+        if !self.device.is_dead(src) {
+            self.dev_read(src, false);
+            return (self.device.tag(src), true);
+        }
+        let mut cur = src;
+        let mut fuel = self.links.ptr.len() + 2;
+        loop {
+            if fuel == 0 {
+                self.emit(ReviverEvent::GarbageRead { da: cur });
+                return (self.device.tag(cur), false);
+            }
+            fuel -= 1;
+            match self.links.ptr.get(cur.index()).copied() {
+                Some(v) => {
+                    self.dev_read(cur, false); // pointer read
+                    let next = self.wl.map(v);
+                    if next == cur {
+                        // Loop block: nothing behind it.
+                        self.emit(ReviverEvent::GarbageRead { da: cur });
+                        return (self.device.tag(cur), false);
+                    }
+                    if !self.device.is_dead(next) {
+                        self.dev_read(next, false);
+                        return (self.device.tag(next), true);
+                    }
+                    cur = next;
+                }
+                None => {
+                    self.emit(ReviverEvent::GarbageRead { da: cur });
+                    self.dev_read(cur, false);
+                    return (self.device.tag(cur), false);
+                }
+            }
+        }
+    }
+
+    /// Mirrors a migration-buffer push into the battery-backed journal
+    /// (no device write: the journal is controller NVM, not PCM).
+    pub(super) fn journal_push(&mut self, target: Da, tag: u64) {
+        if self.device.powered() {
+            self.persist.journal.push_back((target, tag));
+        }
+    }
+
+    /// Mirrors a migration-buffer pop (the line's data committed).
+    pub(super) fn journal_pop(&mut self) {
+        if self.device.powered() {
+            self.persist.journal.pop_front();
+        }
+    }
+
+    /// Performs all pending migrations, suspending (and parking data in
+    /// the migration buffer) if a spare PA is needed and none exists.
+    ///
+    /// Power-gated: the wear-leveler's mapping registers are persistent,
+    /// so no migration may start (and no mapping may advance) once the
+    /// device has lost power — post-cut execution must not perturb
+    /// durable state.
+    pub(super) fn run_migrations(&mut self) {
+        while !self.suspended && self.device.powered() {
+            if self.mig_buf.is_empty() {
+                let Some(m) = self.wl.pending() else { break };
+                if self.check {
+                    if let Migration::Copy { dst, .. } = m {
+                        // Theorem 3: the scheme only copies into its
+                        // (unmapped) buffer block, never onto live data —
+                        // in particular never onto a PA–DA loop.
+                        assert!(
+                            self.wl.inverse(dst).is_none(),
+                            "scheme migrated into mapped block {dst}"
+                        );
+                    }
+                }
+                // `(source block, post-migration target)` for each moved PA.
+                let moves: [Option<(Da, Da)>; 2] = match m {
+                    Migration::Copy { src, dst } => [Some((src, dst)), None],
+                    Migration::Swap { a, b } => [Some((a, b)), Some((b, a))],
+                };
+                for (src, target) in moves.into_iter().flatten() {
+                    let (tag, ended_live) = self.migration_read(src);
+                    // Only *live* data is rewritten at the target. A
+                    // reserved PA's block holds live data only when the PA
+                    // is a linked virtual shadow of a *non-loop* block
+                    // (the chain head's data) or a pointer-section block
+                    // (metadata). Unlinked spares and loop-block shadows
+                    // carry garbage — and writing garbage is worse than
+                    // wasted wear: if this very migration makes the other
+                    // moved PA's chain resolve into `target`, the stale
+                    // write would clobber freshly-placed live data (the
+                    // aliasing hazard dissected in the tests).
+                    if ended_live && self.src_data_is_live(src) {
+                        self.mig_buf.push_back((target, tag));
+                        self.journal_push(target, tag);
+                    }
+                }
+                // Advance the mapping; the writes below then resolve
+                // chains under the post-migration mapping, and reads
+                // during any suspension are served from the buffer.
+                self.wl.complete_migration();
+                if self.device.crash_point(CrashPoint::MidMigration) {
+                    self.emit(ReviverEvent::PowerCut {
+                        at: CrashPoint::MidMigration,
+                    });
+                }
+            }
+            while let Some(&(target, tag)) = self.mig_buf.front() {
+                match self.write_da(target, tag, false) {
+                    Ok(()) => {
+                        self.mig_buf.pop_front();
+                        self.journal_pop();
+                        self.flush_meta();
+                        self.fix_chain_after_migration(target);
+                    }
+                    Err(ReviverError::NeedSpare) => {
+                        self.suspended = true;
+                        self.emit(ReviverEvent::MigrationSuspended);
+                        return;
+                    }
+                    // Power cut (or torn chain): stop here. The journaled
+                    // lines are replayed by recovery.
+                    Err(_) => return,
+                }
+            }
+        }
+    }
+
+    /// The Figure 3 repair: after a migration, if the PA now mapping to
+    /// `target` is a linked virtual shadow and `target` is failed, a
+    /// two-step chain has formed — switch the chain head's virtual shadow.
+    pub(super) fn fix_chain_after_migration(&mut self, target: Da) {
+        if !self.switching {
+            return; // ablation: chains are allowed to grow
+        }
+        let Some(p) = self.wl.inverse(target) else {
+            return;
+        };
+        if !self.is_reserved(p) {
+            return;
+        }
+        let Some(&d0) = self.links.inv.get(p.index()) else {
+            return;
+        };
+        // Locating the chain head requires reading the inverse pointer.
+        self.meta_read(p);
+        if d0 == target || !self.device.is_dead(target) {
+            return;
+        }
+        debug_assert!(
+            self.links.ptr.contains_key(target.index()),
+            "dead migration target must have been linked by write_da"
+        );
+        self.switch(d0, target);
+    }
+
+    pub(super) fn safe_inverse(&self, da: Da) -> Option<Pa> {
+        if da.index() < self.wl.total_das() {
+            self.wl.inverse(da)
+        } else {
+            None
+        }
+    }
+}

@@ -1,0 +1,245 @@
+//! The [`Controller`] front-end: software reads/writes, OS grant
+//! handling, and the trait plumbing the simulator drives.
+
+use super::events::{ReviverEvent, ViolationKind};
+use super::RevivedController;
+use crate::controller::{Controller, RequestStats, WriteResult};
+use crate::error::ReviverError;
+use crate::recovery::RecoveryReport;
+use wlr_base::{Da, Geometry, Pa, PageId};
+use wlr_pcm::{CrashPoint, PcmDevice};
+
+impl Controller for RevivedController {
+    fn geometry(&self) -> &Geometry {
+        &self.geo
+    }
+
+    fn read(&mut self, pa: Pa) -> u64 {
+        if self.check {
+            assert!(
+                !self.is_reserved(pa),
+                "software read of reserved {pa}: the OS contract (§III-A) says retired pages are never accessed"
+            );
+        }
+        self.req.requests += 1;
+        let da = self.wl.map(pa);
+        if self.suspended {
+            if let Some(&(_, t)) = self.mig_buf.iter().find(|(d, _)| *d == da) {
+                // Served from the controller's migration buffer: no PCM
+                // access — the paper's rationale for sacrificing writes,
+                // not reads, during delayed acquisition.
+                return t;
+            }
+        }
+        if !self.device.is_dead(da) {
+            self.dev_read(da, true);
+            return self.device.tag(da);
+        }
+        // Walk the chain. With switching on (the paper's design) this
+        // takes exactly one step; the no-switching ablation may walk
+        // further, paying one pointer read per step.
+        let mut cur = da;
+        let mut fuel = self.links.ptr.len() + 2;
+        loop {
+            if fuel == 0 {
+                // Torn metadata formed a pointer cycle: degrade (the read
+                // returns unrecoverable content) instead of panicking.
+                self.degraded = true;
+                self.emit(ReviverEvent::ChainAborted { da: cur });
+                return 0;
+            }
+            fuel -= 1;
+            match self.resolve_ptr(cur, true) {
+                Some(v) => {
+                    let next = self.wl.map(v);
+                    if self.suspended {
+                        if let Some(&(_, t)) = self.mig_buf.iter().find(|(d, _)| *d == next) {
+                            return t;
+                        }
+                    }
+                    if !self.device.is_dead(next) {
+                        self.dev_read(next, true);
+                        return self.device.tag(next);
+                    }
+                    if next == cur {
+                        // Loop block: no data behind it.
+                        self.dev_read(next, true);
+                        return self.device.tag(next);
+                    }
+                    debug_assert!(!self.switching, "multi-step chain under switching at {da}");
+                    cur = next;
+                }
+                None => {
+                    // Theorem 1 says this cannot happen for software PAs —
+                    // except for undiscovered failures (injected, silently
+                    // concealed, or unhealed after a crash), whose reads
+                    // legitimately return unrecoverable content.
+                    let known_gap = self.pool.undiscovered.contains(cur.index())
+                        || self.device.silent_failures().contains(&cur);
+                    assert!(
+                        !self.check || known_gap,
+                        "read of unlinked dead block {cur} via software {pa}"
+                    );
+                    if !known_gap {
+                        self.degraded = true;
+                        self.emit(ReviverEvent::InvariantViolation {
+                            da: cur,
+                            kind: ViolationKind::UnlinkedDeadRead,
+                        });
+                    }
+                    self.dev_read(cur, true);
+                    return 0;
+                }
+            }
+        }
+    }
+
+    fn write(&mut self, pa: Pa, tag: u64) -> WriteResult {
+        if self.check {
+            assert!(
+                !self.is_reserved(pa),
+                "software write of reserved {pa}: the OS contract (§III-A) says retired pages are never accessed"
+            );
+        }
+        self.req.requests += 1;
+        if self.suspended {
+            if self.proactive {
+                // §III-A alternative (ablation): explicitly ask the OS for
+                // a page via a new interrupt instead of sacrificing this
+                // write. The controller nominates the lowest live page.
+                if let Some(page) = self.pick_page_to_request() {
+                    return WriteResult::RequestPages(vec![page]);
+                }
+            }
+            // Delayed space acquisition (§III-A): report this write as a
+            // failure — even though it may not be one — to obtain a page.
+            self.emit(ReviverEvent::WriteSacrificed { pa });
+            return WriteResult::ReportFailure(pa);
+        }
+        let da = self.wl.map(pa);
+        match self.write_da(da, tag, true) {
+            Ok(()) => {
+                self.wl.record_write(pa);
+                self.run_migrations();
+                self.flush_meta();
+                // A suspension parks mid-repair state (the migration
+                // buffer); invariants are re-checked after the grant.
+                // After a power cut the volatile tables legitimately
+                // diverge from the frozen durable state, so checking
+                // waits for recovery.
+                if self.check && !self.suspended && self.device.powered() {
+                    self.assert_invariants();
+                }
+                if !self.suspended && self.device.powered() {
+                    self.emit(ReviverEvent::Quiesced);
+                }
+                WriteResult::Ok
+            }
+            Err(ReviverError::NeedSpare) => {
+                self.emit(ReviverEvent::FailureReported { pa });
+                WriteResult::ReportFailure(pa)
+            }
+            // Power loss or torn metadata: the write is dropped, not
+            // reported — there is nothing the OS could do about it.
+            Err(e) => WriteResult::Dropped(e),
+        }
+    }
+
+    fn on_page_retired(&mut self, page: PageId) {
+        if self.pool.retired[page.as_usize()] {
+            return;
+        }
+        if self.device.crash_point(CrashPoint::MidRetire) {
+            self.emit(ReviverEvent::PowerCut {
+                at: CrashPoint::MidRetire,
+            });
+        }
+        self.pool.retired[page.as_usize()] = true;
+        // The bitmap write is the retirement's durable commit point: a
+        // grant the power cut interrupted never happened as far as
+        // recovery is concerned (the simulator rolls the OS side back to
+        // match — see `Simulation`'s retirement transaction).
+        if self.device.powered() {
+            self.persist.retired[page.as_usize()] = true;
+        }
+        let shadows = self.index_grant(page);
+        let granted = shadows.len() as u64;
+        self.pool.spares.extend(shadows);
+        self.emit(ReviverEvent::PageRetired {
+            page,
+            shadows: granted,
+        });
+        if self.suspended {
+            self.suspended = false;
+            self.emit(ReviverEvent::MigrationResumed);
+            self.run_migrations();
+            self.flush_meta();
+            if self.check && !self.suspended && self.device.powered() {
+                self.assert_invariants();
+            }
+        }
+        if !self.suspended && self.device.powered() {
+            self.emit(ReviverEvent::Quiesced);
+        }
+    }
+
+    fn device(&self) -> &PcmDevice {
+        &self.device
+    }
+
+    fn wl_active(&self) -> bool {
+        true // reviving the scheme is the whole point
+    }
+
+    fn suspended(&self) -> bool {
+        self.suspended
+    }
+
+    fn request_stats(&self) -> RequestStats {
+        self.req
+    }
+
+    fn reset_request_stats(&mut self) {
+        self.req = RequestStats::default();
+    }
+
+    fn as_reviver(&self) -> Option<&RevivedController> {
+        Some(self)
+    }
+
+    fn as_reviver_mut(&mut self) -> Option<&mut RevivedController> {
+        Some(self)
+    }
+
+    fn device_mut(&mut self) -> &mut PcmDevice {
+        &mut self.device
+    }
+
+    fn retirement_persisted(&self, page: PageId) -> bool {
+        RevivedController::retirement_persisted(self, page)
+    }
+
+    fn logical_owner(&self, da: Da) -> Option<Pa> {
+        RevivedController::logical_owner(self, da)
+    }
+
+    fn simulate_reboot(&mut self) {
+        // A reboot is a power cut plus recovery: every volatile table is
+        // rebuilt from the durable metadata mirror (§III-B's "rebuilt by
+        // scanning the entire PCM").
+        self.recover();
+    }
+
+    fn recover(&mut self) -> RecoveryReport {
+        RevivedController::recover(self)
+    }
+
+    fn label(&self) -> String {
+        let wl = match self.wl.label().as_str() {
+            "Start-Gap" => "SG",
+            "Security-Refresh" => "SR",
+            other => return format!("{}-{}-WLR", self.device.ecc_label(), other),
+        };
+        format!("{}-{}-WLR", self.device.ecc_label(), wl)
+    }
+}

@@ -1,0 +1,88 @@
+//! Reactive spare-space acquisition (§III-A) and the retired-page
+//! layout.
+//!
+//! Reserved PAs come from OS pages retired through the standard
+//! access-error exception. The pool holds the unlinked PAs (the
+//! current/last registers of §III-A, generalized to a queue across
+//! multiple retired pages) and the layout tables that map each retired
+//! page into shadow PAs plus trailing pointer-section blocks (Figure 4).
+//! When the pool runs dry mid-operation, the dead block *parks* in
+//! Theorem 2's undiscovered-failure state instead of linking.
+
+use super::events::ReviverEvent;
+use super::RevivedController;
+use crate::error::ReviverError;
+use std::collections::VecDeque;
+use wlr_base::dense::{DenseMap, DenseSet};
+use wlr_base::{Pa, PageId};
+
+/// Spare-PA acquisition state and the retired-page layout.
+#[derive(Debug)]
+pub(super) struct SparePool {
+    /// Unlinked reserved PAs (the current/last registers of §III-A,
+    /// generalized to a queue across multiple retired pages).
+    pub(super) spares: VecDeque<Pa>,
+    /// Reserved PA → the pointer-section PA whose block stores its
+    /// inverse pointer.
+    pub(super) ptr_slot: DenseMap<Pa>,
+    /// Pointer-section PAs (their blocks hold live inverse-pointer data).
+    pub(super) section_pas: DenseSet,
+    /// Retired-page bitmap (§III-A; persisted across reboots on hardware).
+    pub(super) retired: Vec<bool>,
+    /// Dead blocks the controller legitimately does not know about yet —
+    /// Theorem 2's "undiscovered failure" state: injected failures not
+    /// yet touched, and blocks recovery could not heal for lack of
+    /// spares. Exempt from the Theorem 1 reachability invariant; cleared
+    /// when the block gets linked.
+    pub(super) undiscovered: DenseSet,
+}
+
+impl RevivedController {
+    pub(super) fn take_spare(&mut self) -> Result<Pa, ReviverError> {
+        match self.pool.spares.pop_front() {
+            Some(v) => {
+                self.emit(ReviverEvent::SpareAcquired { shadow: v });
+                Ok(v)
+            }
+            None => Err(ReviverError::NeedSpare),
+        }
+    }
+
+    /// [`Self::take_spare`], but when the pool is dry the dead block the
+    /// spare was meant to link parks in Theorem 2's undiscovered-failure
+    /// state (it is discovered but *unlinked*, which is structurally the
+    /// same thing: the chain heals on the next touch after a grant, and
+    /// [`RevivedController::link`] lifts the mark).
+    pub(super) fn take_spare_or_park(&mut self, dead: wlr_base::Da) -> Result<Pa, ReviverError> {
+        match self.take_spare() {
+            Ok(v) => Ok(v),
+            Err(e) => {
+                self.pool.undiscovered.insert(dead.index());
+                self.emit(ReviverEvent::SpareParked { dead });
+                Err(e)
+            }
+        }
+    }
+
+    /// Indexes a retired page's PAs: the trailing pointer-section blocks
+    /// go into `section_pas`, every shadow PA gets its inverse-pointer
+    /// slot, and the shadow PAs are returned. The split is a pure
+    /// function of geometry and pointer width, so recovery re-derives it
+    /// from the persisted bitmap alone (Figure 4: 4 blocks of 16 pointers
+    /// cover 60 shadows per 64-block page).
+    pub(super) fn index_grant(&mut self, page: PageId) -> Vec<Pa> {
+        let bpp = self.geo.blocks_per_page();
+        let section = bpp.div_ceil(self.ptrs_per_block + 1).clamp(1, bpp - 1);
+        let pas: Vec<Pa> = self.geo.page_pas(page).collect();
+        let (shadows, slots) = pas.split_at((bpp - section) as usize);
+        for &slot in slots {
+            self.pool.section_pas.insert(slot.index());
+        }
+        for (i, &v) in shadows.iter().enumerate() {
+            self.pool
+                .ptr_slot
+                .insert(v.index(), slots[i / self.ptrs_per_block as usize]);
+        }
+        shadows.to_vec()
+    }
+}

@@ -18,7 +18,7 @@ use crate::freep::FreepController;
 use crate::lls::LlsController;
 use crate::metrics::{SamplePoint, TimeSeries};
 use crate::recovery::RecoveryReport;
-use crate::reviver::RevivedController;
+use crate::reviver::{RevivedController, ReviverCounters, TraceRingSink};
 use crate::zombie::ZombieController;
 use wlr_base::dense::DenseMap;
 use wlr_base::rng::Rng;
@@ -149,6 +149,7 @@ pub struct SimulationBuilder {
     reviver_chain_switching: bool,
     reviver_proactive: bool,
     fault_plan: Option<FaultPlan>,
+    trace_ring: Option<usize>,
 }
 
 impl SimulationBuilder {
@@ -304,6 +305,15 @@ impl SimulationBuilder {
     /// alternative; ablation).
     pub fn reviver_proactive(mut self, on: bool) -> Self {
         self.reviver_proactive = on;
+        self
+    }
+
+    /// Attaches a bounded [`TraceRingSink`] of `events` capacity to a
+    /// WL-Reviver controller, retaining the newest events for post-mortem
+    /// dumps ([`Simulation::trace_dump`]) after a power loss or an
+    /// invariant violation. Ignored by non-reviver schemes.
+    pub fn trace_ring(mut self, events: usize) -> Self {
+        self.trace_ring = Some(events);
         self
     }
 
@@ -497,6 +507,25 @@ impl SimulationBuilder {
                 Box::new(b.build())
             }
         };
+
+        let mut controller = controller;
+        if let Some(r) = controller.as_reviver_mut() {
+            if let Some(cap) = self.trace_ring {
+                r.add_sink(Box::new(TraceRingSink::new(cap)));
+            }
+            // Heavyweight JSONL tracing: compiled in only with the
+            // `trace-events` feature, armed per run via WLR_TRACE_EVENTS
+            // (the path to write).
+            #[cfg(feature = "trace-events")]
+            if let Ok(path) = std::env::var("WLR_TRACE_EVENTS") {
+                if !path.is_empty() {
+                    match crate::reviver::JsonlSink::create(&path) {
+                        Ok(sink) => r.add_sink(Box::new(sink)),
+                        Err(e) => eprintln!("WLR_TRACE_EVENTS: cannot open {path}: {e}"),
+                    }
+                }
+            }
+        }
 
         let os = OsMemory::builder(geo)
             .reserve_pages(self.os_reserve_pages)
@@ -696,6 +725,7 @@ impl Simulation {
             reviver_chain_switching: true,
             reviver_proactive: false,
             fault_plan: None,
+            trace_ring: None,
         }
     }
 
@@ -717,6 +747,21 @@ impl Simulation {
     /// The OS model.
     pub fn os(&self) -> &OsMemory {
         &self.os
+    }
+
+    /// WL-Reviver event counters, when the controller is a reviver.
+    pub fn reviver_counters(&self) -> Option<ReviverCounters> {
+        self.controller.as_reviver().map(|r| r.counters())
+    }
+
+    /// Renders the retained trace-ring window as JSON lines, when a ring
+    /// was attached ([`SimulationBuilder::trace_ring`]). The post-mortem
+    /// companion to [`StopReason::PowerLoss`].
+    pub fn trace_dump(&self) -> Option<String> {
+        self.controller
+            .as_reviver()
+            .and_then(|r| r.sink::<TraceRingSink>())
+            .map(TraceRingSink::dump)
     }
 
     /// Software writes issued so far.

@@ -367,8 +367,12 @@ impl McFrontend {
         }
         self.drain_all();
         let mut wear = WearHistogram::new();
+        let mut revival = wl_reviver::ReviverCounters::default();
         for bank in &self.banks {
             let sim = bank.sim();
+            if let Some(c) = sim.reviver_counters() {
+                revival.absorb(&c);
+            }
             let visible = sim.geometry().num_blocks() as usize;
             wear.merge(&WearHistogram::from_wear(
                 &sim.controller().device().wear_snapshot()[..visible],
@@ -386,6 +390,7 @@ impl McFrontend {
             banks: self.banks.iter().map(BankReport::from_bank).collect(),
             wear,
             latency: self.latency.clone(),
+            revival,
         }
     }
 

@@ -1,123 +1,11 @@
 //! Service-quality and outcome statistics for the multi-bank front-end.
 
 use crate::bank::Bank;
-use wl_reviver::metrics::WearHistogram;
 
-/// Queue-latency ticks below which counts are exact; beyond, latencies
-/// land in a single overflow bucket and percentiles report the observed
-/// maximum.
-const RESOLUTION: usize = 4096;
-
-/// An exact-count latency histogram over queueing delays in ticks.
-///
-/// Latencies `0..4096` are counted exactly; larger ones share an
-/// overflow bucket (with the true maximum tracked separately, so
-/// [`Self::percentile`] stays meaningful). Histograms from different
-/// banks or runs [`merge`](Self::merge) by plain addition.
-#[derive(Debug, Clone)]
-pub struct LatencyHistogram {
-    counts: Vec<u64>,
-    overflow: u64,
-    total: u64,
-    sum: u64,
-    max: u64,
-}
-
-impl Default for LatencyHistogram {
-    fn default() -> Self {
-        Self::new()
-    }
-}
-
-impl LatencyHistogram {
-    /// An empty histogram.
-    pub fn new() -> Self {
-        LatencyHistogram {
-            counts: vec![0; RESOLUTION],
-            overflow: 0,
-            total: 0,
-            sum: 0,
-            max: 0,
-        }
-    }
-
-    /// Records one latency observation.
-    pub fn push(&mut self, latency: u64) {
-        match self.counts.get_mut(latency as usize) {
-            Some(slot) => *slot += 1,
-            None => self.overflow += 1,
-        }
-        self.total += 1;
-        self.sum += latency;
-        self.max = self.max.max(latency);
-    }
-
-    /// Adds `other`'s observations into `self`.
-    pub fn merge(&mut self, other: &Self) {
-        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
-            *a += b;
-        }
-        self.overflow += other.overflow;
-        self.total += other.total;
-        self.sum += other.sum;
-        self.max = self.max.max(other.max);
-    }
-
-    /// Observations recorded.
-    pub fn count(&self) -> u64 {
-        self.total
-    }
-
-    /// Whether nothing has been recorded.
-    pub fn is_empty(&self) -> bool {
-        self.total == 0
-    }
-
-    /// Mean latency in ticks.
-    ///
-    /// # Panics
-    ///
-    /// Panics on an empty histogram.
-    pub fn mean(&self) -> f64 {
-        assert!(self.total > 0, "mean of an empty latency histogram");
-        self.sum as f64 / self.total as f64
-    }
-
-    /// Largest latency observed.
-    pub fn max(&self) -> u64 {
-        self.max
-    }
-
-    /// The `q`-quantile latency (ceiling rank). Ranks falling in the
-    /// overflow bucket report the observed maximum.
-    ///
-    /// # Panics
-    ///
-    /// Panics on an empty histogram or `q` outside `[0, 1]`.
-    pub fn percentile(&self, q: f64) -> u64 {
-        assert!(self.total > 0, "percentile of an empty latency histogram");
-        assert!((0.0..=1.0).contains(&q), "quantile {q} outside [0, 1]");
-        let rank = ((q * self.total as f64).ceil() as u64).max(1);
-        let mut seen = 0u64;
-        for (latency, &count) in self.counts.iter().enumerate() {
-            seen += count;
-            if seen >= rank {
-                return latency as u64;
-            }
-        }
-        self.max
-    }
-
-    /// Median latency.
-    pub fn p50(&self) -> u64 {
-        self.percentile(0.50)
-    }
-
-    /// 99th-percentile latency.
-    pub fn p99(&self) -> u64 {
-        self.percentile(0.99)
-    }
-}
+// Both histograms were deduplicated into `wlr_base::stats`; the
+// re-exports keep `wlr_mc::stats::LatencyHistogram` (and the crate-root
+// re-export) working.
+pub use wlr_base::stats::{LatencyHistogram, WearHistogram};
 
 /// Why a multi-bank run stopped.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -215,6 +103,9 @@ pub struct McOutcome {
     pub wear: WearHistogram,
     /// Queueing-latency distribution across all banks.
     pub latency: LatencyHistogram,
+    /// WL-Reviver event counters merged across every reviver bank
+    /// (all-zero when the banks run a non-reviver scheme).
+    pub revival: wl_reviver::ReviverCounters,
 }
 
 impl McOutcome {
@@ -227,57 +118,5 @@ impl McOutcome {
     }
 }
 
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[test]
-    fn percentiles_follow_exact_counts() {
-        let mut h = LatencyHistogram::new();
-        for lat in 1..=100u64 {
-            h.push(lat);
-        }
-        assert_eq!(h.count(), 100);
-        assert_eq!(h.p50(), 50);
-        assert_eq!(h.p99(), 99);
-        assert_eq!(h.percentile(1.0), 100);
-        assert_eq!(h.max(), 100);
-        assert!((h.mean() - 50.5).abs() < 1e-9);
-    }
-
-    #[test]
-    fn merge_equals_union() {
-        let mut a = LatencyHistogram::new();
-        let mut b = LatencyHistogram::new();
-        let mut whole = LatencyHistogram::new();
-        for lat in 0..50u64 {
-            a.push(lat);
-            whole.push(lat);
-        }
-        for lat in 50..200u64 {
-            b.push(lat * 40); // push some into overflow
-            whole.push(lat * 40);
-        }
-        a.merge(&b);
-        assert_eq!(a.count(), whole.count());
-        assert_eq!(a.max(), whole.max());
-        for q in [0.1f64, 0.5, 0.9, 0.99] {
-            assert_eq!(a.percentile(q), whole.percentile(q));
-        }
-    }
-
-    #[test]
-    fn overflow_ranks_report_observed_max() {
-        let mut h = LatencyHistogram::new();
-        h.push(10);
-        h.push(1_000_000);
-        assert_eq!(h.p99(), 1_000_000);
-        assert_eq!(h.p50(), 10);
-    }
-
-    #[test]
-    #[should_panic(expected = "empty latency histogram")]
-    fn empty_percentile_panics() {
-        LatencyHistogram::new().percentile(0.5);
-    }
-}
+// The histogram unit tests moved to `wlr-base::stats::hist` together
+// with the implementations.

@@ -446,12 +446,17 @@ impl PcmDevice {
     }
 
     /// Reports a named controller crash point to the fault plan, which
-    /// may cut power here. No-op without a plan.
+    /// may cut power here. No-op without a plan. Returns whether *this*
+    /// report cut the power (was powered before, unpowered after), so
+    /// the controller can surface the cut as an event.
     #[inline]
-    pub fn crash_point(&mut self, point: CrashPoint) {
-        if let Some(f) = &mut self.fault {
-            f.on_crash_point(point);
-        }
+    pub fn crash_point(&mut self, point: CrashPoint) -> bool {
+        let Some(f) = &mut self.fault else {
+            return false;
+        };
+        let before = f.powered();
+        f.on_crash_point(point);
+        before && !f.powered()
     }
 
     /// Fault counters, when a fault plan is armed.
