@@ -227,6 +227,13 @@ impl DenseSet {
         true
     }
 
+    /// Removes every member. One pass over the backing words, so for
+    /// small capacities this beats removing members one by one.
+    pub fn clear(&mut self) {
+        self.present.fill(0);
+        self.len = 0;
+    }
+
     /// Members in ascending order.
     pub fn iter(&self) -> impl Iterator<Item = u64> + '_ {
         iter_bits(&self.present)
@@ -260,6 +267,21 @@ mod tests {
     use super::*;
     use crate::rng::Rng;
     use std::collections::{HashMap, HashSet};
+
+    #[test]
+    fn set_clear_empties_and_allows_reinsert() {
+        let mut s = DenseSet::with_capacity(200);
+        for k in [0, 63, 64, 199] {
+            assert!(s.insert(k));
+        }
+        s.clear();
+        assert!(s.is_empty());
+        for k in [0, 63, 64, 199] {
+            assert!(!s.contains(k));
+            assert!(s.insert(k), "cleared key is insertable again");
+        }
+        assert_eq!(s.len(), 4);
+    }
 
     #[test]
     fn map_insert_get_remove_roundtrip() {

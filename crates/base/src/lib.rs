@@ -18,6 +18,9 @@
 //! * [`pool`] — the shared work-stealing worker pool (scoped threads, so
 //!   jobs may borrow; results in input order) used by the experiment
 //!   harness and the front-end's parallel bank stepping.
+//! * [`spsc`] — bounded lock-free single-producer/single-consumer rings,
+//!   the transport between the front-end and its pinned per-bank drain
+//!   workers.
 //! * [`stats`] — the special functions the PCM lifetime model needs
 //!   (inverse normal CDF, successive uniform order statistics) and summary
 //!   statistics (mean/CoV/percentiles) used by the workload generators and
@@ -48,6 +51,7 @@ pub mod geometry;
 pub mod interleave;
 pub mod pool;
 pub mod rng;
+pub mod spsc;
 pub mod stats;
 
 pub use addr::{AppAddr, Da, Pa, PageId};

@@ -29,6 +29,11 @@ pub fn run_pooled<'a, T: Send>(jobs: Vec<PooledJob<'a, T>>) -> Vec<T> {
         .unwrap_or(1)
         .min(n)
         .max(1);
+    if threads == 1 {
+        // Single worker: run inline and skip the scope/spawn round trip
+        // (results are identical — one worker claims jobs in order).
+        return jobs.into_iter().map(|job| job()).collect();
+    }
     let queue: Vec<Mutex<Option<PooledJob<'a, T>>>> =
         jobs.into_iter().map(|j| Mutex::new(Some(j))).collect();
     let results: Vec<Mutex<Option<T>>> = (0..n).map(|_| Mutex::new(None)).collect();

@@ -1,0 +1,318 @@
+//! Bounded lock-free single-producer/single-consumer ring buffer.
+//!
+//! The multi-bank front-end (`wlr-mc`) pipes each bank's drained write
+//! batches through one of these rings to the bank's pinned drain worker:
+//! the producer (front-end) and consumer (worker) never contend on a
+//! lock, and steady-state transfers allocate nothing.
+//!
+//! The implementation is deliberately `unsafe`-free: the slot array is
+//! `AtomicU64` cells, so a slot publish is an ordinary atomic store and
+//! the Acquire/Release pair on `tail`/`head` provides the cross-thread
+//! ordering. Each side keeps a *cached* copy of the other side's index
+//! and re-reads the shared atomic only when the cache says the ring
+//! looks full (producer) or empty (consumer) — the common case costs one
+//! uncontended atomic store plus one atomic slot access per element.
+//!
+//! Indices increase monotonically and are reduced modulo the (power-of-
+//! two) capacity on slot access, so full (`tail − head == cap`) and
+//! empty (`tail == head`) are unambiguous without a wasted slot.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Shared state behind one SPSC ring.
+#[derive(Debug)]
+struct Shared {
+    /// Value cells; a cell is valid iff its index is in `[head, tail)`.
+    slots: Box<[AtomicU64]>,
+    /// Consumer position: the next index to pop. Only the consumer
+    /// stores; the producer reads with Acquire to learn of freed slots.
+    head: AtomicU64,
+    /// Producer position: the next index to fill. Only the producer
+    /// stores (Release, publishing the slot contents); the consumer
+    /// reads with Acquire.
+    tail: AtomicU64,
+    /// Power-of-two capacity; slot index = position & (cap − 1).
+    mask: u64,
+}
+
+/// The producing half of a ring; see [`ring`].
+#[derive(Debug)]
+pub struct Producer {
+    shared: Arc<Shared>,
+    /// Local copy of `tail` (only this side advances it).
+    tail: u64,
+    /// Last observed `head`; refreshed only when the ring looks full.
+    head_cache: u64,
+}
+
+/// The consuming half of a ring; see [`ring`].
+#[derive(Debug)]
+pub struct Consumer {
+    shared: Arc<Shared>,
+    /// Local copy of `head` (only this side advances it).
+    head: u64,
+    /// Last observed `tail`; refreshed only when the ring looks empty.
+    tail_cache: u64,
+}
+
+/// Creates a bounded SPSC ring holding at most `capacity` `u64` values.
+/// The capacity is rounded up to a power of two.
+///
+/// # Panics
+///
+/// Panics if `capacity` is zero.
+pub fn ring(capacity: usize) -> (Producer, Consumer) {
+    assert!(capacity > 0, "ring capacity must be nonzero");
+    let cap = capacity.next_power_of_two() as u64;
+    let slots: Box<[AtomicU64]> = (0..cap).map(|_| AtomicU64::new(0)).collect();
+    let shared = Arc::new(Shared {
+        slots,
+        head: AtomicU64::new(0),
+        tail: AtomicU64::new(0),
+        mask: cap - 1,
+    });
+    (
+        Producer {
+            shared: Arc::clone(&shared),
+            tail: 0,
+            head_cache: 0,
+        },
+        Consumer {
+            shared,
+            head: 0,
+            tail_cache: 0,
+        },
+    )
+}
+
+impl Producer {
+    /// The ring's capacity in values.
+    pub fn capacity(&self) -> usize {
+        (self.shared.mask + 1) as usize
+    }
+
+    /// Pushes one value; returns `false` (leaving the ring unchanged)
+    /// when the ring is full.
+    #[inline]
+    pub fn push(&mut self, value: u64) -> bool {
+        if self.tail - self.head_cache > self.shared.mask {
+            self.head_cache = self.shared.head.load(Ordering::Acquire);
+            if self.tail - self.head_cache > self.shared.mask {
+                return false;
+            }
+        }
+        let slot = (self.tail & self.shared.mask) as usize;
+        self.shared.slots[slot].store(value, Ordering::Relaxed);
+        self.tail += 1;
+        // Publish: the consumer's Acquire load of `tail` sees the slot.
+        self.shared.tail.store(self.tail, Ordering::Release);
+        true
+    }
+
+    /// Pushes as much of `values` as fits, front first; returns how many
+    /// were pushed. One `tail` publish covers the whole run.
+    pub fn push_slice(&mut self, values: &[u64]) -> usize {
+        self.head_cache = self.shared.head.load(Ordering::Acquire);
+        let free = (self.shared.mask + 1) - (self.tail - self.head_cache);
+        let n = values.len().min(free as usize);
+        for &v in &values[..n] {
+            let slot = (self.tail & self.shared.mask) as usize;
+            self.shared.slots[slot].store(v, Ordering::Relaxed);
+            self.tail += 1;
+        }
+        if n > 0 {
+            self.shared.tail.store(self.tail, Ordering::Release);
+        }
+        n
+    }
+
+    /// Values currently in the ring (from this side's view).
+    pub fn len(&self) -> usize {
+        (self.tail - self.shared.head.load(Ordering::Acquire)) as usize
+    }
+
+    /// Whether the ring currently holds nothing this side knows of.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl Consumer {
+    /// The ring's capacity in values.
+    pub fn capacity(&self) -> usize {
+        (self.shared.mask + 1) as usize
+    }
+
+    /// Pops the oldest value, or `None` when the ring is empty.
+    #[inline]
+    pub fn pop(&mut self) -> Option<u64> {
+        if self.head == self.tail_cache {
+            self.tail_cache = self.shared.tail.load(Ordering::Acquire);
+            if self.head == self.tail_cache {
+                return None;
+            }
+        }
+        let slot = (self.head & self.shared.mask) as usize;
+        let v = self.shared.slots[slot].load(Ordering::Relaxed);
+        self.head += 1;
+        // Release: the producer's Acquire load of `head` may now reuse
+        // the slot.
+        self.shared.head.store(self.head, Ordering::Release);
+        Some(v)
+    }
+
+    /// Appends every currently-visible value to `out`, in FIFO order,
+    /// and returns how many were taken. One `head` publish covers the
+    /// whole run; `out` is not cleared.
+    pub fn pop_into(&mut self, out: &mut Vec<u64>) -> usize {
+        self.tail_cache = self.shared.tail.load(Ordering::Acquire);
+        let n = (self.tail_cache - self.head) as usize;
+        out.reserve(n);
+        for _ in 0..n {
+            let slot = (self.head & self.shared.mask) as usize;
+            out.push(self.shared.slots[slot].load(Ordering::Relaxed));
+            self.head += 1;
+        }
+        if n > 0 {
+            self.shared.head.store(self.head, Ordering::Release);
+        }
+        n
+    }
+
+    /// Values currently in the ring (from this side's view).
+    pub fn len(&self) -> usize {
+        (self.shared.tail.load(Ordering::Acquire) - self.head) as usize
+    }
+
+    /// Whether the ring is empty from this side's view.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_pop_round_trips_in_fifo_order() {
+        let (mut p, mut c) = ring(8);
+        for v in 0..8 {
+            assert!(p.push(v));
+        }
+        assert!(!p.push(99), "ninth push on a full ring must fail");
+        for v in 0..8 {
+            assert_eq!(c.pop(), Some(v));
+        }
+        assert_eq!(c.pop(), None);
+    }
+
+    #[test]
+    fn capacity_one_alternates_full_and_empty() {
+        let (mut p, mut c) = ring(1);
+        assert_eq!(p.capacity(), 1);
+        for v in [7u64, 0, 42] {
+            assert!(p.push(v));
+            assert!(!p.push(v ^ 1), "capacity-1 ring holds exactly one");
+            assert_eq!(c.pop(), Some(v));
+            assert_eq!(c.pop(), None);
+        }
+    }
+
+    #[test]
+    fn wraparound_preserves_order_across_many_laps() {
+        let (mut p, mut c) = ring(4);
+        let mut expect = 0u64;
+        for v in 0..1_000u64 {
+            assert!(p.push(v));
+            if v % 3 == 0 {
+                // Drain in uneven gulps so head/tail wrap out of phase.
+                let mut got = Vec::new();
+                c.pop_into(&mut got);
+                for g in got {
+                    assert_eq!(g, expect);
+                    expect += 1;
+                }
+            }
+        }
+        while let Some(g) = c.pop() {
+            assert_eq!(g, expect);
+            expect += 1;
+        }
+        assert_eq!(expect, 1_000);
+    }
+
+    #[test]
+    fn push_slice_fills_to_capacity_and_reports_partial() {
+        let (mut p, mut c) = ring(4);
+        assert_eq!(p.push_slice(&[1, 2, 3, 4, 5, 6]), 4);
+        let mut out = Vec::new();
+        assert_eq!(c.pop_into(&mut out), 4);
+        assert_eq!(out, vec![1, 2, 3, 4]);
+        assert_eq!(p.push_slice(&[7]), 1);
+        out.clear();
+        c.pop_into(&mut out);
+        assert_eq!(out, vec![7]);
+    }
+
+    #[test]
+    fn zero_and_max_values_survive_the_sentinel_free_design() {
+        let (mut p, mut c) = ring(2);
+        assert!(p.push(0));
+        assert!(p.push(u64::MAX));
+        assert_eq!(c.pop(), Some(0));
+        assert_eq!(c.pop(), Some(u64::MAX));
+    }
+
+    #[test]
+    #[should_panic(expected = "nonzero")]
+    fn zero_capacity_panics() {
+        let _ = ring(0);
+    }
+
+    /// Two real threads, seeded schedule perturbation on both sides:
+    /// every pushed value must come out exactly once, in order.
+    #[test]
+    fn two_thread_stress_preserves_fifo() {
+        use crate::rng::Rng;
+        const N: u64 = 200_000;
+        let (mut p, mut c) = ring(64);
+        std::thread::scope(|s| {
+            s.spawn(move || {
+                let mut rng = Rng::seed_from(1);
+                let mut v = 0;
+                while v < N {
+                    if p.push(v) {
+                        v += 1;
+                    } else if rng.next_u64().is_multiple_of(64) {
+                        std::thread::yield_now();
+                    }
+                }
+            });
+            s.spawn(move || {
+                let mut rng = Rng::seed_from(2);
+                let mut expect = 0;
+                let mut batch = Vec::new();
+                while expect < N {
+                    if rng.next_u64().is_multiple_of(2) {
+                        if let Some(v) = c.pop() {
+                            assert_eq!(v, expect);
+                            expect += 1;
+                        }
+                    } else {
+                        batch.clear();
+                        c.pop_into(&mut batch);
+                        for &v in &batch {
+                            assert_eq!(v, expect);
+                            expect += 1;
+                        }
+                    }
+                    if rng.next_u64().is_multiple_of(128) {
+                        std::thread::yield_now();
+                    }
+                }
+            });
+        });
+    }
+}

@@ -13,23 +13,36 @@
 //! * later runs: preserves the existing `baseline` verbatim, replaces
 //!   `current`, and reports `speedup_vs_baseline` per bank count.
 //!
+//! The baseline is config-aware: the `config` block captures the
+//! *workload identity* (space, endurance, seed, request stream, queue
+//! and buffer shape — not perf knobs like pinning), and a prior baseline
+//! is preserved only when the identity matches; a widened `WLR_BANKS`
+//! sweep keeps existing rows' baselines and self-baselines the new rows.
+//!
 //! Knobs (see EXPERIMENTS.md): `WLR_BANKS` (comma-separated bank counts,
-//! default `1,2,4,8,16`), `WLR_QUEUE_DEPTH` (default 64),
+//! default `1,2,4,8,16,32,64,128`), `WLR_QUEUE_DEPTH` (default 64),
 //! `WLR_INTERLEAVE` (`cacheline`, `page`, or a block count; default
 //! cacheline), `WLR_WRITE_BUFFER` (DRAM buffer lines, default 32),
 //! `WLR_SERVICE_REQUESTS` (requests per configuration, default 2 000 000),
-//! plus the usual `WLR_SEED`, `WLR_BENCH_OUT`, `WLR_BENCH_RESET`.
+//! `WLR_SERVICE_PASSES` (timing passes per configuration, fastest kept,
+//! default 3 — the run is deterministic, so passes differ only in noise),
+//! `WLR_PINNED` (pinned-worker pipeline, default 1), `WLR_STEERING`
+//! (wear-aware bank steering, default 0), `WLR_RING_DEPTH` (SPSC ring
+//! entries per bank, default 4096), plus the usual `WLR_SEED`,
+//! `WLR_BENCH_OUT`, `WLR_BENCH_RESET`.
 
 use std::fmt::Write as _;
 use std::time::Instant;
 use wlr_base::Interleave;
-use wlr_bench::report::{baseline_field, bench_out_path, env_u64, load_baseline, write_report};
+use wlr_bench::report::{
+    baseline_field, bench_out_path, env_u64, load_baseline_with_config, write_report,
+};
 use wlr_bench::{exp_seed, scaled_gap_interval, EXP_BLOCKS, EXP_ENDURANCE};
 use wlr_mc::{McFrontend, McOutcome, McStopReason};
 use wlr_trace::UniformWorkload;
 
 fn bank_counts() -> Vec<usize> {
-    let raw = std::env::var("WLR_BANKS").unwrap_or_else(|_| "1,2,4,8,16".into());
+    let raw = std::env::var("WLR_BANKS").unwrap_or_else(|_| "1,2,4,8,16,32,64,128".into());
     let counts: Vec<usize> = raw
         .split(',')
         .filter_map(|s| s.trim().parse().ok())
@@ -57,30 +70,61 @@ struct Row {
 
 fn measure(requests: u64, queue_depth: usize, wbuf: usize, stripe: Interleave) -> Vec<Row> {
     let seed = exp_seed();
+    let pinned = env_u64("WLR_PINNED", 1) != 0;
+    let steering = env_u64("WLR_STEERING", 0) != 0;
+    let ring_depth = env_u64("WLR_RING_DEPTH", 4096).max(1) as usize;
+    let passes = env_u64("WLR_SERVICE_PASSES", 3).max(1);
     bank_counts()
         .into_iter()
         .map(|banks| {
             let local = EXP_BLOCKS / banks as u64;
-            let mut mc = McFrontend::builder()
-                .banks(banks)
-                .total_blocks(EXP_BLOCKS)
-                .endurance_mean(EXP_ENDURANCE)
-                .gap_interval(scaled_gap_interval(local, EXP_ENDURANCE))
-                .seed(seed)
-                .interleave(stripe)
-                .queue_depth(queue_depth)
-                .write_buffer_lines(wbuf)
-                .build()
-                .expect("bank count must divide the experiment space");
-            let mut workload = UniformWorkload::new(EXP_BLOCKS, seed);
-            let start = Instant::now();
-            let outcome = mc.run(&mut workload, requests);
-            let seconds = start.elapsed().as_secs_f64();
-            let wps = outcome.requests as f64 / seconds;
+            // The run is deterministic, so repeated passes differ only in
+            // wall-clock; keep the fastest to strip scheduler noise.
+            let mut best: Option<Row> = None;
+            for _ in 0..passes {
+                let mut mc = McFrontend::builder()
+                    .banks(banks)
+                    .total_blocks(EXP_BLOCKS)
+                    .endurance_mean(EXP_ENDURANCE)
+                    .gap_interval(scaled_gap_interval(local, EXP_ENDURANCE))
+                    .seed(seed)
+                    .interleave(stripe)
+                    .queue_depth(queue_depth)
+                    .write_buffer_lines(wbuf)
+                    .pinned(pinned)
+                    .steering(steering)
+                    .ring_depth(ring_depth)
+                    .build()
+                    .expect("bank count must divide the experiment space");
+                let mut workload = UniformWorkload::new(EXP_BLOCKS, seed);
+                let start = Instant::now();
+                let outcome = mc.run(&mut workload, requests);
+                let seconds = start.elapsed().as_secs_f64();
+                let wps = outcome.requests as f64 / seconds;
+                if let Some(b) = &best {
+                    assert_eq!(
+                        (b.outcome.issued, b.outcome.coalesced, b.outcome.ticks),
+                        (outcome.issued, outcome.coalesced, outcome.ticks),
+                        "sweep passes diverged at banks={banks}: the run must be deterministic"
+                    );
+                }
+                if best.as_ref().is_none_or(|b| seconds < b.seconds) {
+                    best = Some(Row {
+                        banks,
+                        outcome,
+                        seconds,
+                        wps,
+                    });
+                }
+            }
+            let r = best.expect("at least one pass runs");
+            let outcome = &r.outcome;
             eprintln!(
-                "  banks={banks:<3} {:>10} requests in {seconds:>6.2}s = {wps:>12.0} writes/s  \
+                "  banks={banks:<3} {:>10} requests in {:>6.2}s = {:>12.0} writes/s  \
                  p50={} p99={} ticks  ({} coalesced, {} absorbed)",
                 outcome.requests,
+                r.seconds,
+                r.wps,
                 outcome.latency.p50(),
                 outcome.latency.p99(),
                 outcome.coalesced,
@@ -94,12 +138,7 @@ fn measure(requests: u64, queue_depth: usize, wbuf: usize, stripe: Interleave) -
                     rv.links, rv.switches, rv.spare_grants, rv.suspensions, rv.fake_reports
                 );
             }
-            Row {
-                banks,
-                outcome,
-                seconds,
-                wps,
-            }
+            r
         })
         .collect()
 }
@@ -149,8 +188,10 @@ fn main() {
     eprintln!(
         "service: {EXP_BLOCKS} blocks, endurance {EXP_ENDURANCE:.0}, seed {}, \
          {requests} requests, queue depth {queue_depth}, buffer {wbuf} lines, \
-         interleave {stripe}",
-        exp_seed()
+         interleave {stripe}, pinned={} steering={}",
+        exp_seed(),
+        env_u64("WLR_PINNED", 1) != 0,
+        env_u64("WLR_STEERING", 0) != 0
     );
     let rows = measure(requests, queue_depth, wbuf, stripe);
 
@@ -169,8 +210,14 @@ fn main() {
         }
     }
 
+    let config = format!(
+        "{{\"blocks\": {EXP_BLOCKS}, \"endurance\": {EXP_ENDURANCE}, \
+         \"seed\": {}, \"requests\": {requests}, \"queue_depth\": {queue_depth}, \
+         \"write_buffer\": {wbuf}, \"interleave\": \"{stripe}\"}}",
+        exp_seed()
+    );
     let current = rows_json(&rows);
-    let base = load_baseline(&out_path, &current);
+    let base = load_baseline_with_config(&out_path, &current, &config);
     let mut speedups = String::from("{");
     for (i, r) in rows.iter().enumerate() {
         if i > 0 {
@@ -183,11 +230,8 @@ fn main() {
     speedups.push('}');
 
     let report = format!(
-        "{{\n  \"config\": {{\"blocks\": {EXP_BLOCKS}, \"endurance\": {EXP_ENDURANCE}, \
-         \"seed\": {}, \"requests\": {requests}, \"queue_depth\": {queue_depth}, \
-         \"write_buffer\": {wbuf}, \"interleave\": \"{stripe}\"}},\n  \"baseline\": {},\n  \
+        "{{\n  \"config\": {config},\n  \"baseline\": {},\n  \
          \"current\": {current},\n  \"speedup_vs_baseline\": {speedups}\n}}\n",
-        exp_seed(),
         base.block
     );
     write_report(&out_path, &report, base.is_first);

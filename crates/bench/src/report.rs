@@ -34,7 +34,13 @@ pub fn env_u64(name: &str, default: u64) -> u64 {
 /// Extracts the `"baseline": { ... }` object (brace-balanced) from a
 /// previous report, if present.
 pub fn extract_baseline(json: &str) -> Option<String> {
-    let start = json.find("\"baseline\":")? + "\"baseline\":".len();
+    extract_object(json, "baseline")
+}
+
+/// Extracts the brace-balanced `"<key>": { ... }` object from a report.
+pub fn extract_object(json: &str, key: &str) -> Option<String> {
+    let pat = format!("\"{key}\":");
+    let start = json.find(&pat)? + pat.len();
     let open = start + json[start..].find('{')?;
     let mut depth = 0usize;
     for (i, c) in json[open..].char_indices() {
@@ -66,6 +72,77 @@ pub fn baseline_field(baseline: &str, name: &str, field: &str) -> Option<f64> {
     tail[..end].parse().ok()
 }
 
+/// Splits a one-level JSON object of `"name": { ... }` rows into
+/// `(name, row object)` pairs, in order. Only meant for the row maps the
+/// bench binaries emit themselves (every value is an object, and no
+/// string inside a row contains a brace).
+pub fn object_rows(block: &str) -> Vec<(String, String)> {
+    let mut rows = Vec::new();
+    let mut i = match block.find('{') {
+        Some(p) => p + 1,
+        None => return rows,
+    };
+    while let Some(q0) = block[i..].find('"') {
+        let kstart = i + q0 + 1;
+        let Some(q1) = block[kstart..].find('"') else {
+            break;
+        };
+        let key = block[kstart..kstart + q1].to_string();
+        let mut j = kstart + q1 + 1;
+        let Some(c) = block[j..].find(':') else { break };
+        j += c + 1;
+        let Some(o) = block[j..].find('{') else { break };
+        let open = j + o;
+        let mut depth = 0usize;
+        let mut end = None;
+        for (k, ch) in block[open..].char_indices() {
+            match ch {
+                '{' => depth += 1,
+                '}' => {
+                    depth -= 1;
+                    if depth == 0 {
+                        end = Some(open + k);
+                        break;
+                    }
+                }
+                _ => {}
+            }
+        }
+        let Some(end) = end else { break };
+        rows.push((key, block[open..=end].to_string()));
+        i = end + 1;
+    }
+    rows
+}
+
+/// Merges a prior baseline into the current row set: rows the prior
+/// baseline already covers keep their baseline numbers verbatim, rows
+/// new to this run (a widened sweep) are baselined at their current
+/// values, and rows that vanished from the sweep are dropped.
+pub fn merge_baseline_rows(prior: &str, current: &str) -> String {
+    let prior_rows = object_rows(prior);
+    let mut s = String::from("{");
+    for (i, (key, cur)) in object_rows(current).into_iter().enumerate() {
+        if i > 0 {
+            s.push_str(", ");
+        }
+        let val = prior_rows
+            .iter()
+            .find(|(k, _)| *k == key)
+            .map_or(cur, |(_, v)| v.clone());
+        s.push('"');
+        s.push_str(&key);
+        s.push_str("\": ");
+        s.push_str(&val);
+    }
+    s.push('}');
+    s
+}
+
+fn strip_ws(s: &str) -> String {
+    s.chars().filter(|c| !c.is_whitespace()).collect()
+}
+
 /// The baseline block to report against, plus whether this run created it.
 #[derive(Debug)]
 pub struct Baseline {
@@ -89,6 +166,34 @@ pub fn load_baseline(out_path: &str, current: &str) -> Baseline {
     let is_first = prior.is_none();
     Baseline {
         block: prior.unwrap_or_else(|| current.to_string()),
+        is_first,
+    }
+}
+
+/// Config-aware baseline loader: a prior report whose `config` block
+/// matches `config` (whitespace-insensitively) keeps its baseline,
+/// merged row-wise so rows new to a widened sweep self-baseline; a
+/// config change — a different workload identity — re-baselines
+/// everything, because numbers measured under another workload are not
+/// comparable.
+pub fn load_baseline_with_config(out_path: &str, current: &str, config: &str) -> Baseline {
+    let prior = if bench_reset() {
+        None
+    } else {
+        std::fs::read_to_string(out_path).ok()
+    };
+    let prior_baseline = prior.as_deref().and_then(|p| {
+        let same = extract_object(p, "config").is_some_and(|c| strip_ws(&c) == strip_ws(config));
+        if same {
+            extract_baseline(p)
+        } else {
+            None
+        }
+    });
+    let is_first = prior_baseline.is_none();
+    Baseline {
+        block: prior_baseline
+            .map_or_else(|| current.to_string(), |b| merge_baseline_rows(&b, current)),
         is_first,
     }
 }
@@ -148,5 +253,67 @@ mod tests {
     #[test]
     fn env_u64_falls_back() {
         assert_eq!(env_u64("WLR_TEST_SURELY_UNSET_KNOB", 7), 7);
+    }
+
+    #[test]
+    fn object_rows_splits_in_order() {
+        let rows = object_rows(r#"{"a": {"x": 1}, "b": {"y": {"z": 2}}}"#);
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[0], ("a".into(), "{\"x\": 1}".into()));
+        assert_eq!(rows[1].0, "b");
+        assert!(rows[1].1.contains("\"z\": 2"));
+    }
+
+    #[test]
+    fn merge_keeps_prior_rows_and_baselines_new_ones() {
+        let prior = r#"{"banks_1": {"writes_per_sec": 100}, "banks_2": {"writes_per_sec": 200}}"#;
+        let current = r#"{"banks_1": {"writes_per_sec": 150}, "banks_4": {"writes_per_sec": 400}}"#;
+        let merged = merge_baseline_rows(prior, current);
+        assert_eq!(
+            baseline_field(&merged, "banks_1", "writes_per_sec"),
+            Some(100.0)
+        );
+        assert_eq!(
+            baseline_field(&merged, "banks_4", "writes_per_sec"),
+            Some(400.0)
+        );
+        assert_eq!(
+            baseline_field(&merged, "banks_2", "writes_per_sec"),
+            None,
+            "rows dropped from the sweep leave the baseline"
+        );
+    }
+
+    #[test]
+    fn config_change_rebaselines() {
+        let dir = std::env::temp_dir().join("wlr_report_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("BENCH_cfg.json");
+        let path = path.to_str().unwrap();
+        std::fs::write(
+            path,
+            r#"{
+  "config": {"blocks": 16384, "requests": 100},
+  "baseline": {"banks_1": {"writes_per_sec": 100}},
+  "current": {"banks_1": {"writes_per_sec": 100}}
+}"#,
+        )
+        .unwrap();
+        let current = r#"{"banks_1": {"writes_per_sec": 250}}"#;
+        let same =
+            load_baseline_with_config(path, current, r#"{"blocks": 16384, "requests": 100}"#);
+        assert!(!same.is_first);
+        assert_eq!(
+            baseline_field(&same.block, "banks_1", "writes_per_sec"),
+            Some(100.0)
+        );
+        let changed =
+            load_baseline_with_config(path, current, r#"{"blocks": 16384, "requests": 999}"#);
+        assert!(changed.is_first, "different workload identity re-baselines");
+        assert_eq!(
+            baseline_field(&changed.block, "banks_1", "writes_per_sec"),
+            Some(250.0)
+        );
+        std::fs::remove_file(path).ok();
     }
 }

@@ -907,8 +907,20 @@ impl Simulation {
             self.lost_writes += 1;
             return false;
         }
-        for _ in 0..4 {
-            match self.controller.write(pa, tag) {
+        let first = self.controller.write(pa, tag);
+        self.pa_write_rest(first, pa, tag, depth)
+    }
+
+    /// The write-retry protocol given the first attempt's result —
+    /// split out so the steady-state batch loop can issue the first
+    /// controller write itself and only pay for this on failure. Handles
+    /// up to 4 write attempts in total, exactly like the historical
+    /// single-function loop.
+    fn pa_write_rest(&mut self, first: WriteResult, pa: Pa, tag: u64, depth: u8) -> bool {
+        let mut res = first;
+        let mut attempts = 1u8;
+        loop {
+            match res {
                 WriteResult::Ok => return true,
                 WriteResult::ReportFailure(rep) => {
                     return self.handle_report(rep, (pa, tag), depth);
@@ -949,6 +961,11 @@ impl Simulation {
                     return false;
                 }
             }
+            if attempts == 4 {
+                break;
+            }
+            attempts += 1;
+            res = self.controller.write(pa, tag);
         }
         self.lost_writes += 1;
         false
@@ -1272,6 +1289,51 @@ impl Simulation {
     /// partitioning of the same address sequence produces bit-identical
     /// simulation state.
     pub fn run_batch(&mut self, addrs: &[AppAddr]) -> BatchStatus {
+        if self.fault_active || self.expected.is_some() {
+            return self.run_batch_guarded(addrs);
+        }
+        // Steady state (no fault plan, no integrity oracle): run in tight
+        // spans bounded by the next sample/hard-cap boundary, so the
+        // per-write path is counters + translate + controller write. The
+        // skipped `maybe_sample` calls are exact no-ops below the
+        // boundary, so the state sequence is bit-identical to the guarded
+        // loop's.
+        let n = addrs.len();
+        let mut i = 0usize;
+        while i < n {
+            if self.writes_issued >= self.hard_cap {
+                return BatchStatus::HardCap { consumed: i as u64 };
+            }
+            let until_cap = self.hard_cap - self.writes_issued;
+            let until_sample = self.next_sample.saturating_sub(self.writes_issued).max(1);
+            let span = u64::min(until_cap, until_sample).min((n - i) as u64) as usize;
+            let end = i + span;
+            while i < end {
+                let addr = addrs[i];
+                self.writes_issued += 1;
+                self.seq += 1;
+                let tag = self.seq;
+                i += 1;
+                let Some(pa) = self.os.translate_or_redirect(addr) else {
+                    self.maybe_sample(false);
+                    return BatchStatus::MemoryExhausted { consumed: i as u64 };
+                };
+                match self.controller.write(pa, tag) {
+                    WriteResult::Ok => {}
+                    first => {
+                        self.pa_write_rest(first, pa, tag, 0);
+                    }
+                }
+            }
+            self.maybe_sample(false);
+        }
+        BatchStatus::Completed
+    }
+
+    /// The fully-guarded per-write batch loop: fault injection and the
+    /// integrity oracle need the complete [`Self::step_addr`] protocol
+    /// around every write.
+    fn run_batch_guarded(&mut self, addrs: &[AppAddr]) -> BatchStatus {
         for (i, &addr) in addrs.iter().enumerate() {
             if self.writes_issued >= self.hard_cap {
                 return BatchStatus::HardCap { consumed: i as u64 };
@@ -1318,7 +1380,7 @@ impl Simulation {
         eat(self.os.retired_pages());
         let device = self.controller.device();
         eat(device.dead_blocks());
-        for &w in device.wear_snapshot() {
+        for w in device.wear_snapshot() {
             eat(u64::from(w));
         }
         h

@@ -25,6 +25,8 @@ pub struct Bank {
     /// this log through an identically-configured standalone simulation
     /// must reproduce the bank's fingerprint exactly.
     issue_log: Option<Vec<u64>>,
+    /// Reused address buffer so steady-state drains allocate nothing.
+    scratch: Vec<AppAddr>,
 }
 
 impl Bank {
@@ -38,6 +40,7 @@ impl Bank {
             dropped: 0,
             recoveries: 0,
             issue_log: record_issue.then(Vec::new),
+            scratch: Vec::new(),
         }
     }
 
@@ -84,31 +87,37 @@ impl Bank {
             self.dropped += batch.len() as u64;
             return;
         }
-        let addrs: Vec<AppAddr> = batch.iter().map(|&a| AppAddr::new(a)).collect();
-        let mut rest: &[AppAddr] = &addrs;
-        while !rest.is_empty() {
+        // Reuse the scratch buffer (taken out so the loop below can
+        // borrow `self` mutably); steady-state drains allocate nothing.
+        let mut addrs = std::mem::take(&mut self.scratch);
+        addrs.clear();
+        addrs.extend(batch.iter().map(|&a| AppAddr::new(a)));
+        let mut start = 0usize;
+        while start < addrs.len() {
+            let rest = &addrs[start..];
             match self.sim.run_batch(rest) {
                 BatchStatus::Completed => {
                     self.log_issued(rest);
                     self.issued += rest.len() as u64;
-                    rest = &[];
+                    start = addrs.len();
                 }
                 BatchStatus::PowerLoss { consumed } => {
                     self.log_issued(&rest[..consumed as usize]);
                     self.issued += consumed;
                     self.recoveries += 1;
                     self.sim.recover();
-                    rest = &rest[consumed as usize..];
+                    start += consumed as usize;
                 }
                 BatchStatus::MemoryExhausted { consumed } | BatchStatus::HardCap { consumed } => {
                     self.log_issued(&rest[..consumed as usize]);
                     self.issued += consumed;
                     self.dropped += rest.len() as u64 - consumed;
                     self.alive = false;
-                    rest = &[];
+                    start = addrs.len();
                 }
             }
         }
+        self.scratch = addrs;
     }
 
     fn log_issued(&mut self, addrs: &[AppAddr]) {

@@ -13,21 +13,32 @@
 //!   space, seeded from its own deterministic RNG stream;
 //! * a small DRAM [`wbuf::WriteBuffer`] absorbs hot-line rewrites before
 //!   they cost PCM endurance;
-//! * bounded per-bank [`queue::WriteQueue`]s coalesce pending writes and
-//!   release them in whole-fleet drains, stepped in parallel on the
-//!   shared worker pool ([`wlr_base::run_pooled`]);
+//! * bounded per-bank [`queue::WriteQueue`]s coalesce pending writes into
+//!   batches which flow through lock-free SPSC rings
+//!   ([`wlr_base::spsc`]) to *pinned* per-bank drain workers — long-lived
+//!   threads that own their bank stack for the whole run — or are drained
+//!   inline on the submitting thread when no worker threads are
+//!   available; the legacy whole-fleet barrier drain survives behind
+//!   [`McFrontendBuilder::pinned`]`(false)`;
+//! * an optional wear-aware [`steer::Steering`] layer biases batch
+//!   placement away from heavily-worn banks (off by default — the
+//!   deterministic identity mapping is the reference behavior);
 //! * [`stats`] aggregates cross-bank wear, queue-latency percentiles and
 //!   per-bank revival outcomes, and a [`McStopPolicy`] decides when the
 //!   memory as a whole is dead.
 //!
 //! # Determinism
 //!
-//! The front-end pipeline (buffer, queues, drain scheduling) is a pure
-//! function of the request stream, and banks never share state; the
-//! per-bank issue sequence is therefore identical whether drains step
-//! banks in parallel or sequentially, and each bank's end state is
-//! bit-identical to a standalone single-bank simulation replaying the
-//! same issue log (see [`McFrontend::reference_sim`]).
+//! The front-end pipeline (buffer, queues, flush scheduling, steering)
+//! is a pure function of the request stream, and banks never share
+//! state; the per-bank issue sequence is therefore identical whether
+//! batches are consumed by pinned worker threads or inline on the
+//! submitting thread, and each bank's end state is bit-identical to a
+//! standalone single-bank simulation replaying the same issue log (see
+//! [`McFrontend::reference_sim`]). Bank-death visibility is lagged by
+//! exactly one batch in *both* modes — the front-end reads a bank's
+//! fate at a flush only for batches flushed before that point — so stop
+//! decisions land on the same request in threaded and inline runs.
 //!
 //! # Example
 //!
@@ -52,19 +63,24 @@
 pub mod bank;
 pub mod queue;
 pub mod stats;
+pub mod steer;
 pub mod wbuf;
 
 pub use bank::Bank;
-pub use queue::WriteQueue;
+pub use queue::{QueueEntry, WriteQueue};
 pub use stats::{BankReport, LatencyHistogram, McOutcome, McStopPolicy, McStopReason};
+pub use steer::Steering;
 pub use wbuf::WriteBuffer;
 
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
 use wl_reviver::metrics::WearHistogram;
 use wl_reviver::sim::SchemeKind;
 use wl_reviver::Simulation;
 use wlr_base::interleave::{Interleave, InterleaveError, InterleaveMap};
 use wlr_base::pool::{run_pooled, PooledJob};
 use wlr_base::rng::SplitMix64;
+use wlr_base::spsc::{self, Consumer, Producer};
 use wlr_base::Geometry;
 use wlr_trace::Workload;
 
@@ -102,6 +118,19 @@ impl BankConfig {
     }
 }
 
+/// What a pinned drain worker publishes back to the front-end: how far
+/// it has consumed its ring, and whether the bank survived. The
+/// front-end reads `alive` only after observing `consumed` catch up to
+/// its own flush count (Acquire pairs with the worker's Release), which
+/// is what makes death visibility deterministic.
+#[derive(Debug)]
+struct BankSync {
+    /// Ring entries fully drained into the bank so far.
+    consumed: AtomicU64,
+    /// Whether the bank was alive after its last drained batch.
+    alive: AtomicBool,
+}
+
 /// Builder for [`McFrontend`]; see [`McFrontend::builder`].
 #[derive(Debug)]
 pub struct McFrontendBuilder {
@@ -117,6 +146,12 @@ pub struct McFrontendBuilder {
     queue_depth: usize,
     write_buffer_lines: usize,
     parallel: bool,
+    pinned: bool,
+    steering: bool,
+    steer_epoch: u64,
+    ring_depth: usize,
+    max_batch_age: u64,
+    drain_workers: usize,
     record_issue: bool,
     stop_policy: McStopPolicy,
 }
@@ -191,10 +226,58 @@ impl McFrontendBuilder {
         self
     }
 
-    /// Step banks on the shared worker pool during drains (default) or
-    /// sequentially in bank order; the results are bit-identical.
+    /// Allow worker threads (default). In the pinned pipeline this
+    /// permits long-lived drain workers inside [`McFrontend::run`]; in
+    /// the legacy drain it steps banks on the shared pool. `false`
+    /// forces fully-inline servicing; the results are bit-identical.
     pub fn parallel(mut self, on: bool) -> Self {
         self.parallel = on;
+        self
+    }
+
+    /// Use the pinned-worker pipeline (default): per-bank batches flow
+    /// through SPSC rings to workers that own their bank for the whole
+    /// run, with age-bounded flushes. `false` restores the legacy
+    /// whole-fleet barrier drain.
+    pub fn pinned(mut self, on: bool) -> Self {
+        self.pinned = on;
+        self
+    }
+
+    /// Enable wear-aware bank steering (default off). Steered runs stay
+    /// deterministic but are not bit-identical to the unsteered mapping;
+    /// see [`steer::Steering`]. Requires the pinned pipeline.
+    pub fn steering(mut self, on: bool) -> Self {
+        self.steering = on;
+        self
+    }
+
+    /// Flushed writes per steering epoch (default 4096).
+    pub fn steer_epoch(mut self, writes: u64) -> Self {
+        self.steer_epoch = writes;
+        self
+    }
+
+    /// Per-bank SPSC ring capacity in entries, rounded up to a power of
+    /// two (default 4096).
+    pub fn ring_depth(mut self, entries: usize) -> Self {
+        self.ring_depth = entries;
+        self
+    }
+
+    /// Maximum ticks a queued write may age before its bank is flushed
+    /// (pinned pipeline only); 0 picks `12 × queue_depth` (default).
+    pub fn max_batch_age(mut self, ticks: u64) -> Self {
+        self.max_batch_age = ticks;
+        self
+    }
+
+    /// Pinned drain worker threads for [`McFrontend::run`]; 0 (default)
+    /// sizes to the machine (cores − 1, capped at the bank count).
+    /// Values ≤ 1 drain inline on the submitting thread — bit-identical
+    /// to any worker count.
+    pub fn drain_workers(mut self, workers: usize) -> Self {
+        self.drain_workers = workers;
         self
     }
 
@@ -245,7 +328,31 @@ impl McFrontendBuilder {
         let queues: Vec<WriteQueue> = (0..self.banks)
             .map(|_| WriteQueue::new(self.queue_depth, local_blocks))
             .collect();
+        let mut producers = Vec::with_capacity(self.banks);
+        let mut consumers = Vec::with_capacity(self.banks);
+        for _ in 0..self.banks {
+            let (p, c) = spsc::ring(self.ring_depth.max(1));
+            producers.push(p);
+            consumers.push(Some(c));
+        }
+        let sync: Arc<Vec<BankSync>> = Arc::new(
+            (0..self.banks)
+                .map(|_| BankSync {
+                    consumed: AtomicU64::new(0),
+                    alive: AtomicBool::new(true),
+                })
+                .collect(),
+        );
         let wbuf = WriteBuffer::new(self.write_buffer_lines, self.total_blocks);
+        let max_batch_age = if self.max_batch_age == 0 {
+            // Ages past ~12 × depth stop paying: at high bank counts the
+            // round-robin probe adds ~one probe cycle of lag, and the
+            // tail (age + probe lag + service) must stay inside the
+            // latency budget the bench tracks.
+            12 * self.queue_depth as u64
+        } else {
+            self.max_batch_age
+        };
         Ok(McFrontend {
             map,
             cfg,
@@ -258,8 +365,28 @@ impl McFrontendBuilder {
             requests: 0,
             drains: 0,
             parallel: self.parallel,
+            pinned: self.pinned,
             stop_policy: self.stop_policy,
             stop: None,
+            producers,
+            consumers,
+            sync,
+            busy_until: vec![0; self.banks],
+            flushed: vec![0; self.banks],
+            bank_dead: vec![false; self.banks],
+            dead_count: 0,
+            max_batch_age,
+            age_cursor: 0,
+            oldest_arrival: vec![u64::MAX; self.banks],
+            entry_buf: Vec::new(),
+            addr_buf: Vec::new(),
+            ring_buf: Vec::new(),
+            legacy_batches: (0..self.banks).map(|_| Vec::new()).collect(),
+            workers_active: false,
+            drain_workers: self.drain_workers,
+            steer: self
+                .steering
+                .then(|| Steering::new(self.banks, self.steer_epoch)),
         })
     }
 }
@@ -274,15 +401,54 @@ pub struct McFrontend {
     queues: Vec<WriteQueue>,
     wbuf: WriteBuffer,
     latency: LatencyHistogram,
-    /// Front-end clock: one tick per submitted request, plus the length
-    /// of the longest released batch per drain (banks service their
-    /// batches in lockstep parallel).
+    /// Front-end arrival clock: one tick per submitted request. Bank
+    /// service completions run on per-bank service clocks (`busy_until`).
     tick: u64,
     requests: u64,
     drains: u64,
     parallel: bool,
+    pinned: bool,
     stop_policy: McStopPolicy,
     stop: Option<McStopReason>,
+    /// Producer half of each bank's SPSC ring.
+    producers: Vec<Producer>,
+    /// Consumer halves; `None` while lent to a pinned worker thread.
+    consumers: Vec<Option<Consumer>>,
+    /// Worker→front-end progress/death publication, per bank.
+    sync: Arc<Vec<BankSync>>,
+    /// Per-bank service clock: when the bank finishes its queued batches.
+    busy_until: Vec<u64>,
+    /// Entries flushed into each bank's ring so far (front-end view).
+    flushed: Vec<u64>,
+    /// Deterministically-lagged death mirror (see crate docs).
+    bank_dead: Vec<bool>,
+    /// Count of `true` entries in `bank_dead`, so the per-flush stop
+    /// check is O(1) instead of a scan over every bank.
+    dead_count: usize,
+    /// Age bound: a queue whose oldest entry has waited this many ticks
+    /// is flushed even if not full.
+    max_batch_age: u64,
+    /// Round-robin cursor for the age check (one queue probed per
+    /// submit, so the probe cost stays O(1)).
+    age_cursor: usize,
+    /// Oldest pending arrival tick per logical bank (`u64::MAX` when the
+    /// queue is empty). A dense mirror of `WriteQueue::front_arrival` so
+    /// the per-submit age probe reads one contiguous word instead of
+    /// chasing a cold queue struct.
+    oldest_arrival: Vec<u64>,
+    /// Reused `(address, arrival)` buffer for queue flushes.
+    entry_buf: Vec<QueueEntry>,
+    /// Reused address buffer for queue flushes (feeds the ring or the
+    /// bank directly).
+    addr_buf: Vec<u64>,
+    /// Reused address buffer for inline ring consumption.
+    ring_buf: Vec<u64>,
+    /// Reused per-bank batch buffers for the legacy barrier drain.
+    legacy_batches: Vec<Vec<u64>>,
+    /// Whether pinned workers currently own the banks and consumers.
+    workers_active: bool,
+    drain_workers: usize,
+    steer: Option<Steering>,
 }
 
 impl McFrontend {
@@ -301,6 +467,12 @@ impl McFrontend {
             queue_depth: 64,
             write_buffer_lines: 32,
             parallel: true,
+            pinned: true,
+            steering: false,
+            steer_epoch: 4096,
+            ring_depth: 4096,
+            max_batch_age: 0,
+            drain_workers: 0,
             record_issue: false,
             stop_policy: McStopPolicy::FirstBankDead,
         }
@@ -312,7 +484,13 @@ impl McFrontend {
     }
 
     /// The banks, in bank order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called while pinned workers own the banks (never
+    /// observable from outside: workers live only inside [`run`](Self::run)).
     pub fn banks(&self) -> &[Bank] {
+        assert!(!self.workers_active, "banks are owned by drain workers");
         &self.banks
     }
 
@@ -331,6 +509,11 @@ impl McFrontend {
         self.stop
     }
 
+    /// The steering layer, when enabled.
+    pub fn steering(&self) -> Option<&Steering> {
+        self.steer.as_ref()
+    }
+
     /// A fresh standalone simulation configured identically to bank
     /// `bank` — replaying that bank's issue log through it must
     /// reproduce the bank's fingerprint bit for bit.
@@ -338,8 +521,9 @@ impl McFrontend {
         self.cfg.build_sim(bank)
     }
 
-    /// Submits one write request for global block `global`. May trigger a
-    /// whole-fleet drain when the target bank's queue is full.
+    /// Submits one write request for global block `global`. May flush
+    /// the target bank's batch (pinned pipeline) or trigger a
+    /// whole-fleet drain (legacy) when its queue is full.
     ///
     /// # Panics
     ///
@@ -355,17 +539,38 @@ impl McFrontend {
         if let Some(line) = self.wbuf.admit(global) {
             self.enqueue(line);
         }
+        if self.pinned {
+            self.age_probe();
+        }
     }
 
-    /// Flushes the write buffer, drains every queue, and summarizes the
-    /// run. The front-end can keep accepting requests afterwards; the
-    /// outcome covers everything submitted so far.
+    /// Flushes the write buffer, drains every queue and ring, and
+    /// summarizes the run. The front-end can keep accepting requests
+    /// afterwards; the outcome covers everything submitted so far.
     pub fn finish(&mut self) -> McOutcome {
         let dirty = self.wbuf.flush();
         for line in dirty {
             self.enqueue(line);
         }
-        self.drain_all();
+        if self.pinned {
+            for b in 0..self.queues.len() {
+                self.flush_bank(b);
+            }
+            if !self.workers_active {
+                for phys in 0..self.banks.len() {
+                    self.drain_ring_inline(phys);
+                }
+            }
+            // End of trace: full (no longer lagged) death reconciliation.
+            for phys in 0..self.banks.len() {
+                if !self.banks[phys].alive() {
+                    self.mark_dead(phys);
+                }
+            }
+            self.check_stop();
+        } else {
+            self.drain_all();
+        }
         let mut wear = WearHistogram::new();
         let mut revival = wl_reviver::ReviverCounters::default();
         for bank in &self.banks {
@@ -378,6 +583,11 @@ impl McFrontend {
                 &sim.controller().device().wear_snapshot()[..visible],
             ));
         }
+        let ticks = if self.pinned {
+            self.busy_until.iter().copied().fold(self.tick, u64::max)
+        } else {
+            self.tick
+        };
         McOutcome {
             requests: self.requests,
             absorbed: self.wbuf.absorbed(),
@@ -385,7 +595,7 @@ impl McFrontend {
             issued: self.banks.iter().map(Bank::issued).sum(),
             dropped: self.banks.iter().map(Bank::dropped).sum(),
             drains: self.drains,
-            ticks: self.tick,
+            ticks,
             stop: self.stop.unwrap_or(McStopReason::TraceComplete),
             banks: self.banks.iter().map(BankReport::from_bank).collect(),
             wear,
@@ -396,6 +606,9 @@ impl McFrontend {
 
     /// Submits up to `requests` writes drawn from `workload` (stopping
     /// early if the stop policy trips), then [`finish`](Self::finish)es.
+    /// With the pinned pipeline and more than one drain worker
+    /// available, the banks are serviced by long-lived worker threads
+    /// for the whole run; the outcome is bit-identical either way.
     ///
     /// # Panics
     ///
@@ -407,6 +620,10 @@ impl McFrontend {
             self.total_blocks,
             "workload space must equal the global space"
         );
+        let workers = self.worker_threads();
+        if self.pinned && workers > 1 {
+            return self.run_pinned_threaded(workload, requests, workers);
+        }
         for _ in 0..requests {
             if self.stop.is_some() {
                 break;
@@ -417,19 +634,236 @@ impl McFrontend {
         self.finish()
     }
 
-    /// Routes a line to its bank queue, draining the whole fleet first if
-    /// that queue is full.
-    fn enqueue(&mut self, global: u64) {
-        let (bank, local) = self.map.split(global);
-        if self.queues[bank as usize].is_full() {
-            self.drain_all();
+    /// How many pinned drain workers [`run`](Self::run) would use.
+    fn worker_threads(&self) -> usize {
+        if !self.parallel {
+            return 1;
         }
-        self.queues[bank as usize].push(local, self.tick);
+        let w = if self.drain_workers == 0 {
+            // Leave one core for the submitting front-end thread.
+            std::thread::available_parallelism()
+                .map(|p| p.get())
+                .unwrap_or(1)
+                .saturating_sub(1)
+                .max(1)
+        } else {
+            self.drain_workers
+        };
+        w.min(self.banks.len())
     }
 
-    /// Releases every queue and steps all banks over their batches — in
-    /// parallel on the worker pool, or sequentially in bank order; both
-    /// produce bit-identical bank states because banks share nothing.
+    /// The full-run pinned mode: spawn the workers, lend them the banks
+    /// and ring consumers, feed the pipeline, then rejoin and finish.
+    fn run_pinned_threaded(
+        &mut self,
+        workload: &mut dyn Workload,
+        requests: u64,
+        workers: usize,
+    ) -> McOutcome {
+        let banks = std::mem::take(&mut self.banks);
+        let n = banks.len();
+        let mut parts: Vec<Vec<(usize, Bank, Consumer)>> =
+            (0..workers).map(|_| Vec::new()).collect();
+        for (i, bank) in banks.into_iter().enumerate() {
+            let cons = self.consumers[i].take().expect("consumer home before run");
+            // Fixed partition: bank i is pinned to worker i mod W for the
+            // whole run — no rebalancing, no cross-worker contention.
+            parts[i % workers].push((i, bank, cons));
+        }
+        let shutdown = Arc::new(AtomicBool::new(false));
+        self.workers_active = true;
+        let mut returned: Vec<(usize, Bank, Consumer)> = Vec::with_capacity(n);
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = parts
+                .into_iter()
+                .map(|mut part| {
+                    let shutdown = Arc::clone(&shutdown);
+                    let sync = Arc::clone(&self.sync);
+                    scope.spawn(move || {
+                        let mut batch: Vec<u64> = Vec::new();
+                        loop {
+                            let mut worked = false;
+                            for (idx, bank, cons) in part.iter_mut() {
+                                batch.clear();
+                                if cons.pop_into(&mut batch) > 0 {
+                                    bank.drain(&batch);
+                                    let s = &sync[*idx];
+                                    // `alive` first, then the Release on
+                                    // `consumed`: the front-end's Acquire
+                                    // of `consumed` orders the pair.
+                                    s.alive.store(bank.alive(), Ordering::Relaxed);
+                                    s.consumed.fetch_add(batch.len() as u64, Ordering::Release);
+                                    worked = true;
+                                }
+                            }
+                            if !worked {
+                                if shutdown.load(Ordering::Acquire)
+                                    && part.iter().all(|(_, _, c)| c.is_empty())
+                                {
+                                    break;
+                                }
+                                std::thread::yield_now();
+                            }
+                        }
+                        part
+                    })
+                })
+                .collect();
+            for _ in 0..requests {
+                if self.stop.is_some() {
+                    break;
+                }
+                let addr = workload.next_write();
+                self.submit(addr.index());
+            }
+            // Hand the workers everything still buffered, then let them
+            // run dry: write buffer → queues → rings.
+            let dirty = self.wbuf.flush();
+            for line in dirty {
+                self.enqueue(line);
+            }
+            for b in 0..self.queues.len() {
+                self.flush_bank(b);
+            }
+            shutdown.store(true, Ordering::Release);
+            for h in handles {
+                returned.extend(h.join().expect("drain worker panicked"));
+            }
+        });
+        self.workers_active = false;
+        returned.sort_by_key(|&(i, _, _)| i);
+        for (i, bank, cons) in returned {
+            self.consumers[i] = Some(cons);
+            self.banks.push(bank);
+        }
+        self.finish()
+    }
+
+    /// Routes a line to its bank queue, flushing/draining first if that
+    /// queue is full.
+    fn enqueue(&mut self, global: u64) {
+        let (bank, local) = self.map.split(global);
+        let b = bank as usize;
+        if self.queues[b].is_full() {
+            if self.pinned {
+                self.flush_bank(b);
+            } else {
+                self.drain_all();
+            }
+        }
+        if self.queues[b].is_empty() {
+            self.oldest_arrival[b] = self.tick;
+        }
+        self.queues[b].push(local, self.tick);
+    }
+
+    /// Probes one queue per submit (round-robin) and flushes it when its
+    /// oldest entry has aged out — this bounds tail latency without a
+    /// whole-fleet barrier and without scanning every queue per request.
+    fn age_probe(&mut self) {
+        self.age_cursor += 1;
+        if self.age_cursor >= self.oldest_arrival.len() {
+            self.age_cursor = 0;
+        }
+        let b = self.age_cursor;
+        // `u64::MAX` (empty queue) saturates to an age of zero.
+        if self.tick.saturating_sub(self.oldest_arrival[b]) >= self.max_batch_age {
+            self.flush_bank(b);
+        }
+    }
+
+    /// Flushes logical bank `logical`'s queued batch toward its
+    /// (possibly steered) physical bank, accounting latency on the
+    /// bank's service clock. With workers active the batch goes through
+    /// the bank's SPSC ring; otherwise the ring round-trip is pure
+    /// overhead and the batch drains straight into the bank — same
+    /// batch, same order, bit-identical outcome.
+    fn flush_bank(&mut self, logical: usize) {
+        if self.queues[logical].is_empty() {
+            return;
+        }
+        self.queues[logical].take_into(&mut self.entry_buf);
+        self.oldest_arrival[logical] = u64::MAX;
+        let phys = self.steer.as_ref().map_or(logical, |s| s.route(logical));
+        // Read the bank's fate for everything flushed *before* this
+        // batch (the deterministic lag; see crate docs), then decide
+        // whether the fleet as a whole is dead.
+        self.sync_bank(phys);
+        self.check_stop();
+        self.drains += 1;
+        let k = self.entry_buf.len() as u64;
+        let start = self.tick.max(self.busy_until[phys]);
+        self.addr_buf.clear();
+        for (i, &(addr, arrival)) in self.entry_buf.iter().enumerate() {
+            self.addr_buf.push(addr);
+            self.latency
+                .push((start + i as u64).saturating_sub(arrival));
+        }
+        self.busy_until[phys] = start + k;
+        if let Some(s) = &mut self.steer {
+            s.note_flush(logical, phys, k);
+        }
+        self.flushed[phys] += k;
+        if self.workers_active {
+            let mut pushed = 0usize;
+            loop {
+                pushed += self.producers[phys].push_slice(&self.addr_buf[pushed..]);
+                if pushed == self.addr_buf.len() {
+                    break;
+                }
+                // Ring full: the pinned worker is consuming; wait for room.
+                std::thread::yield_now();
+            }
+        } else {
+            self.banks[phys].drain(&self.addr_buf);
+            // Mirror the worker protocol so mode switches stay coherent.
+            // Only this thread writes `consumed` in inline mode, so a
+            // plain release store (no locked RMW) reaches the same total.
+            let s = &self.sync[phys];
+            s.alive.store(self.banks[phys].alive(), Ordering::Relaxed);
+            s.consumed.store(self.flushed[phys], Ordering::Release);
+        }
+    }
+
+    /// Brings the front-end's death mirror for `phys` up to date with
+    /// every batch flushed so far (excluding any being flushed right
+    /// now). In threaded mode this waits for the pinned worker to catch
+    /// up; inline mode has already consumed everything.
+    fn sync_bank(&mut self, phys: usize) {
+        if self.workers_active {
+            let sync = &self.sync[phys];
+            while sync.consumed.load(Ordering::Acquire) < self.flushed[phys] {
+                std::thread::yield_now();
+            }
+            if !sync.alive.load(Ordering::Relaxed) {
+                self.mark_dead(phys);
+            }
+        } else if !self.banks[phys].alive() {
+            self.mark_dead(phys);
+        }
+    }
+
+    /// Pops whatever the ring holds and steps the bank over it on the
+    /// submitting thread (the no-worker consumption path).
+    fn drain_ring_inline(&mut self, phys: usize) {
+        let cons = self.consumers[phys]
+            .as_mut()
+            .expect("consumer is home when no workers are active");
+        self.ring_buf.clear();
+        if cons.pop_into(&mut self.ring_buf) > 0 {
+            self.banks[phys].drain(&self.ring_buf);
+            // Mirror the worker protocol so mode switches stay coherent.
+            let s = &self.sync[phys];
+            s.alive.store(self.banks[phys].alive(), Ordering::Relaxed);
+            s.consumed
+                .fetch_add(self.ring_buf.len() as u64, Ordering::Release);
+        }
+    }
+
+    /// Legacy whole-fleet barrier drain: releases every queue and steps
+    /// all banks over their batches — on the shared worker pool, or
+    /// sequentially in bank order; both produce bit-identical bank
+    /// states because banks share nothing.
     fn drain_all(&mut self) {
         let longest = self.queues.iter().map(WriteQueue::len).max().unwrap_or(0);
         if longest == 0 {
@@ -437,19 +871,21 @@ impl McFrontend {
         }
         self.drains += 1;
         let drain_start = self.tick;
-        let mut batches = Vec::with_capacity(self.queues.len());
-        for q in &mut self.queues {
-            let (addrs, latencies) = q.take(drain_start);
-            for l in latencies {
-                self.latency.push(l);
+        self.oldest_arrival.fill(u64::MAX);
+        for (q, batch) in self.queues.iter_mut().zip(self.legacy_batches.iter_mut()) {
+            q.take_into(&mut self.entry_buf);
+            batch.clear();
+            for (i, &(addr, arrival)) in self.entry_buf.iter().enumerate() {
+                batch.push(addr);
+                self.latency
+                    .push((drain_start + i as u64).saturating_sub(arrival));
             }
-            batches.push(addrs);
         }
         if self.parallel {
             let jobs: Vec<PooledJob<'_, ()>> = self
                 .banks
                 .iter_mut()
-                .zip(batches.iter())
+                .zip(self.legacy_batches.iter())
                 .map(|(bank, batch)| {
                     let batch = batch.as_slice();
                     Box::new(move || bank.drain(batch)) as PooledJob<'_, ()>
@@ -457,32 +893,45 @@ impl McFrontend {
                 .collect();
             run_pooled(jobs);
         } else {
-            for (bank, batch) in self.banks.iter_mut().zip(batches.iter()) {
+            for (bank, batch) in self.banks.iter_mut().zip(self.legacy_batches.iter()) {
                 bank.drain(batch);
             }
         }
         self.tick += longest as u64;
+        for i in 0..self.banks.len() {
+            if !self.banks[i].alive() {
+                self.mark_dead(i);
+            }
+        }
         self.check_stop();
     }
 
-    fn check_stop(&mut self) {
-        if self.stop.is_some() {
-            return;
+    /// Marks physical bank `phys` dead in the lagged mirror (idempotent).
+    fn mark_dead(&mut self, phys: usize) {
+        if !self.bank_dead[phys] {
+            self.bank_dead[phys] = true;
+            self.dead_count += 1;
         }
-        let dead: Vec<usize> = self
-            .banks
-            .iter()
-            .filter(|b| !b.alive())
-            .map(Bank::id)
-            .collect();
-        if dead.is_empty() {
+    }
+
+    /// Evaluates the stop policy over the death mirror.
+    #[inline]
+    fn check_stop(&mut self) {
+        if self.dead_count == 0 || self.stop.is_some() {
             return;
         }
         match self.stop_policy {
-            McStopPolicy::FirstBankDead => self.stop = Some(McStopReason::BankDead(dead[0])),
+            McStopPolicy::FirstBankDead => {
+                let first = self
+                    .bank_dead
+                    .iter()
+                    .position(|&d| d)
+                    .expect("dead count is nonzero");
+                self.stop = Some(McStopReason::BankDead(first));
+            }
             McStopPolicy::Quorum(frac) => {
-                if dead.len() as f64 / self.banks.len() as f64 >= frac {
-                    self.stop = Some(McStopReason::QuorumDead(dead.len()));
+                if self.dead_count as f64 / self.bank_dead.len() as f64 >= frac {
+                    self.stop = Some(McStopReason::QuorumDead(self.dead_count));
                 }
             }
         }
@@ -572,6 +1021,68 @@ mod tests {
     }
 
     #[test]
+    fn forced_worker_threads_match_inline_bit_for_bit() {
+        // Two pinned workers on however many cores the machine has must
+        // produce exactly the inline (zero-thread) result — the whole
+        // point of the deterministic pipeline.
+        let run = |workers: usize| {
+            let mut mc = McFrontend::builder()
+                .banks(4)
+                .total_blocks(1 << 12)
+                .endurance_mean(2_000.0)
+                .gap_interval(8)
+                .drain_workers(workers)
+                .seed(11)
+                .build()
+                .unwrap();
+            let mut w = UniformWorkload::new(1 << 12, 11);
+            mc.run(&mut w, 40_000)
+        };
+        let threaded = run(2);
+        let inline = run(1);
+        for (t, i) in threaded.banks.iter().zip(&inline.banks) {
+            assert_eq!(t.fingerprint, i.fingerprint, "bank {} diverged", t.bank);
+            assert_eq!(t.writes_issued, i.writes_issued);
+        }
+        assert_eq!(threaded.requests, inline.requests);
+        assert_eq!(threaded.issued, inline.issued);
+        assert_eq!(threaded.ticks, inline.ticks);
+        assert_eq!(threaded.latency.p99(), inline.latency.p99());
+    }
+
+    #[test]
+    fn pinned_and_legacy_issue_identical_streams_without_buffers() {
+        // With coalescing structurally disabled (duplicate-free stream,
+        // no write buffer), both drain architectures must issue exactly
+        // the same per-bank sequences — flush timing differs, content
+        // cannot.
+        let space = 1u64 << 10;
+        let mut addrs: Vec<u64> = (0..space).collect();
+        wlr_base::rng::Rng::seed_from(9).shuffle(&mut addrs);
+        let run = |pinned: bool| {
+            let mut mc = McFrontend::builder()
+                .banks(4)
+                .total_blocks(space)
+                .endurance_mean(1e9)
+                .write_buffer_lines(0)
+                .record_issue(true)
+                .pinned(pinned)
+                .seed(9)
+                .build()
+                .unwrap();
+            for &a in &addrs {
+                mc.submit(a);
+            }
+            mc.finish();
+            let logs: Vec<Vec<u64>> = (0..4)
+                .map(|i| mc.banks()[i].issue_log().unwrap().to_vec())
+                .collect();
+            logs
+        };
+        assert_eq!(run(true), run(false));
+    }
+
+    #[test]
     fn first_dead_bank_stops_the_run() {
         let mut mc = McFrontend::builder()
             .banks(4)
@@ -616,5 +1127,29 @@ mod tests {
             .interleave(Interleave::Page)
             .build();
         assert!(err.is_err(), "4096 blocks over 3 page-striped banks");
+    }
+
+    #[test]
+    fn aged_batches_flush_without_filling_the_queue() {
+        // One hot bank, then silence on it: the round-robin age probe
+        // must flush its sub-capacity batch within max_batch_age ticks.
+        let mut mc = McFrontend::builder()
+            .banks(2)
+            .total_blocks(1 << 12)
+            .endurance_mean(1e9)
+            .write_buffer_lines(0)
+            .max_batch_age(16)
+            .seed(8)
+            .build()
+            .unwrap();
+        mc.submit(0); // bank 0, one entry — far below queue_depth
+        for i in 0..64 {
+            mc.submit(2 * i + 1); // odd globals: all land on bank 1
+        }
+        assert_eq!(
+            mc.banks()[0].issued(),
+            1,
+            "aged single-entry batch must have flushed mid-run"
+        );
     }
 }

@@ -7,15 +7,24 @@
 //! line, so only the last data ever reaches the array. The queue keeps
 //! the **earliest** arrival tick for a coalesced address: the merged
 //! write has been waiting since the first request to that line.
+//!
+//! Entries are `(address, arrival)` pairs in one contiguous `Vec` (the
+//! queue only ever fills and then drains completely, so no ring
+//! arithmetic is needed, and a push touches a single cache line), and
+//! [`WriteQueue::take_into`] hands the whole batch to the caller by
+//! buffer *swap* — the steady-state flush path moves no elements and
+//! allocates nothing.
 
-use std::collections::VecDeque;
 use wlr_base::dense::DenseSet;
+
+/// One pending write: bank-local address and its arrival tick.
+pub type QueueEntry = (u64, u64);
 
 /// A bounded FIFO of pending bank-local writes with O(1) coalescing.
 #[derive(Debug)]
 pub struct WriteQueue {
-    /// `(local address, arrival tick)` in arrival order.
-    slots: VecDeque<(u64, u64)>,
+    /// Pending `(address, arrival tick)` pairs in arrival order.
+    entries: Vec<QueueEntry>,
     /// Dense membership index over the bank's local address space.
     present: DenseSet,
     depth: usize,
@@ -34,7 +43,7 @@ impl WriteQueue {
     pub fn new(depth: usize, local_space: u64) -> Self {
         assert!(depth > 0, "write queue depth must be nonzero");
         WriteQueue {
-            slots: VecDeque::with_capacity(depth),
+            entries: Vec::with_capacity(depth),
             present: DenseSet::with_capacity(local_space),
             depth,
             coalesced: 0,
@@ -44,17 +53,17 @@ impl WriteQueue {
 
     /// Pending distinct addresses.
     pub fn len(&self) -> usize {
-        self.slots.len()
+        self.entries.len()
     }
 
     /// Whether nothing is pending.
     pub fn is_empty(&self) -> bool {
-        self.slots.is_empty()
+        self.entries.is_empty()
     }
 
     /// Whether the queue cannot accept a new distinct address.
     pub fn is_full(&self) -> bool {
-        self.slots.len() >= self.depth
+        self.entries.len() >= self.depth
     }
 
     /// Requests coalesced into an already-pending slot so far.
@@ -75,31 +84,37 @@ impl WriteQueue {
     ///
     /// Panics if called on a full queue with a non-coalescing address;
     /// the front-end drains all banks before that can happen.
+    #[inline]
     pub fn push(&mut self, local: u64, now: u64) -> bool {
-        if self.present.contains(local) {
+        if !self.present.insert(local) {
             self.coalesced += 1;
             return false;
         }
-        assert!(!self.is_full(), "push on a full write queue");
-        self.present.insert(local);
-        self.slots.push_back((local, now));
+        assert!(
+            self.entries.len() < self.depth,
+            "push on a full write queue"
+        );
+        self.entries.push((local, now));
         self.enqueued += 1;
         true
     }
 
-    /// Empties the queue for a drain starting at tick `drain_start`,
-    /// returning the pending addresses in arrival order and each entry's
-    /// queueing latency in ticks: entry `i` completes at
-    /// `drain_start + i`, so its latency is `drain_start + i − arrival`.
-    pub fn take(&mut self, drain_start: u64) -> (Vec<u64>, Vec<u64>) {
-        let mut addrs = Vec::with_capacity(self.slots.len());
-        let mut latencies = Vec::with_capacity(self.slots.len());
-        for (i, (local, arrival)) in self.slots.drain(..).enumerate() {
-            self.present.remove(local);
-            addrs.push(local);
-            latencies.push((drain_start + i as u64).saturating_sub(arrival));
-        }
-        (addrs, latencies)
+    /// Arrival tick of the oldest pending entry, or `None` when empty.
+    #[inline]
+    pub fn front_arrival(&self) -> Option<u64> {
+        self.entries.first().map(|&(_, t)| t)
+    }
+
+    /// Empties the queue in arrival order by swapping its entry buffer
+    /// with the caller's: after the call, `out` holds the batch and the
+    /// queue holds the caller's buffer (cleared). The steady-state flush
+    /// path therefore moves no elements and allocates nothing — latency
+    /// accounting is the caller's, since it depends on the drain model
+    /// (barrier completion vs. the pinned pipeline's service clock).
+    pub fn take_into(&mut self, out: &mut Vec<QueueEntry>) {
+        out.clear();
+        self.present.clear();
+        std::mem::swap(&mut self.entries, out);
     }
 }
 
@@ -115,19 +130,31 @@ mod tests {
         assert!(!q.push(3, 3), "duplicate must coalesce");
         assert_eq!(q.coalesced(), 1);
         assert_eq!(q.len(), 2);
-        let (addrs, lats) = q.take(10);
-        assert_eq!(addrs, vec![3, 5]);
-        // Entry 0 (addr 3) completes at tick 10, arrived at 1 → latency 9.
-        // Entry 1 (addr 5) completes at tick 11, arrived at 2 → latency 9.
-        assert_eq!(lats, vec![9, 9]);
+        assert_eq!(q.front_arrival(), Some(1));
+        let mut batch = Vec::new();
+        q.take_into(&mut batch);
+        assert_eq!(batch, vec![(3, 1), (5, 2)]);
         assert!(q.is_empty());
+        assert_eq!(q.front_arrival(), None);
+    }
+
+    #[test]
+    fn take_into_clears_the_handed_buffer() {
+        let mut q = WriteQueue::new(2, 8);
+        let mut batch = vec![(99, 99)];
+        q.push(1, 0);
+        q.take_into(&mut batch);
+        assert_eq!(batch, vec![(1, 0)], "stale caller contents are discarded");
+        q.push(2, 5);
+        q.take_into(&mut batch);
+        assert_eq!(batch, vec![(2, 5)]);
     }
 
     #[test]
     fn address_can_requeue_after_drain() {
         let mut q = WriteQueue::new(2, 8);
         q.push(1, 0);
-        q.take(0);
+        q.take_into(&mut Vec::new());
         assert!(q.push(1, 1), "drained address is a fresh slot again");
         assert_eq!(q.enqueued(), 2);
     }

@@ -1,0 +1,150 @@
+//! Wear-aware bank steering (PS-WL-style placement biasing).
+//!
+//! With steering enabled, the front-end inserts a logical→physical bank
+//! permutation between the interleave split and the bank stacks: the
+//! interleave still computes a deterministic `(logical bank, local
+//! address)` pair, but the batch is *serviced* by the physical bank the
+//! current permutation assigns. Every epoch (a fixed number of flushed
+//! writes) the permutation is recomputed so the logical banks that
+//! carried the most traffic land on the physical banks with the least
+//! accumulated wear — hot stripes rotate across the array instead of
+//! burning one bank down, the probability-sensitive idea of PS-WL
+//! applied at bank granularity.
+//!
+//! The policy is a pure function of the flushed write stream (traffic
+//! counts and the front-end's own wear proxy), so a steered run is still
+//! bit-for-bit reproducible; it is simply not bit-identical to the
+//! *unsteered* mapping, which is why steering defaults to off and hides
+//! behind a knob.
+
+/// Epoch-based logical→physical bank permutation.
+#[derive(Debug)]
+pub struct Steering {
+    /// `perm[logical] = physical`.
+    perm: Vec<usize>,
+    /// Flushed writes per epoch before the permutation is recomputed.
+    epoch_len: u64,
+    /// Flushed writes since the last recomputation.
+    since_epoch: u64,
+    /// Per-logical-bank traffic within the current epoch.
+    traffic: Vec<u64>,
+    /// Cumulative writes steered into each physical bank — the wear
+    /// proxy the assignment minimizes against.
+    phys_wear: Vec<u64>,
+    /// Permutation recomputations performed.
+    rotations: u64,
+}
+
+impl Steering {
+    /// Identity-permuted steering over `banks` banks, rotating every
+    /// `epoch_len` flushed writes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `epoch_len` is zero.
+    pub fn new(banks: usize, epoch_len: u64) -> Self {
+        assert!(epoch_len > 0, "steering epoch must be nonzero");
+        Steering {
+            perm: (0..banks).collect(),
+            epoch_len,
+            since_epoch: 0,
+            traffic: vec![0; banks],
+            phys_wear: vec![0; banks],
+            rotations: 0,
+        }
+    }
+
+    /// The physical bank currently servicing `logical`.
+    #[inline]
+    pub fn route(&self, logical: usize) -> usize {
+        self.perm[logical]
+    }
+
+    /// The current permutation, `perm[logical] = physical`.
+    pub fn permutation(&self) -> &[usize] {
+        &self.perm
+    }
+
+    /// Permutation recomputations so far.
+    pub fn rotations(&self) -> u64 {
+        self.rotations
+    }
+
+    /// Records `entries` flushed writes routed from `logical` into
+    /// `physical`, and recomputes the permutation when the epoch rolls
+    /// over. Deterministic: identical flush streams produce identical
+    /// permutation histories.
+    pub fn note_flush(&mut self, logical: usize, physical: usize, entries: u64) {
+        self.traffic[logical] += entries;
+        self.phys_wear[physical] += entries;
+        self.since_epoch += entries;
+        if self.since_epoch >= self.epoch_len {
+            self.rotate();
+        }
+    }
+
+    /// Assigns the hottest logical banks to the least-worn physical
+    /// banks (ties broken by index, so the result is deterministic).
+    fn rotate(&mut self) {
+        let n = self.perm.len();
+        let mut by_heat: Vec<usize> = (0..n).collect();
+        by_heat.sort_by_key(|&l| (std::cmp::Reverse(self.traffic[l]), l));
+        let mut by_wear: Vec<usize> = (0..n).collect();
+        by_wear.sort_by_key(|&p| (self.phys_wear[p], p));
+        for (l, p) in by_heat.into_iter().zip(by_wear) {
+            self.perm[l] = p;
+        }
+        self.traffic.fill(0);
+        self.since_epoch = 0;
+        self.rotations += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_until_first_epoch() {
+        let mut s = Steering::new(4, 100);
+        assert_eq!(s.permutation(), &[0, 1, 2, 3]);
+        s.note_flush(2, 2, 99);
+        assert_eq!(s.permutation(), &[0, 1, 2, 3], "epoch not yet full");
+        assert_eq!(s.rotations(), 0);
+    }
+
+    #[test]
+    fn hot_logical_bank_moves_to_least_worn_physical() {
+        let mut s = Steering::new(3, 10);
+        // Logical 0 carries all the traffic into physical 0.
+        s.note_flush(0, 0, 10);
+        assert_eq!(s.rotations(), 1);
+        // Physical 0 is now the most worn: the hot logical bank 0 must
+        // steer away from it, onto the least-worn (index tie → 1).
+        assert_eq!(s.route(0), 1);
+    }
+
+    #[test]
+    fn rotation_is_a_permutation_and_deterministic() {
+        let run = || {
+            let mut s = Steering::new(8, 64);
+            for i in 0..1_000u64 {
+                let l = (i % 8) as usize;
+                s.note_flush(l, s.route(l), 1 + (l as u64 % 3));
+            }
+            s.permutation().to_vec()
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a, b, "steering must be reproducible");
+        let mut seen = a.clone();
+        seen.sort_unstable();
+        assert_eq!(seen, (0..8).collect::<Vec<_>>(), "must stay a permutation");
+    }
+
+    #[test]
+    #[should_panic(expected = "nonzero")]
+    fn zero_epoch_panics() {
+        let _ = Steering::new(2, 0);
+    }
+}

@@ -9,14 +9,21 @@
 //! FIFO, so eviction order is a pure function of the request stream and
 //! the multi-bank run stays deterministic.
 
-use std::collections::VecDeque;
 use wlr_base::dense::DenseSet;
 
 /// FIFO write buffer over global block addresses.
+///
+/// Once full (the steady state) the buffer is a flat ring: admitting a
+/// new line overwrites the slot at the cursor — whose occupant is by
+/// construction the oldest line — so the hot path is one bitset insert,
+/// one slot exchange, and one bitset remove, with no deque arithmetic.
 #[derive(Debug)]
 pub struct WriteBuffer {
-    /// Buffered lines, oldest first. Empty forever when `cap` is zero.
-    fifo: VecDeque<u64>,
+    /// Buffered lines. Ring-ordered once `len == cap`: the oldest line
+    /// sits at `cursor`. Empty forever when `cap` is zero.
+    slots: Vec<u64>,
+    /// Next eviction position once the buffer is full.
+    cursor: usize,
     present: DenseSet,
     cap: usize,
     absorbed: u64,
@@ -28,7 +35,8 @@ impl WriteBuffer {
     /// through.
     pub fn new(cap: usize, space: u64) -> Self {
         WriteBuffer {
-            fifo: VecDeque::with_capacity(cap),
+            slots: Vec::with_capacity(cap),
+            cursor: 0,
             present: DenseSet::with_capacity(space),
             cap,
             absorbed: 0,
@@ -42,43 +50,51 @@ impl WriteBuffer {
 
     /// Lines currently buffered.
     pub fn len(&self) -> usize {
-        self.fifo.len()
+        self.slots.len()
     }
 
     /// Whether the buffer holds no lines.
     pub fn is_empty(&self) -> bool {
-        self.fifo.is_empty()
+        self.slots.is_empty()
     }
 
     /// Admits a write of `global`. Returns the line the front-end must
     /// now enqueue toward its bank: the request itself when buffering is
     /// disabled, the evicted oldest line when the buffer overflowed, or
     /// `None` when the write was absorbed or buffered without eviction.
+    #[inline]
     pub fn admit(&mut self, global: u64) -> Option<u64> {
         if self.cap == 0 {
             return Some(global);
         }
-        if self.present.contains(global) {
+        if !self.present.insert(global) {
             self.absorbed += 1;
             return None;
         }
-        self.present.insert(global);
-        self.fifo.push_back(global);
-        if self.fifo.len() > self.cap {
-            let oldest = self.fifo.pop_front().expect("buffer over cap is nonempty");
-            self.present.remove(oldest);
-            return Some(oldest);
+        if self.slots.len() < self.cap {
+            self.slots.push(global);
+            return None;
         }
-        None
+        let oldest = std::mem::replace(&mut self.slots[self.cursor], global);
+        self.cursor += 1;
+        if self.cursor == self.cap {
+            self.cursor = 0;
+        }
+        self.present.remove(oldest);
+        Some(oldest)
     }
 
     /// Drains every buffered line in FIFO order (end of run: the dirty
     /// lines must reach PCM).
     pub fn flush(&mut self) -> Vec<u64> {
-        let out: Vec<u64> = self.fifo.drain(..).collect();
+        let mut out: Vec<u64> = Vec::with_capacity(self.slots.len());
+        out.extend_from_slice(&self.slots[self.cursor..]);
+        out.extend_from_slice(&self.slots[..self.cursor]);
         for &line in &out {
             self.present.remove(line);
         }
+        self.slots.clear();
+        self.cursor = 0;
         out
     }
 }

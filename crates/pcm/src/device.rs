@@ -142,10 +142,7 @@ impl PcmDeviceBuilder {
             total_blocks: total,
             lifetime,
             ecc: self.ecc.unwrap_or_else(|| Box::new(Ecp::ecp6())),
-            wear: vec![0; total_usize],
-            threshold: vec![0; total_usize],
-            failures: vec![0; total_usize],
-            dead: vec![false; total_usize],
+            blocks: vec![BlockState::default(); total_usize],
             contents: if self.track_contents {
                 Some(vec![0; total_usize])
             } else {
@@ -158,6 +155,21 @@ impl PcmDeviceBuilder {
     }
 }
 
+/// Per-block mutable state, packed into one slot so the write hot path
+/// (wear bump + threshold compare + death check) touches a single cache
+/// line instead of three parallel arrays.
+#[derive(Clone, Copy, Debug, Default)]
+struct BlockState {
+    /// Writes absorbed so far.
+    wear: u32,
+    /// Next cell-failure threshold; 0 = not yet materialized.
+    threshold: u32,
+    /// Cell failures suffered so far.
+    failures: u8,
+    /// Whether the block is permanently dead.
+    dead: bool,
+}
+
 /// The simulated PCM chip.
 ///
 /// See the crate-level example for typical use.
@@ -167,12 +179,7 @@ pub struct PcmDevice {
     total_blocks: u64,
     lifetime: LifetimeModel,
     ecc: Box<dyn ErrorCorrection>,
-    wear: Vec<u32>,
-    /// Next cell-failure threshold per block; 0 = not yet materialized.
-    threshold: Vec<u32>,
-    /// Cell failures suffered so far per block.
-    failures: Vec<u8>,
-    dead: Vec<bool>,
+    blocks: Vec<BlockState>,
     contents: Option<Vec<u64>>,
     dead_count: u64,
     stats: AccessStats,
@@ -243,7 +250,7 @@ impl PcmDevice {
         if self.fault.is_some() {
             return self.faulted_read(da);
         }
-        if self.dead[da.as_usize()] {
+        if self.blocks[da.as_usize()].dead {
             ReadOutcome::Dead
         } else {
             ReadOutcome::Ok
@@ -256,7 +263,7 @@ impl PcmDevice {
     fn faulted_read(&mut self, da: Da) -> ReadOutcome {
         let fault = self.fault.as_mut().expect("caller checked");
         let raised = fault.on_read();
-        if self.dead[da.as_usize()] {
+        if self.blocks[da.as_usize()].dead {
             return ReadOutcome::Dead;
         }
         match raised {
@@ -266,7 +273,7 @@ impl PcmDevice {
                 // read; the scheme absorbs it iff a real (permanent)
                 // failure of the same rank would still be correctable.
                 // No entry is consumed — the cell recovers.
-                let nth = u32::from(self.failures[da.as_usize()]) + 1;
+                let nth = u32::from(self.blocks[da.as_usize()].failures) + 1;
                 let corrected = self.ecc.would_correct(da, nth);
                 let fault = self.fault.as_mut().expect("caller checked");
                 fault.note_transient(corrected);
@@ -295,26 +302,54 @@ impl PcmDevice {
         }
         self.stats.writes += 1;
         let i = da.as_usize();
-        if self.dead[i] {
+        if self.blocks[i].dead {
             return WriteOutcome::AlreadyDead;
         }
-        self.wear[i] = self.wear[i].saturating_add(1);
-        if self.threshold[i] == 0 {
-            self.threshold[i] = clamp_u32(self.lifetime.threshold(da.index(), 1));
+        self.blocks[i].wear = self.blocks[i].wear.saturating_add(1);
+        if self.blocks[i].threshold == 0 {
+            self.blocks[i].threshold = clamp_u32(self.lifetime.threshold(da.index(), 1));
         }
-        while self.wear[i] >= self.threshold[i] {
+        while self.blocks[i].wear >= self.blocks[i].threshold {
             // One more cell just failed.
-            let nth = u32::from(self.failures[i]) + 1;
+            let nth = u32::from(self.blocks[i].failures) + 1;
             assert!(nth < 250, "implausible cell-failure count on {da}");
-            self.failures[i] = nth as u8;
+            self.blocks[i].failures = nth as u8;
             if !self.ecc.correct(da, nth) {
-                self.dead[i] = true;
+                self.blocks[i].dead = true;
                 self.dead_count += 1;
                 return WriteOutcome::NewFailure;
             }
-            self.threshold[i] = clamp_u32(self.lifetime.threshold(da.index(), nth + 1));
+            self.blocks[i].threshold = clamp_u32(self.lifetime.threshold(da.index(), nth + 1));
         }
         WriteOutcome::Ok
+    }
+
+    /// Steady-state fast write: services the write only when nothing rare
+    /// can happen — no fault plan armed, the block alive with its wear
+    /// threshold already drawn, and this write provably not reaching it.
+    /// Returns `true` iff the write was serviced; the effect is then
+    /// bit-identical to [`Self::write_tagged`] returning
+    /// [`WriteOutcome::Ok`]. On `false` no state changes and the caller
+    /// must take the full path.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `da` is outside the device.
+    #[inline]
+    pub fn write_fast(&mut self, da: Da, tag: u64) -> bool {
+        self.check(da);
+        let b = &mut self.blocks[da.as_usize()];
+        // `threshold == 0` (lazy init outstanding) declines here too,
+        // since any `wear + 1 >= 0`.
+        if self.fault.is_some() || b.dead || b.wear.saturating_add(1) >= b.threshold {
+            return false;
+        }
+        self.stats.writes += 1;
+        b.wear += 1;
+        if let Some(c) = &mut self.contents {
+            c[da.as_usize()] = tag;
+        }
+        true
     }
 
     /// Write path with a fault plan armed. `Some` short-circuits
@@ -334,8 +369,8 @@ impl PcmDevice {
                 // a later read/verify discovers via `is_dead`.
                 self.stats.writes += 1;
                 let i = da.as_usize();
-                if !self.dead[i] {
-                    self.dead[i] = true;
+                if !self.blocks[i].dead {
+                    self.blocks[i].dead = true;
                     self.dead_count += 1;
                 }
                 Some(WriteOutcome::Ok)
@@ -350,7 +385,7 @@ impl PcmDevice {
     /// nothing: the block is dead.
     pub fn write_tagged(&mut self, da: Da, tag: u64) -> WriteOutcome {
         let outcome = self.write(da);
-        if outcome == WriteOutcome::Ok && !self.dead[da.as_usize()] {
+        if outcome == WriteOutcome::Ok && !self.blocks[da.as_usize()].dead {
             if let Some(c) = &mut self.contents {
                 c[da.as_usize()] = tag;
             }
@@ -374,7 +409,7 @@ impl PcmDevice {
     #[inline]
     pub fn is_dead(&self, da: Da) -> bool {
         self.check(da);
-        self.dead[da.as_usize()]
+        self.blocks[da.as_usize()].dead
     }
 
     /// Number of dead blocks.
@@ -387,7 +422,7 @@ impl PcmDevice {
     /// has appended private device blocks (buffer lines, backup regions).
     pub fn dead_blocks_under(&self, bound: u64) -> u64 {
         let end = usize::try_from(bound.min(self.total_blocks)).expect("fits");
-        self.dead[..end].iter().filter(|&&d| d).count() as u64
+        self.blocks[..end].iter().filter(|b| b.dead).count() as u64
     }
 
     /// Fraction of all device blocks that are dead.
@@ -398,18 +433,19 @@ impl PcmDevice {
     /// Wear (write count) of block `da`.
     pub fn wear(&self, da: Da) -> u64 {
         self.check(da);
-        u64::from(self.wear[da.as_usize()])
+        u64::from(self.blocks[da.as_usize()].wear)
     }
 
-    /// The full wear vector, for leveling-quality analysis.
-    pub fn wear_snapshot(&self) -> &[u32] {
-        &self.wear
+    /// The full wear vector, for leveling-quality analysis. Collected
+    /// out of the packed per-block state, so the caller owns it.
+    pub fn wear_snapshot(&self) -> Vec<u32> {
+        self.blocks.iter().map(|b| b.wear).collect()
     }
 
     /// Cell failures suffered so far by block `da`.
     pub fn cell_failures(&self, da: Da) -> u32 {
         self.check(da);
-        u32::from(self.failures[da.as_usize()])
+        u32::from(self.blocks[da.as_usize()].failures)
     }
 
     /// Forces block `da` dead without wearing it or counting accesses.
@@ -417,8 +453,8 @@ impl PcmDevice {
     pub fn inject_dead(&mut self, da: Da) {
         self.check(da);
         let i = da.as_usize();
-        if !self.dead[i] {
-            self.dead[i] = true;
+        if !self.blocks[i].dead {
+            self.blocks[i].dead = true;
             self.dead_count += 1;
         }
     }
@@ -483,10 +519,10 @@ impl PcmDevice {
 
     /// Iterator over all dead block addresses.
     pub fn dead_iter(&self) -> impl Iterator<Item = Da> + '_ {
-        self.dead
+        self.blocks
             .iter()
             .enumerate()
-            .filter(|(_, &d)| d)
+            .filter(|(_, b)| b.dead)
             .map(|(i, _)| Da::new(i as u64))
     }
 }

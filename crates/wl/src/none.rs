@@ -56,6 +56,11 @@ impl WearLeveler for NoWearLeveling {
 
     fn record_write(&mut self, _pa: Pa) {}
 
+    #[inline]
+    fn record_write_fast(&mut self, _pa: Pa) -> bool {
+        true
+    }
+
     fn pending(&self) -> Option<Migration> {
         None
     }

@@ -177,6 +177,18 @@ impl WearLeveler for StartGap {
         }
     }
 
+    #[inline]
+    fn record_write_fast(&mut self, _pa: Pa) -> bool {
+        // Fast only when no migration is owed and recording this write
+        // won't arm one: the gap stands still and `pending()` stays
+        // `None` across the recording.
+        if self.debt != 0 || self.writes_since_move + 1 >= self.gap_interval {
+            return false;
+        }
+        self.writes_since_move += 1;
+        true
+    }
+
     fn pending(&self) -> Option<Migration> {
         if self.debt == 0 {
             return None;

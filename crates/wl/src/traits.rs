@@ -113,6 +113,20 @@ pub trait WearLeveler: fmt::Debug + Send {
     /// Reports one serviced software write to `pa`. May arm migrations.
     fn record_write(&mut self, pa: Pa);
 
+    /// Fast-path variant of [`record_write`](Self::record_write) for the
+    /// steady state: records the write and returns `true` only when the
+    /// scheme can prove the recording arms no migration and none is
+    /// already pending. Returning `false` must leave the scheme's state
+    /// untouched; the caller then runs the full record/pending protocol
+    /// for this write.
+    ///
+    /// The default declines, which is always correct; schemes override it
+    /// purely as an optimization. A `true` return must be bit-identical
+    /// to `record_write(pa)` with `pending()` staying `None` throughout.
+    fn record_write_fast(&mut self, _pa: Pa) -> bool {
+        false
+    }
+
     /// The migration the scheme wants performed now, if any.
     fn pending(&self) -> Option<Migration>;
 

@@ -1,0 +1,124 @@
+//! SPSC ring properties beyond the unit tests: randomized interleavings
+//! of single pushes, batched pushes, single pops and batched pops must
+//! behave exactly like an unbounded FIFO restricted to the ring's
+//! capacity, across seeds and capacities — and a two-thread pipeline
+//! pushing batches through a small ring must deliver every value in
+//! order.
+
+use std::collections::VecDeque;
+use wlr_base::rng::Rng;
+use wlr_base::spsc::ring;
+
+/// Property: against a `VecDeque` model, any interleaving of ring
+/// operations preserves FIFO order, capacity bounds and len reporting.
+#[test]
+fn randomized_interleavings_match_a_fifo_model() {
+    for seed in 0..32u64 {
+        let mut rng = Rng::stream(seed, 0x51C);
+        let capacity = 1usize << (rng.gen_range(6) as usize); // 1..32
+        let (mut tx, mut rx) = ring(capacity);
+        let mut model: VecDeque<u64> = VecDeque::new();
+        let mut next = 0u64;
+        let mut out = Vec::new();
+        for _ in 0..4096 {
+            match rng.gen_range(4) {
+                0 => {
+                    let pushed = tx.push(next);
+                    assert_eq!(
+                        pushed,
+                        model.len() < capacity,
+                        "push must succeed iff the ring has room (seed {seed})"
+                    );
+                    if pushed {
+                        model.push_back(next);
+                        next += 1;
+                    }
+                }
+                1 => {
+                    let n = rng.gen_range(8) as usize;
+                    let batch: Vec<u64> = (next..next + n as u64).collect();
+                    let accepted = tx.push_slice(&batch);
+                    assert_eq!(
+                        accepted,
+                        n.min(capacity - model.len()),
+                        "push_slice must fill exactly the free space (seed {seed})"
+                    );
+                    for &v in &batch[..accepted] {
+                        model.push_back(v);
+                    }
+                    next += accepted as u64;
+                }
+                2 => {
+                    assert_eq!(
+                        rx.pop(),
+                        model.pop_front(),
+                        "pop must yield the model's front (seed {seed})"
+                    );
+                }
+                _ => {
+                    out.clear();
+                    let n = rx.pop_into(&mut out);
+                    assert_eq!(n, out.len());
+                    for v in &out {
+                        assert_eq!(
+                            Some(*v),
+                            model.pop_front(),
+                            "pop_into must drain in FIFO order (seed {seed})"
+                        );
+                    }
+                    assert!(
+                        model.is_empty(),
+                        "pop_into must take everything that was in the ring (seed {seed})"
+                    );
+                }
+            }
+            assert_eq!(
+                rx.len(),
+                model.len(),
+                "len must track the model (seed {seed})"
+            );
+            assert_eq!(rx.is_empty(), model.is_empty());
+        }
+    }
+}
+
+/// A producer thread pushing value batches through a deliberately tiny
+/// ring while the consumer drains concurrently: every value arrives,
+/// exactly once, in order — the front-end/drain-worker contract.
+#[test]
+fn two_thread_batched_pipeline_delivers_everything_in_order() {
+    const TOTAL: u64 = 200_000;
+    let (mut tx, mut rx) = ring(64);
+    std::thread::scope(|scope| {
+        scope.spawn(move || {
+            let mut rng = Rng::stream(99, 0x51C);
+            let mut sent = 0u64;
+            while sent < TOTAL {
+                let want = (rng.gen_range(48) + 1).min(TOTAL - sent) as usize;
+                let batch: Vec<u64> = (sent..sent + want as u64).collect();
+                let mut off = 0;
+                while off < batch.len() {
+                    off += tx.push_slice(&batch[off..]);
+                    if off < batch.len() {
+                        std::thread::yield_now();
+                    }
+                }
+                sent += want as u64;
+            }
+        });
+        let mut expected = 0u64;
+        let mut buf = Vec::new();
+        while expected < TOTAL {
+            buf.clear();
+            if rx.pop_into(&mut buf) == 0 {
+                std::thread::yield_now();
+                continue;
+            }
+            for &v in &buf {
+                assert_eq!(v, expected, "values must arrive exactly once, in order");
+                expected += 1;
+            }
+        }
+        assert!(rx.is_empty());
+    });
+}
