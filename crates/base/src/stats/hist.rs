@@ -269,6 +269,11 @@ impl LatencyHistogram {
     pub fn p99(&self) -> u64 {
         self.percentile(0.99)
     }
+
+    /// 99.9th-percentile latency.
+    pub fn p999(&self) -> u64 {
+        self.percentile(0.999)
+    }
 }
 
 #[cfg(test)]
@@ -374,6 +379,17 @@ mod latency_tests {
         for q in [0.1f64, 0.5, 0.9, 0.99] {
             assert_eq!(a.percentile(q), whole.percentile(q));
         }
+    }
+
+    #[test]
+    fn p999_follows_exact_counts() {
+        let mut h = LatencyHistogram::new();
+        for lat in 1..=1000u64 {
+            h.push(lat);
+        }
+        assert_eq!(h.p999(), 999);
+        h.push(1001);
+        assert_eq!(h.p999(), 1000);
     }
 
     #[test]

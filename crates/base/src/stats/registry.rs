@@ -1,0 +1,699 @@
+//! Lock-free metrics registry with Prometheus text exposition.
+//!
+//! The always-on service daemon (`wlr-serve`) scrapes live state out of
+//! the pinned bank pipeline, and nothing on the pipeline's hot path may
+//! take a lock to publish it. The registry therefore splits into two
+//! halves:
+//!
+//! * **Handles** ([`Counter`], [`Gauge`], [`LogHistogram`]) are `Arc`'d
+//!   atomics. Incrementing a counter or recording a histogram sample is
+//!   a handful of `Relaxed` atomic adds — safe from pinned workers, the
+//!   front-end thread, and the HTTP scrape thread concurrently, with no
+//!   lock anywhere.
+//! * **The registry** ([`MetricsRegistry`]) owns the name/help metadata
+//!   and renders the whole family in [Prometheus text exposition
+//!   format]. Registration and rendering are cold paths and use a
+//!   `Mutex` internally; the handles never touch it.
+//!
+//! Counts use `Relaxed` ordering throughout: metrics are monotone
+//! aggregates with no cross-variable invariants, so a scrape observing
+//! a slightly stale interleaving is correct by construction (the same
+//! lag-one philosophy as the pipeline's `BankSync`).
+//!
+//! [`LogHistogram`] buckets by value bit-width (bucket `i` counts values
+//! of bit-width `i`, mirroring [`super::WearHistogram`]'s layout), so
+//! per-bank snapshots [`merge`](HistogramSnapshot::merge) by plain
+//! addition — associatively and commutatively, which is what makes
+//! concurrent per-bank publication order-independent.
+//!
+//! [Prometheus text exposition format]:
+//! https://prometheus.io/docs/instrumenting/exposition_formats/
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Number of bit-width buckets: values are `u64`, so widths 0..=64.
+const LOG_BUCKETS: usize = 65;
+
+/// A monotonically increasing counter handle (clone to share).
+#[derive(Debug, Clone, Default)]
+pub struct Counter(Arc<AtomicU64>);
+
+impl Counter {
+    /// A counter not attached to any registry (useful in tests).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds one.
+    #[inline]
+    pub fn inc(&self) {
+        self.0.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Adds `n`.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        if n != 0 {
+            self.0.fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A last-value-wins gauge handle (clone to share).
+#[derive(Debug, Clone, Default)]
+pub struct Gauge(Arc<AtomicU64>);
+
+impl Gauge {
+    /// A gauge not attached to any registry (useful in tests).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Publishes a new value.
+    #[inline]
+    pub fn set(&self, v: u64) {
+        self.0.store(v, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// Shared state behind a [`LogHistogram`] handle.
+#[derive(Debug)]
+struct LogHistShared {
+    /// `buckets[i]` counts recorded values of bit-width `i`.
+    buckets: [AtomicU64; LOG_BUCKETS],
+    count: AtomicU64,
+    sum: AtomicU64,
+    max: AtomicU64,
+}
+
+/// A lock-free log-bucketed histogram handle (clone to share).
+///
+/// Values land in power-of-two buckets by bit-width, exactly like
+/// [`super::WearHistogram`], but behind atomics so pinned workers and
+/// the scrape thread can record and read concurrently. Reading is via
+/// [`snapshot`](Self::snapshot), which yields a plain, mergeable
+/// [`HistogramSnapshot`].
+#[derive(Debug, Clone)]
+pub struct LogHistogram(Arc<LogHistShared>);
+
+impl Default for LogHistogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl LogHistogram {
+    /// An empty histogram not attached to any registry.
+    pub fn new() -> Self {
+        LogHistogram(Arc::new(LogHistShared {
+            buckets: [(); LOG_BUCKETS].map(|()| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            max: AtomicU64::new(0),
+        }))
+    }
+
+    /// Records one observation.
+    #[inline]
+    pub fn record(&self, v: u64) {
+        let b = (64 - v.leading_zeros()) as usize;
+        let s = &self.0;
+        s.buckets[b].fetch_add(1, Ordering::Relaxed);
+        s.count.fetch_add(1, Ordering::Relaxed);
+        s.sum.fetch_add(v, Ordering::Relaxed);
+        s.max.fetch_max(v, Ordering::Relaxed);
+    }
+
+    /// A point-in-time copy of the histogram's state. Concurrent
+    /// `record`s may straddle the copy (`count`/`sum` can lead or lag a
+    /// bucket by a few in-flight samples), which percentile estimation
+    /// over power-of-two buckets tolerates by design.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let s = &self.0;
+        HistogramSnapshot {
+            buckets: std::array::from_fn(|i| s.buckets[i].load(Ordering::Relaxed)),
+            count: s.count.load(Ordering::Relaxed),
+            sum: s.sum.load(Ordering::Relaxed),
+            max: s.max.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// A plain (non-atomic) copy of a [`LogHistogram`], mergeable by
+/// addition: `merge` is associative and commutative, so folding
+/// per-bank snapshots together yields the same aggregate in any order
+/// or grouping.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// `buckets[i]` counts values of bit-width `i` (bucket 0 holds
+    /// zeros; bucket `i` holds `[2^(i-1), 2^i)`).
+    pub buckets: [u64; LOG_BUCKETS],
+    /// Observations recorded.
+    pub count: u64,
+    /// Sum of all observations.
+    pub sum: u64,
+    /// Largest observation.
+    pub max: u64,
+}
+
+impl Default for HistogramSnapshot {
+    fn default() -> Self {
+        HistogramSnapshot {
+            buckets: [0; LOG_BUCKETS],
+            count: 0,
+            sum: 0,
+            max: 0,
+        }
+    }
+}
+
+impl HistogramSnapshot {
+    /// An empty snapshot (the merge identity).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Folds `other` into `self` by plain addition.
+    pub fn merge(&mut self, other: &HistogramSnapshot) {
+        for (a, b) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        self.max = self.max.max(other.max);
+    }
+
+    /// Mean observation (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// The `q`-quantile, resolved to the upper bound of its
+    /// power-of-two bucket (exact for 0, within 2× above; ceiling-rank
+    /// convention). Returns 0 for an empty snapshot.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is outside `[0, 1]`.
+    pub fn percentile(&self, q: f64) -> u64 {
+        assert!((0.0..=1.0).contains(&q), "quantile {q} outside [0, 1]");
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((q * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return if i == 0 {
+                    0
+                } else {
+                    bucket_upper(i).min(self.max)
+                };
+            }
+        }
+        self.max
+    }
+}
+
+/// Inclusive upper bound of bit-width bucket `i` (`2^i − 1`).
+fn bucket_upper(i: usize) -> u64 {
+    if i >= 64 {
+        u64::MAX
+    } else {
+        (1u64 << i) - 1
+    }
+}
+
+/// What kind of metric a registry entry is, for the `# TYPE` line.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum MetricKind {
+    Counter,
+    Gauge,
+    Histogram,
+}
+
+/// One registered metric: metadata plus the shared handle.
+#[derive(Debug)]
+struct Entry {
+    name: String,
+    help: String,
+    kind: MetricKind,
+    /// `{key="value"}` label pairs, rendered in registration order.
+    labels: Vec<(String, String)>,
+    value: EntryValue,
+}
+
+#[derive(Debug)]
+enum EntryValue {
+    Scalar(Arc<AtomicU64>),
+    Hist(LogHistogram),
+}
+
+/// The metric family registry. See the module docs.
+///
+/// Clone-free sharing: wrap in an `Arc` and hand clones of the
+/// *handles* to producers; the registry itself is only needed where
+/// metrics are registered or rendered.
+#[derive(Debug, Default)]
+pub struct MetricsRegistry {
+    entries: Mutex<Vec<Entry>>,
+}
+
+impl MetricsRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn register(
+        &self,
+        name: &str,
+        help: &str,
+        kind: MetricKind,
+        labels: &[(&str, &str)],
+        value: EntryValue,
+    ) {
+        assert!(
+            is_valid_metric_name(name),
+            "invalid metric name `{name}` (want [a-zA-Z_:][a-zA-Z0-9_:]*)"
+        );
+        self.entries.lock().expect("registry poisoned").push(Entry {
+            name: name.to_string(),
+            help: help.to_string(),
+            kind,
+            labels: labels
+                .iter()
+                .map(|(k, v)| (k.to_string(), v.to_string()))
+                .collect(),
+            value,
+        });
+    }
+
+    /// Registers and returns a counter.
+    pub fn counter(&self, name: &str, help: &str) -> Counter {
+        self.counter_with(name, help, &[])
+    }
+
+    /// Registers a counter carrying label pairs (e.g. `("bank", "3")`).
+    pub fn counter_with(&self, name: &str, help: &str, labels: &[(&str, &str)]) -> Counter {
+        let c = Counter::new();
+        self.register(
+            name,
+            help,
+            MetricKind::Counter,
+            labels,
+            EntryValue::Scalar(Arc::clone(&c.0)),
+        );
+        c
+    }
+
+    /// Registers and returns a gauge.
+    pub fn gauge(&self, name: &str, help: &str) -> Gauge {
+        self.gauge_with(name, help, &[])
+    }
+
+    /// Registers a gauge carrying label pairs.
+    pub fn gauge_with(&self, name: &str, help: &str, labels: &[(&str, &str)]) -> Gauge {
+        let g = Gauge::new();
+        self.register(
+            name,
+            help,
+            MetricKind::Gauge,
+            labels,
+            EntryValue::Scalar(Arc::clone(&g.0)),
+        );
+        g
+    }
+
+    /// Registers and returns a log-bucketed histogram.
+    pub fn histogram(&self, name: &str, help: &str) -> LogHistogram {
+        self.histogram_with(name, help, &[])
+    }
+
+    /// Registers a histogram carrying label pairs.
+    pub fn histogram_with(&self, name: &str, help: &str, labels: &[(&str, &str)]) -> LogHistogram {
+        let h = LogHistogram::new();
+        self.register(
+            name,
+            help,
+            MetricKind::Histogram,
+            labels,
+            EntryValue::Hist(h.clone()),
+        );
+        h
+    }
+
+    /// Renders every registered metric in Prometheus text exposition
+    /// format (version 0.0.4): `# HELP` / `# TYPE` headers, one sample
+    /// line per scalar, and cumulative `_bucket{le=...}` series plus
+    /// `_sum`/`_count` per histogram.
+    pub fn render(&self) -> String {
+        use std::fmt::Write as _;
+        let entries = self.entries.lock().expect("registry poisoned");
+        let mut out = String::new();
+        for e in entries.iter() {
+            let kind = match e.kind {
+                MetricKind::Counter => "counter",
+                MetricKind::Gauge => "gauge",
+                MetricKind::Histogram => "histogram",
+            };
+            writeln!(out, "# HELP {} {}", e.name, e.help).expect("string write");
+            writeln!(out, "# TYPE {} {kind}", e.name).expect("string write");
+            match &e.value {
+                EntryValue::Scalar(v) => {
+                    let labels = render_labels(&e.labels, None);
+                    writeln!(out, "{}{labels} {}", e.name, v.load(Ordering::Relaxed))
+                        .expect("string write");
+                }
+                EntryValue::Hist(h) => {
+                    let snap = h.snapshot();
+                    let mut cum = 0u64;
+                    // Render every bucket up to the highest occupied one
+                    // (so cumulative counts are self-consistent), then
+                    // the +Inf catch-all.
+                    let top = snap
+                        .buckets
+                        .iter()
+                        .rposition(|&c| c > 0)
+                        .map_or(0, |i| i + 1)
+                        .min(LOG_BUCKETS);
+                    for (i, &c) in snap.buckets.iter().enumerate().take(top) {
+                        cum += c;
+                        let le = bucket_upper(i).to_string();
+                        let labels = render_labels(&e.labels, Some(&le));
+                        writeln!(out, "{}_bucket{labels} {cum}", e.name).expect("string write");
+                    }
+                    let labels = render_labels(&e.labels, Some("+Inf"));
+                    writeln!(out, "{}_bucket{labels} {}", e.name, snap.count)
+                        .expect("string write");
+                    let labels = render_labels(&e.labels, None);
+                    writeln!(out, "{}_sum{labels} {}", e.name, snap.sum).expect("string write");
+                    writeln!(out, "{}_count{labels} {}", e.name, snap.count).expect("string write");
+                }
+            }
+        }
+        out
+    }
+}
+
+fn is_valid_metric_name(name: &str) -> bool {
+    let mut chars = name.chars();
+    let Some(first) = chars.next() else {
+        return false;
+    };
+    (first.is_ascii_alphabetic() || first == '_' || first == ':')
+        && chars.all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':')
+}
+
+/// Renders `{k="v",...}` (with an optional trailing `le` pair), or
+/// nothing when there are no labels.
+fn render_labels(labels: &[(String, String)], le: Option<&str>) -> String {
+    if labels.is_empty() && le.is_none() {
+        return String::new();
+    }
+    let mut s = String::from("{");
+    let mut first = true;
+    for (k, v) in labels {
+        if !first {
+            s.push(',');
+        }
+        first = false;
+        s.push_str(k);
+        s.push_str("=\"");
+        s.push_str(&escape_label(v));
+        s.push('"');
+    }
+    if let Some(le) = le {
+        if !first {
+            s.push(',');
+        }
+        s.push_str("le=\"");
+        s.push_str(le);
+        s.push('"');
+    }
+    s.push('}');
+    s
+}
+
+fn escape_label(v: &str) -> String {
+    v.replace('\\', "\\\\")
+        .replace('"', "\\\"")
+        .replace('\n', "\\n")
+}
+
+/// One parsed sample line of a text-exposition scrape.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Sample {
+    /// Metric name (including any `_bucket`/`_sum`/`_count` suffix).
+    pub name: String,
+    /// Label pairs in source order (values unescaped).
+    pub labels: Vec<(String, String)>,
+    /// The sample value.
+    pub value: f64,
+}
+
+/// Parses Prometheus text exposition format back into samples —
+/// comment and blank lines are skipped. The round-trip partner of
+/// [`MetricsRegistry::render`], used by the scrape tests and the smoke
+/// harness; it accepts the subset of the format `render` emits.
+///
+/// Returns `None` on any malformed sample line.
+pub fn parse_exposition(text: &str) -> Option<Vec<Sample>> {
+    let mut out = Vec::new();
+    for line in text.lines() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let (name_part, value_part) = line.rsplit_once(' ')?;
+        let value: f64 = value_part.parse().ok()?;
+        let (name, labels) = match name_part.split_once('{') {
+            None => (name_part.to_string(), Vec::new()),
+            Some((name, rest)) => {
+                let body = rest.strip_suffix('}')?;
+                let mut labels = Vec::new();
+                if !body.is_empty() {
+                    for pair in split_label_pairs(body)? {
+                        let (k, v) = pair.split_once('=')?;
+                        let v = v.strip_prefix('"')?.strip_suffix('"')?;
+                        labels.push((k.to_string(), unescape_label(v)));
+                    }
+                }
+                (name.to_string(), labels)
+            }
+        };
+        out.push(Sample {
+            name,
+            labels,
+            value,
+        });
+    }
+    Some(out)
+}
+
+/// Splits `k1="v1",k2="v2"` at top-level commas (commas inside quoted
+/// values are preserved).
+fn split_label_pairs(body: &str) -> Option<Vec<&str>> {
+    let mut pairs = Vec::new();
+    let mut start = 0;
+    let mut in_quotes = false;
+    let mut escaped = false;
+    for (i, c) in body.char_indices() {
+        match c {
+            '\\' if in_quotes => escaped = !escaped,
+            '"' if !escaped => in_quotes = !in_quotes,
+            ',' if !in_quotes => {
+                pairs.push(&body[start..i]);
+                start = i + 1;
+            }
+            _ => escaped = false,
+        }
+    }
+    if in_quotes {
+        return None;
+    }
+    pairs.push(&body[start..]);
+    Some(pairs)
+}
+
+fn unescape_label(v: &str) -> String {
+    let mut out = String::with_capacity(v.len());
+    let mut chars = v.chars();
+    while let Some(c) = chars.next() {
+        if c == '\\' {
+            match chars.next() {
+                Some('n') => out.push('\n'),
+                Some(other) => out.push(other),
+                None => out.push('\\'),
+            }
+        } else {
+            out.push(c);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_and_gauges_accumulate() {
+        let reg = MetricsRegistry::new();
+        let c = reg.counter("wlr_test_total", "a counter");
+        let g = reg.gauge("wlr_test_depth", "a gauge");
+        c.inc();
+        c.add(4);
+        g.set(7);
+        g.set(3);
+        assert_eq!(c.get(), 5);
+        assert_eq!(g.get(), 3);
+        let text = reg.render();
+        assert!(text.contains("# TYPE wlr_test_total counter"));
+        assert!(text.contains("wlr_test_total 5"));
+        assert!(text.contains("wlr_test_depth 3"));
+    }
+
+    #[test]
+    fn histogram_percentiles_bound_true_quantiles() {
+        let h = LogHistogram::new();
+        for v in 1..=1024u64 {
+            h.record(v);
+        }
+        let snap = h.snapshot();
+        assert_eq!(snap.count, 1024);
+        assert_eq!(snap.max, 1024);
+        for q in [0.5f64, 0.99, 0.999] {
+            let true_q = ((q * 1024.0).ceil() as u64).max(1);
+            let est = snap.percentile(q);
+            assert!(est >= true_q, "p{q}: {est} < {true_q}");
+            assert!(est < true_q.saturating_mul(2).max(2), "p{q}: {est} too big");
+        }
+    }
+
+    #[test]
+    fn snapshot_merge_is_associative_and_commutative() {
+        let mk = |vals: &[u64]| {
+            let h = LogHistogram::new();
+            for &v in vals {
+                h.record(v);
+            }
+            h.snapshot()
+        };
+        let a = mk(&[0, 1, 5, 1000]);
+        let b = mk(&[2, 2, 900_000]);
+        let c = mk(&[u64::MAX, 17]);
+        // (a ⊕ b) ⊕ c == a ⊕ (b ⊕ c) == (c ⊕ a) ⊕ b
+        let mut ab_c = a.clone();
+        ab_c.merge(&b);
+        ab_c.merge(&c);
+        let mut bc = b.clone();
+        bc.merge(&c);
+        let mut a_bc = a.clone();
+        a_bc.merge(&bc);
+        let mut ca = c.clone();
+        ca.merge(&a);
+        ca.merge(&b);
+        assert_eq!(ab_c, a_bc);
+        assert_eq!(ab_c, ca);
+    }
+
+    #[test]
+    fn labeled_series_render_and_parse() {
+        let reg = MetricsRegistry::new();
+        let c0 = reg.counter_with("wlr_bank_writes_total", "per-bank writes", &[("bank", "0")]);
+        let c1 = reg.counter_with("wlr_bank_writes_total", "per-bank writes", &[("bank", "1")]);
+        c0.add(10);
+        c1.add(20);
+        let samples = parse_exposition(&reg.render()).expect("parses");
+        let get = |bank: &str| {
+            samples
+                .iter()
+                .find(|s| s.labels.iter().any(|(k, v)| k == "bank" && v == bank))
+                .map(|s| s.value)
+        };
+        assert_eq!(get("0"), Some(10.0));
+        assert_eq!(get("1"), Some(20.0));
+    }
+
+    #[test]
+    fn histogram_exposition_is_cumulative_and_round_trips() {
+        let reg = MetricsRegistry::new();
+        let h = reg.histogram("wlr_test_ticks", "a histogram");
+        for v in [0u64, 1, 1, 3, 9] {
+            h.record(v);
+        }
+        let text = reg.render();
+        let samples = parse_exposition(&text).expect("parses");
+        let bucket = |le: &str| {
+            samples
+                .iter()
+                .find(|s| {
+                    s.name == "wlr_test_ticks_bucket"
+                        && s.labels.iter().any(|(k, v)| k == "le" && v == le)
+                })
+                .map(|s| s.value)
+        };
+        // 0 → bucket 0 (le 0); 1,1 → bucket 1 (le 1); 3 → bucket 2 (le
+        // 3); 9 → bucket 4 (le 15). Cumulative counts:
+        assert_eq!(bucket("0"), Some(1.0));
+        assert_eq!(bucket("1"), Some(3.0));
+        assert_eq!(bucket("3"), Some(4.0));
+        assert_eq!(bucket("15"), Some(5.0));
+        assert_eq!(bucket("+Inf"), Some(5.0));
+        let scalar = |name: &str| samples.iter().find(|s| s.name == name).map(|s| s.value);
+        assert_eq!(scalar("wlr_test_ticks_sum"), Some(14.0));
+        assert_eq!(scalar("wlr_test_ticks_count"), Some(5.0));
+    }
+
+    #[test]
+    fn concurrent_recording_loses_nothing() {
+        let h = LogHistogram::new();
+        let c = Counter::new();
+        std::thread::scope(|s| {
+            for t in 0..4 {
+                let h = h.clone();
+                let c = c.clone();
+                s.spawn(move || {
+                    for i in 0..10_000u64 {
+                        h.record(t * 10_000 + i);
+                        c.inc();
+                    }
+                });
+            }
+        });
+        assert_eq!(c.get(), 40_000);
+        assert_eq!(h.snapshot().count, 40_000);
+        assert_eq!(h.snapshot().max, 39_999);
+    }
+
+    #[test]
+    fn parse_rejects_malformed_lines() {
+        assert!(parse_exposition("name_only").is_none());
+        assert!(parse_exposition("bad{unclosed 3").is_none());
+        assert!(parse_exposition("x{k=\"v} 1").is_none());
+        assert!(parse_exposition("ok 1\n# comment\n\nok2{a=\"b\"} 2").is_some());
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid metric name")]
+    fn invalid_names_are_rejected() {
+        MetricsRegistry::new().counter("9starts_with_digit", "nope");
+    }
+}

@@ -115,8 +115,81 @@ pub fn object_rows(block: &str) -> Vec<(String, String)> {
     rows
 }
 
+/// Splits a row object into its top-level `(field, raw value)` pairs,
+/// brace-aware so nested objects stay intact as single values.
+pub fn object_fields(row: &str) -> Vec<(String, String)> {
+    let mut fields = Vec::new();
+    let Some(open) = row.find('{') else {
+        return fields;
+    };
+    let mut i = open + 1;
+    while let Some(q0) = row[i..].find('"') {
+        let kstart = i + q0 + 1;
+        let Some(q1) = row[kstart..].find('"') else {
+            break;
+        };
+        let key = row[kstart..kstart + q1].to_string();
+        let mut j = kstart + q1 + 1;
+        let Some(c) = row[j..].find(':') else { break };
+        j += c + 1;
+        // Value runs to the next top-level comma or the closing brace.
+        let mut depth = 0usize;
+        let mut end = None;
+        for (k, ch) in row[j..].char_indices() {
+            match ch {
+                '{' => depth += 1,
+                '}' if depth > 0 => depth -= 1,
+                ',' | '}' if depth == 0 => {
+                    end = Some(j + k);
+                    break;
+                }
+                _ => {}
+            }
+        }
+        let Some(end) = end else { break };
+        fields.push((key, row[j..end].trim().to_string()));
+        i = end + usize::from(row.as_bytes()[end] == b',');
+        if row.as_bytes()[end] == b'}' {
+            break;
+        }
+    }
+    fields
+}
+
+/// Backfills fields the prior row is missing from the current row: the
+/// prior row's measured numbers stay verbatim, but fields added to the
+/// row format since the baseline was recorded (e.g. the `revival` object
+/// that early `banks_1..16` baselines lacked) are appended at current
+/// values so every row carries the same shape.
+pub fn backfill_row(prior: &str, current: &str) -> String {
+    let prior_fields = object_fields(prior);
+    let missing: Vec<(String, String)> = object_fields(current)
+        .into_iter()
+        .filter(|(k, _)| !prior_fields.iter().any(|(pk, _)| pk == k))
+        .collect();
+    if missing.is_empty() {
+        return prior.to_string();
+    }
+    let mut s = prior.trim_end().to_string();
+    let closed = s.pop() == Some('}');
+    debug_assert!(closed, "row must be a brace-balanced object: {prior}");
+    let mut s = s.trim_end().to_string();
+    for (k, v) in missing {
+        if !s.ends_with('{') {
+            s.push_str(", ");
+        }
+        s.push('"');
+        s.push_str(&k);
+        s.push_str("\": ");
+        s.push_str(&v);
+    }
+    s.push('}');
+    s
+}
+
 /// Merges a prior baseline into the current row set: rows the prior
-/// baseline already covers keep their baseline numbers verbatim, rows
+/// baseline already covers keep their baseline numbers (backfilling any
+/// fields added to the row format since — see [`backfill_row`]), rows
 /// new to this run (a widened sweep) are baselined at their current
 /// values, and rows that vanished from the sweep are dropped.
 pub fn merge_baseline_rows(prior: &str, current: &str) -> String {
@@ -126,10 +199,10 @@ pub fn merge_baseline_rows(prior: &str, current: &str) -> String {
         if i > 0 {
             s.push_str(", ");
         }
-        let val = prior_rows
-            .iter()
-            .find(|(k, _)| *k == key)
-            .map_or(cur, |(_, v)| v.clone());
+        let val = match prior_rows.iter().find(|(k, _)| *k == key) {
+            Some((_, v)) => backfill_row(v, &cur),
+            None => cur,
+        };
         s.push('"');
         s.push_str(&key);
         s.push_str("\": ");
@@ -262,6 +335,44 @@ mod tests {
         assert_eq!(rows[0], ("a".into(), "{\"x\": 1}".into()));
         assert_eq!(rows[1].0, "b");
         assert!(rows[1].1.contains("\"z\": 2"));
+    }
+
+    #[test]
+    fn object_fields_splits_shallowly() {
+        let fields = object_fields(r#"{"a": 1, "b": {"c": 2, "d": 3}, "e": 4.5}"#);
+        assert_eq!(fields.len(), 3);
+        assert_eq!(fields[0], ("a".into(), "1".into()));
+        assert_eq!(fields[1], ("b".into(), "{\"c\": 2, \"d\": 3}".into()));
+        assert_eq!(fields[2], ("e".into(), "4.5".into()));
+    }
+
+    #[test]
+    fn backfill_appends_only_missing_fields() {
+        let prior = r#"{"writes_per_sec": 100, "p99_ticks": 3}"#;
+        let current = r#"{"writes_per_sec": 150, "p99_ticks": 2, "revival": {"links": 7}}"#;
+        let filled = backfill_row(prior, current);
+        assert_eq!(
+            filled,
+            r#"{"writes_per_sec": 100, "p99_ticks": 3, "revival": {"links": 7}}"#
+        );
+        // Nothing missing → verbatim.
+        assert_eq!(backfill_row(current, prior), current);
+    }
+
+    #[test]
+    fn merge_backfills_fields_missing_from_prior_rows() {
+        let prior = r#"{"banks_1": {"writes_per_sec": 100}}"#;
+        let current = r#"{"banks_1": {"writes_per_sec": 150, "revival": {"links": 3}}}"#;
+        let merged = merge_baseline_rows(prior, current);
+        assert_eq!(
+            baseline_field(&merged, "banks_1", "writes_per_sec"),
+            Some(100.0),
+            "measured numbers stay from the prior baseline"
+        );
+        assert!(
+            merged.contains("\"revival\": {\"links\": 3}"),
+            "new-format fields are backfilled: {merged}"
+        );
     }
 
     #[test]

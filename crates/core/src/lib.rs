@@ -68,8 +68,8 @@ pub use recovery::{PersistedMeta, RecoveryReport, TornMeta};
 #[cfg(feature = "trace-events")]
 pub use reviver::JsonlSink;
 pub use reviver::{
-    EventSink, InvariantSink, NoopSink, RecoveryPhase, RevivedController, ReviverCounters,
-    ReviverEvent, TraceRingSink, ViolationKind,
+    EventSink, InvariantSink, MetricsSink, NoopSink, RecoveryPhase, RevivalMetrics,
+    RevivedController, ReviverCounters, ReviverEvent, TraceRingSink, ViolationKind,
 };
 pub use sim::{BatchStatus, SchemeKind, Simulation, StopCondition};
 pub use zombie::ZombieController;

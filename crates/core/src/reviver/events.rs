@@ -180,6 +180,15 @@ pub trait EventSink: std::fmt::Debug + Send {
     /// transition the event describes.
     fn on_event(&mut self, ctl: &RevivedController, ev: &ReviverEvent);
 
+    /// Whether this sink subscribes to [`ReviverEvent::Quiesced`]
+    /// markers. They fire once per serviced write — by far the
+    /// highest-volume event — so the controller skips the sink fan-out
+    /// for them entirely unless a stacked sink opts in. A sink that
+    /// ignores the marker must not cost a dynamic dispatch per write.
+    fn wants_quiesced(&self) -> bool {
+        false
+    }
+
     /// Upcast for [`RevivedController::sink`] downcasting.
     fn as_any(&self) -> &dyn std::any::Any;
 
@@ -475,6 +484,11 @@ impl EventSink for JsonlSink {
         use std::io::Write;
         let _ = writeln!(self.out, "{}", event_json(self.seq, ev));
         self.seq += 1;
+    }
+
+    // The JSONL stream is a complete record, quiescent points included.
+    fn wants_quiesced(&self) -> bool {
+        true
     }
 
     fn as_any(&self) -> &dyn std::any::Any {

@@ -118,14 +118,19 @@ impl Controller for RevivedController {
         }
         let da = self.wl.map(pa);
         // Steady-state fast path: when nothing rare is in flight (no
-        // invariant checking, no sinks to notify, no deferred metadata,
-        // no parked migration buffer) and both the device and the scheme
-        // take their fast exits, the write is provably equivalent to the
-        // full protocol below: `write_da` would return `Ok` from its
-        // first `dev_write`, `run_migrations` and `flush_meta` would be
-        // no-ops, and `Quiesced` is a counters no-op with no sinks.
+        // invariant checking, no deferred metadata, no parked migration
+        // buffer) and both the device and the scheme take their fast
+        // exits, the write is provably equivalent to the full protocol
+        // below: `write_da` would return `Ok` from its first
+        // `dev_write`, `run_migrations` and `flush_meta` would be
+        // no-ops, and the only event the full path would emit is
+        // `Quiesced` — a counters no-op that sinks see only when one
+        // subscribes via `wants_quiesced`. Every other event rides a
+        // rare transition (failure, migration, metadata flush) that
+        // diverts off this path before it could fire, so sinks that
+        // don't subscribe to quiescent points lose nothing here.
         if !self.check
-            && self.sinks.is_empty()
+            && !self.quiesced_subscribed
             && self.pending_meta.is_empty()
             && self.mig_buf.is_empty()
             && self.device.write_fast(da, tag)

@@ -209,6 +209,11 @@ impl EventSink for InvariantSink {
         }
     }
 
+    // Quiescent points are this sink's validation trigger.
+    fn wants_quiesced(&self) -> bool {
+        true
+    }
+
     fn as_any(&self) -> &dyn std::any::Any {
         self
     }

@@ -53,6 +53,7 @@
 //!   request-facing surface).
 
 pub mod events;
+pub mod obs;
 
 mod chain;
 mod frontend;
@@ -69,6 +70,7 @@ pub use events::{
     EventSink, NoopSink, RecoveryPhase, ReviverCounters, ReviverEvent, TraceRingSink, ViolationKind,
 };
 pub use invariants::InvariantSink;
+pub use obs::{MetricsSink, RevivalMetrics};
 
 use crate::cache::RemapCache;
 use crate::controller::RequestStats;
@@ -203,6 +205,7 @@ impl RevivedControllerBuilder {
             pending_meta: Vec::new(),
             persist: PersistedMeta::new(total, geo.num_pages()),
             degraded: false,
+            quiesced_subscribed: self.sinks.iter().any(|s| s.wants_quiesced()),
             sinks: self.sinks,
         })
     }
@@ -295,6 +298,10 @@ pub struct RevivedController {
     degraded: bool,
     /// The stacked event sinks; empty by default (zero-cost emission).
     sinks: Vec<Box<dyn EventSink>>,
+    /// Whether any stacked sink subscribed to per-write `Quiesced`
+    /// markers ([`EventSink::wants_quiesced`]); cached so the per-write
+    /// emission can skip the fan-out without a dynamic dispatch.
+    quiesced_subscribed: bool,
 }
 
 impl RevivedController {
@@ -319,7 +326,12 @@ impl RevivedController {
     /// draw, so sinks can never perturb a run's observable behavior.
     pub(super) fn emit(&mut self, ev: ReviverEvent) {
         self.counters.apply(&ev);
-        if self.sinks.is_empty() {
+        if self.sinks.is_empty()
+            || (!self.quiesced_subscribed && matches!(ev, ReviverEvent::Quiesced))
+        {
+            // `Quiesced` fires once per serviced write; unless a sink
+            // opted in, skip the fan-out — a metrics or tracing sink
+            // must not cost a dynamic dispatch on the per-write path.
             return;
         }
         // Detach the sink stack so each sink can receive `&self` as a
@@ -333,6 +345,7 @@ impl RevivedController {
 
     /// Stacks an event sink at runtime (observes subsequent events only).
     pub fn add_sink(&mut self, sink: Box<dyn EventSink>) {
+        self.quiesced_subscribed |= sink.wants_quiesced();
         self.sinks.push(sink);
     }
 

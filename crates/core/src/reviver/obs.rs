@@ -1,0 +1,326 @@
+//! Live metrics over the event spine: [`MetricsSink`] folds
+//! [`ReviverEvent`]s into lock-free [`wlr_base::stats::registry`]
+//! counters as they happen.
+//!
+//! [`ReviverCounters`] already *is* a fold over the event stream, but it
+//! is plain data owned by the controller — nothing outside the bank
+//! thread can read it until the run ends. [`RevivalMetrics`] is the same
+//! fold landed in `Arc`'d atomic [`Counter`] handles, so an HTTP scrape
+//! thread can read revival activity live while pinned workers keep
+//! writing, with no lock and no hot-path change (each event costs one
+//! relaxed atomic add, and events are already off the per-write fast
+//! path).
+//!
+//! The event-derived fields mirror [`ReviverCounters::apply`]
+//! field-for-field; the golden-equivalence test
+//! (`tests/tests/metrics.rs`) pins the two folds together on all nine
+//! stacks via [`MetricsSink::snapshot_counters`]. On top of the shared
+//! fields, the sink counts what the offline counters ignore: recovery
+//! phase progress and invariant violations, which the daemon wants on
+//! its dashboard even though batch experiments do not.
+
+use super::events::{EventSink, ReviverEvent};
+use super::{RevivedController, ReviverCounters};
+use wlr_base::stats::registry::{Counter, MetricsRegistry};
+
+/// The revival counter handles, registered against a shared
+/// [`MetricsRegistry`]. Cloning shares the underlying atomics, so one
+/// bundle can be split between a [`MetricsSink`] per bank while the
+/// registry renders the combined totals.
+#[derive(Debug, Clone)]
+pub struct RevivalMetrics {
+    /// Failed blocks linked to virtual shadows (`links`).
+    pub links: Counter,
+    /// Virtual-shadow switches (`switches`).
+    pub switches: Counter,
+    /// Migrations suspended for lack of spares (`suspensions`).
+    pub suspensions: Counter,
+    /// Writes sacrificed as possibly-fake reports (`fake_reports`).
+    pub fake_reports: Counter,
+    /// Genuine failure reports (`real_reports`).
+    pub real_reports: Counter,
+    /// Pages harvested for spare PAs (`spare_grants`).
+    pub spare_grants: Counter,
+    /// Inverse-pointer writes skipped (`meta_skips`).
+    pub meta_skips: Counter,
+    /// Migration reads of dataless blocks (`garbage_reads`).
+    pub garbage_reads: Counter,
+    /// Power cycles survived (`reboots`).
+    pub reboots: Counter,
+    /// Chain walks aborted for lack of fuel (`chain_aborts`).
+    pub chain_aborts: Counter,
+    /// Recovery phases completed (not in [`ReviverCounters`]).
+    pub recovery_steps: Counter,
+    /// Items processed across recovery phases.
+    pub recovery_items: Counter,
+    /// Dead blocks healed by recovery.
+    pub recovery_healed: Counter,
+    /// Dead blocks recovery left parked for lack of spares.
+    pub recovery_unhealed: Counter,
+    /// Structural invariant violations observed (degraded mode).
+    pub invariant_violations: Counter,
+}
+
+impl RevivalMetrics {
+    /// Registers the revival counter family (prefix `wlr_revival_`, plus
+    /// `wlr_recovery_` for the recovery extras) on `registry`.
+    pub fn register(registry: &MetricsRegistry) -> Self {
+        let c = |name: &str, help: &str| registry.counter(name, help);
+        RevivalMetrics {
+            links: c(
+                "wlr_revival_links_total",
+                "failed blocks linked to virtual shadows",
+            ),
+            switches: c(
+                "wlr_revival_switches_total",
+                "virtual-shadow switches restoring one-step chains",
+            ),
+            suspensions: c(
+                "wlr_revival_suspensions_total",
+                "migrations suspended for lack of spare PAs",
+            ),
+            fake_reports: c(
+                "wlr_revival_fake_reports_total",
+                "software writes sacrificed as (possibly fake) failure reports",
+            ),
+            real_reports: c(
+                "wlr_revival_real_reports_total",
+                "genuine failure reports raised to the OS",
+            ),
+            spare_grants: c(
+                "wlr_revival_spare_grants_total",
+                "pages harvested for spare PAs",
+            ),
+            meta_skips: c(
+                "wlr_revival_meta_skips_total",
+                "inverse-pointer writes skipped for lack of resources",
+            ),
+            garbage_reads: c(
+                "wlr_revival_garbage_reads_total",
+                "migration reads of blocks holding no live data",
+            ),
+            reboots: c(
+                "wlr_revival_reboots_total",
+                "power cycles survived (recoveries completed)",
+            ),
+            chain_aborts: c(
+                "wlr_revival_chain_aborts_total",
+                "chain walks aborted for lack of fuel",
+            ),
+            recovery_steps: c("wlr_recovery_steps_total", "recovery phases completed"),
+            recovery_items: c(
+                "wlr_recovery_items_total",
+                "items processed across recovery phases",
+            ),
+            recovery_healed: c(
+                "wlr_recovery_healed_total",
+                "dead blocks healed with fresh links during recovery",
+            ),
+            recovery_unhealed: c(
+                "wlr_recovery_unhealed_total",
+                "dead blocks recovery left parked for lack of spares",
+            ),
+            invariant_violations: c(
+                "wlr_invariant_violations_total",
+                "structural invariant violations observed",
+            ),
+        }
+    }
+
+    /// Unregistered handles (tests and overhead probes that never
+    /// scrape).
+    pub fn detached() -> Self {
+        RevivalMetrics {
+            links: Counter::new(),
+            switches: Counter::new(),
+            suspensions: Counter::new(),
+            fake_reports: Counter::new(),
+            real_reports: Counter::new(),
+            spare_grants: Counter::new(),
+            meta_skips: Counter::new(),
+            garbage_reads: Counter::new(),
+            reboots: Counter::new(),
+            chain_aborts: Counter::new(),
+            recovery_steps: Counter::new(),
+            recovery_items: Counter::new(),
+            recovery_healed: Counter::new(),
+            recovery_unhealed: Counter::new(),
+            invariant_violations: Counter::new(),
+        }
+    }
+
+    /// Reads the event-derived fields back as a [`ReviverCounters`], for
+    /// comparison against the controller's own inline fold.
+    ///
+    /// `reboot_lost_migrations` is not event-derived (the controller
+    /// increments it outside [`ReviverCounters::apply`]) and reads as 0.
+    pub fn snapshot_counters(&self) -> ReviverCounters {
+        ReviverCounters {
+            links: self.links.get(),
+            switches: self.switches.get(),
+            suspensions: self.suspensions.get(),
+            fake_reports: self.fake_reports.get(),
+            real_reports: self.real_reports.get(),
+            spare_grants: self.spare_grants.get(),
+            meta_skips: self.meta_skips.get(),
+            garbage_reads: self.garbage_reads.get(),
+            reboots: self.reboots.get(),
+            reboot_lost_migrations: 0,
+            chain_aborts: self.chain_aborts.get(),
+        }
+    }
+}
+
+/// An [`EventSink`] publishing revival activity into a
+/// [`RevivalMetrics`] bundle: the [`ReviverCounters::apply`] fold landed
+/// in shared atomics, plus recovery/invariant visibility.
+#[derive(Debug)]
+pub struct MetricsSink {
+    metrics: RevivalMetrics,
+}
+
+impl MetricsSink {
+    /// A sink feeding `metrics` (clone the bundle to share it between
+    /// banks).
+    pub fn new(metrics: RevivalMetrics) -> Self {
+        MetricsSink { metrics }
+    }
+
+    /// The handles this sink feeds.
+    pub fn metrics(&self) -> &RevivalMetrics {
+        &self.metrics
+    }
+
+    /// The event-derived counters accumulated so far (see
+    /// [`RevivalMetrics::snapshot_counters`]).
+    pub fn snapshot_counters(&self) -> ReviverCounters {
+        self.metrics.snapshot_counters()
+    }
+}
+
+impl EventSink for MetricsSink {
+    fn on_event(&mut self, _ctl: &RevivedController, ev: &ReviverEvent) {
+        let m = &self.metrics;
+        // Mirrors ReviverCounters::apply exactly for the shared fields —
+        // the golden-equivalence test holds the two folds together.
+        match ev {
+            ReviverEvent::LinkCreated { .. } => m.links.inc(),
+            ReviverEvent::ChainSwitched { .. } => m.switches.inc(),
+            ReviverEvent::MigrationSuspended => m.suspensions.inc(),
+            ReviverEvent::WriteSacrificed { .. } => m.fake_reports.inc(),
+            ReviverEvent::FailureReported { .. } => m.real_reports.inc(),
+            ReviverEvent::PageRetired { .. } => m.spare_grants.inc(),
+            ReviverEvent::MetaSkipped { skipped } => m.meta_skips.add(*skipped),
+            ReviverEvent::GarbageRead { .. } => m.garbage_reads.inc(),
+            ReviverEvent::ChainAborted { .. } => m.chain_aborts.inc(),
+            ReviverEvent::RecoveryCompleted { healed, unhealed } => {
+                m.reboots.inc();
+                m.recovery_healed.add(*healed);
+                m.recovery_unhealed.add(*unhealed);
+            }
+            ReviverEvent::RecoveryStep { items, .. } => {
+                m.recovery_steps.inc();
+                m.recovery_items.add(*items);
+            }
+            ReviverEvent::InvariantViolation { .. } => m.invariant_violations.inc(),
+            ReviverEvent::Relinked { .. }
+            | ReviverEvent::LoopFormed { .. }
+            | ReviverEvent::SpareAcquired { .. }
+            | ReviverEvent::SpareParked { .. }
+            | ReviverEvent::MigrationResumed
+            | ReviverEvent::PowerCut { .. }
+            | ReviverEvent::Quiesced => {}
+        }
+    }
+
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wlr_base::{Da, Geometry, Pa};
+    use wlr_pcm::{Ecp, PcmDevice};
+    use wlr_wl::{RandomizerKind, StartGap, WearLeveler};
+
+    fn ctl() -> RevivedController {
+        const N: u64 = 256;
+        let dev = PcmDevice::builder(Geometry::builder().num_blocks(N).build().unwrap())
+            .extra_blocks(1)
+            .endurance_mean(1e6)
+            .ecc(Box::new(Ecp::ecp6()))
+            .build();
+        let wl: Box<dyn WearLeveler> = Box::new(
+            StartGap::builder(N)
+                .gap_interval(1_000)
+                .randomizer(RandomizerKind::Feistel { seed: 1 })
+                .build(),
+        );
+        RevivedController::builder(dev, wl).build()
+    }
+
+    /// Every event-derived field moves in lockstep with the inline fold.
+    #[test]
+    fn sink_fold_matches_reviver_counters() {
+        let events = [
+            ReviverEvent::LinkCreated {
+                da: Da::new(1),
+                shadow: Pa::new(2),
+            },
+            ReviverEvent::ChainSwitched {
+                head: Da::new(1),
+                dead_shadow: Da::new(3),
+            },
+            ReviverEvent::MigrationSuspended,
+            ReviverEvent::WriteSacrificed { pa: Pa::new(4) },
+            ReviverEvent::FailureReported { pa: Pa::new(5) },
+            ReviverEvent::PageRetired {
+                page: wlr_base::PageId::new(0),
+                shadows: 60,
+            },
+            ReviverEvent::MetaSkipped { skipped: 3 },
+            ReviverEvent::GarbageRead { da: Da::new(6) },
+            ReviverEvent::ChainAborted { da: Da::new(7) },
+            ReviverEvent::RecoveryStep {
+                phase: super::super::RecoveryPhase::Links,
+                items: 4,
+            },
+            ReviverEvent::RecoveryCompleted {
+                healed: 2,
+                unhealed: 1,
+            },
+            ReviverEvent::MigrationResumed,
+            ReviverEvent::Quiesced,
+        ];
+        let controller = ctl();
+        let mut expected = ReviverCounters::default();
+        let mut sink = MetricsSink::new(RevivalMetrics::detached());
+        for ev in &events {
+            expected.apply(ev);
+            sink.on_event(&controller, ev);
+        }
+        assert_eq!(sink.snapshot_counters(), expected);
+        assert_eq!(sink.metrics().recovery_steps.get(), 1);
+        assert_eq!(sink.metrics().recovery_items.get(), 4);
+        assert_eq!(sink.metrics().recovery_healed.get(), 2);
+        assert_eq!(sink.metrics().recovery_unhealed.get(), 1);
+    }
+
+    #[test]
+    fn registered_handles_render() {
+        let reg = MetricsRegistry::new();
+        let metrics = RevivalMetrics::register(&reg);
+        metrics.links.add(5);
+        metrics.reboots.inc();
+        let text = reg.render();
+        assert!(text.contains("wlr_revival_links_total 5"));
+        assert!(text.contains("wlr_revival_reboots_total 1"));
+        assert!(text.contains("# TYPE wlr_recovery_steps_total counter"));
+    }
+}

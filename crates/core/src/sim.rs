@@ -749,6 +749,12 @@ impl Simulation {
         &self.os
     }
 
+    /// Mutable OS access — restore paths (replaying a persisted
+    /// retirement log into a fresh sim) and page-pressure experiments.
+    pub fn os_mut(&mut self) -> &mut OsMemory {
+        &mut self.os
+    }
+
     /// WL-Reviver event counters, when the controller is a reviver.
     pub fn reviver_counters(&self) -> Option<ReviverCounters> {
         self.controller.as_reviver().map(|r| r.counters())

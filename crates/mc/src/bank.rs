@@ -79,6 +79,12 @@ impl Bank {
         &self.sim
     }
 
+    /// Mutable access to the bank's simulation — sink attachment and
+    /// state restoration between runs, never mid-drain.
+    pub fn sim_mut(&mut self) -> &mut Simulation {
+        &mut self.sim
+    }
+
     /// Issues a drained batch of bank-local addresses. Power losses are
     /// recovered in place and the batch continues; memory exhaustion or
     /// the hard cap kills the bank and drops the rest of the batch.

@@ -61,12 +61,14 @@
 #![warn(missing_docs)]
 
 pub mod bank;
+pub mod obs;
 pub mod queue;
 pub mod stats;
 pub mod steer;
 pub mod wbuf;
 
 pub use bank::Bank;
+pub use obs::{BankPipeStat, PipeAccum, PipelineSnapshot};
 pub use queue::{QueueEntry, WriteQueue};
 pub use stats::{BankReport, LatencyHistogram, McOutcome, McStopPolicy, McStopReason};
 pub use steer::Steering;
@@ -81,6 +83,7 @@ use wlr_base::interleave::{Interleave, InterleaveError, InterleaveMap};
 use wlr_base::pool::{run_pooled, PooledJob};
 use wlr_base::rng::SplitMix64;
 use wlr_base::spsc::{self, Consumer, Producer};
+use wlr_base::stats::registry::LogHistogram;
 use wlr_base::Geometry;
 use wlr_trace::Workload;
 
@@ -131,6 +134,16 @@ struct BankSync {
     alive: AtomicBool,
 }
 
+/// Releases pinned workers on drop so an unwinding driver closure can't
+/// leave them spinning forever inside `std::thread::scope`.
+struct ShutdownOnDrop<'a>(&'a AtomicBool);
+
+impl Drop for ShutdownOnDrop<'_> {
+    fn drop(&mut self) {
+        self.0.store(true, Ordering::Release);
+    }
+}
+
 /// Builder for [`McFrontend`]; see [`McFrontend::builder`].
 #[derive(Debug)]
 pub struct McFrontendBuilder {
@@ -153,6 +166,7 @@ pub struct McFrontendBuilder {
     max_batch_age: u64,
     drain_workers: usize,
     record_issue: bool,
+    span_sample: u64,
     stop_policy: McStopPolicy,
 }
 
@@ -288,6 +302,15 @@ impl McFrontendBuilder {
         self
     }
 
+    /// Sample one in `n` submits for wall-clock span timing
+    /// (enqueue → provably serviced); 0 (default) disables sampling.
+    /// Spans land in the histogram installed via
+    /// [`McFrontend::set_span_histogram`].
+    pub fn span_sample(mut self, n: u64) -> Self {
+        self.span_sample = n;
+        self
+    }
+
     /// Global-death policy (default [`McStopPolicy::FirstBankDead`]).
     pub fn stop_policy(mut self, policy: McStopPolicy) -> Self {
         self.stop_policy = policy;
@@ -384,6 +407,12 @@ impl McFrontendBuilder {
             legacy_batches: (0..self.banks).map(|_| Vec::new()).collect(),
             workers_active: false,
             drain_workers: self.drain_workers,
+            pipe: PipeAccum::new(),
+            span_sample: self.span_sample,
+            span_countdown: self.span_sample.max(1),
+            span_hist: None,
+            span_pending: vec![None; self.banks],
+            span_probes: vec![None; self.banks],
             steer: self
                 .steering
                 .then(|| Steering::new(self.banks, self.steer_epoch)),
@@ -448,6 +477,24 @@ pub struct McFrontend {
     /// Whether pinned workers currently own the banks and consumers.
     workers_active: bool,
     drain_workers: usize,
+    /// Always-on flush-path accumulators (batch sizes, flush ages).
+    pipe: PipeAccum,
+    /// Span sampling period (0 = off); see
+    /// [`McFrontendBuilder::span_sample`].
+    span_sample: u64,
+    /// Requests until the next sampled span (counts down from
+    /// `span_sample`; unused when sampling is off).
+    span_countdown: u64,
+    /// Destination for sampled span timings (nanoseconds).
+    span_hist: Option<LogHistogram>,
+    /// Per *logical* bank: wall-clock stamp of a sampled enqueue waiting
+    /// to ride the bank's next flush.
+    span_pending: Vec<Option<std::time::Instant>>,
+    /// Per *physical* bank: an in-flight probe `(flushed target, t0)` —
+    /// completed once the bank's `consumed` count reaches the target.
+    /// `sync_bank` guarantees at most one batch is in flight per bank,
+    /// so a probe is always complete by the bank's next flush.
+    span_probes: Vec<Option<(u64, std::time::Instant)>>,
     steer: Option<Steering>,
 }
 
@@ -474,6 +521,7 @@ impl McFrontend {
             max_batch_age: 0,
             drain_workers: 0,
             record_issue: false,
+            span_sample: 0,
             stop_policy: McStopPolicy::FirstBankDead,
         }
     }
@@ -512,6 +560,76 @@ impl McFrontend {
     /// The steering layer, when enabled.
     pub fn steering(&self) -> Option<&Steering> {
         self.steer.as_ref()
+    }
+
+    /// Number of banks.
+    pub fn num_banks(&self) -> usize {
+        self.flushed.len()
+    }
+
+    /// Queue-latency histogram over everything flushed so far.
+    pub fn latency(&self) -> &LatencyHistogram {
+        &self.latency
+    }
+
+    /// The flush-path accumulators (batch sizes, flush ages).
+    pub fn pipe(&self) -> &PipeAccum {
+        &self.pipe
+    }
+
+    /// Installs the destination histogram for sampled span timings (see
+    /// [`McFrontendBuilder::span_sample`]). Spans are recorded in
+    /// nanoseconds.
+    pub fn set_span_histogram(&mut self, hist: LogHistogram) {
+        self.span_hist = Some(hist);
+    }
+
+    /// Mutable access to bank `bank`'s simulation — for sink attachment
+    /// and state restoration between runs.
+    ///
+    /// # Panics
+    ///
+    /// Panics while pinned workers own the banks.
+    pub fn bank_sim_mut(&mut self, bank: usize) -> &mut Simulation {
+        assert!(!self.workers_active, "banks are owned by drain workers");
+        self.banks[bank].sim_mut()
+    }
+
+    /// Assembles a point-in-time [`PipelineSnapshot`]. Safe to call
+    /// while pinned workers are live: per-bank progress comes from the
+    /// same `BankSync` publication the death-lag protocol maintains, so
+    /// per-bank numbers may lag the workers by the in-flight batch but
+    /// are never torn.
+    pub fn pipeline_snapshot(&self) -> PipelineSnapshot {
+        let banks = (0..self.flushed.len())
+            .map(|i| {
+                let consumed = self.sync[i].consumed.load(Ordering::Acquire);
+                BankPipeStat {
+                    bank: i,
+                    flushed: self.flushed[i],
+                    consumed,
+                    occupancy: self.flushed[i].saturating_sub(consumed),
+                    busy_until: self.busy_until[i],
+                    dead: self.bank_dead[i],
+                }
+            })
+            .collect();
+        let (p50, p99, p999) = if self.latency.is_empty() {
+            (0, 0, 0)
+        } else {
+            (self.latency.p50(), self.latency.p99(), self.latency.p999())
+        };
+        PipelineSnapshot {
+            requests: self.requests,
+            ticks: self.tick,
+            drains: self.drains,
+            accum: self.pipe.clone(),
+            steer_rotations: self.steer.as_ref().map_or(0, Steering::rotations),
+            p50_ticks: p50,
+            p99_ticks: p99,
+            p999_ticks: p999,
+            banks,
+        }
     }
 
     /// A fresh standalone simulation configured identically to bank
@@ -561,11 +679,14 @@ impl McFrontend {
                     self.drain_ring_inline(phys);
                 }
             }
-            // End of trace: full (no longer lagged) death reconciliation.
+            // End of trace: full (no longer lagged) death reconciliation,
+            // and every ring is drained so outstanding span probes are
+            // all complete.
             for phys in 0..self.banks.len() {
                 if !self.banks[phys].alive() {
                     self.mark_dead(phys);
                 }
+                self.complete_span_probe(phys);
             }
             self.check_stop();
         } else {
@@ -620,46 +741,36 @@ impl McFrontend {
             self.total_blocks,
             "workload space must equal the global space"
         );
-        let workers = self.worker_threads();
-        if self.pinned && workers > 1 {
-            return self.run_pinned_threaded(workload, requests, workers);
-        }
-        for _ in 0..requests {
-            if self.stop.is_some() {
-                break;
+        self.with_pipeline(|mc| {
+            for _ in 0..requests {
+                if mc.stop.is_some() {
+                    break;
+                }
+                let addr = workload.next_write();
+                mc.submit(addr.index());
             }
-            let addr = workload.next_write();
-            self.submit(addr.index());
-        }
+        });
         self.finish()
     }
 
-    /// How many pinned drain workers [`run`](Self::run) would use.
-    fn worker_threads(&self) -> usize {
-        if !self.parallel {
-            return 1;
+    /// Runs `drive` with the pinned pipeline hot. When the configuration
+    /// allows worker threads, per-bank drain workers own the banks and
+    /// ring consumers for the whole closure, servicing everything
+    /// `drive` submits concurrently; then the pipeline is run dry
+    /// (write buffer → queues → rings) and the workers rejoin before
+    /// this returns. Otherwise `drive` runs with inline servicing and
+    /// nothing extra happens — [`finish`](Self::finish) completes the
+    /// drain in every mode, exactly as before.
+    ///
+    /// [`run`](Self::run) is this around a workload loop; the service
+    /// daemon drives its admission ring through it directly and can keep
+    /// calling it (or `finish`, which leaves the front-end usable)
+    /// across service intervals.
+    pub fn with_pipeline<R>(&mut self, drive: impl FnOnce(&mut Self) -> R) -> R {
+        let workers = self.worker_threads();
+        if !self.pinned || workers <= 1 {
+            return drive(self);
         }
-        let w = if self.drain_workers == 0 {
-            // Leave one core for the submitting front-end thread.
-            std::thread::available_parallelism()
-                .map(|p| p.get())
-                .unwrap_or(1)
-                .saturating_sub(1)
-                .max(1)
-        } else {
-            self.drain_workers
-        };
-        w.min(self.banks.len())
-    }
-
-    /// The full-run pinned mode: spawn the workers, lend them the banks
-    /// and ring consumers, feed the pipeline, then rejoin and finish.
-    fn run_pinned_threaded(
-        &mut self,
-        workload: &mut dyn Workload,
-        requests: u64,
-        workers: usize,
-    ) -> McOutcome {
         let banks = std::mem::take(&mut self.banks);
         let n = banks.len();
         let mut parts: Vec<Vec<(usize, Bank, Consumer)>> =
@@ -673,7 +784,7 @@ impl McFrontend {
         let shutdown = Arc::new(AtomicBool::new(false));
         self.workers_active = true;
         let mut returned: Vec<(usize, Bank, Consumer)> = Vec::with_capacity(n);
-        std::thread::scope(|scope| {
+        let result = std::thread::scope(|scope| {
             let handles: Vec<_> = parts
                 .into_iter()
                 .map(|mut part| {
@@ -709,13 +820,10 @@ impl McFrontend {
                     })
                 })
                 .collect();
-            for _ in 0..requests {
-                if self.stop.is_some() {
-                    break;
-                }
-                let addr = workload.next_write();
-                self.submit(addr.index());
-            }
+            // If `drive` unwinds, still release the workers so the scope
+            // can join them instead of deadlocking on a spin loop.
+            let guard = ShutdownOnDrop(&shutdown);
+            let r = drive(self);
             // Hand the workers everything still buffered, then let them
             // run dry: write buffer → queues → rings.
             let dirty = self.wbuf.flush();
@@ -725,10 +833,11 @@ impl McFrontend {
             for b in 0..self.queues.len() {
                 self.flush_bank(b);
             }
-            shutdown.store(true, Ordering::Release);
+            drop(guard);
             for h in handles {
                 returned.extend(h.join().expect("drain worker panicked"));
             }
+            r
         });
         self.workers_active = false;
         returned.sort_by_key(|&(i, _, _)| i);
@@ -736,7 +845,25 @@ impl McFrontend {
             self.consumers[i] = Some(cons);
             self.banks.push(bank);
         }
-        self.finish()
+        result
+    }
+
+    /// How many pinned drain workers [`run`](Self::run) would use.
+    fn worker_threads(&self) -> usize {
+        if !self.parallel {
+            return 1;
+        }
+        let w = if self.drain_workers == 0 {
+            // Leave one core for the submitting front-end thread.
+            std::thread::available_parallelism()
+                .map(|p| p.get())
+                .unwrap_or(1)
+                .saturating_sub(1)
+                .max(1)
+        } else {
+            self.drain_workers
+        };
+        w.min(self.banks.len())
     }
 
     /// Routes a line to its bank queue, flushing/draining first if that
@@ -753,6 +880,21 @@ impl McFrontend {
         }
         if self.queues[b].is_empty() {
             self.oldest_arrival[b] = self.tick;
+        }
+        if self.span_sample != 0 {
+            // Countdown instead of `requests % span_sample`: a hardware
+            // division per request costs double-digit percent of the
+            // whole service loop at high bank counts.
+            self.span_countdown -= 1;
+            if self.span_countdown == 0 {
+                self.span_countdown = self.span_sample;
+                if self.span_pending[b].is_none() {
+                    // Stamp this enqueue; the stamp rides the bank's next
+                    // flush and completes when the bank provably serviced
+                    // that batch.
+                    self.span_pending[b] = Some(std::time::Instant::now());
+                }
+            }
         }
         self.queues[b].push(local, self.tick);
     }
@@ -782,6 +924,7 @@ impl McFrontend {
         if self.queues[logical].is_empty() {
             return;
         }
+        let age = self.tick.saturating_sub(self.oldest_arrival[logical]);
         self.queues[logical].take_into(&mut self.entry_buf);
         self.oldest_arrival[logical] = u64::MAX;
         let phys = self.steer.as_ref().map_or(logical, |s| s.route(logical));
@@ -789,9 +932,13 @@ impl McFrontend {
         // batch (the deterministic lag; see crate docs), then decide
         // whether the fleet as a whole is dead.
         self.sync_bank(phys);
+        // `sync_bank` just proved the bank consumed every prior batch, so
+        // any outstanding span probe on it is complete.
+        self.complete_span_probe(phys);
         self.check_stop();
         self.drains += 1;
         let k = self.entry_buf.len() as u64;
+        self.pipe.note_flush(k, age);
         let start = self.tick.max(self.busy_until[phys]);
         self.addr_buf.clear();
         for (i, &(addr, arrival)) in self.entry_buf.iter().enumerate() {
@@ -804,6 +951,11 @@ impl McFrontend {
             s.note_flush(logical, phys, k);
         }
         self.flushed[phys] += k;
+        if self.span_sample != 0 {
+            if let Some(t0) = self.span_pending[logical].take() {
+                self.span_probes[phys] = Some((self.flushed[phys], t0));
+            }
+        }
         if self.workers_active {
             let mut pushed = 0usize;
             loop {
@@ -822,6 +974,22 @@ impl McFrontend {
             let s = &self.sync[phys];
             s.alive.store(self.banks[phys].alive(), Ordering::Relaxed);
             s.consumed.store(self.flushed[phys], Ordering::Release);
+        }
+    }
+
+    /// Completes the bank's outstanding span probe if its batch has been
+    /// consumed, recording enqueue→serviced wall-clock nanoseconds.
+    fn complete_span_probe(&mut self, phys: usize) {
+        if self.span_sample == 0 {
+            return;
+        }
+        if let Some((target, t0)) = self.span_probes[phys] {
+            if self.sync[phys].consumed.load(Ordering::Acquire) >= target {
+                if let Some(h) = &self.span_hist {
+                    h.record(t0.elapsed().as_nanos() as u64);
+                }
+                self.span_probes[phys] = None;
+            }
         }
     }
 
@@ -1127,6 +1295,99 @@ mod tests {
             .interleave(Interleave::Page)
             .build();
         assert!(err.is_err(), "4096 blocks over 3 page-striped banks");
+    }
+
+    #[test]
+    fn with_pipeline_matches_run_bit_for_bit() {
+        // Driving submits through with_pipeline + finish must be
+        // indistinguishable from run() — it is the same machinery.
+        let build = || {
+            McFrontend::builder()
+                .banks(4)
+                .total_blocks(1 << 12)
+                .endurance_mean(2_000.0)
+                .gap_interval(8)
+                .drain_workers(2)
+                .seed(13)
+                .build()
+                .unwrap()
+        };
+        let mut a = build();
+        let mut w = UniformWorkload::new(1 << 12, 13);
+        let via_run = a.run(&mut w, 30_000);
+        let mut b = build();
+        let mut w = UniformWorkload::new(1 << 12, 13);
+        b.with_pipeline(|mc| {
+            for _ in 0..30_000 {
+                if mc.stop.is_some() {
+                    break;
+                }
+                mc.submit(w.next_write().index());
+            }
+        });
+        let via_pipeline = b.finish();
+        assert_eq!(via_run.requests, via_pipeline.requests);
+        assert_eq!(via_run.issued, via_pipeline.issued);
+        assert_eq!(via_run.ticks, via_pipeline.ticks);
+        for (x, y) in via_run.banks.iter().zip(&via_pipeline.banks) {
+            assert_eq!(x.fingerprint, y.fingerprint, "bank {} diverged", x.bank);
+        }
+    }
+
+    #[test]
+    fn span_sampling_records_and_snapshot_reflects_progress() {
+        let mut mc = McFrontend::builder()
+            .banks(2)
+            .total_blocks(1 << 12)
+            .endurance_mean(1e9)
+            .write_buffer_lines(0)
+            .span_sample(16)
+            .seed(21)
+            .build()
+            .unwrap();
+        let hist = LogHistogram::new();
+        mc.set_span_histogram(hist.clone());
+        let mut w = UniformWorkload::new(1 << 12, 21);
+        let out = mc.run(&mut w, 10_000);
+        assert!(out.conserves_writes());
+        let spans = hist.snapshot();
+        assert!(spans.count > 0, "sampled spans must have completed");
+        let snap = mc.pipeline_snapshot();
+        assert_eq!(snap.requests, 10_000);
+        assert_eq!(snap.drains, out.drains);
+        assert_eq!(snap.accum.batches, out.drains);
+        // Coalesced rewrites never leave the queue as distinct entries.
+        assert_eq!(snap.accum.batch_entries, out.issued);
+        assert_eq!(snap.total_occupancy(), 0, "finish() ran the rings dry");
+        assert_eq!(snap.p999_ticks, out.latency.p999());
+        assert!(snap.accum.mean_batch() > 1.0);
+        for b in &snap.banks {
+            assert_eq!(b.flushed, b.consumed);
+        }
+    }
+
+    #[test]
+    fn span_sampling_does_not_change_outcomes() {
+        let run = |sample: u64| {
+            let mut mc = McFrontend::builder()
+                .banks(4)
+                .total_blocks(1 << 12)
+                .endurance_mean(2_000.0)
+                .gap_interval(8)
+                .span_sample(sample)
+                .seed(11)
+                .build()
+                .unwrap();
+            let mut w = UniformWorkload::new(1 << 12, 11);
+            mc.run(&mut w, 40_000)
+        };
+        let on = run(64);
+        let off = run(0);
+        assert_eq!(on.issued, off.issued);
+        assert_eq!(on.ticks, off.ticks);
+        for (x, y) in on.banks.iter().zip(&off.banks) {
+            assert_eq!(x.fingerprint, y.fingerprint, "bank {} diverged", x.bank);
+        }
     }
 
     #[test]

@@ -1,0 +1,206 @@
+//! Pipeline instrumentation: what the front-end publishes about itself.
+//!
+//! Two pieces:
+//!
+//! * [`PipeAccum`] — always-on, front-end-thread-local accumulators
+//!   (batch sizes, flush ages). They are bumped a handful of plain adds
+//!   per *flush*, not per write, so the submit hot path is untouched.
+//! * [`PipelineSnapshot`] — a point-in-time view assembled by
+//!   [`crate::McFrontend::pipeline_snapshot`]. Per-bank progress is read
+//!   through the same `BankSync` consumed/alive publication the
+//!   death-lag protocol already maintains (Acquire loads of the pinned
+//!   workers' Release stores), so observing the pipeline costs the hot
+//!   path nothing it was not already paying.
+//!
+//! The service daemon samples a snapshot periodically and republishes it
+//! as registry gauges; batch binaries can grab one at end of run.
+
+/// Power-of-two bucket count for batch sizes (bit-widths 0..=32).
+pub const BATCH_BUCKETS: usize = 33;
+/// Power-of-two bucket count for flush ages in ticks (bit-widths 0..=32).
+pub const AGE_BUCKETS: usize = 33;
+
+/// Always-on flush-path accumulators (see module docs). All counts are
+/// plain integers owned by the front-end thread.
+#[derive(Debug, Clone)]
+pub struct PipeAccum {
+    /// Batches flushed toward banks.
+    pub batches: u64,
+    /// Total entries across all flushed batches.
+    pub batch_entries: u64,
+    /// `batch_size_hist[i]` counts batches whose size has bit-width `i`.
+    pub batch_size_hist: [u64; BATCH_BUCKETS],
+    /// Sum over batches of the oldest entry's age (ticks) at flush time.
+    pub flush_age_sum: u64,
+    /// `flush_age_hist[i]` counts batches whose flush age has bit-width
+    /// `i` (bucket 0: flushed the tick they arrived).
+    pub flush_age_hist: [u64; AGE_BUCKETS],
+}
+
+impl Default for PipeAccum {
+    fn default() -> Self {
+        PipeAccum {
+            batches: 0,
+            batch_entries: 0,
+            batch_size_hist: [0; BATCH_BUCKETS],
+            flush_age_sum: 0,
+            flush_age_hist: [0; AGE_BUCKETS],
+        }
+    }
+}
+
+impl PipeAccum {
+    /// An empty accumulator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one flushed batch of `entries` entries whose oldest entry
+    /// waited `age` ticks.
+    #[inline]
+    pub fn note_flush(&mut self, entries: u64, age: u64) {
+        self.batches += 1;
+        self.batch_entries += entries;
+        self.batch_size_hist[bit_width(entries)] += 1;
+        self.flush_age_sum += age;
+        self.flush_age_hist[bit_width(age)] += 1;
+    }
+
+    /// Mean batch size (0 before any flush).
+    pub fn mean_batch(&self) -> f64 {
+        if self.batches == 0 {
+            0.0
+        } else {
+            self.batch_entries as f64 / self.batches as f64
+        }
+    }
+
+    /// Mean flush age in ticks (0 before any flush).
+    pub fn mean_flush_age(&self) -> f64 {
+        if self.batches == 0 {
+            0.0
+        } else {
+            self.flush_age_sum as f64 / self.batches as f64
+        }
+    }
+}
+
+#[inline]
+fn bit_width(v: u64) -> usize {
+    // Values above 2³² share the top bucket; batch sizes and ages never
+    // plausibly reach it.
+    ((64 - v.leading_zeros()) as usize).min(BATCH_BUCKETS - 1)
+}
+
+/// One bank's pipeline position within a [`PipelineSnapshot`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BankPipeStat {
+    /// Physical bank index.
+    pub bank: usize,
+    /// Entries the front-end has flushed into this bank's ring.
+    pub flushed: u64,
+    /// Entries the bank's drain (worker or inline) has consumed, as
+    /// published through `BankSync` — may lag `flushed` by the in-flight
+    /// batch.
+    pub consumed: u64,
+    /// `flushed − consumed`: entries sitting in the ring right now.
+    pub occupancy: u64,
+    /// The bank's service clock (when it finishes its queued batches).
+    pub busy_until: u64,
+    /// Whether the front-end's lagged death mirror has the bank dead.
+    pub dead: bool,
+}
+
+/// A point-in-time view of the whole pipeline. See the module docs for
+/// freshness guarantees (per-bank progress is lag-one, everything else
+/// is the front-end's own ground truth).
+#[derive(Debug, Clone)]
+pub struct PipelineSnapshot {
+    /// Requests submitted so far.
+    pub requests: u64,
+    /// Front-end arrival clock.
+    pub ticks: u64,
+    /// Batches flushed (same count as `accum.batches`).
+    pub drains: u64,
+    /// Flush-path accumulators (batch sizes, flush ages).
+    pub accum: PipeAccum,
+    /// Steering permutation rotations so far (0 when steering is off).
+    pub steer_rotations: u64,
+    /// Median queue latency in ticks (0 before any flush).
+    pub p50_ticks: u64,
+    /// 99th-percentile queue latency in ticks (0 before any flush).
+    pub p99_ticks: u64,
+    /// 99.9th-percentile queue latency in ticks (0 before any flush).
+    pub p999_ticks: u64,
+    /// Per-bank ring positions, in physical bank order.
+    pub banks: Vec<BankPipeStat>,
+}
+
+impl PipelineSnapshot {
+    /// Total ring occupancy across all banks.
+    pub fn total_occupancy(&self) -> u64 {
+        self.banks.iter().map(|b| b.occupancy).sum()
+    }
+
+    /// Banks the death mirror currently has dead.
+    pub fn dead_banks(&self) -> usize {
+        self.banks.iter().filter(|b| b.dead).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accum_tracks_means_and_buckets() {
+        let mut a = PipeAccum::new();
+        a.note_flush(1, 0);
+        a.note_flush(64, 3);
+        a.note_flush(3, 9);
+        assert_eq!(a.batches, 3);
+        assert_eq!(a.batch_entries, 68);
+        assert!((a.mean_batch() - 68.0 / 3.0).abs() < 1e-12);
+        assert_eq!(a.flush_age_sum, 12);
+        assert_eq!(a.batch_size_hist[1], 1); // size 1
+        assert_eq!(a.batch_size_hist[7], 1); // size 64
+        assert_eq!(a.batch_size_hist[2], 1); // size 3
+        assert_eq!(a.flush_age_hist[0], 1); // age 0
+        assert_eq!(a.flush_age_hist[2], 1); // age 3
+        assert_eq!(a.flush_age_hist[4], 1); // age 9
+    }
+
+    #[test]
+    fn snapshot_aggregates() {
+        let snap = PipelineSnapshot {
+            requests: 10,
+            ticks: 10,
+            drains: 2,
+            accum: PipeAccum::new(),
+            steer_rotations: 0,
+            p50_ticks: 0,
+            p99_ticks: 0,
+            p999_ticks: 0,
+            banks: vec![
+                BankPipeStat {
+                    bank: 0,
+                    flushed: 8,
+                    consumed: 5,
+                    occupancy: 3,
+                    busy_until: 9,
+                    dead: false,
+                },
+                BankPipeStat {
+                    bank: 1,
+                    flushed: 2,
+                    consumed: 2,
+                    occupancy: 0,
+                    busy_until: 4,
+                    dead: true,
+                },
+            ],
+        };
+        assert_eq!(snap.total_occupancy(), 3);
+        assert_eq!(snap.dead_banks(), 1);
+    }
+}

@@ -47,6 +47,7 @@ impl OsMemoryBuilder {
             mapped_list: (0..app_pages).collect(),
             mapped_pos: (0..app_pages as usize).map(Some).collect(),
             failure_reports: 0,
+            retire_log: Vec::new(),
         }
     }
 }
@@ -77,6 +78,12 @@ pub struct OsMemory {
     /// app page -> index in `mapped_list` (None once dropped).
     mapped_pos: Vec<Option<usize>>,
     failure_reports: u64,
+    /// Physical pages in the order they retired. Replacement choice
+    /// (`free.pop()`) and page-drop compaction (`swap_remove`) depend
+    /// only on this order, so replaying it through [`Self::retire_page`]
+    /// on a fresh instance reconstructs the whole table — the restart
+    /// path of the service daemon.
+    retire_log: Vec<PageId>,
 }
 
 impl OsMemory {
@@ -199,6 +206,7 @@ impl OsMemory {
         let app = self.table.iter().position(|&t| t == Some(phys))?;
         self.retired[phys.as_usize()] = true;
         self.retired_count += 1;
+        self.retire_log.push(phys);
 
         let bpp = self.geometry.blocks_per_page();
         let replacement = self.free.pop();
@@ -260,6 +268,16 @@ impl OsMemory {
     /// failure).
     pub fn failure_reports(&self) -> u64 {
         self.failure_reports
+    }
+
+    /// Retired physical pages in retirement order. Unlike
+    /// [`Self::retired_iter`] (the unordered persistent bitmap), this
+    /// preserves the temporal order the free pool was consumed in, which
+    /// is what a replay needs to rebuild the app→phys table exactly:
+    /// feed each entry back through [`Self::retire_page`] on a fresh
+    /// instance.
+    pub fn retirement_log(&self) -> &[PageId] {
+        &self.retire_log
     }
 
     /// Iterator over retired physical pages (the persistent bitmap
@@ -406,6 +424,35 @@ mod tests {
     #[should_panic(expected = "outside application space")]
     fn translate_out_of_range_panics() {
         small_os(0).translate(AppAddr::new(512));
+    }
+
+    #[test]
+    fn retirement_log_replay_reconstructs_the_table() {
+        let mut rng = wlr_base::rng::Rng::stream(0x9A6E, 2);
+        for _ in 0..12 {
+            let reserve = rng.gen_range(4);
+            let geo = Geometry::builder().num_blocks(512).build().unwrap();
+            let mut live = OsMemory::builder(geo).reserve_pages(reserve).build();
+            for _ in 0..rng.gen_range(16) {
+                live.handle_failure(Pa::new(rng.gen_range(512)));
+            }
+            let mut replayed = OsMemory::builder(geo).reserve_pages(reserve).build();
+            for &page in live.retirement_log() {
+                replayed.retire_page(page);
+            }
+            assert_eq!(replayed.retired_pages(), live.retired_pages());
+            assert_eq!(replayed.free_pool(), live.free_pool());
+            assert_eq!(replayed.mapped_app_pages(), live.mapped_app_pages());
+            for app in 0..live.app_pages() {
+                let addr = AppAddr::new(app * 64);
+                assert_eq!(replayed.translate(addr), live.translate(addr));
+                assert_eq!(
+                    replayed.translate_or_redirect(addr),
+                    live.translate_or_redirect(addr)
+                );
+            }
+            assert_eq!(replayed.retirement_log(), live.retirement_log());
+        }
     }
 
     mod properties {

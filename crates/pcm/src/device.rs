@@ -517,6 +517,64 @@ impl PcmDevice {
         self.stats = AccessStats::default();
     }
 
+    /// Rebuilds wear state on a *fresh* device from a persisted
+    /// [`Self::wear_snapshot`] image, replaying each block's cell-failure
+    /// thresholds exactly as [`Self::write`] would have crossed them.
+    ///
+    /// Because cell lifetimes are a pure function of (seed, block, nth
+    /// failure), a block that absorbed `W` writes before the snapshot
+    /// crosses the same thresholds here: `failures`, `dead`, and the next
+    /// threshold come out bit-identical to the pre-snapshot state. ECC
+    /// state is replayed through the same [`ErrorCorrection::correct`]
+    /// calls; for stateless schemes (ECP) this is exact, while a shared
+    /// pool (PAYG) ends with the same number of entries consumed but not
+    /// necessarily charged in the original temporal order — callers
+    /// restoring PAYG devices should treat per-block pool attribution as
+    /// approximate.
+    ///
+    /// Blocks killed *without* organic wear (injected or silent-failure
+    /// deaths) are not reproducible from wear alone; re-kill them
+    /// afterwards via [`Self::inject_dead`]. Content tags and access
+    /// stats are not part of the image.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the device is not fresh (any wear or accesses), or if
+    /// `wear` does not cover exactly [`Self::total_blocks`].
+    pub fn restore_wear_image(&mut self, wear: &[u32]) {
+        assert_eq!(
+            wear.len(),
+            self.blocks.len(),
+            "wear image covers a different device"
+        );
+        assert!(
+            self.stats.total() == 0 && self.blocks.iter().all(|b| b.wear == 0 && !b.dead),
+            "restore_wear_image requires a fresh device"
+        );
+        for (i, &w) in wear.iter().enumerate() {
+            if w == 0 {
+                continue;
+            }
+            let da = Da::new(i as u64);
+            let b = &mut self.blocks[i];
+            b.wear = w;
+            // Mirror write()'s lazy-init + crossing loop against the
+            // final wear value.
+            b.threshold = clamp_u32(self.lifetime.threshold(da.index(), 1));
+            while self.blocks[i].wear >= self.blocks[i].threshold {
+                let nth = u32::from(self.blocks[i].failures) + 1;
+                assert!(nth < 250, "implausible cell-failure count on {da}");
+                self.blocks[i].failures = nth as u8;
+                if !self.ecc.correct(da, nth) {
+                    self.blocks[i].dead = true;
+                    self.dead_count += 1;
+                    break;
+                }
+                self.blocks[i].threshold = clamp_u32(self.lifetime.threshold(da.index(), nth + 1));
+            }
+        }
+    }
+
     /// Iterator over all dead block addresses.
     pub fn dead_iter(&self) -> impl Iterator<Item = Da> + '_ {
         self.blocks
@@ -889,6 +947,50 @@ mod tests {
             dev.restore_power(); // no-op
             assert_eq!(dev.write(Da::new(0)), WriteOutcome::Ok);
         }
+    }
+
+    #[test]
+    fn restore_wear_image_replays_thresholds_exactly() {
+        let mut rng = wlr_base::rng::Rng::stream(0xE57, 0);
+        for _ in 0..8 {
+            let seed = rng.next_u64();
+            let geo = Geometry::builder().num_blocks(64).build().unwrap();
+            let mk = || {
+                PcmDevice::builder(geo)
+                    .endurance_mean(120.0)
+                    .seed(seed)
+                    .ecc(Box::new(Ecp::new(2)))
+                    .build()
+            };
+            let mut live = mk();
+            for _ in 0..rng.gen_range(4_000) {
+                live.write(Da::new(rng.gen_range(16)));
+            }
+            let mut restored = mk();
+            restored.restore_wear_image(&live.wear_snapshot());
+            assert_eq!(restored.wear_snapshot(), live.wear_snapshot());
+            assert_eq!(restored.dead_blocks(), live.dead_blocks());
+            for i in 0..64 {
+                let da = Da::new(i);
+                assert_eq!(restored.cell_failures(da), live.cell_failures(da));
+                assert_eq!(restored.is_dead(da), live.is_dead(da));
+            }
+            // The next writes behave identically: thresholds came back
+            // bit-identical, not just the visible counters.
+            for _ in 0..500 {
+                let da = Da::new(rng.gen_range(16));
+                assert_eq!(live.write(da), restored.write(da));
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "fresh device")]
+    fn restore_rejects_worn_devices() {
+        let mut dev = small_device(Box::new(Ecp::ecp6()));
+        dev.write(Da::new(0));
+        let img = dev.wear_snapshot();
+        dev.restore_wear_image(&img);
     }
 
     #[test]

@@ -1,0 +1,90 @@
+//! Daemon configuration, read once at boot from `WLR_*` environment
+//! variables (documented in EXPERIMENTS.md).
+
+use crate::fleet::ShedPolicy;
+
+/// Everything the daemon needs to run, with smoke-friendly defaults.
+#[derive(Debug, Clone)]
+pub struct Config {
+    /// `WLR_SERVE_ADDR` — TCP listen address for the metrics endpoints.
+    pub addr: String,
+    /// `WLR_ARRIVAL_RATE` — open-loop arrivals per second (0 = unpaced).
+    pub arrival_rate: u64,
+    /// `WLR_METRICS_SAMPLE` — span sampling period, 1-in-N (0 = off).
+    pub metrics_sample: u64,
+    /// `WLR_SHED_POLICY` — what to do when the admission ring is full.
+    pub shed_policy: ShedPolicy,
+    /// `WLR_SERVE_REQUESTS` — stop after this many generated arrivals
+    /// (0 = run until signalled).
+    pub requests: u64,
+    /// `WLR_SERVE_BANKS` — bank count for the pipeline.
+    pub banks: usize,
+    /// `WLR_SERVE_BLOCKS` — global PCM capacity in blocks.
+    pub total_blocks: u64,
+    /// `WLR_SERVE_SEED` — experiment seed.
+    pub seed: u64,
+    /// `WLR_SERVE_ENDURANCE` — mean cell endurance per bank.
+    pub endurance_mean: f64,
+    /// `WLR_SERVE_USERS` — simulated client population.
+    pub users: u64,
+    /// `WLR_SERVE_STATE` — device-image path for crash persistence
+    /// (empty/unset = no persistence).
+    pub state_path: Option<String>,
+    /// `WLR_TRACE_DUMP` — path prefix for per-bank trace-ring dumps on
+    /// shutdown (empty/unset = no dump).
+    pub trace_dump: Option<String>,
+    /// `WLR_SERVE_PUBLISH_MS` — metrics publication interval.
+    pub publish_ms: u64,
+    /// Start-Gap ψ (fixed; part of the persisted-image identity).
+    pub gap_interval: u64,
+    /// Per-bank trace-ring capacity in events.
+    pub trace_ring: usize,
+    /// Admission-ring capacity in requests.
+    pub admission_depth: usize,
+}
+
+fn env_u64(name: &str, default: u64) -> u64 {
+    match std::env::var(name) {
+        Ok(v) if !v.is_empty() => v
+            .parse()
+            .unwrap_or_else(|_| panic!("{name}={v:?} is not a number")),
+        _ => default,
+    }
+}
+
+fn env_str(name: &str) -> Option<String> {
+    std::env::var(name).ok().filter(|v| !v.is_empty())
+}
+
+impl Config {
+    /// Reads the configuration from the environment.
+    pub fn from_env() -> Config {
+        let shed_policy = match env_str("WLR_SHED_POLICY").as_deref() {
+            None | Some("shed") => ShedPolicy::Shed,
+            Some("block") => ShedPolicy::Block,
+            Some(other) => panic!("WLR_SHED_POLICY={other:?}: expected \"shed\" or \"block\""),
+        };
+        Config {
+            addr: env_str("WLR_SERVE_ADDR").unwrap_or_else(|| "127.0.0.1:9464".into()),
+            arrival_rate: env_u64("WLR_ARRIVAL_RATE", 50_000),
+            // 1-in-1024: at multi-M writes/s this still fills the span
+            // histogram with thousands of samples per second, while the
+            // `Instant::now` stamps stay far below 1% of service time
+            // (1-in-64 measurably costs several percent).
+            metrics_sample: env_u64("WLR_METRICS_SAMPLE", 1024),
+            shed_policy,
+            requests: env_u64("WLR_SERVE_REQUESTS", 0),
+            banks: env_u64("WLR_SERVE_BANKS", 4) as usize,
+            total_blocks: env_u64("WLR_SERVE_BLOCKS", 1 << 14),
+            seed: env_u64("WLR_SERVE_SEED", 7),
+            endurance_mean: env_u64("WLR_SERVE_ENDURANCE", 1_000_000) as f64,
+            users: env_u64("WLR_SERVE_USERS", 1_000_000),
+            state_path: env_str("WLR_SERVE_STATE"),
+            trace_dump: env_str("WLR_TRACE_DUMP"),
+            publish_ms: env_u64("WLR_SERVE_PUBLISH_MS", 250),
+            gap_interval: env_u64("WLR_SERVE_GAP_INTERVAL", 100),
+            trace_ring: env_u64("WLR_SERVE_TRACE_RING", 512) as usize,
+            admission_depth: env_u64("WLR_SERVE_ADMISSION_DEPTH", 1 << 16) as usize,
+        }
+    }
+}

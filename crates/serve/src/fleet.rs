@@ -1,0 +1,271 @@
+//! The open-loop client fleet: a generator thread simulating a large
+//! user population issuing writes at a configured arrival rate,
+//! independent of how fast the service drains them.
+//!
+//! Arrivals flow through a bounded SPSC admission ring. When the ring
+//! fills, the fleet either sheds the arrival (open-loop honesty: the
+//! request is lost and counted) or blocks until there is room
+//! (closed-loop backpressure), per [`ShedPolicy`].
+//!
+//! Traffic model: 80% of arrivals come from a contiguous *hot set* of
+//! users (1/64th of the population) whose window shifts periodically;
+//! the rest are uniform over the population. Each user hashes to a fixed
+//! block address, so hot users create hot blocks — the access pattern
+//! wear leveling exists to survive.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use wlr_base::rng::{Rng, SplitMix64};
+use wlr_base::spsc::Producer;
+use wlr_base::stats::registry::Counter;
+
+/// What to do with an arrival when the admission ring is full.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ShedPolicy {
+    /// Drop the arrival and count it (`wlr_serve_shed_total`).
+    Shed,
+    /// Wait for ring space (converts the open loop into backpressure).
+    Block,
+}
+
+/// Fleet parameters.
+#[derive(Debug, Clone)]
+pub struct FleetConfig {
+    /// Global block-address space arrivals map into.
+    pub space: u64,
+    /// Simulated user population.
+    pub users: u64,
+    /// Arrivals per second (0 = unpaced, as fast as the ring accepts).
+    pub rate: u64,
+    /// Total arrivals to generate (0 = until stopped).
+    pub total: u64,
+    /// Arrivals between hot-set shifts.
+    pub hot_shift: u64,
+    /// RNG seed for the traffic stream.
+    pub seed: u64,
+    /// Full-ring behavior.
+    pub policy: ShedPolicy,
+}
+
+/// Handle to the generator thread.
+pub struct Fleet {
+    handle: std::thread::JoinHandle<()>,
+    done: Arc<AtomicBool>,
+}
+
+impl Fleet {
+    /// Whether the generator has produced its last arrival.
+    pub fn done(&self) -> bool {
+        self.done.load(Ordering::Acquire)
+    }
+
+    /// Joins the generator thread.
+    pub fn join(self) {
+        self.handle.join().expect("fleet generator panicked");
+    }
+}
+
+/// Counters the fleet publishes (registered by the caller).
+#[derive(Debug, Clone)]
+pub struct FleetCounters {
+    /// Arrivals generated.
+    pub generated: Counter,
+    /// Arrivals dropped at a full ring under [`ShedPolicy::Shed`].
+    pub shed: Counter,
+}
+
+/// Derives the block address a user's writes land on.
+#[inline]
+pub fn user_address(seed: u64, user: u64, space: u64) -> u64 {
+    SplitMix64::mix(seed ^ 0x5EED_F1EE7, user) % space
+}
+
+/// Spawns the generator. It runs until `total` arrivals are produced or
+/// `stop` is raised, then sets its done flag and exits.
+pub fn spawn(
+    cfg: FleetConfig,
+    mut ring: Producer,
+    counters: FleetCounters,
+    stop: Arc<AtomicBool>,
+) -> Fleet {
+    let done = Arc::new(AtomicBool::new(false));
+    let done_flag = Arc::clone(&done);
+    let handle = std::thread::Builder::new()
+        .name("wlr-fleet".into())
+        .spawn(move || {
+            generate(&cfg, &mut ring, &counters, &stop);
+            done_flag.store(true, Ordering::Release);
+        })
+        .expect("spawn fleet generator");
+    Fleet { handle, done }
+}
+
+fn generate(cfg: &FleetConfig, ring: &mut Producer, counters: &FleetCounters, stop: &AtomicBool) {
+    let mut rng = Rng::stream(cfg.seed, 0xF1EE7);
+    let hot_width = (cfg.users / 64).max(1);
+    let mut hot_start: u64 = 0;
+    let mut generated: u64 = 0;
+    let started = Instant::now();
+    loop {
+        if stop.load(Ordering::Relaxed) {
+            return;
+        }
+        if cfg.total != 0 && generated >= cfg.total {
+            return;
+        }
+        // Open-loop pacing: how many arrivals the wall clock owes us.
+        let due = if cfg.rate == 0 {
+            generated + 1024
+        } else {
+            started.elapsed().as_micros() as u64 * cfg.rate / 1_000_000
+        };
+        if generated >= due {
+            std::thread::sleep(Duration::from_millis(1));
+            continue;
+        }
+        let burst = (due - generated).min(1024);
+        for _ in 0..burst {
+            if cfg.total != 0 && generated >= cfg.total {
+                return;
+            }
+            let user = if rng.gen_bool(0.8) {
+                hot_start + rng.gen_range(hot_width)
+            } else {
+                rng.gen_range(cfg.users)
+            };
+            let addr = user_address(cfg.seed, user % cfg.users, cfg.space);
+            generated += 1;
+            counters.generated.inc();
+            if cfg.hot_shift != 0 && generated.is_multiple_of(cfg.hot_shift) {
+                hot_start = (hot_start + hot_width / 2) % cfg.users;
+            }
+            if !ring.push(addr) {
+                match cfg.policy {
+                    ShedPolicy::Shed => counters.shed.inc(),
+                    ShedPolicy::Block => loop {
+                        std::thread::sleep(Duration::from_micros(50));
+                        if stop.load(Ordering::Relaxed) {
+                            return;
+                        }
+                        if ring.push(addr) {
+                            break;
+                        }
+                    },
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wlr_base::spsc;
+
+    fn counters() -> FleetCounters {
+        FleetCounters {
+            generated: Counter::new(),
+            shed: Counter::new(),
+        }
+    }
+
+    #[test]
+    fn bounded_fleet_generates_exactly_total_in_range() {
+        let (prod, mut cons) = spsc::ring(1 << 12);
+        let c = counters();
+        let stop = Arc::new(AtomicBool::new(false));
+        let fleet = spawn(
+            FleetConfig {
+                space: 4096,
+                users: 10_000,
+                rate: 0,
+                total: 2_000,
+                hot_shift: 500,
+                seed: 11,
+                policy: ShedPolicy::Shed,
+            },
+            prod,
+            c.clone(),
+            stop,
+        );
+        fleet.join();
+        assert_eq!(c.generated.get(), 2_000);
+        let mut buf = Vec::new();
+        let mut popped = 0;
+        while cons.pop_into(&mut buf) > 0 {
+            for &a in &buf {
+                assert!(a < 4096, "address {a} out of space");
+            }
+            popped += buf.len() as u64;
+            buf.clear();
+        }
+        assert_eq!(popped + c.shed.get(), 2_000, "every arrival lands or sheds");
+    }
+
+    #[test]
+    fn shed_policy_drops_at_full_ring() {
+        // Tiny ring, nobody consuming: almost everything must shed.
+        let (prod, _cons) = spsc::ring(8);
+        let c = counters();
+        let stop = Arc::new(AtomicBool::new(false));
+        let fleet = spawn(
+            FleetConfig {
+                space: 1024,
+                users: 100,
+                rate: 0,
+                total: 1_000,
+                hot_shift: 0,
+                seed: 3,
+                policy: ShedPolicy::Shed,
+            },
+            prod,
+            c.clone(),
+            stop,
+        );
+        fleet.join();
+        assert_eq!(c.generated.get(), 1_000);
+        assert!(c.shed.get() >= 1_000 - 8, "shed {}", c.shed.get());
+    }
+
+    #[test]
+    fn traffic_is_hot_set_skewed() {
+        let (prod, mut cons) = spsc::ring(1 << 14);
+        let c = counters();
+        let stop = Arc::new(AtomicBool::new(false));
+        let fleet = spawn(
+            FleetConfig {
+                space: 1 << 12,
+                users: 1 << 16,
+                rate: 0,
+                total: 10_000,
+                hot_shift: 0, // fixed hot set for a clean skew measurement
+                seed: 5,
+                policy: ShedPolicy::Block,
+            },
+            prod,
+            c.clone(),
+            Arc::clone(&stop),
+        );
+        fleet.join();
+        let hot_width = (1u64 << 16) / 64;
+        let hot: std::collections::HashSet<u64> = (0..hot_width)
+            .map(|u| user_address(5, u, 1 << 12))
+            .collect();
+        let mut buf = Vec::new();
+        let (mut hot_hits, mut n) = (0u64, 0u64);
+        while cons.pop_into(&mut buf) > 0 {
+            for &a in &buf {
+                n += 1;
+                if hot.contains(&a) {
+                    hot_hits += 1;
+                }
+            }
+            buf.clear();
+        }
+        assert_eq!(n, 10_000);
+        // ~80% of traffic targets the hot set (plus uniform spillover).
+        assert!(hot_hits > n * 7 / 10, "hot hits {hot_hits}/{n}");
+    }
+}

@@ -1,0 +1,165 @@
+//! A minimal HTTP/1.0 endpoint over `std::net` — no dependencies, no
+//! keep-alive, one request per connection. Serves:
+//!
+//! * `GET /metrics` — Prometheus text exposition of the shared registry;
+//! * `GET /healthz` — liveness JSON;
+//! * `GET /snapshot` — the latest pipeline snapshot as JSON.
+
+use std::io::{Read, Write};
+use std::net::{TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+use wlr_base::stats::registry::MetricsRegistry;
+
+/// State the endpoint threads read.
+#[derive(Debug)]
+pub struct Shared {
+    /// The registry `/metrics` renders.
+    pub registry: Arc<MetricsRegistry>,
+    /// Latest pipeline snapshot, pre-rendered as JSON by the service loop.
+    pub snapshot_json: Mutex<String>,
+    /// Whether the service loop is live.
+    pub healthy: AtomicBool,
+    /// Requests serviced this lifetime (mirrors the counter, for healthz).
+    pub serviced: AtomicU64,
+    /// Whether this lifetime restored a persisted image at boot.
+    pub recovered: AtomicBool,
+}
+
+impl Shared {
+    /// Fresh shared state around `registry`.
+    pub fn new(registry: Arc<MetricsRegistry>) -> Shared {
+        Shared {
+            registry,
+            snapshot_json: Mutex::new("{}".into()),
+            healthy: AtomicBool::new(true),
+            serviced: AtomicU64::new(0),
+            recovered: AtomicBool::new(false),
+        }
+    }
+
+    /// Replaces the pre-rendered snapshot.
+    pub fn set_snapshot(&self, json: String) {
+        *self.snapshot_json.lock().expect("snapshot lock") = json;
+    }
+}
+
+/// Binds `addr` and serves requests on a detached thread until the
+/// process exits. Returns the actual local address (useful with port 0).
+pub fn spawn(addr: &str, shared: Arc<Shared>) -> std::io::Result<std::net::SocketAddr> {
+    let listener = TcpListener::bind(addr)?;
+    let local = listener.local_addr()?;
+    std::thread::Builder::new()
+        .name("wlr-http".into())
+        .spawn(move || {
+            for conn in listener.incoming() {
+                match conn {
+                    Ok(stream) => handle(stream, &shared),
+                    Err(_) => std::thread::sleep(Duration::from_millis(10)),
+                }
+            }
+        })
+        .expect("spawn http listener");
+    Ok(local)
+}
+
+fn handle(mut stream: TcpStream, shared: &Shared) {
+    let _ = stream.set_read_timeout(Some(Duration::from_secs(2)));
+    let mut buf = [0u8; 1024];
+    let n = match stream.read(&mut buf) {
+        Ok(n) if n > 0 => n,
+        _ => return,
+    };
+    let request = String::from_utf8_lossy(&buf[..n]);
+    let path = request
+        .lines()
+        .next()
+        .and_then(|line| line.split_whitespace().nth(1))
+        .unwrap_or("/");
+    let (status, content_type, body) = route(path, shared);
+    let response = format!(
+        "HTTP/1.0 {status}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len(),
+    );
+    let _ = stream.write_all(response.as_bytes());
+}
+
+fn route(path: &str, shared: &Shared) -> (&'static str, &'static str, String) {
+    match path {
+        "/metrics" => (
+            "200 OK",
+            "text/plain; version=0.0.4",
+            shared.registry.render(),
+        ),
+        "/healthz" => ("200 OK", "application/json", healthz_json(shared)),
+        "/snapshot" => (
+            "200 OK",
+            "application/json",
+            shared.snapshot_json.lock().expect("snapshot lock").clone(),
+        ),
+        _ => ("404 Not Found", "text/plain", "not found\n".into()),
+    }
+}
+
+fn healthz_json(shared: &Shared) -> String {
+    format!(
+        "{{\"status\":\"{}\",\"requests\":{},\"recovered\":{}}}",
+        if shared.healthy.load(Ordering::Relaxed) {
+            "ok"
+        } else {
+            "draining"
+        },
+        shared.serviced.load(Ordering::Relaxed),
+        shared.recovered.load(Ordering::Relaxed),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn get(addr: std::net::SocketAddr, path: &str) -> (String, String) {
+        let mut stream = TcpStream::connect(addr).expect("connect");
+        stream
+            .write_all(format!("GET {path} HTTP/1.0\r\nHost: test\r\n\r\n").as_bytes())
+            .expect("send request");
+        let mut response = String::new();
+        stream.read_to_string(&mut response).expect("read response");
+        let (head, body) = response
+            .split_once("\r\n\r\n")
+            .expect("response has a header block");
+        (head.to_string(), body.to_string())
+    }
+
+    #[test]
+    fn endpoints_serve_over_a_real_socket() {
+        let registry = Arc::new(MetricsRegistry::new());
+        let c = registry.counter("wlr_test_total", "test counter");
+        c.add(41);
+        let shared = Arc::new(Shared::new(Arc::clone(&registry)));
+        shared.serviced.store(41, Ordering::Relaxed);
+        shared.set_snapshot("{\"requests\":41}".into());
+        let addr = spawn("127.0.0.1:0", Arc::clone(&shared)).expect("bind");
+
+        let (head, body) = get(addr, "/metrics");
+        assert!(head.starts_with("HTTP/1.0 200"), "{head}");
+        assert!(body.contains("wlr_test_total 41"), "{body}");
+        let parsed = wlr_base::stats::registry::parse_exposition(&body)
+            .expect("scrape round-trips through the parser");
+        assert!(parsed.iter().any(|s| s.name == "wlr_test_total"));
+
+        let (head, body) = get(addr, "/healthz");
+        assert!(head.starts_with("HTTP/1.0 200"), "{head}");
+        assert!(body.contains("\"status\":\"ok\""), "{body}");
+        assert!(body.contains("\"requests\":41"), "{body}");
+
+        let (head, body) = get(addr, "/snapshot");
+        assert!(head.starts_with("HTTP/1.0 200"), "{head}");
+        assert_eq!(body, "{\"requests\":41}");
+
+        let (head, _) = get(addr, "/nope");
+        assert!(head.starts_with("HTTP/1.0 404"), "{head}");
+    }
+}

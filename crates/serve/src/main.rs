@@ -1,0 +1,339 @@
+//! `wlr-serve`: the always-on WL-Reviver service daemon.
+//!
+//! Runs the pinned multi-bank pipeline ([`wlr_mc::McFrontend`]) as a
+//! long-lived service: an open-loop client [`fleet`] feeds a bounded
+//! admission ring, the service loop drains it through
+//! [`McFrontend::with_pipeline`], and a std-only [`http`] endpoint
+//! exposes live `/metrics` (Prometheus text), `/healthz`, and
+//! `/snapshot`. Observability rides the existing machinery end to end:
+//! revival counters arrive through per-bank
+//! [`wl_reviver::MetricsSink`]s on the event spine, pipeline gauges come
+//! from lag-one [`wlr_mc::PipelineSnapshot`]s, and wall-clock spans are
+//! sampled 1-in-N via the front-end's span probes — the hot path never
+//! takes a lock for any of it.
+//!
+//! On SIGTERM/SIGINT (or after `WLR_SERVE_REQUESTS` arrivals) the daemon
+//! drains, persists the device image ([`state`]), optionally dumps the
+//! per-bank trace rings, and exits. A restart with the same
+//! configuration replays the image — wear, page retirements, reviver
+//! metadata — and the §III-B recovery scan runs *into the same live
+//! sinks*, so the first post-restart scrape already shows the recovery
+//! phase counters.
+
+#![deny(unsafe_code)]
+
+mod config;
+mod fleet;
+mod http;
+mod metrics;
+mod signal;
+mod state;
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use wl_reviver::{MetricsSink, TraceRingSink};
+use wlr_base::spsc::{self, Consumer};
+use wlr_mc::{McFrontend, McStopPolicy, PipelineSnapshot};
+
+use config::Config;
+use fleet::{FleetConfig, FleetCounters};
+use metrics::ServeMetrics;
+
+fn main() {
+    let cfg = Config::from_env();
+    signal::install();
+    let m = ServeMetrics::new(cfg.banks);
+
+    let mut mc = build_frontend(&cfg);
+    if cfg.metrics_sample != 0 {
+        mc.set_span_histogram(m.span_ns.clone());
+    }
+    for b in 0..cfg.banks {
+        let r = mc
+            .bank_sim_mut(b)
+            .controller_mut()
+            .as_reviver_mut()
+            .expect("wlr-serve requires a reviver scheme");
+        r.add_sink(Box::new(MetricsSink::new(m.revival.clone())));
+        r.add_sink(Box::new(TraceRingSink::new(cfg.trace_ring)));
+    }
+
+    let shared = Arc::new(http::Shared::new(Arc::clone(&m.registry)));
+
+    // Restore a persisted image, replaying recovery into the live sinks.
+    let mut lifetime_serviced = 0u64;
+    if let Some(path) = &cfg.state_path {
+        match state::load(path) {
+            Ok(Some(img)) => {
+                if !img.matches(
+                    cfg.banks,
+                    cfg.total_blocks,
+                    cfg.seed,
+                    cfg.endurance_mean,
+                    cfg.gap_interval,
+                ) {
+                    eprintln!("wlr-serve: {path} was captured under a different configuration");
+                    std::process::exit(2);
+                }
+                lifetime_serviced = img.serviced;
+                let report = state::restore(&mut mc, &img);
+                m.restores.inc();
+                shared.recovered.store(true, Ordering::Relaxed);
+                eprintln!(
+                    "wlr-serve: restored {path}: {} blocks scanned, {} links recovered, {} healed",
+                    report.blocks_scanned, report.links_recovered, report.healed_links
+                );
+            }
+            Ok(None) => {}
+            Err(e) => {
+                eprintln!("wlr-serve: cannot restore {path}: {e}");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    // Pre-render a snapshot so the very first `/snapshot` scrape is
+    // well-formed even if it beats the service loop's first publish.
+    shared.set_snapshot(snapshot_json(
+        &mc.pipeline_snapshot(),
+        &m,
+        lifetime_serviced,
+    ));
+
+    let addr = match http::spawn(&cfg.addr, Arc::clone(&shared)) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("wlr-serve: cannot bind {}: {e}", cfg.addr);
+            std::process::exit(1);
+        }
+    };
+    eprintln!("wlr-serve: listening on {addr}");
+
+    let (producer, consumer) = spsc::ring(cfg.admission_depth);
+    let fleet_stop = Arc::new(AtomicBool::new(false));
+    let fleet = fleet::spawn(
+        FleetConfig {
+            space: cfg.total_blocks,
+            users: cfg.users,
+            rate: cfg.arrival_rate,
+            total: cfg.requests,
+            hot_shift: (cfg.requests / 8).max(1 << 14),
+            seed: cfg.seed,
+            policy: cfg.shed_policy,
+        },
+        producer,
+        FleetCounters {
+            generated: m.generated.clone(),
+            shed: m.shed.clone(),
+        },
+        Arc::clone(&fleet_stop),
+    );
+
+    let serviced = run_service(&mut mc, consumer, &fleet, &m, &shared, &cfg);
+    fleet_stop.store(true, Ordering::Relaxed);
+    shared.healthy.store(false, Ordering::Relaxed);
+    let outcome = mc.finish();
+    fleet.join();
+
+    // Final publication so a last scrape sees the drained pipeline.
+    let snap = mc.pipeline_snapshot();
+    m.publish(&snap, 0);
+    shared.set_snapshot(snapshot_json(&snap, &m, lifetime_serviced + serviced));
+
+    if let Some(prefix) = &cfg.trace_dump {
+        dump_traces(&mut mc, prefix, cfg.banks);
+    }
+    if let Some(path) = &cfg.state_path {
+        let identity = [
+            cfg.banks as u64,
+            cfg.total_blocks,
+            cfg.seed,
+            cfg.endurance_mean.to_bits(),
+            cfg.gap_interval,
+        ];
+        let img = state::capture(&mut mc, identity, lifetime_serviced + serviced);
+        match state::save(path, &img) {
+            Ok(()) => eprintln!("wlr-serve: persisted {path}"),
+            Err(e) => {
+                eprintln!("wlr-serve: cannot persist {path}: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+    eprintln!(
+        "wlr-serve: drained; serviced {serviced} (lifetime {}), issued {}, stop {:?}",
+        lifetime_serviced + serviced,
+        outcome.issued,
+        outcome.stop,
+    );
+}
+
+fn build_frontend(cfg: &Config) -> McFrontend {
+    McFrontend::builder()
+        .banks(cfg.banks)
+        .total_blocks(cfg.total_blocks)
+        .endurance_mean(cfg.endurance_mean)
+        .gap_interval(cfg.gap_interval)
+        .seed(cfg.seed)
+        .span_sample(cfg.metrics_sample)
+        // A service keeps serving while any bank survives.
+        .stop_policy(McStopPolicy::Quorum(1.0))
+        .build()
+        .unwrap_or_else(|e| {
+            eprintln!("wlr-serve: bad geometry: {e}");
+            std::process::exit(2);
+        })
+}
+
+/// The service loop: drain the admission ring through the live pipeline,
+/// publishing metrics and the JSON snapshot every publish interval.
+/// Returns the number of requests serviced.
+fn run_service(
+    mc: &mut McFrontend,
+    mut ring: Consumer,
+    fleet: &fleet::Fleet,
+    m: &ServeMetrics,
+    shared: &http::Shared,
+    cfg: &Config,
+) -> u64 {
+    let publish_every = Duration::from_millis(cfg.publish_ms.max(10));
+    mc.with_pipeline(|mc| {
+        let mut buf: Vec<u64> = Vec::with_capacity(4096);
+        let mut last_publish = Instant::now();
+        let mut last_requests = mc.requests();
+        let base = mc.requests();
+        loop {
+            buf.clear();
+            let n = ring.pop_into(&mut buf);
+            for &addr in &buf {
+                mc.submit(addr);
+            }
+            if n > 0 {
+                m.serviced.add(n as u64);
+                shared
+                    .serviced
+                    .store(mc.requests() - base, Ordering::Relaxed);
+            }
+            if last_publish.elapsed() >= publish_every {
+                let dt = last_publish.elapsed().as_secs_f64();
+                let snap = mc.pipeline_snapshot();
+                let wps = ((snap.requests - last_requests) as f64 / dt) as u64;
+                last_requests = snap.requests;
+                last_publish = Instant::now();
+                m.publish(&snap, wps);
+                shared.set_snapshot(snapshot_json(&snap, m, snap.requests));
+            }
+            if signal::stop_requested() || mc.stopped().is_some() {
+                break;
+            }
+            if n == 0 {
+                if fleet.done() && ring.is_empty() {
+                    break;
+                }
+                std::thread::sleep(Duration::from_millis(1));
+            }
+        }
+        mc.requests() - base
+    })
+}
+
+/// Renders a pipeline snapshot (plus service counters) as JSON by hand —
+/// flat, stable keys, no dependencies.
+fn snapshot_json(snap: &PipelineSnapshot, m: &ServeMetrics, lifetime: u64) -> String {
+    use std::fmt::Write;
+    let mut s = String::with_capacity(512);
+    let _ = write!(
+        s,
+        "{{\"requests\":{},\"lifetime_requests\":{lifetime},\"ticks\":{},\"drains\":{},\
+         \"occupancy\":{},\"dead_banks\":{},\"p50_ticks\":{},\"p99_ticks\":{},\
+         \"p999_ticks\":{},\"mean_batch\":{:.3},\"mean_flush_age\":{:.3},\
+         \"generated\":{},\"shed\":{},\"links\":{},\"switches\":{},\"banks\":[",
+        snap.requests,
+        snap.ticks,
+        snap.drains,
+        snap.total_occupancy(),
+        snap.dead_banks(),
+        snap.p50_ticks,
+        snap.p99_ticks,
+        snap.p999_ticks,
+        snap.accum.mean_batch(),
+        snap.accum.mean_flush_age(),
+        m.generated.get(),
+        m.shed.get(),
+        m.revival.links.get(),
+        m.revival.switches.get(),
+    );
+    for (i, b) in snap.banks.iter().enumerate() {
+        let _ = write!(
+            s,
+            "{}{{\"bank\":{},\"flushed\":{},\"consumed\":{},\"occupancy\":{},\"dead\":{}}}",
+            if i == 0 { "" } else { "," },
+            b.bank,
+            b.flushed,
+            b.consumed,
+            b.occupancy,
+            b.dead,
+        );
+    }
+    s.push_str("]}");
+    s
+}
+
+/// Writes each bank's retained trace-ring window to
+/// `<prefix>.bank<i>.jsonl`.
+fn dump_traces(mc: &mut McFrontend, prefix: &str, banks: usize) {
+    for b in 0..banks {
+        if let Some(dump) = mc.bank_sim_mut(b).trace_dump() {
+            let path = format!("{prefix}.bank{b}.jsonl");
+            match std::fs::write(&path, dump) {
+                Ok(()) => eprintln!("wlr-serve: trace ring dumped to {path}"),
+                Err(e) => eprintln!("wlr-serve: cannot dump {path}: {e}"),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wlr_mc::{BankPipeStat, PipeAccum};
+
+    #[test]
+    fn snapshot_json_is_well_formed() {
+        let m = ServeMetrics::new(1);
+        m.generated.add(5);
+        let json = snapshot_json(
+            &PipelineSnapshot {
+                requests: 4,
+                ticks: 4,
+                drains: 1,
+                accum: PipeAccum::new(),
+                steer_rotations: 0,
+                p50_ticks: 1,
+                p99_ticks: 2,
+                p999_ticks: 3,
+                banks: vec![BankPipeStat {
+                    bank: 0,
+                    flushed: 4,
+                    consumed: 4,
+                    occupancy: 0,
+                    busy_until: 5,
+                    dead: false,
+                }],
+            },
+            &m,
+            4,
+        );
+        assert!(json.starts_with('{') && json.ends_with('}'));
+        assert!(json.contains("\"requests\":4"));
+        assert!(json.contains("\"generated\":5"));
+        assert!(json.contains("\"dead\":false"));
+        assert_eq!(
+            json.matches('{').count(),
+            json.matches('}').count(),
+            "balanced braces: {json}"
+        );
+    }
+}

@@ -1,0 +1,35 @@
+//! SIGTERM/SIGINT → a process-wide stop flag.
+//!
+//! The only unsafe code in the daemon: registering the handler through
+//! libc's `signal` (which std already links). The handler does nothing
+//! but store to a static atomic — async-signal-safe by construction.
+
+#![allow(unsafe_code)]
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+static STOP: AtomicBool = AtomicBool::new(false);
+
+const SIGINT: i32 = 2;
+const SIGTERM: i32 = 15;
+
+extern "C" {
+    fn signal(signum: i32, handler: usize) -> usize;
+}
+
+extern "C" fn on_signal(_sig: i32) {
+    STOP.store(true, Ordering::Relaxed);
+}
+
+/// Installs the handlers. Call once at boot.
+pub fn install() {
+    unsafe {
+        signal(SIGTERM, on_signal as *const () as usize);
+        signal(SIGINT, on_signal as *const () as usize);
+    }
+}
+
+/// Whether a termination signal has arrived.
+pub fn stop_requested() -> bool {
+    STOP.load(Ordering::Relaxed)
+}

@@ -1,0 +1,424 @@
+//! Crash persistence: the device image the daemon writes on shutdown
+//! and replays at boot.
+//!
+//! The image captures, per bank, everything the paper models as durable:
+//! the PCM wear state (replayed exactly through
+//! `PcmDevice::restore_wear_image`), the OS page-retirement *order*
+//! (replayed through `OsMemory::retire_page` — the table is a pure
+//! function of that order), and the reviver's persisted metadata
+//! (`PersistedMeta`, restored via `RevivedController::restore_from`,
+//! which runs the full §III-B recovery scan and emits every phase into
+//! the live sinks). Volatile state — wear-leveling registers, caches,
+//! queue contents — is deliberately *not* captured: a restart loses it,
+//! exactly as a power cut would, and recovery rebuilds what the paper
+//! says is rebuildable.
+//!
+//! Format: little-endian `u64` words, a leading magic, a trailing commit
+//! marker, written to a temp file and renamed into place so a crash
+//! mid-save leaves the previous image intact.
+
+use std::io;
+use std::path::Path;
+
+use wl_reviver::{PersistedMeta, RecoveryReport};
+use wlr_base::PageId;
+use wlr_mc::McFrontend;
+
+const MAGIC: u64 = 0x574c_5253_4552_5631; // "WLRSERV1"
+const COMMIT: u64 = 0x434f_4d4d_4954_4f4b; // "COMMITOK"
+
+/// One bank's durable state.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BankImage {
+    /// Full device wear snapshot (including reviver-reserved blocks).
+    pub wear: Vec<u32>,
+    /// Dead block indices at capture time (verification only — deaths
+    /// replay deterministically from the wear image).
+    pub dead: Vec<u64>,
+    /// OS page retirements, in retirement order.
+    pub retirements: Vec<u64>,
+    /// Serialized [`PersistedMeta`].
+    pub meta: Vec<u8>,
+}
+
+/// The whole daemon image: the configuration identity it was captured
+/// under, plus every bank.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StateImage {
+    /// Bank count.
+    pub banks: u64,
+    /// Global block space.
+    pub total_blocks: u64,
+    /// Experiment seed.
+    pub seed: u64,
+    /// `endurance_mean.to_bits()`.
+    pub endurance_bits: u64,
+    /// Start-Gap ψ.
+    pub gap_interval: u64,
+    /// Requests serviced over all prior lifetimes (informational).
+    pub serviced: u64,
+    /// Per-bank durable state, in bank order.
+    pub per_bank: Vec<BankImage>,
+}
+
+impl StateImage {
+    /// Whether this image was captured under the same configuration.
+    pub fn matches(
+        &self,
+        banks: usize,
+        total_blocks: u64,
+        seed: u64,
+        endurance_mean: f64,
+        gap_interval: u64,
+    ) -> bool {
+        self.banks == banks as u64
+            && self.total_blocks == total_blocks
+            && self.seed == seed
+            && self.endurance_bits == endurance_mean.to_bits()
+            && self.gap_interval == gap_interval
+    }
+
+    /// Serializes to the on-disk byte layout.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut w = Writer::default();
+        w.word(MAGIC);
+        for v in [
+            self.banks,
+            self.total_blocks,
+            self.seed,
+            self.endurance_bits,
+            self.gap_interval,
+            self.serviced,
+        ] {
+            w.word(v);
+        }
+        for b in &self.per_bank {
+            w.word(b.wear.len() as u64);
+            for &x in &b.wear {
+                w.word(x as u64);
+            }
+            w.word(b.dead.len() as u64);
+            for &x in &b.dead {
+                w.word(x);
+            }
+            w.word(b.retirements.len() as u64);
+            for &x in &b.retirements {
+                w.word(x);
+            }
+            w.word(b.meta.len() as u64);
+            w.bytes(&b.meta);
+        }
+        w.word(COMMIT);
+        w.out
+    }
+
+    /// Parses the on-disk layout, rejecting truncated or uncommitted
+    /// images.
+    pub fn from_bytes(bytes: &[u8]) -> io::Result<StateImage> {
+        let mut r = Reader { bytes, pos: 0 };
+        if r.word()? != MAGIC {
+            return Err(corrupt("bad magic"));
+        }
+        let banks = r.word()?;
+        let total_blocks = r.word()?;
+        let seed = r.word()?;
+        let endurance_bits = r.word()?;
+        let gap_interval = r.word()?;
+        let serviced = r.word()?;
+        if banks > 4096 {
+            return Err(corrupt("implausible bank count"));
+        }
+        let mut per_bank = Vec::with_capacity(banks as usize);
+        for _ in 0..banks {
+            let wear = r.vec()?.into_iter().map(|w| w as u32).collect();
+            let dead = r.vec()?;
+            let retirements = r.vec()?;
+            let meta_len = r.word()? as usize;
+            let meta = r.take(meta_len)?.to_vec();
+            per_bank.push(BankImage {
+                wear,
+                dead,
+                retirements,
+                meta,
+            });
+        }
+        if r.word()? != COMMIT {
+            return Err(corrupt("missing commit marker"));
+        }
+        Ok(StateImage {
+            banks,
+            total_blocks,
+            seed,
+            endurance_bits,
+            gap_interval,
+            serviced,
+            per_bank,
+        })
+    }
+}
+
+fn corrupt(why: &str) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, format!("state image: {why}"))
+}
+
+#[derive(Default)]
+struct Writer {
+    out: Vec<u8>,
+}
+
+impl Writer {
+    fn word(&mut self, v: u64) {
+        self.out.extend_from_slice(&v.to_le_bytes());
+    }
+    fn bytes(&mut self, b: &[u8]) {
+        self.out.extend_from_slice(b);
+        // Pad to a word boundary so subsequent words stay aligned.
+        while !self.out.len().is_multiple_of(8) {
+            self.out.push(0);
+        }
+    }
+}
+
+struct Reader<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Reader<'_> {
+    fn word(&mut self) -> io::Result<u64> {
+        let end = self.pos + 8;
+        if end > self.bytes.len() {
+            return Err(corrupt("truncated"));
+        }
+        let v = u64::from_le_bytes(self.bytes[self.pos..end].try_into().expect("8 bytes"));
+        self.pos = end;
+        Ok(v)
+    }
+    fn vec(&mut self) -> io::Result<Vec<u64>> {
+        let n = self.word()? as usize;
+        if n > self.bytes.len() / 8 {
+            return Err(corrupt("implausible length"));
+        }
+        (0..n).map(|_| self.word()).collect()
+    }
+    fn take(&mut self, n: usize) -> io::Result<&[u8]> {
+        let end = self.pos + n;
+        if end > self.bytes.len() {
+            return Err(corrupt("truncated"));
+        }
+        let slice = &self.bytes[self.pos..end];
+        self.pos = (end + 7) & !7; // skip the word padding
+        Ok(slice)
+    }
+}
+
+/// Captures the durable state of every bank. Requires the pipeline to be
+/// quiescent (no workers active, queues and rings drained — i.e. after
+/// [`McFrontend::finish`]).
+pub fn capture(mc: &mut McFrontend, cfg_identity: [u64; 5], serviced: u64) -> StateImage {
+    let per_bank = (0..mc.num_banks())
+        .map(|b| {
+            let sim = mc.bank_sim_mut(b);
+            let dev = sim.controller().device();
+            let wear = dev.wear_snapshot();
+            let dead = dev.dead_iter().map(|da| da.index()).collect();
+            let retirements = sim
+                .os()
+                .retirement_log()
+                .iter()
+                .map(|p| p.index())
+                .collect();
+            let meta = sim
+                .controller()
+                .as_reviver()
+                .expect("wlr-serve requires a reviver scheme")
+                .persisted_meta()
+                .to_bytes();
+            BankImage {
+                wear,
+                dead,
+                retirements,
+                meta,
+            }
+        })
+        .collect();
+    let [banks, total_blocks, seed, endurance_bits, gap_interval] = cfg_identity;
+    StateImage {
+        banks,
+        total_blocks,
+        seed,
+        endurance_bits,
+        gap_interval,
+        serviced,
+        per_bank,
+    }
+}
+
+/// Replays an image into a *freshly built* front-end: per bank, wear
+/// image → OS retirement order → reviver metadata, the last via
+/// `restore_from`, whose recovery scan emits into whatever sinks are
+/// already attached. Returns the recovery reports absorbed across banks.
+pub fn restore(mc: &mut McFrontend, img: &StateImage) -> RecoveryReport {
+    assert_eq!(
+        img.per_bank.len(),
+        mc.num_banks(),
+        "image bank count matches the front-end"
+    );
+    let mut total = RecoveryReport::default();
+    for (b, bank_img) in img.per_bank.iter().enumerate() {
+        let sim = mc.bank_sim_mut(b);
+        sim.controller_mut()
+            .device_mut()
+            .restore_wear_image(&bank_img.wear);
+        for &page in &bank_img.retirements {
+            sim.os_mut().retire_page(PageId::new(page));
+        }
+        let meta = PersistedMeta::from_bytes(&bank_img.meta)
+            .expect("committed image carries parseable reviver metadata");
+        let report = sim
+            .controller_mut()
+            .as_reviver_mut()
+            .expect("wlr-serve requires a reviver scheme")
+            .restore_from(meta);
+        total.absorb(&report);
+        let dev = sim.controller().device();
+        let dead: Vec<u64> = dev.dead_iter().map(|da| da.index()).collect();
+        assert_eq!(
+            dead, bank_img.dead,
+            "bank {b}: wear replay must reproduce the captured death set"
+        );
+    }
+    total
+}
+
+/// Atomically writes `img` to `path` (temp file + rename).
+pub fn save(path: &str, img: &StateImage) -> io::Result<()> {
+    let tmp = format!("{path}.tmp");
+    std::fs::write(&tmp, img.to_bytes())?;
+    std::fs::rename(&tmp, path)
+}
+
+/// Loads the image at `path`; `Ok(None)` when no image exists yet.
+pub fn load(path: &str) -> io::Result<Option<StateImage>> {
+    if !Path::new(path).exists() {
+        return Ok(None);
+    }
+    let bytes = std::fs::read(path)?;
+    StateImage::from_bytes(&bytes).map(Some)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wlr_base::rng::Rng;
+
+    fn worn_frontend(seed: u64) -> (McFrontend, u64) {
+        let mut mc = McFrontend::builder()
+            .banks(2)
+            .total_blocks(1 << 10)
+            .endurance_mean(300.0)
+            .gap_interval(16)
+            .seed(seed)
+            .stop_policy(wlr_mc::McStopPolicy::Quorum(1.0))
+            .build()
+            .unwrap();
+        let mut rng = Rng::seed_from(seed);
+        // Enough traffic to wear 300-endurance blocks into failure, so
+        // the image carries real links, retirements, and deaths.
+        let n = 400_000;
+        mc.with_pipeline(|mc| {
+            for _ in 0..n {
+                mc.submit(rng.gen_range(1 << 10));
+            }
+        });
+        mc.finish();
+        (mc, n)
+    }
+
+    fn fresh_like(seed: u64) -> McFrontend {
+        McFrontend::builder()
+            .banks(2)
+            .total_blocks(1 << 10)
+            .endurance_mean(300.0)
+            .gap_interval(16)
+            .seed(seed)
+            .stop_policy(wlr_mc::McStopPolicy::Quorum(1.0))
+            .build()
+            .unwrap()
+    }
+
+    const IDENTITY: [u64; 5] = [2, 1 << 10, 23, (300.0f64).to_bits(), 16];
+
+    #[test]
+    fn image_round_trips_through_bytes() {
+        let (mut mc, n) = worn_frontend(23);
+        let img = capture(&mut mc, IDENTITY, n);
+        assert!(
+            img.per_bank.iter().any(|b| !b.retirements.is_empty()),
+            "a worn run retires pages (endurance 300 over 400k writes)"
+        );
+        let back = StateImage::from_bytes(&img.to_bytes()).expect("round trip");
+        assert_eq!(back, img);
+        assert!(back.matches(2, 1 << 10, 23, 300.0, 16));
+        assert!(!back.matches(4, 1 << 10, 23, 300.0, 16));
+    }
+
+    #[test]
+    fn truncated_or_uncommitted_images_are_rejected() {
+        let (mut mc, n) = worn_frontend(23);
+        let bytes = capture(&mut mc, IDENTITY, n).to_bytes();
+        assert!(StateImage::from_bytes(&bytes[..bytes.len() - 8]).is_err());
+        assert!(StateImage::from_bytes(&bytes[..64]).is_err());
+        let mut flipped = bytes.clone();
+        flipped[0] ^= 0xff;
+        assert!(StateImage::from_bytes(&flipped).is_err());
+    }
+
+    #[test]
+    fn restore_reproduces_the_durable_state() {
+        let (mut worn, n) = worn_frontend(23);
+        let img = capture(&mut worn, IDENTITY, n);
+        let mut fresh = fresh_like(23);
+        let report = restore(&mut fresh, &img);
+        assert!(report.blocks_scanned > 0, "recovery actually scanned");
+        for b in 0..2 {
+            let a = worn.bank_sim_mut(b);
+            let restored_wear = a.controller().device().wear_snapshot();
+            let restored_meta = a
+                .controller()
+                .as_reviver()
+                .unwrap()
+                .persisted_meta()
+                .to_bytes();
+            let os_retired = a.os().retired_pages();
+            let f = fresh.bank_sim_mut(b);
+            assert_eq!(f.controller().device().wear_snapshot(), restored_wear);
+            assert_eq!(
+                f.controller()
+                    .as_reviver()
+                    .unwrap()
+                    .persisted_meta()
+                    .to_bytes(),
+                restored_meta,
+                "bank {b}: reviver metadata survives the round trip"
+            );
+            assert_eq!(f.os().retired_pages(), os_retired);
+        }
+    }
+
+    #[test]
+    fn save_and_load_round_trip_on_disk() {
+        let (mut mc, n) = worn_frontend(23);
+        let img = capture(&mut mc, IDENTITY, n);
+        let dir = std::env::temp_dir();
+        let path = dir
+            .join(format!("wlr_serve_state_test_{}", std::process::id()))
+            .to_string_lossy()
+            .into_owned();
+        save(&path, &img).expect("save");
+        let back = load(&path).expect("load").expect("image exists");
+        assert_eq!(back, img);
+        std::fs::remove_file(&path).ok();
+        assert!(load(&path).expect("missing file is not an error").is_none());
+    }
+}
