@@ -1,0 +1,384 @@
+//! `chaos` — fault-storm harness for degraded-mode survival, tracked
+//! over time.
+//!
+//! Drives the degraded-mode multi-bank front-end through a storm of
+//! runtime-injected faults — mid-drain power losses, torn-metadata crash
+//! points, uncorrectable transient-read bursts, bank kills — plus full
+//! capture/restore reboot cycles, and asserts the service survives all
+//! of it with **zero** data-integrity violations:
+//!
+//! * every storm window must run its request stream to completion
+//!   (`TraceComplete`) and conserve writes — nothing dropped, everything
+//!   redirected through the quarantine directory;
+//! * after each reboot the restored quarantine image must be identical
+//!   and every directory line must read back with its recorded tag;
+//! * the per-bank integrity oracles must report zero violations at the
+//!   end of every generation.
+//!
+//! The run records what the paper's availability story needs measured:
+//! degraded throughput at N−1 and N−2 relative to nominal, and the
+//! recovery time (MTTR) of the parallel per-bank restore. Results land
+//! in `BENCH_robustness.json` under `chaos_*` keys, preserving the
+//! `robustness` binary's blocks verbatim (and vice versa), with the
+//! usual baseline discipline: first run records `chaos_baseline`,
+//! later runs replace only `chaos_current`.
+//!
+//! Knobs: `WLR_CHAOS_SEED` (default 99), `WLR_CHAOS_WINDOW` (requests
+//! per storm window, default 150 000), `WLR_CHAOS_CYCLES` (reboot
+//! cycles, default 3), plus `WLR_BENCH_OUT` / `WLR_BENCH_RESET`.
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use wl_reviver::sim::EccKind;
+use wl_reviver::PersistedMeta;
+use wlr_base::pool::{run_pooled, PooledJob};
+use wlr_base::PageId;
+use wlr_bench::report::{bench_out_path, bench_reset, env_u64, extract_object, write_report};
+use wlr_mc::{
+    BankChaos, CrashPoint, FaultPlan, McFrontend, McOutcome, McStopPolicy, McStopReason,
+    QuarantineImage,
+};
+use wlr_trace::UniformWorkload;
+
+const BANKS: usize = 8;
+const BLOCKS: u64 = 1 << 12;
+
+fn build(seed: u64) -> McFrontend {
+    McFrontend::builder()
+        .banks(BANKS)
+        .total_blocks(BLOCKS)
+        // No natural wear deaths: every fault in this harness is
+        // injected, so the observed counts are the injected counts.
+        .endurance_mean(1e9)
+        // Zero-entry ECP makes every injected transient uncorrectable —
+        // the retry path sees exactly the bursts we arm.
+        .ecc(EccKind::Ecp(0))
+        .verify_integrity(true)
+        .degraded(true)
+        .stop_policy(McStopPolicy::Quorum(1.0))
+        .seed(seed)
+        .build()
+        .expect("chaos geometry")
+}
+
+/// One measured traffic window; the stream must complete.
+fn window(mc: &mut McFrontend, w: &mut UniformWorkload, n: u64) -> (McOutcome, f64) {
+    let t = Instant::now();
+    let out = mc.run(w, n);
+    let secs = t.elapsed().as_secs_f64();
+    assert_eq!(
+        out.stop,
+        McStopReason::TraceComplete,
+        "a chaos window must keep serving"
+    );
+    assert!(out.conserves_writes(), "writes conserved: {out:?}");
+    assert_eq!(out.dropped, 0, "degraded mode never drops writes");
+    (out, secs)
+}
+
+/// Arms a storm round on every live bank: two mid-drain power losses
+/// plus a torn-metadata window at the next wear-leveling switch.
+fn arm_storm(mc: &McFrontend, round: u64) {
+    for b in 0..mc.num_banks() {
+        if !mc.banks()[b].alive() {
+            continue;
+        }
+        let plan = FaultPlan::new()
+            .power_loss_at_write(500 + 37 * b as u64 + 11 * round)
+            .power_loss_at_write(1_800 + 41 * b as u64 + 13 * round)
+            .power_loss_at_write(3_500 + 53 * b as u64 + 17 * round)
+            .power_loss_at_point(CrashPoint::MidSwitch, 1 + (b as u64 % 3))
+            .power_loss_at_point(CrashPoint::MidSwitch, 5 + (b as u64 % 3));
+        mc.inject_chaos(b, BankChaos::Faults(plan));
+    }
+}
+
+/// Everything the §III-B durable-state story says survives a reboot.
+struct BankSnap {
+    wear: Vec<u32>,
+    retirements: Vec<u64>,
+    meta: Vec<u8>,
+}
+
+fn capture(mc: &mut McFrontend) -> (Vec<BankSnap>, Option<QuarantineImage>) {
+    let snaps = (0..mc.num_banks())
+        .map(|b| {
+            let sim = mc.bank_sim_mut(b);
+            BankSnap {
+                wear: sim.controller().device().wear_snapshot(),
+                retirements: sim
+                    .os()
+                    .retirement_log()
+                    .iter()
+                    .map(|p| p.index())
+                    .collect(),
+                meta: sim
+                    .controller()
+                    .as_reviver()
+                    .expect("chaos harness runs a reviver scheme")
+                    .persisted_meta()
+                    .to_bytes(),
+            }
+        })
+        .collect();
+    (snaps, mc.quarantine_image())
+}
+
+/// A daemon reboot: fresh front-end, parallel per-bank recovery scans,
+/// quarantine re-applied. Returns the revived front-end and the
+/// wall-clock recovery time in milliseconds — the MTTR sample.
+fn reboot(seed: u64, snaps: &[BankSnap], qimg: &Option<QuarantineImage>) -> (McFrontend, f64) {
+    let mut fresh = build(seed);
+    let t = Instant::now();
+    let jobs: Vec<PooledJob<()>> = fresh
+        .banks_mut()
+        .iter_mut()
+        .zip(snaps)
+        .map(|(bank, s)| {
+            Box::new(move || {
+                let sim = bank.sim_mut();
+                sim.controller_mut()
+                    .device_mut()
+                    .restore_wear_image(&s.wear);
+                for &p in &s.retirements {
+                    sim.os_mut().retire_page(PageId::new(p));
+                }
+                let meta = PersistedMeta::from_bytes(&s.meta).expect("captured meta parses");
+                sim.controller_mut()
+                    .as_reviver_mut()
+                    .expect("chaos harness runs a reviver scheme")
+                    .restore_from(meta);
+            }) as PooledJob<()>
+        })
+        .collect();
+    run_pooled(jobs);
+    if let Some(q) = qimg {
+        fresh.restore_quarantine(q);
+    }
+    let ms = t.elapsed().as_secs_f64() * 1000.0;
+    (fresh, ms)
+}
+
+/// Directory read-back: every line the quarantine rescued or redirected
+/// must return its recorded tag. Returns the number of mismatches.
+fn verify_directory(mc: &mut McFrontend) -> u64 {
+    let Some(img) = mc.quarantine_image() else {
+        return 0;
+    };
+    img.directory
+        .iter()
+        .filter(|&&(global, tag)| mc.read(global) != Ok(Some(tag)))
+        .count() as u64
+}
+
+/// Per-bank oracle sweep over the live banks. Returns violations.
+fn verify_banks(mc: &mut McFrontend) -> u64 {
+    let mut violations = 0;
+    for b in 0..mc.num_banks() {
+        if mc.banks()[b].alive() {
+            violations += mc.bank_sim_mut(b).verify_all();
+        }
+    }
+    violations
+}
+
+fn main() {
+    let out_path = bench_out_path("BENCH_robustness.json");
+    let seed = env_u64("WLR_CHAOS_SEED", 99);
+    let win = env_u64("WLR_CHAOS_WINDOW", 150_000).max(10_000);
+    let cycles = env_u64("WLR_CHAOS_CYCLES", 3).max(1);
+
+    eprintln!(
+        "chaos: {BANKS} banks, {BLOCKS} blocks, seed {seed}, \
+         {win}-request windows, {cycles} reboot cycles"
+    );
+
+    let mut mc = build(seed);
+    let mut w = UniformWorkload::new(BLOCKS, seed);
+    // Observed fault tallies from completed generations (reboots reset
+    // the per-bank counters, so finished generations accumulate here).
+    let mut prior_recoveries = 0u64;
+    let mut prior_retries = 0u64;
+    let mut prior_redirected = 0u64;
+    let mut prior_migrated = 0u64;
+    let mut violations = 0u64;
+    let mut kills = 0u64;
+
+    // Nominal window: no faults armed, the throughput yardstick.
+    let (out, secs) = window(&mut mc, &mut w, win);
+    let wps_nominal = win as f64 / secs;
+    eprintln!(
+        "  nominal   : {wps_nominal:>12.0} writes/s ({} banks)",
+        BANKS
+    );
+    assert_eq!(out.quarantines, 0, "nominal window is fault-free");
+
+    // Storm rounds at full width: power losses and torn-metadata crash
+    // points on every bank, recovered in place mid-drain.
+    for round in 0..4 {
+        arm_storm(&mc, round);
+        window(&mut mc, &mut w, win);
+    }
+
+    // Kill a bank mid-window, then measure a clean N−1 window.
+    mc.inject_chaos(2, BankChaos::KillAfter(1_000));
+    kills += 1;
+    let (out, _) = window(&mut mc, &mut w, win);
+    assert_eq!(out.quarantines, 1, "first kill quarantines: {out:?}");
+    let (_, secs) = window(&mut mc, &mut w, win);
+    let wps_n1 = win as f64 / secs;
+    eprintln!(
+        "  degraded-1: {wps_n1:>12.0} writes/s ({} banks)",
+        BANKS - 1
+    );
+
+    // More storms on the survivors, then a second kill → N−2.
+    for round in 4..8 {
+        arm_storm(&mc, round);
+        window(&mut mc, &mut w, win);
+    }
+    mc.inject_chaos(5, BankChaos::KillAfter(1_000));
+    kills += 1;
+    let (out, _) = window(&mut mc, &mut w, win);
+    assert_eq!(out.quarantines, 2, "second kill quarantines: {out:?}");
+    let (_, secs) = window(&mut mc, &mut w, win);
+    let wps_n2 = win as f64 / secs;
+    eprintln!(
+        "  degraded-2: {wps_n2:>12.0} writes/s ({} banks)",
+        BANKS - 2
+    );
+
+    // Transient-read storm: short uncorrectable bursts on every live
+    // bank, absorbed by the bounded retry (bursts stay under the retry
+    // budget so no read surfaces an error).
+    for round in 0..10 {
+        for b in 0..BANKS {
+            if !mc.banks()[b].alive() {
+                continue;
+            }
+            let lines = mc.banks()[b].sim().tracked_lines();
+            if lines.is_empty() {
+                continue;
+            }
+            let (local, tag) = lines[(round * 7 + b) % lines.len()];
+            let global = mc.map().join(b as u64, local);
+            mc.arm_bank_faults(b, FaultPlan::new().transient_read_burst(0, 2));
+            assert_eq!(
+                mc.read(global),
+                Ok(Some(tag)),
+                "retries absorb the burst on bank {b}"
+            );
+        }
+    }
+
+    violations += verify_banks(&mut mc);
+    violations += verify_directory(&mut mc);
+    let qimg_before = mc.quarantine_image().expect("two banks quarantined");
+
+    // Reboot cycles: capture → fresh build → timed parallel restore →
+    // verify → keep serving. Each cycle is one MTTR sample.
+    let mut mttr_ms: Vec<f64> = Vec::new();
+    for cycle in 0..cycles {
+        let gen_out = mc.finish();
+        prior_recoveries += gen_out.banks.iter().map(|b| b.recoveries).sum::<u64>();
+        prior_retries += gen_out.read_retries;
+        prior_redirected += gen_out.redirected;
+        prior_migrated += gen_out.migrated_lines;
+        let (snaps, qimg) = capture(&mut mc);
+        let (revived, ms) = reboot(seed, &snaps, &qimg);
+        mc = revived;
+        mttr_ms.push(ms);
+        assert_eq!(
+            mc.quarantine_image().as_ref(),
+            qimg.as_ref(),
+            "cycle {cycle}: quarantine survives the reboot"
+        );
+        violations += verify_directory(&mut mc);
+        // The revived service keeps taking traffic at N−2.
+        let (out, _) = window(&mut mc, &mut w, win / 4);
+        assert_eq!(out.quarantines, 0, "restore does not re-quarantine");
+        eprintln!("  reboot {cycle}  : recovered in {ms:>8.1} ms, still serving");
+    }
+    assert_eq!(
+        mc.quarantine_image().expect("still degraded").dead,
+        qimg_before.dead,
+        "dead set stable across all reboots"
+    );
+
+    violations += verify_banks(&mut mc);
+    let final_out = mc.finish();
+    assert!(final_out.conserves_writes());
+    let recoveries = prior_recoveries + final_out.banks.iter().map(|b| b.recoveries).sum::<u64>();
+    let transients = prior_retries + final_out.read_retries;
+    let redirected = prior_redirected + final_out.redirected;
+    let migrated = prior_migrated + final_out.migrated_lines;
+    let faults = recoveries + transients + kills;
+    let mean_mttr = mttr_ms.iter().sum::<f64>() / mttr_ms.len() as f64;
+    let max_mttr = mttr_ms.iter().fold(0.0f64, |a, &b| a.max(b));
+
+    eprintln!(
+        "  faults    : {faults} observed ({recoveries} power-loss recoveries, \
+         {transients} transient retries, {kills} kills, {cycles} reboots), \
+         {violations} integrity violations"
+    );
+
+    let current = format!(
+        "{{\"nominal\": {{\"banks\": {BANKS}, \"writes_per_sec\": {wps_nominal:.0}}}, \
+         \"degraded_n1\": {{\"banks\": {}, \"writes_per_sec\": {wps_n1:.0}, \
+         \"throughput_vs_nominal\": {:.3}}}, \
+         \"degraded_n2\": {{\"banks\": {}, \"writes_per_sec\": {wps_n2:.0}, \
+         \"throughput_vs_nominal\": {:.3}}}, \
+         \"recovery\": {{\"cycles\": {cycles}, \"mean_mttr_ms\": {mean_mttr:.2}, \
+         \"max_mttr_ms\": {max_mttr:.2}}}, \
+         \"faults\": {{\"observed\": {faults}, \"power_loss_recoveries\": {recoveries}, \
+         \"transient_retries\": {transients}, \"bank_kills\": {kills}, \
+         \"reboots\": {cycles}, \"redirected\": {}, \"migrated_lines\": {}, \
+         \"integrity_violations\": {violations}}}}}",
+        BANKS - 1,
+        wps_n1 / wps_nominal,
+        BANKS - 2,
+        wps_n2 / wps_nominal,
+        redirected,
+        migrated,
+    );
+
+    // Merge into BENCH_robustness.json, preserving the `robustness`
+    // binary's blocks verbatim and our own committed chaos baseline.
+    let prior = std::fs::read_to_string(&out_path).ok();
+    let keep = |key: &str| prior.as_deref().and_then(|p| extract_object(p, key));
+    let chaos_baseline = if bench_reset() {
+        None
+    } else {
+        keep("chaos_baseline")
+    };
+    let is_first = chaos_baseline.is_none();
+    let chaos_baseline = chaos_baseline.unwrap_or_else(|| current.clone());
+
+    let mut report = String::from("{\n");
+    for key in ["config", "baseline", "current", "scan_ratio_vs_baseline"] {
+        if let Some(block) = keep(key) {
+            let _ = writeln!(report, "  \"{key}\": {block},");
+        }
+    }
+    let _ = writeln!(
+        report,
+        "  \"chaos_config\": {{\"banks\": {BANKS}, \"blocks\": {BLOCKS}, \
+         \"seed\": {seed}, \"window\": {win}, \"cycles\": {cycles}}},"
+    );
+    let _ = writeln!(report, "  \"chaos_baseline\": {chaos_baseline},");
+    let _ = writeln!(report, "  \"chaos_current\": {current}");
+    report.push_str("}\n");
+
+    write_report(&out_path, &report, is_first);
+    println!("{report}");
+
+    if violations > 0 {
+        eprintln!("FAIL: {violations} data-integrity violations under chaos");
+        std::process::exit(1);
+    }
+    if faults < 200 {
+        eprintln!("FAIL: only {faults} faults observed; the soak must exceed 200");
+        std::process::exit(1);
+    }
+}

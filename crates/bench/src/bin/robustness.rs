@@ -20,7 +20,9 @@ use std::fmt::Write as _;
 use std::time::Instant;
 use wl_reviver::recovery::RecoveryReport;
 use wl_reviver::sim::{SchemeKind, Simulation, StopCondition, StopReason};
-use wlr_bench::report::{baseline_field, bench_out_path, env_u64, load_baseline, write_report};
+use wlr_bench::report::{
+    baseline_field, bench_out_path, env_u64, extract_object, load_baseline, write_report,
+};
 use wlr_pcm::FaultPlan;
 
 const BLOCKS: u64 = 1 << 10;
@@ -166,11 +168,21 @@ fn main() {
     }
     ratios.push('}');
 
+    // The `chaos` binary shares this report file; carry its blocks
+    // through verbatim so the two harnesses can run in either order.
+    let prior = std::fs::read_to_string(&out_path).ok();
+    let mut chaos_blocks = String::new();
+    for key in ["chaos_config", "chaos_baseline", "chaos_current"] {
+        if let Some(block) = prior.as_deref().and_then(|p| extract_object(p, key)) {
+            write!(chaos_blocks, ",\n  \"{key}\": {block}").expect("string write");
+        }
+    }
+
     let report = format!(
         "{{\n  \"config\": {{\"blocks\": {BLOCKS}, \"endurance\": {ENDURANCE}, \
          \"seed\": {seed}, \"crash_interval\": {interval}, \"stop\": \"writes:{STOP}\"}},\n  \
          \"baseline\": {},\n  \"current\": {current},\n  \
-         \"scan_ratio_vs_baseline\": {ratios}\n}}\n",
+         \"scan_ratio_vs_baseline\": {ratios}{chaos_blocks}\n}}\n",
         base.block
     );
     write_report(&out_path, &report, base.is_first);

@@ -3,9 +3,11 @@
 //! Sweeps the bank count (1 → 128 by default) over the same global
 //! address space and request stream, and reports sustained service
 //! throughput (wall-clock writes per second) plus queueing-latency
-//! percentiles (p50/p99/p999) per configuration. Every configuration
-//! must run its full request stream to completion — a dead bank
-//! mid-sweep is a failure. The report also carries an `overhead` row:
+//! percentiles (p50/p99/p999) per configuration. Each row carries a
+//! typed `outcome` (`complete`, or a `degraded:` variant for an early
+//! stop or lost writes) — degraded rows are reported as data, and only
+//! fail the run under `WLR_SERVICE_STRICT=1` (which CI sets).
+//! The report also carries an `overhead` row:
 //! the largest configuration re-run with the serve daemon's full
 //! observability stack (per-bank [`MetricsSink`]s plus sampled span
 //! timing at the daemon's default period) against the bare run, as a
@@ -304,6 +306,23 @@ fn overhead_probe(
     (off, on)
 }
 
+/// The typed per-row service outcome: `"complete"` for a fully sustained
+/// stream, a `degraded:` variant otherwise. Degraded rows stay in the
+/// report as data — a service that lost a bank mid-sweep is a measured
+/// state, not a discarded run — unless `WLR_SERVICE_STRICT=1` restores
+/// the hard failure.
+fn outcome_label(o: &McOutcome) -> String {
+    if !o.conserves_writes() {
+        "degraded:lost_writes".into()
+    } else {
+        match o.stop {
+            McStopReason::TraceComplete => "complete".into(),
+            McStopReason::BankDead(b) => format!("degraded:bank_dead:{b}"),
+            McStopReason::QuorumDead(n) => format!("degraded:quorum_dead:{n}"),
+        }
+    }
+}
+
 fn rows_json(rows: &[Row]) -> String {
     let mut s = String::from("{");
     for (i, r) in rows.iter().enumerate() {
@@ -313,13 +332,15 @@ fn rows_json(rows: &[Row]) -> String {
         let o = &r.outcome;
         write!(
             s,
-            "\"banks_{}\": {{\"requests\": {}, \"issued\": {}, \"absorbed\": {}, \
+            "\"banks_{}\": {{\"outcome\": \"{}\", \"requests\": {}, \"issued\": {}, \
+             \"absorbed\": {}, \
              \"coalesced\": {}, \"drains\": {}, \"seconds\": {:.3}, \
              \"writes_per_sec\": {:.0}, \"p50_ticks\": {}, \"p99_ticks\": {}, \
              \"p999_ticks\": {}, \
              \"revival\": {{\"links\": {}, \"switches\": {}, \"spare_grants\": {}, \
              \"suspensions\": {}}}}}",
             r.banks,
+            outcome_label(o),
             o.requests,
             o.issued,
             o.absorbed,
@@ -358,18 +379,15 @@ fn main() {
     );
     let rows = measure(requests, queue_depth, wbuf, stripe);
 
-    let mut failures = 0u64;
+    let mut degraded = 0u64;
     for r in &rows {
-        if r.outcome.stop != McStopReason::TraceComplete {
+        let label = outcome_label(&r.outcome);
+        if label != "complete" {
             eprintln!(
-                "FAIL: banks={} stopped early: {:?}",
+                "WARN: banks={} finished {label} (stop {:?})",
                 r.banks, r.outcome.stop
             );
-            failures += 1;
-        }
-        if !r.outcome.conserves_writes() {
-            eprintln!("FAIL: banks={} dropped requests on the floor", r.banks);
-            failures += 1;
+            degraded += 1;
         }
     }
 
@@ -423,8 +441,13 @@ fn main() {
     );
     write_report(&out_path, &report, base.is_first);
     println!("{report}");
-    if failures > 0 {
-        eprintln!("FAIL: {failures} configuration(s) did not sustain the request stream");
-        std::process::exit(1);
+    if degraded > 0 {
+        eprintln!(
+            "NOTE: {degraded} configuration(s) finished degraded; rows carry the typed outcome"
+        );
+        if env_u64("WLR_SERVICE_STRICT", 0) != 0 {
+            eprintln!("FAIL: WLR_SERVICE_STRICT=1 and the stream was not fully sustained");
+            std::process::exit(1);
+        }
     }
 }

@@ -680,6 +680,20 @@ pub enum BatchStatus {
     },
 }
 
+/// What an application-level read ([`Simulation::read_app`]) observed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AppRead {
+    /// The line was mapped and read cleanly; the payload is its content
+    /// tag (0 unless content tracking is on).
+    Ok(u64),
+    /// The address is not currently mapped by the OS.
+    Unmapped,
+    /// An injected transient error fired and the block's ECC could not
+    /// absorb it. Retryable — the next read of the same line consults the
+    /// fault schedule afresh.
+    Transient,
+}
+
 /// What a single step did.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum StepOutcome {
@@ -1188,6 +1202,57 @@ impl Simulation {
         }
         self.integrity_errors += errors;
         errors
+    }
+
+    /// Arms an additional fault plan on the *running* simulation. Indices
+    /// in `plan` are relative to the device accesses serviced so far (see
+    /// [`wlr_pcm::FaultInjector::arm`]), so `power_loss_at_write(0)` cuts
+    /// power on the very next device write. Switches the batched run loop
+    /// onto its fault-guarded path permanently; a no-op for an empty plan.
+    pub fn arm_faults(&mut self, plan: FaultPlan) {
+        if plan.is_empty() {
+            return;
+        }
+        self.controller.device_mut().arm_faults(plan);
+        self.fault_active = true;
+    }
+
+    /// Application-level read of `addr`: translate through the OS, read
+    /// through the controller, and classify any injected transient error
+    /// the block's ECC could not absorb. The returned tag is meaningful
+    /// only in integrity-oracle mode (content tracking on); otherwise it
+    /// is 0.
+    pub fn read_app(&mut self, addr: AppAddr) -> AppRead {
+        let Some(pa) = self.os.translate(addr) else {
+            return AppRead::Unmapped;
+        };
+        let before = self
+            .controller
+            .device()
+            .fault_counters()
+            .map_or(0, |c| c.transients_uncorrectable);
+        let tag = self.controller.read(pa);
+        let after = self
+            .controller
+            .device()
+            .fault_counters()
+            .map_or(0, |c| c.transients_uncorrectable);
+        if after > before {
+            AppRead::Transient
+        } else {
+            AppRead::Ok(tag)
+        }
+    }
+
+    /// Snapshot of the integrity oracle: every tracked application
+    /// address with its expected tag, in ascending address order. Empty
+    /// when integrity verification is off. This is what degraded-mode
+    /// quarantine evacuates from a dying bank.
+    pub fn tracked_lines(&self) -> Vec<(u64, u64)> {
+        match &self.expected {
+            Some(o) => o.keys.iter().map(|&k| (k, o.map[k])).collect(),
+            None => Vec::new(),
+        }
     }
 
     /// Runs until `stop` is met, the memory is exhausted, or the hard cap

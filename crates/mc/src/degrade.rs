@@ -1,0 +1,236 @@
+//! Degraded-mode survival: quarantine, rescue, and the migrated-line
+//! directory.
+//!
+//! With [`crate::McFrontendBuilder::degraded`] enabled, a bank death is a
+//! survivable event instead of a stop condition. The protocol rides the
+//! existing lag-one death mirror:
+//!
+//! 1. A bank that dies mid-drain *parks* the un-issued tail of its batch
+//!    (and every later batch the lag window flushes at it) into a shared
+//!    [`Wreckage`] buffer instead of dropping it, and evacuates its
+//!    integrity oracle's live lines.
+//! 2. When the front-end's `sync_bank` observes the death — by which
+//!    point the worker has provably consumed everything flushed, so the
+//!    wreckage is complete — it quarantines the bank: picks the
+//!    least-worn healthy bank as *substitute*, excludes the dead bank
+//!    from future steering rotations, and replays the wreckage into the
+//!    **directory** (a DRAM global-address → tag map standing in for the
+//!    remapped interleave slice).
+//! 3. Later batches routed at the quarantined bank resolve through the
+//!    substitute chain: their content lands in the directory and their
+//!    service cost is charged to the substitute's clock, which is what
+//!    makes N−1 (and N−2, …) throughput a measured quantity rather than
+//!    a modeling fiction.
+//!
+//! Transient read errors get a bounded retry-with-backoff at the bank
+//! ([`crate::bank::Bank::read_local`]) before surfacing as the typed
+//! [`McReadError`]. Chaos commands reach live banks — even ones owned by
+//! pinned workers — through per-bank [`ChaosSlot`] mailboxes polled at
+//! batch boundaries.
+//!
+//! When no faults fire, degraded mode is bit-identical to a plain run:
+//! ring entries carry the logical bank in their high bits (so a parked
+//! tail can be re-keyed later) but banks strip the encoding before
+//! issuing, and every other code path is untouched.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Mutex;
+
+use wlr_pcm::FaultPlan;
+
+/// Ring entries in degraded mode carry the *logical* bank in bits 48+ so
+/// parked writes can be re-keyed to global addresses at rescue time.
+pub(crate) const LOGICAL_SHIFT: u32 = 48;
+/// Mask extracting the bank-local address from an encoded ring entry.
+pub(crate) const LOCAL_MASK: u64 = (1u64 << LOGICAL_SHIFT) - 1;
+
+/// Directory tags for writes that never reached a bank simulation start
+/// here — disjoint from any simulation-issued oracle tag, so a tag's
+/// provenance (evacuated content vs redirected write) is recoverable.
+pub const DIR_TAG_BASE: u64 = 1 << 63;
+
+/// A chaos command targeted at one live bank. Posted through the bank's
+/// [`ChaosSlot`] and applied at its next batch boundary.
+#[derive(Debug, Clone)]
+pub enum BankChaos {
+    /// Kill the bank after it issues `n` more writes (0 = before the
+    /// next one). Models the dry-spare-pool / Theorem-2 undiscovered
+    /// failure: the bank parks, it does not crash the fleet.
+    KillAfter(u64),
+    /// Arm additional device faults, with indices relative to the bank's
+    /// current access counts (see [`wlr_pcm::FaultInjector::arm`]).
+    Faults(FaultPlan),
+}
+
+/// Lock-free-checked mailbox through which chaos commands reach a bank
+/// that may currently be owned by a pinned worker thread. The drain path
+/// pays one relaxed load per batch when the mailbox is idle.
+#[derive(Debug, Default)]
+pub struct ChaosSlot {
+    pending: AtomicBool,
+    cmds: Mutex<Vec<BankChaos>>,
+}
+
+impl ChaosSlot {
+    /// Posts a command; the bank applies it at its next batch boundary.
+    pub fn post(&self, cmd: BankChaos) {
+        self.cmds.lock().expect("chaos slot poisoned").push(cmd);
+        self.pending.store(true, Ordering::Release);
+    }
+
+    /// Takes every pending command (empty when none are queued).
+    pub(crate) fn take(&self) -> Vec<BankChaos> {
+        if !self.pending.swap(false, Ordering::Acquire) {
+            return Vec::new();
+        }
+        std::mem::take(&mut *self.cmds.lock().expect("chaos slot poisoned"))
+    }
+}
+
+/// What a dying bank leaves behind for the front-end to harvest at
+/// quarantine time. Shared (`Arc`) between the bank — which may live on
+/// a worker thread — and the front-end; the lag-one protocol guarantees
+/// the buffers are complete and quiescent when the front-end reads them.
+#[derive(Debug, Default)]
+pub struct Wreckage {
+    /// Logical-encoded ring entries that were in flight past the death
+    /// point: acknowledged writes quarantine must reroute, in order.
+    pub(crate) parked: Mutex<Vec<u64>>,
+    /// `(local address, tag)` pairs evacuated from the dead bank's
+    /// integrity oracle (empty unless integrity tracking is on).
+    pub(crate) evacuated: Mutex<Vec<(u64, u64)>>,
+}
+
+/// Bounded retry policy for transient read errors at a bank.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Retries after the first failed attempt before surfacing the error.
+    pub max_retries: u32,
+    /// Base spin count for the exponential backoff between attempts.
+    pub backoff_spins: u32,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_retries: 3,
+            backoff_spins: 64,
+        }
+    }
+}
+
+/// Typed read error surfaced by [`crate::McFrontend::read`] after the
+/// bank's bounded retry is exhausted.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum McReadError {
+    /// A transient error persisted through every retry attempt.
+    Transient {
+        /// Physical bank the read was serviced by.
+        bank: usize,
+        /// Attempts made (initial read + retries).
+        attempts: u32,
+    },
+}
+
+impl std::fmt::Display for McReadError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            McReadError::Transient { bank, attempts } => {
+                write!(
+                    f,
+                    "transient read error on bank {bank} after {attempts} attempts"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for McReadError {}
+
+/// Front-end quarantine state (present only in degraded mode).
+#[derive(Debug)]
+pub(crate) struct Quarantine {
+    /// `substitute[phys]` = the healthy bank elected when `phys` was
+    /// quarantined (`None` when no healthy bank remained). Chains resolve
+    /// through later deaths.
+    pub(crate) substitute: Vec<Option<usize>>,
+    /// Global address → tag for every line living in the remapped slice:
+    /// evacuated oracle content plus redirected writes. Ordered so
+    /// persistence and read-back sweeps are deterministic.
+    pub(crate) directory: BTreeMap<u64, u64>,
+    /// Next fresh tag for redirected writes (starts at [`DIR_TAG_BASE`]).
+    pub(crate) dir_seq: u64,
+    /// Banks quarantined so far.
+    pub(crate) quarantines: u64,
+    /// Oracle lines migrated out of dead banks.
+    pub(crate) migrated_lines: u64,
+    /// Writes rerouted to the directory (parked rescues + redirected
+    /// flushes).
+    pub(crate) redirected: u64,
+}
+
+impl Quarantine {
+    pub(crate) fn new(banks: usize) -> Self {
+        Quarantine {
+            substitute: vec![None; banks],
+            directory: BTreeMap::new(),
+            dir_seq: DIR_TAG_BASE,
+            quarantines: 0,
+            migrated_lines: 0,
+            redirected: 0,
+        }
+    }
+
+    pub(crate) fn next_dir_tag(&mut self) -> u64 {
+        self.dir_seq += 1;
+        self.dir_seq
+    }
+}
+
+/// Persistable quarantine state: what [`crate::McFrontend::restore_quarantine`]
+/// needs to resume serving a degraded array after a restart.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct QuarantineImage {
+    /// Whether each physical bank was quarantined.
+    pub dead: Vec<bool>,
+    /// Elected substitute per bank, `u64::MAX` when none.
+    pub substitutes: Vec<u64>,
+    /// The directory as sorted `(global address, tag)` pairs.
+    pub directory: Vec<(u64, u64)>,
+    /// Tag counter for redirected writes.
+    pub dir_seq: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chaos_slot_hands_over_commands_once() {
+        let slot = ChaosSlot::default();
+        assert!(slot.take().is_empty());
+        slot.post(BankChaos::KillAfter(3));
+        slot.post(BankChaos::KillAfter(9));
+        let cmds = slot.take();
+        assert_eq!(cmds.len(), 2);
+        assert!(matches!(cmds[0], BankChaos::KillAfter(3)));
+        assert!(slot.take().is_empty(), "drained mailbox stays empty");
+    }
+
+    #[test]
+    fn dir_tags_are_disjoint_from_sim_tags() {
+        let mut q = Quarantine::new(2);
+        let t = q.next_dir_tag();
+        assert!(t > DIR_TAG_BASE);
+    }
+
+    #[test]
+    fn logical_encoding_round_trips() {
+        let logical = 11u64;
+        let local = (1u64 << 40) + 12345;
+        let enc = local | (logical << LOGICAL_SHIFT);
+        assert_eq!(enc & LOCAL_MASK, local);
+        assert_eq!(enc >> LOGICAL_SHIFT, logical);
+    }
+}

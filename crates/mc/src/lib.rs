@@ -61,6 +61,7 @@
 #![warn(missing_docs)]
 
 pub mod bank;
+pub mod degrade;
 pub mod obs;
 pub mod queue;
 pub mod stats;
@@ -68,17 +69,23 @@ pub mod steer;
 pub mod wbuf;
 
 pub use bank::Bank;
+pub use degrade::{BankChaos, ChaosSlot, McReadError, QuarantineImage, RetryPolicy, DIR_TAG_BASE};
 pub use obs::{BankPipeStat, PipeAccum, PipelineSnapshot};
 pub use queue::{QueueEntry, WriteQueue};
 pub use stats::{BankReport, LatencyHistogram, McOutcome, McStopPolicy, McStopReason};
 pub use steer::Steering;
 pub use wbuf::WriteBuffer;
+// Re-exported so dependents can build chaos plans for `inject_chaos` /
+// `arm_bank_faults` without a direct wlr-pcm dependency.
+pub use wlr_pcm::{CrashPoint, FaultPlan};
 
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use wl_reviver::metrics::WearHistogram;
-use wl_reviver::sim::SchemeKind;
+use wl_reviver::sim::{EccKind, SchemeKind};
 use wl_reviver::Simulation;
+
+use degrade::{Quarantine, Wreckage, LOCAL_MASK, LOGICAL_SHIFT};
 use wlr_base::interleave::{Interleave, InterleaveError, InterleaveMap};
 use wlr_base::pool::{run_pooled, PooledJob};
 use wlr_base::rng::SplitMix64;
@@ -103,6 +110,8 @@ struct BankConfig {
     gap_interval: u64,
     sample_interval: u64,
     seed: u64,
+    verify_integrity: bool,
+    ecc: Option<EccKind>,
 }
 
 impl BankConfig {
@@ -113,7 +122,11 @@ impl BankConfig {
             .endurance_cov(self.endurance_cov)
             .scheme(self.scheme)
             .gap_interval(self.gap_interval)
+            .verify_integrity(self.verify_integrity)
             .seed(SplitMix64::mix(self.seed, BANK_STREAM_SALT ^ bank as u64));
+        if let Some(ecc) = self.ecc {
+            b = b.ecc(ecc);
+        }
         if self.sample_interval != 0 {
             b = b.sample_interval(self.sample_interval);
         }
@@ -168,6 +181,10 @@ pub struct McFrontendBuilder {
     record_issue: bool,
     span_sample: u64,
     stop_policy: McStopPolicy,
+    degraded: bool,
+    verify_integrity: bool,
+    ecc: Option<EccKind>,
+    retry: degrade::RetryPolicy,
 }
 
 impl McFrontendBuilder {
@@ -317,6 +334,45 @@ impl McFrontendBuilder {
         self
     }
 
+    /// Enable degraded-mode survival (default off): a dead bank is
+    /// quarantined — its in-flight writes rescued and live lines migrated
+    /// into the directory — instead of dropping traffic, and the array
+    /// keeps serving at N−1 capacity. Bit-identical to a plain run when
+    /// no bank dies. Usually paired with [`McStopPolicy::Quorum`].
+    pub fn degraded(mut self, on: bool) -> Self {
+        self.degraded = on;
+        self
+    }
+
+    /// Run every bank with its integrity oracle on (default off). Costs
+    /// the per-write oracle bookkeeping; required for quarantine to
+    /// migrate line *contents* and for [`McFrontend::read`] to return
+    /// meaningful tags.
+    pub fn verify_integrity(mut self, on: bool) -> Self {
+        self.verify_integrity = on;
+        self
+    }
+
+    /// Per-bank error-correction scheme (default: the simulation's own
+    /// default, ECP6).
+    pub fn ecc(mut self, ecc: EccKind) -> Self {
+        self.ecc = Some(ecc);
+        self
+    }
+
+    /// Retries per transient read error before the typed error surfaces
+    /// (default 3).
+    pub fn retry_limit(mut self, retries: u32) -> Self {
+        self.retry.max_retries = retries;
+        self
+    }
+
+    /// Base spin count for the exponential retry backoff (default 64).
+    pub fn retry_backoff(mut self, spins: u32) -> Self {
+        self.retry.backoff_spins = spins;
+        self
+    }
+
     /// Constructs the front-end.
     ///
     /// # Errors
@@ -344,10 +400,32 @@ impl McFrontendBuilder {
             gap_interval: self.gap_interval,
             sample_interval: self.sample_interval,
             seed: self.seed,
+            verify_integrity: self.verify_integrity,
+            ecc: self.ecc,
         };
+        if self.degraded {
+            assert!(self.pinned, "degraded mode requires the pinned pipeline");
+            // Ring entries carry the logical bank in bits 48+; the local
+            // space and bank count must leave that encoding unambiguous.
+            assert!(
+                local_blocks <= degrade::LOCAL_MASK,
+                "degraded mode: local space must fit in {LOGICAL_SHIFT} bits"
+            );
+            assert!(
+                self.banks <= (1 << (64 - LOGICAL_SHIFT)),
+                "degraded mode: too many banks for the logical encoding"
+            );
+        }
         let banks: Vec<Bank> = (0..self.banks)
-            .map(|i| Bank::new(i, cfg.build_sim(i), self.record_issue))
+            .map(|i| {
+                let mut b = Bank::new(i, cfg.build_sim(i), self.record_issue);
+                b.set_degraded(self.degraded);
+                b.set_retry(self.retry);
+                b
+            })
             .collect();
+        let chaos_slots: Vec<Arc<ChaosSlot>> = banks.iter().map(Bank::chaos_slot).collect();
+        let wreckage: Vec<Arc<Wreckage>> = banks.iter().map(Bank::wreckage).collect();
         let queues: Vec<WriteQueue> = (0..self.banks)
             .map(|_| WriteQueue::new(self.queue_depth, local_blocks))
             .collect();
@@ -416,6 +494,9 @@ impl McFrontendBuilder {
             steer: self
                 .steering
                 .then(|| Steering::new(self.banks, self.steer_epoch)),
+            degrade: self.degraded.then(|| Quarantine::new(self.banks)),
+            chaos_slots,
+            wreckage,
         })
     }
 }
@@ -496,6 +577,12 @@ pub struct McFrontend {
     /// so a probe is always complete by the bank's next flush.
     span_probes: Vec<Option<(u64, std::time::Instant)>>,
     steer: Option<Steering>,
+    /// Quarantine state; present only in degraded mode.
+    degrade: Option<Quarantine>,
+    /// Per-bank chaos mailboxes (shared with the banks themselves).
+    chaos_slots: Vec<Arc<ChaosSlot>>,
+    /// Per-bank wreckage buffers (shared with the banks themselves).
+    wreckage: Vec<Arc<Wreckage>>,
 }
 
 impl McFrontend {
@@ -523,6 +610,10 @@ impl McFrontend {
             record_issue: false,
             span_sample: 0,
             stop_policy: McStopPolicy::FirstBankDead,
+            degraded: false,
+            verify_integrity: false,
+            ecc: None,
+            retry: degrade::RetryPolicy::default(),
         }
     }
 
@@ -628,6 +719,13 @@ impl McFrontend {
             p50_ticks: p50,
             p99_ticks: p99,
             p999_ticks: p999,
+            quarantines: self.degrade.as_ref().map_or(0, |q| q.quarantines),
+            redirected: self.degrade.as_ref().map_or(0, |q| q.redirected),
+            migrated_lines: self.degrade.as_ref().map_or(0, |q| q.migrated_lines),
+            directory_lines: self
+                .degrade
+                .as_ref()
+                .map_or(0, |q| q.directory.len() as u64),
             banks,
         }
     }
@@ -637,6 +735,128 @@ impl McFrontend {
     /// reproduce the bank's fingerprint bit for bit.
     pub fn reference_sim(&self, bank: usize) -> Simulation {
         self.cfg.build_sim(bank)
+    }
+
+    /// Posts a chaos command into bank `bank`'s mailbox; the bank
+    /// applies it at its next batch boundary. Safe to call while pinned
+    /// workers own the banks — this is the runtime fault-injection
+    /// entry point for a live pipeline.
+    pub fn inject_chaos(&self, bank: usize, cmd: BankChaos) {
+        self.chaos_slots[bank].post(cmd);
+    }
+
+    /// Arms device faults directly on bank `bank` (indices relative to
+    /// the bank's current access counts). Unlike
+    /// [`inject_chaos`](Self::inject_chaos) this takes effect
+    /// immediately, which makes fault positions exactly predictable in
+    /// tests.
+    ///
+    /// # Panics
+    ///
+    /// Panics while pinned workers own the banks.
+    pub fn arm_bank_faults(&mut self, bank: usize, plan: FaultPlan) {
+        assert!(!self.workers_active, "banks are owned by drain workers");
+        self.banks[bank].sim_mut().arm_faults(plan);
+    }
+
+    /// Mutable access to every bank — parallel state restoration after a
+    /// restart.
+    ///
+    /// # Panics
+    ///
+    /// Panics while pinned workers own the banks.
+    pub fn banks_mut(&mut self) -> &mut [Bank] {
+        assert!(!self.workers_active, "banks are owned by drain workers");
+        &mut self.banks
+    }
+
+    /// Reads global line `global` as the array currently serves it: the
+    /// degraded-mode directory first (migrated and redirected lines),
+    /// then the owning bank's stack, with transient errors retried per
+    /// the bank's [`RetryPolicy`]. This is the post-flush PCM +
+    /// directory view — the write buffer and queues are not consulted —
+    /// and it addresses banks by their identity (unsteered) home.
+    /// `Ok(None)` means the line is not currently tracked anywhere.
+    ///
+    /// # Panics
+    ///
+    /// Panics while pinned workers own the banks.
+    pub fn read(&mut self, global: u64) -> Result<Option<u64>, McReadError> {
+        assert!(!self.workers_active, "banks are owned by drain workers");
+        if let Some(q) = &self.degrade {
+            if let Some(&tag) = q.directory.get(&global) {
+                return Ok(Some(tag));
+            }
+        }
+        let (bank, local) = self.map.split(global);
+        let home = bank as usize;
+        if self.bank_dead[home] {
+            // Everything the dead bank still held was migrated into the
+            // directory at quarantine time.
+            return Ok(None);
+        }
+        self.banks[home].read_local(local)
+    }
+
+    /// Snapshots the quarantine state for persistence; `None` outside
+    /// degraded mode.
+    pub fn quarantine_image(&self) -> Option<QuarantineImage> {
+        let q = self.degrade.as_ref()?;
+        Some(QuarantineImage {
+            dead: self.bank_dead.clone(),
+            substitutes: q
+                .substitute
+                .iter()
+                .map(|s| s.map_or(u64::MAX, |b| b as u64))
+                .collect(),
+            directory: q.directory.iter().map(|(&k, &v)| (k, v)).collect(),
+            dir_seq: q.dir_seq,
+        })
+    }
+
+    /// Re-applies persisted quarantine state after a restart: marks the
+    /// recorded banks dead *without* re-running the quarantine
+    /// transition (their wreckage was already rescued in the previous
+    /// life), reinstates the substitute chain and directory, and
+    /// re-evaluates the stop policy.
+    ///
+    /// # Panics
+    ///
+    /// Panics outside degraded mode, while workers own the banks, or
+    /// when the image's bank count differs from this front-end's.
+    pub fn restore_quarantine(&mut self, img: &QuarantineImage) {
+        assert!(!self.workers_active, "banks are owned by drain workers");
+        assert_eq!(
+            img.dead.len(),
+            self.bank_dead.len(),
+            "quarantine image bank count mismatch"
+        );
+        {
+            let q = self
+                .degrade
+                .as_mut()
+                .expect("restore_quarantine requires degraded mode");
+            q.substitute = img
+                .substitutes
+                .iter()
+                .map(|&s| (s != u64::MAX).then_some(s as usize))
+                .collect();
+            q.directory = img.directory.iter().copied().collect();
+            q.dir_seq = img.dir_seq.max(DIR_TAG_BASE);
+        }
+        for (phys, &dead) in img.dead.iter().enumerate() {
+            if dead && !self.bank_dead[phys] {
+                self.bank_dead[phys] = true;
+                self.dead_count += 1;
+                self.banks[phys].force_dead();
+                let s = &self.sync[phys];
+                s.alive.store(false, Ordering::Relaxed);
+                if let Some(st) = &mut self.steer {
+                    st.exclude(phys);
+                }
+            }
+        }
+        self.check_stop();
     }
 
     /// Submits one write request for global block `global`. May flush
@@ -715,6 +935,11 @@ impl McFrontend {
             coalesced: self.queues.iter().map(WriteQueue::coalesced).sum(),
             issued: self.banks.iter().map(Bank::issued).sum(),
             dropped: self.banks.iter().map(Bank::dropped).sum(),
+            redirected: self.degrade.as_ref().map_or(0, |q| q.redirected),
+            quarantines: self.degrade.as_ref().map_or(0, |q| q.quarantines),
+            migrated_lines: self.degrade.as_ref().map_or(0, |q| q.migrated_lines),
+            read_retries: self.banks.iter().map(Bank::read_retries).sum(),
+            retry_exhausted: self.banks.iter().map(Bank::retry_exhausted).sum(),
             drains: self.drains,
             ticks,
             stop: self.stop.unwrap_or(McStopReason::TraceComplete),
@@ -821,23 +1046,32 @@ impl McFrontend {
                 })
                 .collect();
             // If `drive` unwinds, still release the workers so the scope
-            // can join them instead of deadlocking on a spin loop.
+            // can join them instead of deadlocking on a spin loop — and
+            // catch the unwind so the banks and consumers can be
+            // restored before it propagates (the caller may want to
+            // persist state from its own panic handler).
             let guard = ShutdownOnDrop(&shutdown);
-            let r = drive(self);
-            // Hand the workers everything still buffered, then let them
-            // run dry: write buffer → queues → rings.
-            let dirty = self.wbuf.flush();
-            for line in dirty {
-                self.enqueue(line);
-            }
-            for b in 0..self.queues.len() {
-                self.flush_bank(b);
+            let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| drive(self)));
+            if r.is_ok() {
+                // Hand the workers everything still buffered, then let
+                // them run dry: write buffer → queues → rings.
+                let dirty = self.wbuf.flush();
+                for line in dirty {
+                    self.enqueue(line);
+                }
+                for b in 0..self.queues.len() {
+                    self.flush_bank(b);
+                }
             }
             drop(guard);
+            let mut worker_panic = None;
             for h in handles {
-                returned.extend(h.join().expect("drain worker panicked"));
+                match h.join() {
+                    Ok(part) => returned.extend(part),
+                    Err(payload) => worker_panic = Some(payload),
+                }
             }
-            r
+            (r, worker_panic)
         });
         self.workers_active = false;
         returned.sort_by_key(|&(i, _, _)| i);
@@ -845,7 +1079,14 @@ impl McFrontend {
             self.consumers[i] = Some(cons);
             self.banks.push(bank);
         }
-        result
+        let (r, worker_panic) = result;
+        if let Some(payload) = worker_panic {
+            std::panic::resume_unwind(payload);
+        }
+        match r {
+            Ok(v) => v,
+            Err(payload) => std::panic::resume_unwind(payload),
+        }
     }
 
     /// How many pinned drain workers [`run`](Self::run) would use.
@@ -927,22 +1168,40 @@ impl McFrontend {
         let age = self.tick.saturating_sub(self.oldest_arrival[logical]);
         self.queues[logical].take_into(&mut self.entry_buf);
         self.oldest_arrival[logical] = u64::MAX;
-        let phys = self.steer.as_ref().map_or(logical, |s| s.route(logical));
+        let home = self.steer.as_ref().map_or(logical, |s| s.route(logical));
         // Read the bank's fate for everything flushed *before* this
         // batch (the deterministic lag; see crate docs), then decide
         // whether the fleet as a whole is dead.
-        self.sync_bank(phys);
+        self.sync_bank(home);
         // `sync_bank` just proved the bank consumed every prior batch, so
         // any outstanding span probe on it is complete.
-        self.complete_span_probe(phys);
+        self.complete_span_probe(home);
         self.check_stop();
         self.drains += 1;
         let k = self.entry_buf.len() as u64;
         self.pipe.note_flush(k, age);
+        // Resolve the quarantine substitute chain *after* the sync: if
+        // the sync just quarantined the home bank, this very batch
+        // already reroutes instead of landing on a dead ring.
+        let target = self.resolve_bank(home);
+        if target != Some(home) {
+            self.redirect_batch(logical, target, k);
+            return;
+        }
+        let phys = home;
         let start = self.tick.max(self.busy_until[phys]);
+        // Degraded mode tags each ring entry with its logical bank so a
+        // parked tail can be re-keyed to global addresses at rescue
+        // time; banks strip the tag before issuing, so the per-bank
+        // issue stream stays bit-identical to a plain run.
+        let encode = if self.degrade.is_some() {
+            (logical as u64) << LOGICAL_SHIFT
+        } else {
+            0
+        };
         self.addr_buf.clear();
         for (i, &(addr, arrival)) in self.entry_buf.iter().enumerate() {
-            self.addr_buf.push(addr);
+            self.addr_buf.push(addr | encode);
             self.latency
                 .push((start + i as u64).saturating_sub(arrival));
         }
@@ -974,6 +1233,68 @@ impl McFrontend {
             let s = &self.sync[phys];
             s.alive.store(self.banks[phys].alive(), Ordering::Relaxed);
             s.consumed.store(self.flushed[phys], Ordering::Release);
+        }
+    }
+
+    /// Follows the quarantine substitute chain from `home` to the bank
+    /// that will actually service a batch routed there; `None` when
+    /// every bank in the chain is quarantined. Outside degraded mode the
+    /// home bank always services its own traffic.
+    fn resolve_bank(&self, home: usize) -> Option<usize> {
+        let Some(q) = &self.degrade else {
+            return Some(home);
+        };
+        let mut cur = home;
+        let mut hops = 0usize;
+        while self.bank_dead[cur] {
+            cur = q.substitute[cur]?;
+            hops += 1;
+            // Substitutes are elected among then-healthy banks, so the
+            // chain is acyclic by construction.
+            assert!(hops <= q.substitute.len(), "substitute chain cycled");
+        }
+        Some(cur)
+    }
+
+    /// Services a batch whose resolved bank is quarantined: every entry
+    /// lands in the directory under a fresh tag, with its service cost
+    /// charged to the substitute's clock — which is what makes N−1
+    /// throughput a measured quantity. With no healthy substitute left
+    /// (`target == None`) the directory still absorbs the content.
+    fn redirect_batch(&mut self, logical: usize, target: Option<usize>, k: u64) {
+        let start = match target {
+            Some(t) => self.tick.max(self.busy_until[t]),
+            None => self.tick,
+        };
+        let entries = std::mem::take(&mut self.entry_buf);
+        {
+            let q = self
+                .degrade
+                .as_mut()
+                .expect("redirects only happen in degraded mode");
+            for (i, &(addr, arrival)) in entries.iter().enumerate() {
+                let tag = q.next_dir_tag();
+                q.directory.insert(self.map.join(logical as u64, addr), tag);
+                self.latency
+                    .push((start + i as u64).saturating_sub(arrival));
+            }
+            q.redirected += k;
+        }
+        self.entry_buf = entries;
+        if let Some(t) = target {
+            self.busy_until[t] = start + k;
+            if let Some(s) = &mut self.steer {
+                s.note_flush(logical, t, k);
+            }
+        }
+        // A redirected batch is provably serviced the moment it lands in
+        // the directory, so a pending span completes here.
+        if self.span_sample != 0 {
+            if let Some(t0) = self.span_pending[logical].take() {
+                if let Some(h) = &self.span_hist {
+                    h.record(t0.elapsed().as_nanos() as u64);
+                }
+            }
         }
     }
 
@@ -1075,10 +1396,76 @@ impl McFrontend {
     }
 
     /// Marks physical bank `phys` dead in the lagged mirror (idempotent).
+    /// In degraded mode the first observation of a death also runs the
+    /// quarantine transition.
     fn mark_dead(&mut self, phys: usize) {
         if !self.bank_dead[phys] {
             self.bank_dead[phys] = true;
             self.dead_count += 1;
+            if self.degrade.is_some() {
+                self.quarantine(phys);
+            }
+        }
+    }
+
+    /// The quarantine transition for a freshly-observed bank death:
+    /// elects the least-loaded healthy bank as substitute, excludes the
+    /// dead bank from steering rotations, and replays its wreckage into
+    /// the directory — evacuated oracle lines first, then parked writes,
+    /// so a parked rewrite of a migrated line wins (it is newer).
+    ///
+    /// The lag-one death protocol guarantees the wreckage is complete
+    /// and quiescent here: the death was observed only after the bank's
+    /// worker provably consumed every batch flushed at it.
+    ///
+    /// Directory keys are exact under identity routing. With steering
+    /// enabled, evacuated lines are keyed as if the dead physical bank
+    /// were its own logical home — an approximation, since earlier
+    /// rotations may have steered other logical stripes there; parked
+    /// writes carry their logical bank in-band and are always exact.
+    fn quarantine(&mut self, phys: usize) {
+        let n = self.flushed.len();
+        // `flushed` is the front-end's own wear proxy — usable even
+        // while pinned workers own the banks.
+        let substitute = (0..n)
+            .filter(|&b| !self.bank_dead[b])
+            .min_by_key(|&b| (self.flushed[b], b));
+        if let Some(s) = &mut self.steer {
+            s.exclude(phys);
+        }
+        let evac: Vec<(u64, u64)> = std::mem::take(
+            &mut *self.wreckage[phys]
+                .evacuated
+                .lock()
+                .expect("wreckage poisoned"),
+        );
+        let parked: Vec<u64> = std::mem::take(
+            &mut *self.wreckage[phys]
+                .parked
+                .lock()
+                .expect("wreckage poisoned"),
+        );
+        let moved = parked.len() as u64;
+        let q = self
+            .degrade
+            .as_mut()
+            .expect("quarantine requires degraded mode");
+        q.substitute[phys] = substitute;
+        q.quarantines += 1;
+        for (local, tag) in evac {
+            q.directory.insert(self.map.join(phys as u64, local), tag);
+            q.migrated_lines += 1;
+        }
+        for e in parked {
+            let (logical, local) = (e >> LOGICAL_SHIFT, e & LOCAL_MASK);
+            let tag = q.next_dir_tag();
+            q.directory.insert(self.map.join(logical, local), tag);
+        }
+        q.redirected += moved;
+        if let Some(sub) = substitute {
+            // The rescue replay is real service work: charge it to the
+            // substitute's clock so degraded throughput reflects it.
+            self.busy_until[sub] += moved;
         }
     }
 
@@ -1412,5 +1799,219 @@ mod tests {
             1,
             "aged single-entry batch must have flushed mid-run"
         );
+    }
+
+    #[test]
+    fn degraded_mode_is_bit_identical_when_no_faults_fire() {
+        // With no bank deaths, degraded mode must be invisible: the
+        // logical encoding is stripped before issue and no other code
+        // path changes — including under steering.
+        let run = |degraded: bool, steering: bool| {
+            let mut mc = McFrontend::builder()
+                .banks(4)
+                .total_blocks(1 << 12)
+                .endurance_mean(1e9)
+                .steering(steering)
+                .degraded(degraded)
+                .stop_policy(McStopPolicy::Quorum(1.0))
+                .seed(17)
+                .build()
+                .unwrap();
+            let mut w = UniformWorkload::new(1 << 12, 17);
+            mc.run(&mut w, 30_000)
+        };
+        for steering in [false, true] {
+            let on = run(true, steering);
+            let off = run(false, steering);
+            assert_eq!(on.redirected, 0);
+            assert_eq!(on.quarantines, 0);
+            assert_eq!(on.ticks, off.ticks, "steering={steering}");
+            assert_eq!(on.issued, off.issued);
+            for (x, y) in on.banks.iter().zip(&off.banks) {
+                assert_eq!(x.fingerprint, y.fingerprint, "bank {} diverged", x.bank);
+            }
+        }
+    }
+
+    #[test]
+    fn degraded_death_run_matches_plain_fingerprints_and_conserves() {
+        // Natural bank deaths: the degraded run redirects exactly the
+        // writes the plain run drops, and the per-bank issue streams —
+        // hence fingerprints — stay identical.
+        let run = |degraded: bool| {
+            let mut mc = McFrontend::builder()
+                .banks(4)
+                .total_blocks(1 << 10)
+                .endurance_mean(300.0)
+                .scheme(SchemeKind::EccOnly)
+                .stop_policy(McStopPolicy::Quorum(1.0))
+                .degraded(degraded)
+                .seed(5)
+                .build()
+                .unwrap();
+            let mut w = UniformWorkload::new(1 << 10, 5);
+            mc.run(&mut w, 2_000_000)
+        };
+        let deg = run(true);
+        let plain = run(false);
+        assert!(deg.quarantines >= 1, "{deg:?}");
+        assert_eq!(deg.dropped, 0, "degraded mode never drops writes");
+        assert_eq!(deg.redirected, plain.dropped);
+        assert!(deg.conserves_writes(), "{deg:?}");
+        assert!(plain.conserves_writes());
+        for (x, y) in deg.banks.iter().zip(&plain.banks) {
+            assert_eq!(x.fingerprint, y.fingerprint, "bank {} diverged", x.bank);
+        }
+    }
+
+    #[test]
+    fn quarantine_rescues_lines_and_keeps_serving() {
+        let mut mc = McFrontend::builder()
+            .banks(4)
+            .total_blocks(1 << 12)
+            .endurance_mean(1e9)
+            .verify_integrity(true)
+            .degraded(true)
+            .stop_policy(McStopPolicy::Quorum(1.0))
+            .seed(33)
+            .build()
+            .unwrap();
+        mc.inject_chaos(1, BankChaos::KillAfter(64));
+        let mut w = UniformWorkload::new(1 << 12, 33);
+        let out = mc.run(&mut w, 20_000);
+        assert_eq!(
+            out.stop,
+            McStopReason::TraceComplete,
+            "fleet keeps serving at N-1"
+        );
+        assert!(out.conserves_writes(), "{out:?}");
+        assert_eq!(out.quarantines, 1);
+        assert_eq!(out.dropped, 0);
+        assert!(out.redirected > 0);
+        assert!(out.migrated_lines > 0);
+        let snap = mc.pipeline_snapshot();
+        assert_eq!(snap.quarantines, 1);
+        assert!(snap.directory_lines > 0);
+        assert_eq!(snap.dead_banks(), 1);
+        // Every directory line reads back with its recorded tag.
+        let img = mc.quarantine_image().unwrap();
+        assert!(img.dead[1]);
+        for &(global, tag) in &img.directory {
+            assert_eq!(mc.read(global), Ok(Some(tag)));
+        }
+        // Healthy banks answer reads for their own tracked lines.
+        let lines = mc.banks()[0].sim().tracked_lines();
+        assert!(!lines.is_empty());
+        for &(local, tag) in lines.iter().take(8) {
+            let global = mc.map().join(0, local);
+            assert_eq!(mc.read(global), Ok(Some(tag)));
+        }
+    }
+
+    #[test]
+    fn transient_reads_retry_and_surface_a_typed_error() {
+        // ECP with zero correction entries makes every injected
+        // transient uncorrectable, so the retry path is exactly
+        // predictable.
+        let mut mc = McFrontend::builder()
+            .banks(2)
+            .total_blocks(1 << 12)
+            .endurance_mean(1e9)
+            .verify_integrity(true)
+            .degraded(true)
+            .ecc(EccKind::Ecp(0))
+            .retry_limit(2)
+            .retry_backoff(1)
+            .stop_policy(McStopPolicy::Quorum(1.0))
+            .seed(7)
+            .build()
+            .unwrap();
+        let mut w = UniformWorkload::new(1 << 12, 7);
+        mc.run(&mut w, 4_000);
+        let (local, tag) = mc.banks()[0].sim().tracked_lines()[0];
+        let global = mc.map().join(0, local);
+        assert_eq!(mc.read(global), Ok(Some(tag)), "clean read before faults");
+        // A short burst rides out inside the retry budget...
+        mc.arm_bank_faults(0, FaultPlan::new().transient_read_burst(0, 2));
+        assert_eq!(mc.read(global), Ok(Some(tag)), "retries absorb the burst");
+        // ...a long burst exhausts the bounded retry and surfaces typed.
+        mc.arm_bank_faults(0, FaultPlan::new().transient_read_burst(0, 16));
+        assert_eq!(
+            mc.read(global),
+            Err(McReadError::Transient {
+                bank: 0,
+                attempts: 3
+            })
+        );
+        let out = mc.finish();
+        assert!(out.read_retries >= 3, "{out:?}");
+        assert_eq!(out.retry_exhausted, 1);
+    }
+
+    #[test]
+    fn quarantine_image_round_trips_through_restore() {
+        let build = || {
+            McFrontend::builder()
+                .banks(4)
+                .total_blocks(1 << 12)
+                .endurance_mean(1e9)
+                .verify_integrity(true)
+                .degraded(true)
+                .stop_policy(McStopPolicy::Quorum(1.0))
+                .seed(41)
+                .build()
+                .unwrap()
+        };
+        let mut mc = build();
+        mc.inject_chaos(2, BankChaos::KillAfter(32));
+        let mut w = UniformWorkload::new(1 << 12, 41);
+        let out = mc.run(&mut w, 10_000);
+        assert_eq!(out.quarantines, 1);
+        let img = mc.quarantine_image().unwrap();
+        assert!(img.dead[2]);
+        assert!(!img.directory.is_empty());
+
+        let mut revived = build();
+        revived.restore_quarantine(&img);
+        assert_eq!(revived.quarantine_image().unwrap(), img);
+        // Directory content survives the restart.
+        for &(global, tag) in img.directory.iter().take(16) {
+            assert_eq!(revived.read(global), Ok(Some(tag)));
+        }
+        // New traffic at the quarantined bank redirects, never drops —
+        // and restore does not re-run the quarantine transition.
+        let mut w2 = UniformWorkload::new(1 << 12, 42);
+        let out2 = revived.run(&mut w2, 5_000);
+        assert!(out2.conserves_writes(), "{out2:?}");
+        assert_eq!(out2.dropped, 0);
+        assert!(out2.redirected > 0);
+        assert_eq!(out2.quarantines, 0);
+    }
+
+    #[test]
+    fn pipeline_survives_a_driver_panic() {
+        let mut mc = McFrontend::builder()
+            .banks(2)
+            .total_blocks(1 << 12)
+            .endurance_mean(1e9)
+            .drain_workers(2)
+            .seed(3)
+            .build()
+            .unwrap();
+        let boom = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            mc.with_pipeline(|m| {
+                for i in 0..500u64 {
+                    m.submit(i);
+                }
+                panic!("injected driver crash");
+            })
+        }));
+        assert!(boom.is_err(), "the panic must propagate");
+        // Banks and consumers are home again: the front-end still
+        // finishes cleanly and accounts for everything submitted.
+        let out = mc.finish();
+        assert!(out.conserves_writes(), "{out:?}");
+        assert_eq!(out.requests, 500);
+        assert_eq!(out.banks.len(), 2);
     }
 }

@@ -132,6 +132,14 @@ pub struct PipelineSnapshot {
     pub p99_ticks: u64,
     /// 99.9th-percentile queue latency in ticks (0 before any flush).
     pub p999_ticks: u64,
+    /// Banks quarantined so far (degraded mode; 0 otherwise).
+    pub quarantines: u64,
+    /// Writes rerouted into the degraded-mode directory.
+    pub redirected: u64,
+    /// Oracle lines migrated out of quarantined banks.
+    pub migrated_lines: u64,
+    /// Lines currently living in the degraded-mode directory.
+    pub directory_lines: u64,
     /// Per-bank ring positions, in physical bank order.
     pub banks: Vec<BankPipeStat>,
 }
@@ -181,6 +189,10 @@ mod tests {
             p50_ticks: 0,
             p99_ticks: 0,
             p999_ticks: 0,
+            quarantines: 0,
+            redirected: 0,
+            migrated_lines: 0,
+            directory_lines: 0,
             banks: vec![
                 BankPipeStat {
                     bank: 0,

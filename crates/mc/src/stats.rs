@@ -91,6 +91,18 @@ pub struct McOutcome {
     pub issued: u64,
     /// Writes dropped by dead banks.
     pub dropped: u64,
+    /// Writes rerouted into the degraded-mode directory (parked rescues
+    /// plus flushes redirected past quarantined banks); always 0 outside
+    /// degraded mode.
+    pub redirected: u64,
+    /// Banks quarantined (degraded mode only).
+    pub quarantines: u64,
+    /// Oracle lines migrated out of quarantined banks.
+    pub migrated_lines: u64,
+    /// Transient-read retries performed across all banks.
+    pub read_retries: u64,
+    /// Reads whose bounded retry was exhausted, across all banks.
+    pub retry_exhausted: u64,
     /// Whole-fleet drains performed.
     pub drains: u64,
     /// Final front-end clock value.
@@ -110,11 +122,13 @@ pub struct McOutcome {
 
 impl McOutcome {
     /// Every submitted request is accounted for exactly once:
-    /// `requests = absorbed + coalesced + issued + dropped`. Holds after
-    /// [`finish`](crate::McFrontend::finish) (mid-run, requests still
-    /// sitting in the buffer or queues are not yet counted).
+    /// `requests = absorbed + coalesced + issued + dropped + redirected`.
+    /// Holds after [`finish`](crate::McFrontend::finish) (mid-run,
+    /// requests still sitting in the buffer or queues are not yet
+    /// counted).
     pub fn conserves_writes(&self) -> bool {
-        self.requests == self.absorbed + self.coalesced + self.issued + self.dropped
+        self.requests
+            == self.absorbed + self.coalesced + self.issued + self.dropped + self.redirected
     }
 }
 

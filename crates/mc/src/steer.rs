@@ -31,6 +31,10 @@ pub struct Steering {
     /// Cumulative writes steered into each physical bank — the wear
     /// proxy the assignment minimizes against.
     phys_wear: Vec<u64>,
+    /// Quarantined physical banks: rotations assign them only the
+    /// coldest logical banks (the front-end's substitute chain resolves
+    /// any route that still lands on one).
+    dead: Vec<bool>,
     /// Permutation recomputations performed.
     rotations: u64,
 }
@@ -50,8 +54,17 @@ impl Steering {
             since_epoch: 0,
             traffic: vec![0; banks],
             phys_wear: vec![0; banks],
+            dead: vec![false; banks],
             rotations: 0,
         }
+    }
+
+    /// Excludes quarantined physical bank `phys` from future rotations:
+    /// the assignment pushes it behind every healthy bank, so only the
+    /// coldest logical stripes still map there (and the front-end
+    /// redirects those through the substitute chain).
+    pub fn exclude(&mut self, phys: usize) {
+        self.dead[phys] = true;
     }
 
     /// The physical bank currently servicing `logical`.
@@ -90,7 +103,7 @@ impl Steering {
         let mut by_heat: Vec<usize> = (0..n).collect();
         by_heat.sort_by_key(|&l| (std::cmp::Reverse(self.traffic[l]), l));
         let mut by_wear: Vec<usize> = (0..n).collect();
-        by_wear.sort_by_key(|&p| (self.phys_wear[p], p));
+        by_wear.sort_by_key(|&p| (self.dead[p], self.phys_wear[p], p));
         for (l, p) in by_heat.into_iter().zip(by_wear) {
             self.perm[l] = p;
         }
@@ -146,5 +159,19 @@ mod tests {
     #[should_panic(expected = "nonzero")]
     fn zero_epoch_panics() {
         let _ = Steering::new(2, 0);
+    }
+
+    #[test]
+    fn excluded_banks_take_only_the_coldest_stripes() {
+        let mut s = Steering::new(3, 10);
+        s.exclude(1);
+        // Logical 0 is the hottest; logicals 1 and 2 saw no traffic.
+        s.note_flush(0, 0, 10);
+        assert_eq!(s.rotations(), 1);
+        assert_ne!(s.route(0), 1, "hot stripe must avoid the dead bank");
+        // The permutation still covers every physical bank exactly once.
+        let mut seen = s.permutation().to_vec();
+        seen.sort_unstable();
+        assert_eq!(seen, vec![0, 1, 2]);
     }
 }

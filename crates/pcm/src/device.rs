@@ -495,6 +495,23 @@ impl PcmDevice {
         before && !f.powered()
     }
 
+    /// Arms an additional fault plan on a *live* device. Indices in
+    /// `plan` are relative to the accesses serviced so far (see
+    /// [`FaultInjector::arm`]); a device built without any plan gains an
+    /// injector here, permanently switching its access paths onto the
+    /// fault-checked variants. No-op for an empty plan.
+    pub fn arm_faults(&mut self, plan: FaultPlan) {
+        if plan.is_empty() {
+            return;
+        }
+        match &mut self.fault {
+            Some(f) => f.arm(plan),
+            // A fresh injector's access counts are zero, which matches
+            // the relative interpretation exactly.
+            None => self.fault = Some(FaultInjector::new(plan)),
+        }
+    }
+
     /// Fault counters, when a fault plan is armed.
     pub fn fault_counters(&self) -> Option<FaultCounters> {
         self.fault.as_ref().map(FaultInjector::counters)

@@ -130,6 +130,16 @@ impl FaultPlan {
         self
     }
 
+    /// Schedules a burst of `count` consecutive transient read errors
+    /// starting at device-read index `start` — the error-burst shape the
+    /// chaos harness arms against live banks.
+    pub fn transient_read_burst(mut self, start: u64, count: u64) -> Self {
+        for i in 0..count {
+            self.transient_reads.push(start + i);
+        }
+        self
+    }
+
     /// Adds `count` seeded silent-failure write indices drawn uniformly
     /// from `[lo, hi)`.
     pub fn seeded_silent_failures(mut self, seed: u64, count: usize, lo: u64, hi: u64) -> Self {
@@ -226,6 +236,65 @@ impl FaultInjector {
             powered: true,
             counters: FaultCounters::default(),
             silent_log: Vec::new(),
+        }
+    }
+
+    /// Arms an additional plan on a *live* injector. Incoming indices are
+    /// interpreted relative to the current access counts — a plan with
+    /// `power_loss_at_write(0)` cuts power on the very next powered
+    /// write — so callers can script faults against a pipeline that has
+    /// already serviced traffic. Crash-point occurrences are likewise
+    /// shifted by the occurrences already seen. Already-consumed schedule
+    /// entries are untouched; the un-consumed suffix is merged, re-sorted
+    /// and deduplicated, preserving determinism from this point on.
+    pub fn arm(&mut self, plan: FaultPlan) {
+        fn merge_tail(sched: &mut Vec<u64>, cursor: usize, add: Vec<u64>, base: u64) {
+            if add.is_empty() {
+                return;
+            }
+            let mut tail = sched.split_off(cursor);
+            tail.extend(add.into_iter().map(|i| base.saturating_add(i)));
+            tail.sort_unstable();
+            tail.dedup();
+            // Entries below the current access count can never match an
+            // exact-index check again; drop them so they cannot jam the
+            // cursor.
+            tail.retain(|&i| i >= base);
+            sched.append(&mut tail);
+        }
+        let FaultPlan {
+            power_loss_writes,
+            silent_writes,
+            transient_reads,
+            crash_points,
+        } = plan;
+        merge_tail(
+            &mut self.power_loss_writes,
+            self.next_power,
+            power_loss_writes,
+            self.writes_seen,
+        );
+        merge_tail(
+            &mut self.silent_writes,
+            self.next_silent,
+            silent_writes,
+            self.writes_seen,
+        );
+        merge_tail(
+            &mut self.transient_reads,
+            self.next_transient,
+            transient_reads,
+            self.reads_seen,
+        );
+        if !crash_points.is_empty() {
+            self.crash_points.extend(
+                crash_points
+                    .into_iter()
+                    .map(|(p, occ)| (p, self.point_seen[p.slot()].saturating_add(occ))),
+            );
+            self.crash_points
+                .sort_unstable_by_key(|&(p, occ)| (p.slot(), occ));
+            self.crash_points.dedup();
         }
     }
 
@@ -363,6 +432,63 @@ mod tests {
     fn transient_read_fires_at_index() {
         let mut inj = FaultInjector::new(FaultPlan::new().transient_read_at(0));
         assert_eq!(inj.on_read(), ReadFault::Transient);
+        assert_eq!(inj.on_read(), ReadFault::None);
+    }
+
+    #[test]
+    fn arming_live_shifts_indices_to_the_present() {
+        let mut inj = FaultInjector::new(FaultPlan::new());
+        for _ in 0..10 {
+            assert_eq!(inj.on_write(Da::new(0)), WriteFault::None);
+        }
+        for _ in 0..4 {
+            assert_eq!(inj.on_read(), ReadFault::None);
+        }
+        inj.arm(
+            FaultPlan::new()
+                .power_loss_at_write(2)
+                .transient_read_burst(0, 2),
+        );
+        // Reads: relative indices 0 and 1 fire immediately.
+        assert_eq!(inj.on_read(), ReadFault::Transient);
+        assert_eq!(inj.on_read(), ReadFault::Transient);
+        assert_eq!(inj.on_read(), ReadFault::None);
+        // Writes: relative index 2 = absolute 12.
+        assert_eq!(inj.on_write(Da::new(0)), WriteFault::None); // 10
+        assert_eq!(inj.on_write(Da::new(0)), WriteFault::None); // 11
+        assert_eq!(inj.on_write(Da::new(0)), WriteFault::Lost); // 12
+        inj.restore_power();
+        assert_eq!(inj.on_write(Da::new(0)), WriteFault::None);
+    }
+
+    #[test]
+    fn arming_preserves_pending_entries_and_shifts_crash_points() {
+        let mut inj = FaultInjector::new(FaultPlan::new().silent_failure_at_write(5));
+        inj.on_write(Da::new(0)); // absolute 0
+        inj.on_crash_point(CrashPoint::MidSwitch); // occurrence 0
+        inj.arm(
+            FaultPlan::new()
+                .silent_failure_at_write(1) // absolute 2
+                .power_loss_at_point(CrashPoint::MidSwitch, 1), // occurrence 2
+        );
+        assert_eq!(inj.on_write(Da::new(1)), WriteFault::None); // 1
+        assert_eq!(inj.on_write(Da::new(2)), WriteFault::Silent); // 2, armed
+        assert_eq!(inj.on_write(Da::new(3)), WriteFault::None); // 3
+        assert_eq!(inj.on_write(Da::new(4)), WriteFault::None); // 4
+        assert_eq!(inj.on_write(Da::new(5)), WriteFault::Silent); // 5, original
+        inj.on_crash_point(CrashPoint::MidSwitch); // occurrence 1
+        assert!(inj.powered());
+        inj.on_crash_point(CrashPoint::MidSwitch); // occurrence 2, armed
+        assert!(!inj.powered());
+    }
+
+    #[test]
+    fn transient_burst_covers_consecutive_reads() {
+        let mut inj = FaultInjector::new(FaultPlan::new().transient_read_burst(1, 3));
+        assert_eq!(inj.on_read(), ReadFault::None);
+        for _ in 0..3 {
+            assert_eq!(inj.on_read(), ReadFault::Transient);
+        }
         assert_eq!(inj.on_read(), ReadFault::None);
     }
 

@@ -41,6 +41,19 @@ pub struct Config {
     pub trace_ring: usize,
     /// Admission-ring capacity in requests.
     pub admission_depth: usize,
+    /// `WLR_CHAOS_PLAN` — chaos clauses armed at boot (see
+    /// [`crate::chaos`]); empty/unset = no injected faults.
+    pub chaos_plan: Option<String>,
+    /// `WLR_RETRY_MAX` — transient-read retries before the typed error
+    /// surfaces.
+    pub retry_max: u32,
+    /// `WLR_RETRY_BACKOFF` — base spin count for the exponential
+    /// retry backoff.
+    pub retry_backoff: u32,
+    /// `WLR_SERVE_VERIFY` — enable the per-bank integrity oracle (costs
+    /// DRAM proportional to the live line count; chaos smoke turns it on
+    /// to prove zero integrity violations under fault storms).
+    pub verify: bool,
 }
 
 fn env_u64(name: &str, default: u64) -> u64 {
@@ -85,6 +98,10 @@ impl Config {
             gap_interval: env_u64("WLR_SERVE_GAP_INTERVAL", 100),
             trace_ring: env_u64("WLR_SERVE_TRACE_RING", 512) as usize,
             admission_depth: env_u64("WLR_SERVE_ADMISSION_DEPTH", 1 << 16) as usize,
+            chaos_plan: env_str("WLR_CHAOS_PLAN"),
+            retry_max: env_u64("WLR_RETRY_MAX", 3) as u32,
+            retry_backoff: env_u64("WLR_RETRY_BACKOFF", 64) as u32,
+            verify: env_str("WLR_SERVE_VERIFY").as_deref() == Some("1"),
         }
     }
 }

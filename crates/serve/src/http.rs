@@ -2,16 +2,58 @@
 //! keep-alive, one request per connection. Serves:
 //!
 //! * `GET /metrics` — Prometheus text exposition of the shared registry;
-//! * `GET /healthz` — liveness JSON;
-//! * `GET /snapshot` — the latest pipeline snapshot as JSON.
+//! * `GET /healthz` — liveness JSON (`recovering` / `ok` / `degraded` /
+//!   `draining`);
+//! * `GET /snapshot` — the latest pipeline snapshot as JSON;
+//! * `GET /chaos?plan=<plan>` — admin fault injection: parses the
+//!   percent-encoded plan (see [`crate::chaos`]) and queues it for the
+//!   service loop to arm at its next iteration.
 
 use std::io::{Read, Write};
 use std::net::{TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::Duration;
 
 use wlr_base::stats::registry::MetricsRegistry;
+
+use crate::chaos::{self, ChaosCmd};
+
+/// The daemon's externally visible lifecycle state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u8)]
+pub enum ServeState {
+    /// Boot: replaying the persisted image, listener not yet serving
+    /// traffic answers (only observed if something probes mid-boot).
+    Recovering = 0,
+    /// Serving with every bank healthy.
+    Ok = 1,
+    /// Serving with at least one bank quarantined (N−k mode).
+    Degraded = 2,
+    /// Shutdown requested; the loop is draining and persisting.
+    Draining = 3,
+}
+
+impl ServeState {
+    fn from_u8(v: u8) -> ServeState {
+        match v {
+            0 => ServeState::Recovering,
+            1 => ServeState::Ok,
+            2 => ServeState::Degraded,
+            _ => ServeState::Draining,
+        }
+    }
+
+    /// The string `/healthz` reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            ServeState::Recovering => "recovering",
+            ServeState::Ok => "ok",
+            ServeState::Degraded => "degraded",
+            ServeState::Draining => "draining",
+        }
+    }
+}
 
 /// State the endpoint threads read.
 #[derive(Debug)]
@@ -20,12 +62,15 @@ pub struct Shared {
     pub registry: Arc<MetricsRegistry>,
     /// Latest pipeline snapshot, pre-rendered as JSON by the service loop.
     pub snapshot_json: Mutex<String>,
-    /// Whether the service loop is live.
-    pub healthy: AtomicBool,
+    /// Lifecycle state (a [`ServeState`] discriminant).
+    state: AtomicU8,
     /// Requests serviced this lifetime (mirrors the counter, for healthz).
     pub serviced: AtomicU64,
     /// Whether this lifetime restored a persisted image at boot.
     pub recovered: AtomicBool,
+    /// Chaos commands accepted over `/chaos`, awaiting the service loop.
+    chaos_queue: Mutex<Vec<ChaosCmd>>,
+    chaos_pending: AtomicBool,
 }
 
 impl Shared {
@@ -34,15 +79,44 @@ impl Shared {
         Shared {
             registry,
             snapshot_json: Mutex::new("{}".into()),
-            healthy: AtomicBool::new(true),
+            state: AtomicU8::new(ServeState::Recovering as u8),
             serviced: AtomicU64::new(0),
             recovered: AtomicBool::new(false),
+            chaos_queue: Mutex::new(Vec::new()),
+            chaos_pending: AtomicBool::new(false),
         }
     }
 
     /// Replaces the pre-rendered snapshot.
     pub fn set_snapshot(&self, json: String) {
         *self.snapshot_json.lock().expect("snapshot lock") = json;
+    }
+
+    /// Publishes a lifecycle transition.
+    pub fn set_state(&self, s: ServeState) {
+        self.state.store(s as u8, Ordering::Release);
+    }
+
+    /// The current lifecycle state.
+    pub fn state(&self) -> ServeState {
+        ServeState::from_u8(self.state.load(Ordering::Acquire))
+    }
+
+    /// Queues parsed chaos commands for the service loop.
+    pub fn post_chaos(&self, cmds: Vec<ChaosCmd>) {
+        if cmds.is_empty() {
+            return;
+        }
+        self.chaos_queue.lock().expect("chaos lock").extend(cmds);
+        self.chaos_pending.store(true, Ordering::Release);
+    }
+
+    /// Takes every queued chaos command (one relaxed load when idle).
+    pub fn take_chaos(&self) -> Vec<ChaosCmd> {
+        if !self.chaos_pending.swap(false, Ordering::Acquire) {
+            return Vec::new();
+        }
+        std::mem::take(&mut *self.chaos_queue.lock().expect("chaos lock"))
     }
 }
 
@@ -87,6 +161,9 @@ fn handle(mut stream: TcpStream, shared: &Shared) {
 }
 
 fn route(path: &str, shared: &Shared) -> (&'static str, &'static str, String) {
+    if let Some(query) = path.strip_prefix("/chaos") {
+        return chaos_route(query, shared);
+    }
     match path {
         "/metrics" => (
             "200 OK",
@@ -103,14 +180,36 @@ fn route(path: &str, shared: &Shared) -> (&'static str, &'static str, String) {
     }
 }
 
+fn chaos_route(query: &str, shared: &Shared) -> (&'static str, &'static str, String) {
+    let Some(plan) = query.strip_prefix("?plan=") else {
+        return (
+            "400 Bad Request",
+            "application/json",
+            "{\"error\":\"expected /chaos?plan=<plan>\"}".into(),
+        );
+    };
+    match chaos::parse_plan(&chaos::percent_decode(plan)) {
+        Ok(cmds) => {
+            let n = cmds.len();
+            shared.post_chaos(cmds);
+            (
+                "200 OK",
+                "application/json",
+                format!("{{\"accepted\":{n}}}"),
+            )
+        }
+        Err(e) => (
+            "400 Bad Request",
+            "application/json",
+            format!("{{\"error\":{:?}}}", e),
+        ),
+    }
+}
+
 fn healthz_json(shared: &Shared) -> String {
     format!(
         "{{\"status\":\"{}\",\"requests\":{},\"recovered\":{}}}",
-        if shared.healthy.load(Ordering::Relaxed) {
-            "ok"
-        } else {
-            "draining"
-        },
+        shared.state().name(),
         shared.serviced.load(Ordering::Relaxed),
         shared.recovered.load(Ordering::Relaxed),
     )
@@ -140,6 +239,7 @@ mod tests {
         c.add(41);
         let shared = Arc::new(Shared::new(Arc::clone(&registry)));
         shared.serviced.store(41, Ordering::Relaxed);
+        shared.set_state(ServeState::Ok);
         shared.set_snapshot("{\"requests\":41}".into());
         let addr = spawn("127.0.0.1:0", Arc::clone(&shared)).expect("bind");
 
@@ -161,5 +261,35 @@ mod tests {
 
         let (head, _) = get(addr, "/nope");
         assert!(head.starts_with("HTTP/1.0 404"), "{head}");
+
+        // /chaos queues parsed commands for the service loop …
+        let (head, body) = get(addr, "/chaos?plan=bank0%3Adie%40500%3Bdaemon%3Akill%4099");
+        assert!(head.starts_with("HTTP/1.0 200"), "{head} {body}");
+        assert_eq!(body, "{\"accepted\":2}");
+        let cmds = shared.take_chaos();
+        assert_eq!(cmds.len(), 2);
+        assert!(shared.take_chaos().is_empty(), "queue drains once");
+
+        // … and rejects garbage without queueing anything.
+        let (head, _) = get(addr, "/chaos?plan=bank0%3Aexplode");
+        assert!(head.starts_with("HTTP/1.0 400"), "{head}");
+        let (head, _) = get(addr, "/chaos");
+        assert!(head.starts_with("HTTP/1.0 400"), "{head}");
+        assert!(shared.take_chaos().is_empty());
+    }
+
+    #[test]
+    fn healthz_tracks_the_state_machine() {
+        let shared = Shared::new(Arc::new(MetricsRegistry::new()));
+        assert!(healthz_json(&shared).contains("\"status\":\"recovering\""));
+        for (s, name) in [
+            (ServeState::Ok, "ok"),
+            (ServeState::Degraded, "degraded"),
+            (ServeState::Draining, "draining"),
+        ] {
+            shared.set_state(s);
+            assert_eq!(shared.state(), s);
+            assert!(healthz_json(&shared).contains(name));
+        }
     }
 }

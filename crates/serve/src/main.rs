@@ -18,10 +18,23 @@
 //! configuration replays the image — wear, page retirements, reviver
 //! metadata — and the §III-B recovery scan runs *into the same live
 //! sinks*, so the first post-restart scrape already shows the recovery
-//! phase counters.
+//! phase counters. Per-bank recovery runs in parallel on the shared
+//! worker pool, and the listener only binds once the whole replay (and
+//! any persisted quarantine state) is back.
+//!
+//! The daemon always runs the pipeline in degraded mode: a bank death is
+//! quarantined (wreckage rescued into the migrated-line directory,
+//! steering excluded, substitute elected) and the service keeps going at
+//! N−1. Faults can be injected into the live pipeline with
+//! `WLR_CHAOS_PLAN` or `GET /chaos?plan=...` (see [`chaos`]). A panic
+//! anywhere in the service loop — driver or pinned worker — unwinds
+//! through the pipeline scope with the banks restored, so the crash path
+//! still dumps the trace rings and persists the device image before the
+//! process exits.
 
 #![deny(unsafe_code)]
 
+mod chaos;
 mod config;
 mod fleet;
 mod http;
@@ -37,6 +50,7 @@ use wl_reviver::{MetricsSink, TraceRingSink};
 use wlr_base::spsc::{self, Consumer};
 use wlr_mc::{McFrontend, McStopPolicy, PipelineSnapshot};
 
+use chaos::ChaosCmd;
 use config::Config;
 use fleet::{FleetConfig, FleetCounters};
 use metrics::ServeMetrics;
@@ -44,6 +58,14 @@ use metrics::ServeMetrics;
 fn main() {
     let cfg = Config::from_env();
     signal::install();
+    // The default hook prints the panic; ours additionally raises the
+    // stop flag so the fleet thread winds down while main unwinds
+    // toward the persist-and-dump crash path.
+    let default_hook = std::panic::take_hook();
+    std::panic::set_hook(Box::new(move |info| {
+        signal::request_stop();
+        default_hook(info);
+    }));
     let m = ServeMetrics::new(cfg.banks);
 
     let mut mc = build_frontend(&cfg);
@@ -78,12 +100,26 @@ fn main() {
                     std::process::exit(2);
                 }
                 lifetime_serviced = img.serviced;
-                let report = state::restore(&mut mc, &img);
+                let t = Instant::now();
+                let reports = state::restore(&mut mc, &img);
+                m.recovery_ms.set(t.elapsed().as_millis() as u64);
                 m.restores.inc();
                 shared.recovered.store(true, Ordering::Relaxed);
+                let mut report = wl_reviver::RecoveryReport::default();
+                for r in &reports {
+                    report.absorb(r);
+                }
                 eprintln!(
-                    "wlr-serve: restored {path}: {} blocks scanned, {} links recovered, {} healed",
-                    report.blocks_scanned, report.links_recovered, report.healed_links
+                    "wlr-serve: restored {path} ({} banks in {:.0?}): {} blocks scanned, \
+                     {} links recovered, {} healed, {} quarantined",
+                    reports.len(),
+                    t.elapsed(),
+                    report.blocks_scanned,
+                    report.links_recovered,
+                    report.healed_links,
+                    img.quarantine
+                        .as_ref()
+                        .map_or(0, |q| q.dead.iter().filter(|&&d| d).count()),
                 );
             }
             Ok(None) => {}
@@ -94,13 +130,33 @@ fn main() {
         }
     }
 
+    // Boot-time chaos plan: bank clauses post into the live mailboxes
+    // now, daemon kill points ride into the service loop.
+    let mut kill_points: Vec<u64> = Vec::new();
+    if let Some(plan) = &cfg.chaos_plan {
+        match chaos::parse_plan(plan) {
+            Ok(cmds) => {
+                eprintln!("wlr-serve: chaos plan armed ({} clauses)", cmds.len());
+                apply_chaos(cmds, &mc, &mut kill_points);
+            }
+            Err(e) => {
+                eprintln!("wlr-serve: bad WLR_CHAOS_PLAN: {e}");
+                std::process::exit(2);
+            }
+        }
+    }
+
     // Pre-render a snapshot so the very first `/snapshot` scrape is
-    // well-formed even if it beats the service loop's first publish.
-    shared.set_snapshot(snapshot_json(
-        &mc.pipeline_snapshot(),
-        &m,
-        lifetime_serviced,
-    ));
+    // well-formed even if it beats the service loop's first publish, and
+    // only then leave `recovering` — the listener binds after this.
+    let boot_snap = mc.pipeline_snapshot();
+    m.publish(&boot_snap, 0);
+    shared.set_snapshot(snapshot_json(&boot_snap, &m, lifetime_serviced));
+    shared.set_state(if boot_snap.dead_banks() > 0 {
+        http::ServeState::Degraded
+    } else {
+        http::ServeState::Ok
+    });
 
     let addr = match http::spawn(&cfg.addr, Arc::clone(&shared)) {
         Ok(a) => a,
@@ -131,10 +187,25 @@ fn main() {
         Arc::clone(&fleet_stop),
     );
 
-    let serviced = run_service(&mut mc, consumer, &fleet, &m, &shared, &cfg);
+    // Panics in the driver or a pinned worker unwind out of the pipeline
+    // scope with the banks restored, so the crash path below can still
+    // dump traces and persist the image before exiting.
+    let run = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        run_service(&mut mc, consumer, &fleet, &m, &shared, &cfg, kill_points)
+    }));
     fleet_stop.store(true, Ordering::Relaxed);
-    shared.healthy.store(false, Ordering::Relaxed);
+    shared.set_state(http::ServeState::Draining);
+    let crashed = run.is_err();
+    let serviced = match run {
+        Ok(n) => n,
+        // The crash path loses at most the submits since the last
+        // serviced-counter update; the persisted image is still the
+        // drained ground truth.
+        Err(_) => shared.serviced.load(Ordering::Relaxed),
+    };
     let outcome = mc.finish();
+    m.read_retries.set(outcome.read_retries);
+    m.retry_exhausted.set(outcome.retry_exhausted);
     fleet.join();
 
     // Final publication so a last scrape sees the drained pipeline.
@@ -162,10 +233,17 @@ fn main() {
             }
         }
     }
+    if crashed {
+        eprintln!("wlr-serve: service loop panicked; state persisted, exiting 101");
+        std::process::exit(101);
+    }
     eprintln!(
-        "wlr-serve: drained; serviced {serviced} (lifetime {}), issued {}, stop {:?}",
+        "wlr-serve: drained; serviced {serviced} (lifetime {}), issued {}, \
+         shed {}, quarantined {}, stop {:?}",
         lifetime_serviced + serviced,
         outcome.issued,
+        m.shed.get(),
+        outcome.quarantines,
         outcome.stop,
     );
 }
@@ -180,11 +258,34 @@ fn build_frontend(cfg: &Config) -> McFrontend {
         .span_sample(cfg.metrics_sample)
         // A service keeps serving while any bank survives.
         .stop_policy(McStopPolicy::Quorum(1.0))
+        // Bank deaths quarantine and the array keeps serving at N−k;
+        // bit-identical to a plain run when no faults fire.
+        .degraded(true)
+        .retry_limit(cfg.retry_max)
+        .retry_backoff(cfg.retry_backoff)
+        .verify_integrity(cfg.verify)
         .build()
         .unwrap_or_else(|e| {
             eprintln!("wlr-serve: bad geometry: {e}");
             std::process::exit(2);
         })
+}
+
+/// Routes parsed chaos commands: bank clauses into the front-end's live
+/// mailboxes, daemon kill points into the service loop's list.
+fn apply_chaos(cmds: Vec<ChaosCmd>, mc: &McFrontend, kill_points: &mut Vec<u64>) {
+    for cmd in cmds {
+        match cmd {
+            ChaosCmd::Bank { bank, chaos } => {
+                if bank < mc.num_banks() {
+                    mc.inject_chaos(bank, chaos);
+                } else {
+                    eprintln!("wlr-serve: chaos clause targets missing bank {bank}, ignored");
+                }
+            }
+            ChaosCmd::DaemonKill(n) => kill_points.push(n),
+        }
+    }
 }
 
 /// The service loop: drain the admission ring through the live pipeline,
@@ -197,6 +298,7 @@ fn run_service(
     m: &ServeMetrics,
     shared: &http::Shared,
     cfg: &Config,
+    mut kill_points: Vec<u64>,
 ) -> u64 {
     let publish_every = Duration::from_millis(cfg.publish_ms.max(10));
     mc.with_pipeline(|mc| {
@@ -205,16 +307,29 @@ fn run_service(
         let mut last_requests = mc.requests();
         let base = mc.requests();
         loop {
+            // Admin chaos lands here: bank clauses go straight into the
+            // live mailboxes, kill points join the armed list.
+            let cmds = shared.take_chaos();
+            if !cmds.is_empty() {
+                apply_chaos(cmds, mc, &mut kill_points);
+            }
             buf.clear();
             let n = ring.pop_into(&mut buf);
             for &addr in &buf {
                 mc.submit(addr);
             }
+            let serviced_now = mc.requests() - base;
             if n > 0 {
                 m.serviced.add(n as u64);
-                shared
-                    .serviced
-                    .store(mc.requests() - base, Ordering::Relaxed);
+                shared.serviced.store(serviced_now, Ordering::Relaxed);
+            }
+            if kill_points.iter().any(|&k| serviced_now >= k) {
+                // The whole-daemon kill point: no drain, no persist —
+                // the next boot recovers from the last committed image.
+                eprintln!(
+                    "wlr-serve: chaos kill point reached at {serviced_now} serviced, aborting"
+                );
+                std::process::abort();
             }
             if last_publish.elapsed() >= publish_every {
                 let dt = last_publish.elapsed().as_secs_f64();
@@ -223,6 +338,11 @@ fn run_service(
                 last_requests = snap.requests;
                 last_publish = Instant::now();
                 m.publish(&snap, wps);
+                shared.set_state(if snap.dead_banks() > 0 {
+                    http::ServeState::Degraded
+                } else {
+                    http::ServeState::Ok
+                });
                 shared.set_snapshot(snapshot_json(&snap, m, snap.requests));
             }
             if signal::stop_requested() || mc.stopped().is_some() {
@@ -249,7 +369,9 @@ fn snapshot_json(snap: &PipelineSnapshot, m: &ServeMetrics, lifetime: u64) -> St
         "{{\"requests\":{},\"lifetime_requests\":{lifetime},\"ticks\":{},\"drains\":{},\
          \"occupancy\":{},\"dead_banks\":{},\"p50_ticks\":{},\"p99_ticks\":{},\
          \"p999_ticks\":{},\"mean_batch\":{:.3},\"mean_flush_age\":{:.3},\
-         \"generated\":{},\"shed\":{},\"links\":{},\"switches\":{},\"banks\":[",
+         \"generated\":{},\"shed\":{},\"links\":{},\"switches\":{},\
+         \"quarantines\":{},\"redirected\":{},\"migrated_lines\":{},\
+         \"directory_lines\":{},\"banks\":[",
         snap.requests,
         snap.ticks,
         snap.drains,
@@ -264,6 +386,10 @@ fn snapshot_json(snap: &PipelineSnapshot, m: &ServeMetrics, lifetime: u64) -> St
         m.shed.get(),
         m.revival.links.get(),
         m.revival.switches.get(),
+        snap.quarantines,
+        snap.redirected,
+        snap.migrated_lines,
+        snap.directory_lines,
     );
     for (i, b) in snap.banks.iter().enumerate() {
         let _ = write!(
@@ -314,6 +440,10 @@ mod tests {
                 p50_ticks: 1,
                 p99_ticks: 2,
                 p999_ticks: 3,
+                quarantines: 0,
+                redirected: 0,
+                migrated_lines: 0,
+                directory_lines: 0,
                 banks: vec![BankPipeStat {
                     bank: 0,
                     flushed: 4,

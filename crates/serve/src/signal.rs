@@ -33,3 +33,9 @@ pub fn install() {
 pub fn stop_requested() -> bool {
     STOP.load(Ordering::Relaxed)
 }
+
+/// Raises the stop flag from inside the process (panic hook, admin
+/// paths) — same effect as a SIGTERM.
+pub fn request_stop() {
+    STOP.store(true, Ordering::Relaxed);
+}

@@ -13,6 +13,11 @@
 //! exactly as a power cut would, and recovery rebuilds what the paper
 //! says is rebuildable.
 //!
+//! Since the degraded-mode work the image also carries the front-end's
+//! quarantine state (dead banks, substitute chain, the migrated-line
+//! directory), so a daemon that lost a bank resumes serving at N−1
+//! immediately after recovery instead of rediscovering the death.
+//!
 //! Format: little-endian `u64` words, a leading magic, a trailing commit
 //! marker, written to a temp file and renamed into place so a crash
 //! mid-save leaves the previous image intact.
@@ -21,10 +26,11 @@ use std::io;
 use std::path::Path;
 
 use wl_reviver::{PersistedMeta, RecoveryReport};
+use wlr_base::pool::{run_pooled, PooledJob};
 use wlr_base::PageId;
-use wlr_mc::McFrontend;
+use wlr_mc::{McFrontend, QuarantineImage};
 
-const MAGIC: u64 = 0x574c_5253_4552_5631; // "WLRSERV1"
+const MAGIC: u64 = 0x574c_5253_4552_5632; // "WLRSERV2"
 const COMMIT: u64 = 0x434f_4d4d_4954_4f4b; // "COMMITOK"
 
 /// One bank's durable state.
@@ -57,6 +63,9 @@ pub struct StateImage {
     pub gap_interval: u64,
     /// Requests serviced over all prior lifetimes (informational).
     pub serviced: u64,
+    /// Quarantine state at capture time (`None` when the front-end is
+    /// not running in degraded mode).
+    pub quarantine: Option<QuarantineImage>,
     /// Per-bank durable state, in bank order.
     pub per_bank: Vec<BankImage>,
 }
@@ -91,6 +100,26 @@ impl StateImage {
             self.serviced,
         ] {
             w.word(v);
+        }
+        match &self.quarantine {
+            None => w.word(0),
+            Some(q) => {
+                w.word(1);
+                w.word(q.dead.len() as u64);
+                for &d in &q.dead {
+                    w.word(u64::from(d));
+                }
+                w.word(q.substitutes.len() as u64);
+                for &s in &q.substitutes {
+                    w.word(s);
+                }
+                w.word(q.directory.len() as u64);
+                for &(addr, tag) in &q.directory {
+                    w.word(addr);
+                    w.word(tag);
+                }
+                w.word(q.dir_seq);
+            }
         }
         for b in &self.per_bank {
             w.word(b.wear.len() as u64);
@@ -128,6 +157,28 @@ impl StateImage {
         if banks > 4096 {
             return Err(corrupt("implausible bank count"));
         }
+        let quarantine = match r.word()? {
+            0 => None,
+            1 => {
+                let dead = r.vec()?.into_iter().map(|d| d != 0).collect();
+                let substitutes = r.vec()?;
+                let pairs = r.word()? as usize;
+                if pairs > bytes.len() / 16 {
+                    return Err(corrupt("implausible directory length"));
+                }
+                let directory = (0..pairs)
+                    .map(|_| Ok((r.word()?, r.word()?)))
+                    .collect::<io::Result<Vec<_>>>()?;
+                let dir_seq = r.word()?;
+                Some(QuarantineImage {
+                    dead,
+                    substitutes,
+                    directory,
+                    dir_seq,
+                })
+            }
+            _ => return Err(corrupt("bad quarantine flag")),
+        };
         let mut per_bank = Vec::with_capacity(banks as usize);
         for _ in 0..banks {
             let wear = r.vec()?.into_iter().map(|w| w as u32).collect();
@@ -152,6 +203,7 @@ impl StateImage {
             endurance_bits,
             gap_interval,
             serviced,
+            quarantine,
             per_bank,
         })
     }
@@ -250,6 +302,7 @@ pub fn capture(mc: &mut McFrontend, cfg_identity: [u64; 5], serviced: u64) -> St
         endurance_bits,
         gap_interval,
         serviced,
+        quarantine: mc.quarantine_image(),
         per_bank,
     }
 }
@@ -257,38 +310,53 @@ pub fn capture(mc: &mut McFrontend, cfg_identity: [u64; 5], serviced: u64) -> St
 /// Replays an image into a *freshly built* front-end: per bank, wear
 /// image → OS retirement order → reviver metadata, the last via
 /// `restore_from`, whose recovery scan emits into whatever sinks are
-/// already attached. Returns the recovery reports absorbed across banks.
-pub fn restore(mc: &mut McFrontend, img: &StateImage) -> RecoveryReport {
+/// already attached. Banks are independent stacks, so their recovery
+/// scans run in parallel on the shared worker pool; once every bank is
+/// back, any persisted quarantine state is re-applied so a degraded
+/// array resumes serving at N−k without rediscovering the deaths.
+/// Returns the per-bank recovery reports, in bank order.
+pub fn restore(mc: &mut McFrontend, img: &StateImage) -> Vec<RecoveryReport> {
     assert_eq!(
         img.per_bank.len(),
         mc.num_banks(),
         "image bank count matches the front-end"
     );
-    let mut total = RecoveryReport::default();
-    for (b, bank_img) in img.per_bank.iter().enumerate() {
-        let sim = mc.bank_sim_mut(b);
-        sim.controller_mut()
-            .device_mut()
-            .restore_wear_image(&bank_img.wear);
-        for &page in &bank_img.retirements {
-            sim.os_mut().retire_page(PageId::new(page));
-        }
-        let meta = PersistedMeta::from_bytes(&bank_img.meta)
-            .expect("committed image carries parseable reviver metadata");
-        let report = sim
-            .controller_mut()
-            .as_reviver_mut()
-            .expect("wlr-serve requires a reviver scheme")
-            .restore_from(meta);
-        total.absorb(&report);
-        let dev = sim.controller().device();
-        let dead: Vec<u64> = dev.dead_iter().map(|da| da.index()).collect();
-        assert_eq!(
-            dead, bank_img.dead,
-            "bank {b}: wear replay must reproduce the captured death set"
-        );
+    let jobs: Vec<PooledJob<RecoveryReport>> = mc
+        .banks_mut()
+        .iter_mut()
+        .zip(&img.per_bank)
+        .map(|(bank, bank_img)| {
+            Box::new(move || {
+                let b = bank.id();
+                let sim = bank.sim_mut();
+                sim.controller_mut()
+                    .device_mut()
+                    .restore_wear_image(&bank_img.wear);
+                for &page in &bank_img.retirements {
+                    sim.os_mut().retire_page(PageId::new(page));
+                }
+                let meta = PersistedMeta::from_bytes(&bank_img.meta)
+                    .expect("committed image carries parseable reviver metadata");
+                let report = sim
+                    .controller_mut()
+                    .as_reviver_mut()
+                    .expect("wlr-serve requires a reviver scheme")
+                    .restore_from(meta);
+                let dev = sim.controller().device();
+                let dead: Vec<u64> = dev.dead_iter().map(|da| da.index()).collect();
+                assert_eq!(
+                    dead, bank_img.dead,
+                    "bank {b}: wear replay must reproduce the captured death set"
+                );
+                report
+            }) as PooledJob<RecoveryReport>
+        })
+        .collect();
+    let reports = run_pooled(jobs);
+    if let Some(q) = &img.quarantine {
+        mc.restore_quarantine(q);
     }
-    total
+    reports
 }
 
 /// Atomically writes `img` to `path` (temp file + rename).
@@ -364,6 +432,24 @@ mod tests {
     }
 
     #[test]
+    fn quarantine_section_round_trips() {
+        let (mut mc, n) = worn_frontend(23);
+        let mut img = capture(&mut mc, IDENTITY, n);
+        assert!(
+            img.quarantine.is_none(),
+            "plain front-end has no quarantine"
+        );
+        img.quarantine = Some(QuarantineImage {
+            dead: vec![false, true],
+            substitutes: vec![u64::MAX, 0],
+            directory: vec![(7, 1), (9, (1 << 63) + 2)],
+            dir_seq: (1 << 63) + 2,
+        });
+        let back = StateImage::from_bytes(&img.to_bytes()).expect("round trip");
+        assert_eq!(back, img);
+    }
+
+    #[test]
     fn truncated_or_uncommitted_images_are_rejected() {
         let (mut mc, n) = worn_frontend(23);
         let bytes = capture(&mut mc, IDENTITY, n).to_bytes();
@@ -379,8 +465,10 @@ mod tests {
         let (mut worn, n) = worn_frontend(23);
         let img = capture(&mut worn, IDENTITY, n);
         let mut fresh = fresh_like(23);
-        let report = restore(&mut fresh, &img);
-        assert!(report.blocks_scanned > 0, "recovery actually scanned");
+        let reports = restore(&mut fresh, &img);
+        assert_eq!(reports.len(), 2, "one report per bank");
+        let scanned: u64 = reports.iter().map(|r| r.blocks_scanned).sum();
+        assert!(scanned > 0, "recovery actually scanned");
         for b in 0..2 {
             let a = worn.bank_sim_mut(b);
             let restored_wear = a.controller().device().wear_snapshot();

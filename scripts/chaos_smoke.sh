@@ -1,0 +1,121 @@
+#!/usr/bin/env bash
+# Chaos smoke for the wlr-serve daemon: drive the runtime fault layer
+# end to end — a daemon kill point that aborts mid-service, bank deaths
+# injected from both WLR_CHAOS_PLAN and the live /chaos endpoint, two
+# SIGKILLed lifetimes, and a final graceful persist→restore cycle that
+# proves quarantine state survives a reboot. Three hard daemon kills and
+# four injected bank deaths in total. Pure bash + /dev/tcp — no curl.
+#
+# Usage: scripts/chaos_smoke.sh [path-to-wlr-serve]
+set -euo pipefail
+
+BIN="${1:-target/release/wlr-serve}"
+PORT="${WLR_SMOKE_PORT:-19465}"
+WORK="$(mktemp -d)"
+trap 'kill -9 "${PID:-}" 2>/dev/null || true; rm -rf "$WORK"' EXIT
+
+# Shared identity across every lifetime: the persisted image is only
+# accepted back under the same geometry.
+export WLR_SERVE_ADDR="127.0.0.1:$PORT"
+export WLR_SERVE_BANKS=4
+export WLR_SERVE_BLOCKS=4096
+export WLR_SERVE_ENDURANCE=1000000000
+export WLR_SERVE_SEED=11
+export WLR_SERVE_STATE="$WORK/device.img"
+export WLR_SERVE_PUBLISH_MS=50
+export WLR_SERVE_ADMISSION_DEPTH=131072
+
+scrape() { # scrape <path> <outfile>
+  local i
+  for i in $(seq 1 100); do
+    if (exec 3<>"/dev/tcp/127.0.0.1/$PORT"
+        printf 'GET %s HTTP/1.0\r\n\r\n' "$1" >&3
+        cat <&3 >"$2") 2>/dev/null; then
+      return 0
+    fi
+    sleep 0.2
+  done
+  echo "FAIL: $1 never became reachable" >&2
+  return 1
+}
+
+metric() { # metric <name> <scrapefile> -> value
+  awk -v m="$1" '$1 == m { print $2 }' "$2"
+}
+
+await_metric_ge() { # await_metric_ge <name> <threshold> <outfile>
+  local i v
+  for i in $(seq 1 150); do
+    scrape /metrics "$3"
+    v="$(metric "$1" "$3")"
+    if [ -n "$v" ] && awk -v v="$v" -v t="$2" 'BEGIN { exit !(v >= t) }'; then
+      return 0
+    fi
+    sleep 0.2
+  done
+  echo "FAIL: $1 never reached $2 (last: ${v:-missing})" >&2
+  return 1
+}
+
+echo "== phase 1: daemon kill point aborts mid-service, nothing persisted"
+set +e
+WLR_CHAOS_PLAN="daemon:kill@15000" WLR_ARRIVAL_RATE=50000 \
+  WLR_SERVE_REQUESTS=2000000 "$BIN" >"$WORK/phase1.log" 2>&1
+rc=$?
+set -e
+[ "$rc" -ne 0 ] || { echo "FAIL: kill point did not crash the daemon" >&2; exit 1; }
+grep -q "chaos plan armed" "$WORK/phase1.log" || { echo "FAIL: plan not armed" >&2; cat "$WORK/phase1.log" >&2; exit 1; }
+grep -q "chaos kill point reached" "$WORK/phase1.log" || { echo "FAIL: kill point never fired" >&2; cat "$WORK/phase1.log" >&2; exit 1; }
+[ ! -s "$WORK/device.img" ] || { echo "FAIL: hard kill must not persist" >&2; exit 1; }
+echo "ok: kill point aborted the daemon (rc=$rc), no image persisted"
+
+echo "== phase 2: bank death from the boot plan, second from /chaos, SIGKILL"
+WLR_CHAOS_PLAN="bank0:die@1000;bank2:reads@50+2;bank1:torn@switch:2" \
+  WLR_ARRIVAL_RATE=20000 WLR_SERVE_REQUESTS=200000000 \
+  "$BIN" >"$WORK/phase2.log" 2>&1 &
+PID=$!
+await_metric_ge wlr_pipeline_dead_banks 1 "$WORK/scrape2a.txt"
+scrape '/chaos?plan=bank1:die@500' "$WORK/chaos2.txt"
+grep -q '"accepted":1' "$WORK/chaos2.txt" || { echo "FAIL: /chaos rejected: $(tail -1 "$WORK/chaos2.txt")" >&2; exit 1; }
+await_metric_ge wlr_pipeline_dead_banks 2 "$WORK/scrape2b.txt"
+await_metric_ge wlr_pipeline_quarantines 2 "$WORK/scrape2b.txt"
+scrape /healthz "$WORK/health2.txt"
+grep -q '"status":"degraded"' "$WORK/health2.txt" || { echo "FAIL: healthz not degraded: $(cat "$WORK/health2.txt")" >&2; exit 1; }
+scrape /snapshot "$WORK/snap2.txt"
+grep -q '"quarantines":2' "$WORK/snap2.txt" || { echo "FAIL: snapshot: $(tail -1 "$WORK/snap2.txt")" >&2; exit 1; }
+kill -9 "$PID"
+wait "$PID" 2>/dev/null || true
+echo "ok: served degraded at N-2 (boot plan + live /chaos), then SIGKILL"
+
+echo "== phase 3: fresh lifetime, SIGKILL while healthy"
+WLR_ARRIVAL_RATE=20000 WLR_SERVE_REQUESTS=200000000 "$BIN" >"$WORK/phase3.log" 2>&1 &
+PID=$!
+await_metric_ge wlr_serve_requests_total 1 "$WORK/scrape3.txt"
+kill -9 "$PID"
+wait "$PID" 2>/dev/null || true
+[ ! -s "$WORK/device.img" ] || { echo "FAIL: SIGKILL must not persist" >&2; exit 1; }
+echo "ok: third hard kill"
+
+echo "== phase 4: two bank deaths, graceful drain, quarantine survives restart"
+WLR_CHAOS_PLAN="bank0:die@1000;bank3:die@1500" WLR_ARRIVAL_RATE=20000 \
+  WLR_SERVE_REQUESTS=40000 "$BIN" >"$WORK/phase4.log" 2>&1
+grep -q "quarantined 2" "$WORK/phase4.log" || { echo "FAIL: deaths not quarantined: $(grep drained "$WORK/phase4.log" || true)" >&2; exit 1; }
+grep -q "persisted" "$WORK/phase4.log" || { echo "FAIL: drain did not persist" >&2; cat "$WORK/phase4.log" >&2; exit 1; }
+[ -s "$WORK/device.img" ] || { echo "FAIL: no persisted image" >&2; exit 1; }
+echo "ok: degraded drain persisted the quarantine image"
+
+WLR_ARRIVAL_RATE=20000 WLR_SERVE_REQUESTS=40000 "$BIN" >"$WORK/phase5.log" 2>&1 &
+PID=$!
+scrape /healthz "$WORK/health5.txt"
+scrape /metrics "$WORK/scrape5.txt"
+wait "$PID"
+grep -q "restored" "$WORK/phase5.log" || { echo "FAIL: restart did not restore" >&2; cat "$WORK/phase5.log" >&2; exit 1; }
+grep -q '"status":"degraded"' "$WORK/health5.txt" || { echo "FAIL: restored healthz not degraded: $(cat "$WORK/health5.txt")" >&2; exit 1; }
+dead="$(metric wlr_pipeline_dead_banks "$WORK/scrape5.txt")"
+[ "${dead:-0}" = "2" ] || { echo "FAIL: restored dead banks = '${dead:-missing}' (expected 2)" >&2; exit 1; }
+# The restore log reports how many banks came back quarantined; the
+# drained line counts only *new* quarantine events (none this lifetime).
+grep -q "2 quarantined" "$WORK/phase5.log" || { echo "FAIL: restored lifetime lost the quarantine" >&2; cat "$WORK/phase5.log" >&2; exit 1; }
+echo "ok: restart restored the quarantine and kept serving degraded"
+
+echo "chaos smoke: PASS"

@@ -80,6 +80,14 @@ grep -q '"status":"ok"' "$WORK/health1.txt" || { echo "FAIL: healthz: $(cat "$WO
 [ -s "$WORK/trace.bank0.jsonl" ] || { echo "FAIL: no trace dump" >&2; exit 1; }
 grep -q "persisted" "$WORK/phase1.log" || { echo "FAIL: phase 1 did not persist" >&2; cat "$WORK/phase1.log" >&2; exit 1; }
 echo "ok: image + trace dump persisted"
+# Nominal load must never shed: the admission ring is sized for the
+# arrival rate, so any shed write here is a regression.
+shed="$(sed -n 's/.*drained;.* shed \([0-9]*\),.*/\1/p' "$WORK/phase1.log")"
+if [ -z "$shed" ] || [ "$shed" != "0" ]; then
+  echo "FAIL: nominal load shed ${shed:-?} writes: $(grep drained "$WORK/phase1.log" || true)" >&2
+  exit 1
+fi
+echo "ok: nominal load shed nothing"
 
 echo "== phase 2: restart, recovery in first scrape, SIGTERM mid-run"
 WLR_ARRIVAL_RATE=10000 WLR_SERVE_REQUESTS=60000 "$BIN" >"$WORK/phase2.log" 2>&1 &
