@@ -4,12 +4,14 @@
 pub mod hist;
 pub mod normal;
 pub mod order;
+pub mod quantile;
 pub mod registry;
 pub mod summary;
 
 pub use hist::{LatencyHistogram, WearHistogram};
 pub use normal::{normal_cdf, normal_inv_cdf};
 pub use order::OrderStatistics;
+pub use quantile::QuantileSet;
 pub use registry::{
     parse_exposition, Counter, Gauge, HistogramSnapshot, LogHistogram, MetricsRegistry, Sample,
 };

@@ -8,7 +8,10 @@
 //! `cache`, `randomizer`, `security-refresh`, or `all`.
 
 use wl_reviver::sim::{SchemeKind, Simulation, SimulationBuilder, StopCondition};
-use wlr_bench::{exp_seed, print_table, run_pooled, scaled_gap_interval};
+use wlr_bench::{
+    exp_seed, fork_warmup_for, print_table, replicate_seeds, run_pooled, run_replicated_forked,
+    scaled_gap_interval, ForkSweep,
+};
 
 /// Boxes a row-producing closure for [`run_pooled`]: every ablation's
 /// independent configurations run concurrently on the shared pool.
@@ -245,8 +248,14 @@ fn randomizer() {
 }
 
 /// Framework generality: Security Refresh with and without revival.
+///
+/// Honors `WLR_REPLICATES`: the sweep warms each stack once and forks
+/// one future per replicate seed (lifetimes reported as a mean), so
+/// multi-seed runs don't replay the shared warmup per seed.
 fn security_refresh() {
-    let mut jobs: Vec<Box<dyn FnOnce() -> Vec<String> + Send>> = Vec::new();
+    let seeds = replicate_seeds();
+    let stop = StopCondition::UsableBelow(0.70);
+    let mut configs: Vec<(String, ForkSweep)> = Vec::new();
     for (name, scheme) in [
         ("ECP6-SR", SchemeKind::SecurityRefreshOnly),
         ("ECP6-SR-WLR", SchemeKind::ReviverSecurityRefresh),
@@ -256,20 +265,30 @@ fn security_refresh() {
         ("ECP6-SG16-WLR", SchemeKind::ReviverTiledStartGap),
     ] {
         for bench in [Benchmark::Ocean, Benchmark::Mg] {
-            jobs.push(row_job(move || {
-                let mut sim = base(scheme)
-                    .workload(bench.build(BLOCKS, exp_seed()))
-                    .build();
-                let out = sim.run(StopCondition::UsableBelow(0.70));
-                vec![
-                    name.to_string(),
-                    bench.name().to_string(),
-                    out.writes_issued.to_string(),
-                ]
-            }));
+            configs.push((
+                format!("{name}\t{}", bench.name()),
+                ForkSweep {
+                    build: Box::new(move || {
+                        base(scheme)
+                            .workload(bench.build(BLOCKS, exp_seed()))
+                            .build()
+                    }),
+                    warmup: fork_warmup_for(stop),
+                    stop,
+                    reseed: Box::new(move |seed| Box::new(bench.build(BLOCKS, seed))),
+                },
+            ));
         }
     }
-    let rows = run_pooled(jobs);
+    let reps = run_replicated_forked(configs, &seeds);
+    let rows: Vec<Vec<String>> = reps
+        .iter()
+        .map(|rep| {
+            let (mean, _, _) = rep.writes_stats();
+            let (stack, bench) = rep.label.split_once('\t').expect("label has two parts");
+            vec![stack.to_string(), bench.to_string(), format!("{mean:.0}")]
+        })
+        .collect();
     print_table(
         "framework generality: four schemes, one framework (lifetime)",
         &["stack", "workload", "lifetime"],

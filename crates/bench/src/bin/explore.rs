@@ -31,7 +31,7 @@
 //! ```
 
 use wl_reviver::sim::{EccKind, SchemeKind, Simulation, StopCondition};
-use wlr_bench::{run_curve, run_replicated, scaled_gap_interval, SeededCurveFn};
+use wlr_bench::{fork_warmup_for, run_replicated_forked, scaled_gap_interval, ForkSweep};
 use wlr_trace::{
     Benchmark, BirthdayAttack, CovTargetedWorkload, RepeatAttack, SpatialMode, TraceWorkload,
     UniformWorkload, Workload, ZipfWorkload,
@@ -207,8 +207,10 @@ fn parse_stop(s: &str) -> StopCondition {
     }
 }
 
-/// Multi-seed mode: one job per seed through the shared worker pool,
-/// summarized as mean/min/max.
+/// Multi-seed mode: one shared warmup, one forked future per seed,
+/// summarized as mean/min/max. Replicates diverge by workload stream
+/// only — they share the warmup and the device's endurance draws (see
+/// EXPERIMENTS.md on fork-shared replicates).
 fn run_replicates(args: &Args, scheme: SchemeKind, stop: StopCondition, psi: u64, app_blocks: u64) {
     let seeds: Vec<u64> = (args.seed..args.seed + args.seeds).collect();
     let label = format!("{}/{}/{}", args.scheme, args.workload, args.stop);
@@ -222,32 +224,39 @@ fn run_replicates(args: &Args, scheme: SchemeKind, stop: StopCondition, psi: u64
         sample: args.sample,
     };
     eprintln!(
-        "running {label} on {} blocks × {} seeds (ψ={psi}, endurance {:.0}) …",
+        "running {label} on {} blocks × {} seeds (ψ={psi}, endurance {:.0}, forked) …",
         args.blocks, args.seeds, args.endurance
     );
-    let configs: Vec<(String, SeededCurveFn)> = vec![(
+    let base_seed = args.seed;
+    let workload_spec = args.workload.clone();
+    let configs: Vec<(String, ForkSweep)> = vec![(
         label.clone(),
-        Box::new(move |seed| {
-            let mut builder = Simulation::builder()
-                .num_blocks(a.blocks)
-                .endurance_mean(a.endurance)
-                .endurance_cov(a.cov)
-                .gap_interval(psi)
-                .sr_refresh_interval(psi)
-                .ecc(parse_ecc(&a.ecc))
-                .scheme(scheme)
-                .seed(seed)
-                .workload_boxed(parse_workload(&a.workload, app_blocks, seed));
-            if let Some(bytes) = a.cache {
-                builder = builder.cache_bytes(bytes);
-            }
-            if let Some(sample) = a.sample {
-                builder = builder.sample_interval(sample);
-            }
-            run_curve(&format!("s{seed}"), builder.build(), stop)
-        }),
+        ForkSweep {
+            build: Box::new(move || {
+                let mut builder = Simulation::builder()
+                    .num_blocks(a.blocks)
+                    .endurance_mean(a.endurance)
+                    .endurance_cov(a.cov)
+                    .gap_interval(psi)
+                    .sr_refresh_interval(psi)
+                    .ecc(parse_ecc(&a.ecc))
+                    .scheme(scheme)
+                    .seed(base_seed)
+                    .workload_boxed(parse_workload(&a.workload, app_blocks, base_seed));
+                if let Some(bytes) = a.cache {
+                    builder = builder.cache_bytes(bytes);
+                }
+                if let Some(sample) = a.sample {
+                    builder = builder.sample_interval(sample);
+                }
+                builder.build()
+            }),
+            warmup: fork_warmup_for(stop),
+            stop,
+            reseed: Box::new(move |seed| parse_workload(&workload_spec, app_blocks, seed)),
+        },
     )];
-    let rep = run_replicated(configs, &seeds).remove(0);
+    let rep = run_replicated_forked(configs, &seeds).remove(0);
     let show = |name: &str, (mean, min, max): (f64, f64, f64), pct: bool| {
         if pct {
             println!(

@@ -9,23 +9,30 @@
 
 use wl_reviver::sim::{SchemeKind, StopCondition};
 use wlr_bench::{
-    exp_builder, print_table, replicate_seeds, run_curve, run_replicated, Curve, SeededCurveFn,
-    EXP_BLOCKS,
+    exp_builder, exp_seed, fork_warmup_for, print_table, replicate_seeds, run_replicated_forked,
+    Curve, ForkSweep, EXP_BLOCKS,
 };
 use wlr_trace::Benchmark;
 
-fn config(bench: Benchmark, scheme: SchemeKind, label: String) -> (String, SeededCurveFn) {
-    let l = label.clone();
+/// One (benchmark, scheme) configuration as a fork-shared sweep: the
+/// warmup to 15% space loss runs once; each replicate seed forks from
+/// the snapshot and diverges only its request stream (replicates share
+/// the device's endurance draws — see EXPERIMENTS.md).
+fn config(bench: Benchmark, scheme: SchemeKind, label: String) -> (String, ForkSweep) {
+    let stop = StopCondition::UsableBelow(0.70);
     (
         label,
-        Box::new(move |seed| {
-            let sim = exp_builder()
-                .seed(seed)
-                .scheme(scheme)
-                .workload(bench.build(EXP_BLOCKS, seed))
-                .build();
-            run_curve(&l, sim, StopCondition::UsableBelow(0.70))
-        }),
+        ForkSweep {
+            build: Box::new(move || {
+                exp_builder()
+                    .scheme(scheme)
+                    .workload(bench.build(EXP_BLOCKS, exp_seed()))
+                    .build()
+            }),
+            warmup: fork_warmup_for(stop),
+            stop,
+            reseed: Box::new(move |seed| Box::new(bench.build(EXP_BLOCKS, seed))),
+        },
     )
 }
 
@@ -45,7 +52,7 @@ fn main() {
             configs.push(config(bench, scheme, format!("{bench}/{tag}")));
         }
     }
-    let curves = run_replicated(configs, &seeds);
+    let curves = run_replicated_forked(configs, &seeds);
 
     let writes = |c: &Curve| c.outcome.writes_issued as f64;
     let mut rows = Vec::new();

@@ -26,6 +26,7 @@ pub mod timing;
 use std::sync::Arc;
 use wl_reviver::metrics::TimeSeries;
 use wl_reviver::sim::{Outcome, Simulation, SimulationBuilder, StopCondition};
+use wlr_trace::Workload;
 
 pub use wlr_base::pool::run_pooled;
 
@@ -190,6 +191,97 @@ pub fn run_replicated(
                 .map(|_| curves.next().expect("one curve per job"))
                 .collect(),
         })
+        .collect()
+}
+
+/// A fork-shared replicate sweep: one configuration warmed once, then
+/// one forked future per replicate seed.
+///
+/// [`run_replicated`] replays the whole run per seed — including the
+/// long fault-free warmup every replicate shares. This variant runs the
+/// warmup once per configuration, takes a [`Simulation::snapshot`], and
+/// forks each replicate from it, diverging only the workload stream.
+///
+/// The semantics differ from per-seed reruns: replicates share the
+/// device's endurance draws and the entire pre-snapshot history, so the
+/// reported spread measures sensitivity to the *post-warmup request
+/// stream*, not to the device lottery (see EXPERIMENTS.md).
+pub struct ForkSweep {
+    /// Builds the configuration's simulation at the base seed.
+    pub build: Box<dyn Fn() -> Simulation + Send>,
+    /// How far the shared warmup runs before the snapshot. Must trip
+    /// strictly before `stop`, or every future ends immediately.
+    pub warmup: StopCondition,
+    /// Stop condition for the forked futures.
+    pub stop: StopCondition,
+    /// Builds the divergent workload for one replicate seed.
+    pub reseed: Box<dyn Fn(u64) -> Box<dyn Workload> + Send>,
+}
+
+/// The warmup point for a fork-shared sweep ending at `stop`: half the
+/// write budget, half the dead fraction, or halfway down to the usable
+/// floor — always strictly before the stop, so forked futures have room
+/// to diverge.
+pub fn fork_warmup_for(stop: StopCondition) -> StopCondition {
+    match stop {
+        StopCondition::Writes(n) => StopCondition::Writes(n / 2),
+        StopCondition::DeadFraction(f) => StopCondition::DeadFraction(f / 2.0),
+        StopCondition::UsableBelow(u) => StopCondition::UsableBelow((1.0 + u) / 2.0),
+    }
+}
+
+/// Runs every configuration's shared warmup on the worker pool, then its
+/// replicate futures forked from the snapshot, aggregating per
+/// configuration in input order (the fork-based counterpart of
+/// [`run_replicated`]).
+///
+/// # Panics
+///
+/// Panics if `seeds` is empty.
+pub fn run_replicated_forked(
+    configs: Vec<(String, ForkSweep)>,
+    seeds: &[u64],
+) -> Vec<ReplicatedCurve> {
+    assert!(!seeds.is_empty(), "need at least one replicate seed");
+    let mut labels = Vec::with_capacity(configs.len());
+    let mut jobs: Vec<PooledJob<Vec<Curve>>> = Vec::new();
+    for (label, sweep) in configs {
+        labels.push(label.clone());
+        let seeds = seeds.to_vec();
+        jobs.push(Box::new(move || {
+            eprintln!(
+                "  warming {label} once, forking {} replicate{} …",
+                seeds.len(),
+                if seeds.len() == 1 { "" } else { "s" }
+            );
+            let mut warm = (sweep.build)();
+            warm.run(sweep.warmup);
+            let snap = warm.snapshot();
+            seeds
+                .iter()
+                .map(|&seed| {
+                    let mut sim = Simulation::fork(&snap);
+                    // The canonical seed continues the *captured* stream
+                    // (bit-identical to the unbroken single run, keeping
+                    // the recorded results/ tables byte-comparable); only
+                    // extra replicates get a fresh divergent stream.
+                    if seed != exp_seed() {
+                        sim.replace_workload((sweep.reseed)(seed));
+                    }
+                    let outcome = sim.run(sweep.stop);
+                    Curve {
+                        label: format!("{label}/s{seed}"),
+                        series: sim.series().clone(),
+                        outcome,
+                    }
+                })
+                .collect()
+        }));
+    }
+    run_pooled(jobs)
+        .into_iter()
+        .zip(labels)
+        .map(|(replicates, label)| ReplicatedCurve { label, replicates })
         .collect()
 }
 

@@ -31,6 +31,15 @@ pub fn env_u64(name: &str, default: u64) -> u64 {
         .unwrap_or(default)
 }
 
+/// Parses a float env knob, falling back to `default` when unset or
+/// malformed.
+pub fn env_f64(name: &str, default: f64) -> f64 {
+    std::env::var(name)
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(default)
+}
+
 /// Extracts the `"baseline": { ... }` object (brace-balanced) from a
 /// previous report, if present.
 pub fn extract_baseline(json: &str) -> Option<String> {

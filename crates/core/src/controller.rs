@@ -158,6 +158,19 @@ pub trait Controller: fmt::Debug + Send {
         None
     }
 
+    /// Deep copy of the controller's full state (device image, leveler,
+    /// link tables, spare pool, caches) for [`Simulation`] snapshots.
+    /// The default returns `None` (the controller cannot be forked); all
+    /// shipped controllers override it. A returned copy must behave
+    /// bit-identically to the original under the same request sequence,
+    /// except that attached event sinks are intentionally *not* carried
+    /// over (observers are per-run, not part of the simulated state).
+    ///
+    /// [`Simulation`]: crate::sim::Simulation
+    fn fork_box(&self) -> Option<Box<dyn Controller>> {
+        None
+    }
+
     /// Downcast to the WL-Reviver controller, when that is what this is
     /// (gives experiments access to the framework's event counters).
     fn as_reviver(&self) -> Option<&crate::reviver::RevivedController> {

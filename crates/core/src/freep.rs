@@ -125,6 +125,23 @@ pub struct FreepController {
     counters: FreepCounters,
 }
 
+impl Clone for FreepController {
+    fn clone(&self) -> Self {
+        FreepController {
+            geo: self.geo,
+            device: self.device.clone(),
+            wl: self.wl.clone_box(),
+            reserve_blocks: self.reserve_blocks,
+            slots: self.slots.clone(),
+            links: self.links.clone(),
+            frozen: self.frozen,
+            cache: self.cache.clone(),
+            req: self.req,
+            counters: self.counters,
+        }
+    }
+}
+
 impl FreepController {
     /// Starts building a FREE-p controller with `reserve_blocks` slots.
     pub fn builder(
@@ -377,6 +394,10 @@ impl Controller for FreepController {
 
     fn as_freep(&self) -> Option<&FreepController> {
         Some(self)
+    }
+
+    fn fork_box(&self) -> Option<Box<dyn Controller>> {
+        Some(Box::new(self.clone()))
     }
 
     fn label(&self) -> String {

@@ -71,5 +71,5 @@ pub use reviver::{
     EventSink, InvariantSink, MetricsSink, NoopSink, RecoveryPhase, RevivalMetrics,
     RevivedController, ReviverCounters, ReviverEvent, TraceRingSink, ViolationKind,
 };
-pub use sim::{AppRead, BatchStatus, SchemeKind, Simulation, StopCondition};
+pub use sim::{AppRead, BatchStatus, SchemeKind, SimSnapshot, Simulation, StopCondition};
 pub use zombie::ZombieController;

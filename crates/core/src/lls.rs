@@ -158,6 +158,29 @@ pub struct LlsController {
     counters: LlsCounters,
 }
 
+impl Clone for LlsController {
+    fn clone(&self) -> Self {
+        LlsController {
+            geo: self.geo,
+            device: self.device.clone(),
+            wl: self.wl.clone_box(),
+            chunk_blocks: self.chunk_blocks,
+            max_chunks: self.max_chunks,
+            groups: self.groups,
+            backup_base: self.backup_base,
+            chunks_acquired: self.chunks_acquired,
+            group_free: self.group_free.clone(),
+            links: self.links.clone(),
+            frozen: self.frozen,
+            chunk_wanted: self.chunk_wanted,
+            next_victim_page: self.next_victim_page,
+            cache: self.cache.clone(),
+            req: self.req,
+            counters: self.counters,
+        }
+    }
+}
+
 impl LlsController {
     /// Starts building an LLS controller; `wl` should use
     /// [`wlr_wl::RandomizerKind::HalfRestricted`] per the paper.
@@ -497,6 +520,10 @@ impl Controller for LlsController {
 
     fn as_lls(&self) -> Option<&LlsController> {
         Some(self)
+    }
+
+    fn fork_box(&self) -> Option<Box<dyn Controller>> {
+        Some(Box::new(self.clone()))
     }
 
     fn label(&self) -> String {

@@ -272,10 +272,14 @@ impl RevivedController {
         if d0 == target || !self.device.is_dead(target) {
             return;
         }
-        debug_assert!(
-            self.links.ptr.contains_key(target.index()),
-            "dead migration target must have been linked by write_da"
-        );
+        if !self.links.ptr.contains_key(target.index()) {
+            // `target` died *silently* (the device reported Ok, so
+            // `write_da` never saw a failure and never linked it). Its
+            // death is still undiscovered: leave the two-step chain in
+            // place — the chain walk links and switches it on the write
+            // that first finds the shadow dead.
+            return;
+        }
         self.switch(d0, target);
     }
 

@@ -239,6 +239,10 @@ impl Controller for RevivedController {
         Some(self)
     }
 
+    fn fork_box(&self) -> Option<Box<dyn Controller>> {
+        Some(Box::new(self.clone()))
+    }
+
     fn as_reviver_mut(&mut self) -> Option<&mut RevivedController> {
         Some(self)
     }

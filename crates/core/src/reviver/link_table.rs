@@ -17,7 +17,7 @@ use wlr_pcm::{CrashPoint, WriteOutcome};
 
 /// The failed-DA→virtual-shadow link table with its inverse image and
 /// the remap cache over pointer resolutions.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub(super) struct LinkTable {
     /// failed DA → its virtual shadow PA (stored *in* the failed block on
     /// real hardware, plus a status bit).

@@ -304,6 +304,38 @@ pub struct RevivedController {
     quiesced_subscribed: bool,
 }
 
+impl Clone for RevivedController {
+    /// Deep copy of the full revived-controller state for simulation
+    /// snapshots. Event sinks are deliberately *not* carried over — they
+    /// are per-run observers (trace rings, metric exporters), not part of
+    /// the simulated machine — so the copy starts with an empty sink
+    /// stack and zero-cost emission. The folded [`ReviverCounters`] *are*
+    /// copied: they are observable state.
+    fn clone(&self) -> Self {
+        RevivedController {
+            geo: self.geo,
+            device: self.device.clone(),
+            wl: self.wl.clone_box(),
+            links: self.links.clone(),
+            pool: self.pool.clone(),
+            suspended: self.suspended,
+            mig_buf: self.mig_buf.clone(),
+            req: self.req,
+            counters: self.counters,
+            check: self.check,
+            ptrs_per_block: self.ptrs_per_block,
+            switching: self.switching,
+            proactive: self.proactive,
+            in_write_da: self.in_write_da,
+            pending_meta: self.pending_meta.clone(),
+            persist: self.persist.clone(),
+            degraded: self.degraded,
+            sinks: Vec::new(),
+            quiesced_subscribed: false,
+        }
+    }
+}
+
 impl RevivedController {
     /// Starts building a revived controller over `device` driving `wl`.
     pub fn builder(device: PcmDevice, wl: Box<dyn WearLeveler>) -> RevivedControllerBuilder {

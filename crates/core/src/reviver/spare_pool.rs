@@ -17,7 +17,7 @@ use wlr_base::dense::{DenseMap, DenseSet};
 use wlr_base::{Pa, PageId};
 
 /// Spare-PA acquisition state and the retired-page layout.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub(super) struct SparePool {
     /// Unlinked reserved PAs (the current/last registers of §III-A,
     /// generalized to a queue across multiple retired pages).

@@ -614,13 +614,52 @@ pub struct Simulation {
     silent_seen: usize,
 }
 
+/// A frozen image of a [`Simulation`] at one instant, produced by
+/// [`Simulation::snapshot`] and instantiated (any number of times) by
+/// [`Simulation::fork`].
+///
+/// The image is self-contained: it owns deep copies of the device, the
+/// leveler, the OS page tables, the workload stream position, and every
+/// RNG stream, so the original simulation and all forks evolve fully
+/// independently. See `DESIGN.md` ("Snapshot/fork") for exactly what is
+/// and is not captured.
+#[derive(Debug)]
+pub struct SimSnapshot {
+    geo: Geometry,
+    os: OsMemory,
+    controller: Box<dyn Controller>,
+    workload: Box<dyn Workload>,
+    writes_issued: u64,
+    seq: u64,
+    series: TimeSeries,
+    sample_interval: u64,
+    last_req: (u64, u64),
+    next_sample: u64,
+    expected: Option<Oracle>,
+    verify_rng: Rng,
+    integrity_errors: u64,
+    retirements: u64,
+    grants: u64,
+    lost_writes: u64,
+    hard_cap: u64,
+    fault_active: bool,
+    silent_seen: usize,
+}
+
+impl SimSnapshot {
+    /// Software writes the captured run had issued at snapshot time.
+    pub fn writes_issued(&self) -> u64 {
+        self.writes_issued
+    }
+}
+
 /// The integrity oracle's store: a dense app-address → tag table plus an
 /// incrementally-maintained sorted key list. The seed-state engine
 /// re-sorted the key set at every sample to make verification traffic
 /// deterministic; keeping the list sorted across inserts (most writes hit
 /// an existing key and touch only the table) preserves the exact same
 /// pick sequence at O(log n) amortized instead of O(n log n) per sample.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 struct Oracle {
     map: DenseMap<u64>,
     /// The present keys in ascending order, kept in lockstep with `map`.
@@ -1455,6 +1494,115 @@ impl Simulation {
             eat(u64::from(w));
         }
         h
+    }
+
+    /// Freezes the full observable state of the run into a
+    /// [`SimSnapshot`]: device block states and wear counters, leveler
+    /// state, link tables, spare pool, OS page tables, workload stream
+    /// position, the integrity oracle, and every RNG stream. The state
+    /// lives in flat tables (`Vec`s and [`wlr_base::dense::DenseMap`]s), so the
+    /// snapshot is a handful of bulk memcpys — no per-entry work.
+    ///
+    /// Event sinks attached to the controller are *not* captured (they
+    /// are per-run observers, not simulated state); forks start with an
+    /// empty sink stack. Everything that feeds [`Self::fingerprint`] is
+    /// captured, and [`Simulation::fork`]-then-replay is bit-identical
+    /// to continuing the original run.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the controller or workload is a custom type that does
+    /// not implement fork support ([`Controller::fork_box`] /
+    /// [`Workload::clone_box`]); every shipped implementation does.
+    pub fn snapshot(&self) -> SimSnapshot {
+        let controller = self
+            .controller
+            .fork_box()
+            .expect("controller does not support snapshot/fork");
+        let workload = self
+            .workload
+            .clone_box()
+            .expect("workload does not support snapshot/fork");
+        SimSnapshot {
+            geo: self.geo,
+            os: self.os.clone(),
+            controller,
+            workload,
+            writes_issued: self.writes_issued,
+            seq: self.seq,
+            series: self.series.clone(),
+            sample_interval: self.sample_interval,
+            last_req: self.last_req,
+            next_sample: self.next_sample,
+            expected: self.expected.clone(),
+            verify_rng: self.verify_rng.clone(),
+            integrity_errors: self.integrity_errors,
+            retirements: self.retirements,
+            grants: self.grants,
+            lost_writes: self.lost_writes,
+            hard_cap: self.hard_cap,
+            fault_active: self.fault_active,
+            silent_seen: self.silent_seen,
+        }
+    }
+
+    /// Instantiates a fresh, independent simulation from `snap`. The
+    /// snapshot is not consumed: one warmed snapshot can fan out
+    /// arbitrarily many divergent futures, each continuing from the
+    /// identical state. Divergence is injected after forking — swap the
+    /// address stream with [`Self::replace_workload`] or arm a fault
+    /// plan with [`Self::arm_faults`].
+    pub fn fork(snap: &SimSnapshot) -> Simulation {
+        Simulation {
+            geo: snap.geo,
+            os: snap.os.clone(),
+            controller: snap
+                .controller
+                .fork_box()
+                .expect("snapshotted controller must support fork"),
+            workload: snap
+                .workload
+                .clone_box()
+                .expect("snapshotted workload must support fork"),
+            writes_issued: snap.writes_issued,
+            seq: snap.seq,
+            series: snap.series.clone(),
+            sample_interval: snap.sample_interval,
+            last_req: snap.last_req,
+            next_sample: snap.next_sample,
+            expected: snap.expected.clone(),
+            verify_rng: snap.verify_rng.clone(),
+            integrity_errors: snap.integrity_errors,
+            retirements: snap.retirements,
+            grants: snap.grants,
+            lost_writes: snap.lost_writes,
+            hard_cap: snap.hard_cap,
+            fault_active: snap.fault_active,
+            silent_seen: snap.silent_seen,
+        }
+    }
+
+    /// Address-space size of the installed workload (the app space it was
+    /// built against) — what a [`Self::replace_workload`] replacement
+    /// must match.
+    pub fn workload_len(&self) -> u64 {
+        self.workload.len()
+    }
+
+    /// Replaces the address generator mid-run — the seed-divergence hook
+    /// for forked futures. The new workload must cover the same
+    /// application address space as the old one.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `workload.len()` differs from the current workload's.
+    pub fn replace_workload(&mut self, workload: Box<dyn Workload>) {
+        assert_eq!(
+            workload.len(),
+            self.workload.len(),
+            "replacement workload must cover the same address space"
+        );
+        self.workload = workload;
     }
 
     fn condition_met(&self, stop: StopCondition) -> bool {

@@ -119,6 +119,23 @@ pub struct ZombieController {
     counters: ZombieCounters,
 }
 
+impl Clone for ZombieController {
+    fn clone(&self) -> Self {
+        ZombieController {
+            geo: self.geo,
+            device: self.device.clone(),
+            wl: self.wl.clone_box(),
+            spares: self.spares.clone(),
+            links: self.links.clone(),
+            frozen: self.frozen,
+            retired: self.retired.clone(),
+            cache: self.cache.clone(),
+            req: self.req,
+            counters: self.counters,
+        }
+    }
+}
+
 impl ZombieController {
     /// Starts building a Zombie controller over `device` driving `wl`.
     pub fn builder(device: PcmDevice, wl: Box<dyn WearLeveler>) -> ZombieControllerBuilder {
@@ -355,6 +372,10 @@ impl Controller for ZombieController {
 
     fn reset_request_stats(&mut self) {
         self.req = RequestStats::default();
+    }
+
+    fn fork_box(&self) -> Option<Box<dyn Controller>> {
+        Some(Box::new(self.clone()))
     }
 
     fn label(&self) -> String {

@@ -188,6 +188,28 @@ pub struct PcmDevice {
     fault: Option<FaultInjector>,
 }
 
+impl Clone for PcmDevice {
+    /// Deep copy of the full device state — wear counters, failure
+    /// thresholds, ECC resources, content image, armed faults. The block
+    /// table is a flat vec of plain data, so this is a bulk memcpy; it is
+    /// the device half of [`Simulation::snapshot`]-style forking.
+    ///
+    /// [`Simulation::snapshot`]: https://docs.rs/wlr-core
+    fn clone(&self) -> Self {
+        PcmDevice {
+            geometry: self.geometry,
+            total_blocks: self.total_blocks,
+            lifetime: self.lifetime.clone(),
+            ecc: self.ecc.clone_box(),
+            blocks: self.blocks.clone(),
+            contents: self.contents.clone(),
+            dead_count: self.dead_count,
+            stats: self.stats,
+            fault: self.fault.clone(),
+        }
+    }
+}
+
 impl PcmDevice {
     /// Starts building a device over `geometry` (defaults: ECP6, endurance
     /// N(10⁴, CoV 0.2), seed 0, no extra blocks, no content tracking).

@@ -50,6 +50,9 @@ pub trait ErrorCorrection: fmt::Debug + Send {
         let _ = (da, nth);
         false
     }
+
+    /// Deep copy of the scheme's current state, for device snapshots.
+    fn clone_box(&self) -> Box<dyn ErrorCorrection>;
 }
 
 /// Error-Correcting Pointers with a fixed number of entries per block.
@@ -102,6 +105,10 @@ impl ErrorCorrection for Ecp {
 
     fn would_correct(&self, _da: Da, nth: u32) -> bool {
         nth <= self.entries
+    }
+
+    fn clone_box(&self) -> Box<dyn ErrorCorrection> {
+        Box::new(self.clone())
     }
 }
 
@@ -187,6 +194,10 @@ impl ErrorCorrection for Payg {
     fn would_correct(&self, _da: Da, nth: u32) -> bool {
         nth <= self.cap && (nth <= self.local_entries || self.pool > 0)
     }
+
+    fn clone_box(&self) -> Box<dyn ErrorCorrection> {
+        Box::new(self.clone())
+    }
 }
 
 /// No correction at all: every cell failure kills its block. Useful as a
@@ -207,6 +218,10 @@ impl ErrorCorrection for NoCorrection {
 
     fn label(&self) -> String {
         "none".to_string()
+    }
+
+    fn clone_box(&self) -> Box<dyn ErrorCorrection> {
+        Box::new(*self)
     }
 }
 

@@ -21,7 +21,7 @@ use wlr_base::AppAddr;
 /// for _ in 0..3 { a.next_write(); }
 /// assert_eq!(a.next_write(), first);
 /// ```
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct RepeatAttack {
     len: u64,
     targets: Vec<AppAddr>,
@@ -76,6 +76,10 @@ impl Workload for RepeatAttack {
     fn label(&self) -> String {
         format!("repeat-attack({})", self.targets.len())
     }
+
+    fn clone_box(&self) -> Option<Box<dyn Workload>> {
+        Some(Box::new(self.clone()))
+    }
 }
 
 /// Birthday-paradox attack (Seznec, CAL'10): instead of hammering one
@@ -84,7 +88,7 @@ impl Workload for RepeatAttack {
 /// many epochs, by the birthday paradox, some *device* blocks absorb far
 /// more than their share because distinct epochs' sets collide with the
 /// slowly-moving mapping.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct BirthdayAttack {
     len: u64,
     set_size: u64,
@@ -159,6 +163,10 @@ impl Workload for BirthdayAttack {
 
     fn label(&self) -> String {
         format!("birthday-attack({}x{})", self.set_size, self.epoch_writes)
+    }
+
+    fn clone_box(&self) -> Option<Box<dyn Workload>> {
+        Some(Box::new(self.clone()))
     }
 }
 

@@ -51,7 +51,7 @@ pub enum SpatialMode {
 /// let a = w.next_write();
 /// assert!(a.index() < 4096);
 /// ```
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct CovTargetedWorkload {
     len: u64,
     target_cov: f64,
@@ -142,6 +142,10 @@ impl Workload for CovTargetedWorkload {
 
     fn label(&self) -> String {
         self.label.clone()
+    }
+
+    fn clone_box(&self) -> Option<Box<dyn Workload>> {
+        Some(Box::new(self.clone()))
     }
 
     fn exact_cov_opt(&self) -> Option<f64> {

@@ -325,7 +325,7 @@ impl TraceReader {
 /// A [`Workload`] replaying a recorded trace, looping back to the start
 /// when exhausted (the paper "assumes each program runs multiple times to
 /// produce the required wear-out effect", §IV-A).
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct TraceWorkload {
     space: u64,
     records: Vec<u64>,
@@ -417,6 +417,10 @@ impl Workload for TraceWorkload {
 
     fn label(&self) -> String {
         format!("trace({} records)", self.records.len())
+    }
+
+    fn clone_box(&self) -> Option<Box<dyn Workload>> {
+        Some(Box::new(self.clone()))
     }
 }
 

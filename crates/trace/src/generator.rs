@@ -24,6 +24,15 @@ pub trait Workload: fmt::Debug + Send {
     /// Generator label for experiment output.
     fn label(&self) -> String;
 
+    /// Deep copy of the generator's current stream position, for
+    /// simulation snapshots. The default returns `None` (the workload
+    /// cannot be snapshotted); all shipped generators override it. A
+    /// returned copy must produce the identical address stream as the
+    /// original from this point on.
+    fn clone_box(&self) -> Option<Box<dyn Workload>> {
+        None
+    }
+
     /// The exact coefficient of variation of the generator's stationary
     /// per-block write distribution, when known analytically (from its
     /// weight profile). `None` for adaptive/attack workloads.

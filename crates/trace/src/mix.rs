@@ -19,7 +19,7 @@ use wlr_base::AppAddr;
 /// assert_eq!(w.exact_cov(), 0.0);
 /// assert!(w.next_write().index() < 128);
 /// ```
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct UniformWorkload {
     len: u64,
     rng: Rng,
@@ -53,6 +53,10 @@ impl Workload for UniformWorkload {
         "uniform".to_string()
     }
 
+    fn clone_box(&self) -> Option<Box<dyn Workload>> {
+        Some(Box::new(self.clone()))
+    }
+
     fn exact_cov_opt(&self) -> Option<f64> {
         Some(0.0)
     }
@@ -60,7 +64,7 @@ impl Workload for UniformWorkload {
 
 /// Zipf-distributed writes: block `i` (after a seeded shuffle) receives
 /// weight `(i+1)^-s`.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct ZipfWorkload {
     len: u64,
     exponent: f64,
@@ -117,6 +121,10 @@ impl Workload for ZipfWorkload {
         format!("zipf(s={})", self.exponent)
     }
 
+    fn clone_box(&self) -> Option<Box<dyn Workload>> {
+        Some(Box::new(self.clone()))
+    }
+
     fn exact_cov_opt(&self) -> Option<f64> {
         Some(self.cov)
     }
@@ -125,7 +133,7 @@ impl Workload for ZipfWorkload {
 /// The classic hot/cold mixture: a `hot_fraction` of writes goes uniformly
 /// to a contiguous region covering `hot_space` of the address space, the
 /// rest uniformly everywhere.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct HotRegionWorkload {
     len: u64,
     hot_blocks: u64,
@@ -187,6 +195,10 @@ impl Workload for HotRegionWorkload {
             self.hot_fraction * 100.0,
             self.hot_blocks as f64 / self.len as f64 * 100.0
         )
+    }
+
+    fn clone_box(&self) -> Option<Box<dyn Workload>> {
+        Some(Box::new(self.clone()))
     }
 
     fn exact_cov_opt(&self) -> Option<f64> {

@@ -72,6 +72,10 @@ impl WearLeveler for NoWearLeveling {
     fn label(&self) -> String {
         "none".to_string()
     }
+
+    fn clone_box(&self) -> Box<dyn WearLeveler> {
+        Box::new(self.clone())
+    }
 }
 
 #[cfg(test)]

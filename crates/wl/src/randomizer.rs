@@ -45,6 +45,9 @@ pub trait AddressRandomizer: fmt::Debug + Send {
     ///
     /// Panics if `y >= len()`.
     fn backward(&self, y: u64) -> u64;
+
+    /// Deep copy of the randomizer, for leveler/simulation snapshots.
+    fn clone_box(&self) -> Box<dyn AddressRandomizer>;
 }
 
 /// Declarative randomizer choice, for builders and experiment configs.
@@ -135,6 +138,10 @@ impl AddressRandomizer for IdentityRandomizer {
         assert!(y < self.len, "address {y} out of domain {}", self.len);
         y
     }
+
+    fn clone_box(&self) -> Box<dyn AddressRandomizer> {
+        Box::new(self.clone())
+    }
 }
 
 /// An explicit random permutation (Fisher–Yates) with a stored inverse.
@@ -177,6 +184,10 @@ impl AddressRandomizer for TableRandomizer {
 
     fn backward(&self, y: u64) -> u64 {
         self.backward[usize::try_from(y).expect("address out of domain")]
+    }
+
+    fn clone_box(&self) -> Box<dyn AddressRandomizer> {
+        Box::new(self.clone())
     }
 }
 
@@ -279,6 +290,10 @@ impl AddressRandomizer for FeistelRandomizer {
         }
         x
     }
+
+    fn clone_box(&self) -> Box<dyn AddressRandomizer> {
+        Box::new(self.clone())
+    }
 }
 
 /// Largest domain [`RandomizerKind::build`] will memoize into tables.
@@ -300,6 +315,7 @@ const MEMOIZE_MAX_DOMAIN: u64 = 1 << 20;
 ///     assert_eq!(memo.backward(x), inner.backward(x));
 /// }
 /// ```
+#[derive(Clone)]
 pub struct MemoizedRandomizer {
     forward: Vec<u64>,
     backward: Vec<u64>,
@@ -354,6 +370,10 @@ impl AddressRandomizer for MemoizedRandomizer {
         let len = self.len();
         assert!(y < len, "address {y} out of domain {len}");
         self.backward[y as usize]
+    }
+
+    fn clone_box(&self) -> Box<dyn AddressRandomizer> {
+        Box::new(self.clone())
     }
 }
 
@@ -412,6 +432,10 @@ impl AddressRandomizer for HalfRestrictedRandomizer {
         } else {
             self.lo.backward(y - self.half)
         }
+    }
+
+    fn clone_box(&self) -> Box<dyn AddressRandomizer> {
+        Box::new(self.clone())
     }
 }
 

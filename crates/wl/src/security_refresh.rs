@@ -190,7 +190,7 @@ impl Region {
 /// assert!(matches!(wl.pending(), Some(wlr_wl::Migration::Swap { .. })));
 /// wl.complete_migration();
 /// ```
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct SecurityRefresh {
     len: u64,
     region_blocks: u64,
@@ -299,6 +299,10 @@ impl WearLeveler for SecurityRefresh {
 
     fn label(&self) -> String {
         "Security-Refresh".to_string()
+    }
+
+    fn clone_box(&self) -> Box<dyn WearLeveler> {
+        Box::new(self.clone())
     }
 }
 

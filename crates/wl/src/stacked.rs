@@ -48,6 +48,15 @@ pub struct Stacked {
     outer: Box<dyn WearLeveler>,
 }
 
+impl Clone for Stacked {
+    fn clone(&self) -> Self {
+        Stacked {
+            inner: self.inner.clone_box(),
+            outer: self.outer.clone_box(),
+        }
+    }
+}
+
 impl Stacked {
     /// Composes `inner` (PA → intermediate) with `outer`
     /// (intermediate → DA).
@@ -165,6 +174,10 @@ impl WearLeveler for Stacked {
 
     fn label(&self) -> String {
         format!("{}+{}", self.inner.label(), self.outer.label())
+    }
+
+    fn clone_box(&self) -> Box<dyn WearLeveler> {
+        Box::new(self.clone())
     }
 }
 

@@ -107,6 +107,20 @@ pub struct StartGap {
     randomizer: Box<dyn AddressRandomizer>,
 }
 
+impl Clone for StartGap {
+    fn clone(&self) -> Self {
+        StartGap {
+            len: self.len,
+            start: self.start,
+            gap: self.gap,
+            gap_interval: self.gap_interval,
+            writes_since_move: self.writes_since_move,
+            debt: self.debt,
+            randomizer: self.randomizer.clone_box(),
+        }
+    }
+}
+
 impl StartGap {
     /// Starts building a Start-Gap instance over `len` physical addresses.
     pub fn builder(len: u64) -> StartGapBuilder {
@@ -221,6 +235,10 @@ impl WearLeveler for StartGap {
 
     fn label(&self) -> String {
         "Start-Gap".to_string()
+    }
+
+    fn clone_box(&self) -> Box<dyn WearLeveler> {
+        Box::new(self.clone())
     }
 }
 

@@ -110,6 +110,18 @@ pub struct TiledStartGap {
     rr_cursor: usize,
 }
 
+impl Clone for TiledStartGap {
+    fn clone(&self) -> Self {
+        TiledStartGap {
+            len: self.len,
+            tile_len: self.tile_len,
+            tiles: self.tiles.clone(),
+            randomizer: self.randomizer.clone_box(),
+            rr_cursor: self.rr_cursor,
+        }
+    }
+}
+
 impl TiledStartGap {
     /// Starts building a tiled Start-Gap over `len` physical addresses.
     pub fn builder(len: u64) -> TiledStartGapBuilder {
@@ -208,6 +220,10 @@ impl WearLeveler for TiledStartGap {
 
     fn label(&self) -> String {
         format!("Start-Gap[{}]", self.tiles.len())
+    }
+
+    fn clone_box(&self) -> Box<dyn WearLeveler> {
+        Box::new(self.clone())
     }
 }
 

@@ -140,6 +140,11 @@ pub trait WearLeveler: fmt::Debug + Send {
 
     /// Scheme label for experiment output (e.g. `"Start-Gap"`).
     fn label(&self) -> String;
+
+    /// Deep copy of the scheme's full state — mapping, migration debt,
+    /// RNG streams — for simulation snapshots. The copy must behave
+    /// bit-identically to the original under the same write sequence.
+    fn clone_box(&self) -> Box<dyn WearLeveler>;
 }
 
 /// Drives `wl` until no migration is pending, applying each migration with
