@@ -7,6 +7,7 @@
 //! where `<which>` is one of `chains`, `acquisition`, `ptr-section`,
 //! `cache`, `randomizer`, `security-refresh`, or `all`.
 
+use wl_reviver::registry::SchemeRegistry;
 use wl_reviver::sim::{SchemeKind, Simulation, SimulationBuilder, StopCondition};
 use wlr_bench::{
     exp_seed, fork_warmup_for, print_table, replicate_seeds, run_pooled, run_replicated_forked,
@@ -255,14 +256,19 @@ fn randomizer() {
 fn security_refresh() {
     let seeds = replicate_seeds();
     let stop = StopCondition::UsableBelow(0.70);
+    let reg = SchemeRegistry::global();
     let mut configs: Vec<(String, ForkSweep)> = Vec::new();
     for (name, scheme) in [
-        ("ECP6-SR", SchemeKind::SecurityRefreshOnly),
-        ("ECP6-SR-WLR", SchemeKind::ReviverSecurityRefresh),
-        ("ECP6-SR2-WLR", SchemeKind::ReviverTwoLevelSecurityRefresh),
-        ("ECP6-SG", SchemeKind::StartGapOnly),
-        ("ECP6-SG-WLR", SchemeKind::ReviverStartGap),
-        ("ECP6-SG16-WLR", SchemeKind::ReviverTiledStartGap),
+        ("ECP6-SR", reg.kind("sr")),
+        ("ECP6-SR-WLR", reg.kind("reviver-sr")),
+        ("ECP6-SR2-WLR", reg.kind("reviver-sr2")),
+        ("ECP6-SG", reg.kind("sg")),
+        ("ECP6-SG-WLR", reg.kind("reviver-sg")),
+        ("ECP6-SG16-WLR", reg.kind("reviver-tiled")),
+        ("ECP6-SW", reg.kind("softwear")),
+        ("ECP6-SW-WLR", reg.kind("softwear-wlr")),
+        ("ECP6-ASG", reg.kind("adaptive-sg")),
+        ("ECP6-ASG-WLR", reg.kind("adaptive-sg-wlr")),
     ] {
         for bench in [Benchmark::Ocean, Benchmark::Mg] {
             configs.push((
@@ -290,28 +296,27 @@ fn security_refresh() {
         })
         .collect();
     print_table(
-        "framework generality: four schemes, one framework (lifetime)",
+        "framework generality: six schemes, one framework (lifetime)",
         &["stack", "workload", "lifetime"],
         &rows,
     );
     println!("WL-Reviver revives single-level SR, two-level SR (SR2), plain and");
-    println!("region-tiled Start-Gap (SG16) through the same one-operation");
-    println!("interface, with no scheme modifications (§IV's methodology note).");
+    println!("region-tiled Start-Gap (SG16), table-mapped SoftWear (SW) and the");
+    println!("SAWL-style adaptive Start-Gap wrapper (ASG) through the same");
+    println!("one-operation interface, with no scheme modifications (§IV's note).");
 }
 
 /// Page-recovery strategies head to head (the §I-C landscape): plain
 /// page retirement, Zombie's spare-block pairing (leveling frozen),
 /// FREE-p's pre-reserve, and WL-Reviver.
 fn page_recovery() {
+    let reg = SchemeRegistry::global();
     let mut jobs: Vec<Box<dyn FnOnce() -> Vec<String> + Send>> = Vec::new();
     for (name, scheme) in [
-        ("ECP6 (page retirement)", SchemeKind::EccOnly),
-        ("ECP6-SG-Zombie", SchemeKind::Zombie),
-        (
-            "ECP6-SG-FREEp 10%",
-            SchemeKind::Freep { reserve_frac: 0.10 },
-        ),
-        ("ECP6-SG-WLR", SchemeKind::ReviverStartGap),
+        ("ECP6 (page retirement)", reg.kind("ecc")),
+        ("ECP6-SG-Zombie", reg.kind("zombie")),
+        ("ECP6-SG-FREEp 10%", reg.kind("freep")),
+        ("ECP6-SG-WLR", reg.kind("reviver-sg")),
     ] {
         for bench in [Benchmark::Ocean, Benchmark::Mg] {
             // FREE-p carves its reserve out of the chip; size the

@@ -16,16 +16,24 @@
 
 use std::fmt::Write as _;
 use std::time::Instant;
-use wl_reviver::sim::{SchemeKind, StopCondition};
-use wlr_bench::report::{baseline_field, bench_out_path, load_baseline, write_report};
+use wl_reviver::registry::StackSpec;
+use wl_reviver::sim::StopCondition;
+use wlr_bench::report::{
+    baseline_field, bench_out_path, handle_list_stacks, load_baseline, resolve_stack_or_exit,
+    rows_json, write_report,
+};
 use wlr_bench::{exp_builder, exp_seed, EXP_BLOCKS, EXP_ENDURANCE};
 
-const STACKS: &[(&str, SchemeKind)] = &[
-    ("EccOnly", SchemeKind::EccOnly),
-    ("StartGap", SchemeKind::StartGapOnly),
-    ("ReviverStartGap", SchemeKind::ReviverStartGap),
-    ("ReviverSecurityRefresh", SchemeKind::ReviverSecurityRefresh),
-];
+/// The perf-tracked registry subset: the hot-path stacks whose throughput
+/// this report trends (the sweep binaries cover every registered stack).
+const STACK_NAMES: &[&str] = &["ecc", "sg", "reviver-sg", "reviver-sr"];
+
+fn stacks() -> Vec<&'static StackSpec> {
+    STACK_NAMES
+        .iter()
+        .map(|n| resolve_stack_or_exit(n))
+        .collect()
+}
 
 /// Usable-space floor the lifetime run ends at (the paper's Figure 5
 /// axis limit); deep enough that the failure-era machinery dominates.
@@ -40,10 +48,11 @@ struct Row {
 }
 
 fn measure() -> Vec<Row> {
-    STACKS
+    stacks()
         .iter()
-        .map(|&(name, scheme)| {
-            let mut sim = exp_builder().scheme(scheme).build();
+        .map(|spec| {
+            let name = spec.title;
+            let mut sim = exp_builder().scheme(spec.kind).build();
             // Benchmark the event spine's dispatch path, not its bypass:
             // with a sink stacked, every emission walks the sink loop.
             // writes_issued must stay bit-identical to the sink-free run
@@ -73,23 +82,24 @@ fn measure() -> Vec<Row> {
 }
 
 fn stacks_json(rows: &[Row]) -> String {
-    let mut s = String::from("{");
-    for (i, r) in rows.iter().enumerate() {
-        if i > 0 {
-            s.push_str(", ");
-        }
-        write!(
-            s,
-            "\"{}\": {{\"writes_issued\": {}, \"seconds\": {:.3}, \"writes_per_sec\": {:.0}}}",
-            r.name, r.writes, r.seconds, r.wps
-        )
-        .expect("string write");
-    }
-    s.push('}');
-    s
+    let pairs: Vec<(&str, String)> = rows
+        .iter()
+        .map(|r| {
+            let mut fields = String::new();
+            write!(
+                fields,
+                "\"writes_issued\": {}, \"seconds\": {:.3}, \"writes_per_sec\": {:.0}",
+                r.writes, r.seconds, r.wps
+            )
+            .expect("string write");
+            (r.name, fields)
+        })
+        .collect();
+    rows_json(&pairs)
 }
 
 fn main() {
+    handle_list_stacks();
     let out_path = bench_out_path("BENCH_core.json");
 
     eprintln!(

@@ -19,10 +19,14 @@
 //! * `WLR_CRASH_FROM` / `WLR_CRASH_TO` — sweep range (default
 //!   1000..37000, healthy era through deep wear-out; later points than
 //!   a stack's lifetime simply never fire)
-//! * `WLR_CRASH_STACKS` — comma-separated stack filter (default: all)
+//! * `WLR_CRASH_STACKS` — comma-separated registry-name filter (default:
+//!   all registered stacks; unknown names abort with the valid list, and
+//!   `--list-stacks` prints it)
 
 use wl_reviver::recovery::RecoveryReport;
+use wl_reviver::registry::{SchemeRegistry, StackSpec};
 use wl_reviver::sim::{SchemeKind, Simulation, StopCondition, StopReason};
+use wlr_bench::report::{handle_list_stacks, resolve_stacks_or_exit};
 use wlr_bench::{print_table, run_pooled, PooledJob};
 use wlr_pcm::FaultPlan;
 
@@ -43,22 +47,11 @@ fn fault_seed() -> u64 {
     env_u64("WLR_FAULT_SEED", 42)
 }
 
-fn all_stacks() -> Vec<(&'static str, SchemeKind, bool)> {
-    vec![
-        ("ecc", SchemeKind::EccOnly, false),
-        ("sg", SchemeKind::StartGapOnly, false),
-        ("sr", SchemeKind::SecurityRefreshOnly, false),
-        ("freep", SchemeKind::Freep { reserve_frac: 0.1 }, false),
-        ("lls", SchemeKind::Lls, false),
-        ("reviver-sg", SchemeKind::ReviverStartGap, true),
-        ("reviver-sr", SchemeKind::ReviverSecurityRefresh, true),
-        ("reviver-tiled", SchemeKind::ReviverTiledStartGap, true),
-        (
-            "reviver-sr2",
-            SchemeKind::ReviverTwoLevelSecurityRefresh,
-            true,
-        ),
-    ]
+fn all_stacks() -> Vec<&'static StackSpec> {
+    match std::env::var("WLR_CRASH_STACKS") {
+        Ok(filter) => resolve_stacks_or_exit(&filter),
+        Err(_) => SchemeRegistry::global().iter().collect(),
+    }
 }
 
 fn rig(scheme: SchemeKind, seed: u64) -> Simulation {
@@ -136,19 +129,12 @@ fn baseline_point(scheme: SchemeKind, seed: u64, k: u64) -> Point {
 }
 
 fn main() {
+    handle_list_stacks();
     let seed = fault_seed();
     let interval = env_u64("WLR_CRASH_INTERVAL", 1_000).max(1);
     let from = env_u64("WLR_CRASH_FROM", 1_000);
     let to = env_u64("WLR_CRASH_TO", 37_000);
-    let filter = std::env::var("WLR_CRASH_STACKS").ok();
-    let stacks: Vec<_> = all_stacks()
-        .into_iter()
-        .filter(|(name, _, _)| {
-            filter
-                .as_deref()
-                .is_none_or(|f| f.split(',').any(|s| s.trim() == *name))
-        })
-        .collect();
+    let stacks = all_stacks();
     let points: Vec<u64> = (from..to).step_by(interval as usize).collect();
     eprintln!(
         "crash_sweep: {} blocks, endurance {ENDURANCE:.0}, seed {seed}, \
@@ -161,7 +147,9 @@ fn main() {
     let jobs: Vec<PooledJob<(usize, Point)>> = stacks
         .iter()
         .enumerate()
-        .flat_map(|(si, &(_, scheme, is_reviver))| {
+        .flat_map(|(si, spec)| {
+            let scheme = spec.kind;
+            let is_reviver = spec.revivable;
             points.iter().map(move |&k| {
                 Box::new(move || {
                     let p = if is_reviver {
@@ -179,7 +167,8 @@ fn main() {
     let mut rows = Vec::new();
     let mut total_fired = 0u64;
     let mut total_violations = 0u64;
-    for (si, (name, _, _)) in stacks.iter().enumerate() {
+    for (si, spec) in stacks.iter().enumerate() {
+        let name = spec.name;
         let mut fired = 0u64;
         let mut violations = 0u64;
         let mut agg = RecoveryReport::default();

@@ -16,8 +16,8 @@
 //! --endurance X       mean cell endurance in writes [1e4]
 //! --cov X             endurance CoV [0.2]
 //! --psi N             Start-Gap ψ / SR interval [auto-scaled]
-//! --scheme S          ecc | sg | sr | freep:<frac> | lls | reviver-sg |
-//!                     reviver-sr | reviver-tiled | reviver-sr2 [reviver-sg]
+//! --scheme S          any registry stack name (`--list-stacks` prints
+//!                     them) or freep:<frac> [reviver-sg]
 //! --ecc E             ecp<k> | payg[:ratio] [ecp6]
 //! --workload W        a Table I name, uniform, zipf:<s>, cov:<x>,
 //!                     trace:<path>, repeat:<n>, birthday:<n>x<epoch> [uniform]
@@ -30,6 +30,7 @@
 //! --curve             print the full usable/survival series
 //! ```
 
+use wl_reviver::registry::SchemeRegistry;
 use wl_reviver::sim::{EccKind, SchemeKind, Simulation, StopCondition};
 use wlr_bench::{fork_warmup_for, run_replicated_forked, scaled_gap_interval, ForkSweep};
 use wlr_trace::{
@@ -112,24 +113,16 @@ fn parse_f64(s: &str) -> f64 {
 }
 
 fn parse_scheme(s: &str) -> SchemeKind {
-    match s {
-        "ecc" => SchemeKind::EccOnly,
-        "sg" => SchemeKind::StartGapOnly,
-        "sr" => SchemeKind::SecurityRefreshOnly,
-        "lls" => SchemeKind::Lls,
-        "reviver-sg" => SchemeKind::ReviverStartGap,
-        "reviver-sr" => SchemeKind::ReviverSecurityRefresh,
-        "reviver-tiled" => SchemeKind::ReviverTiledStartGap,
-        "reviver-sr2" => SchemeKind::ReviverTwoLevelSecurityRefresh,
-        other => {
-            if let Some(frac) = other.strip_prefix("freep:") {
-                SchemeKind::Freep {
-                    reserve_frac: parse_f64(frac),
-                }
-            } else {
-                usage(&format!("unknown scheme `{other}`"))
-            }
-        }
+    // `freep:<frac>` carries a knob no registry name can express; every
+    // other spelling resolves through the scheme registry.
+    if let Some(frac) = s.strip_prefix("freep:") {
+        return SchemeKind::Freep {
+            reserve_frac: parse_f64(frac),
+        };
+    }
+    match SchemeRegistry::global().resolve(s) {
+        Ok(spec) => spec.kind,
+        Err(e) => usage(&e.to_string()),
     }
 }
 
@@ -291,6 +284,7 @@ struct ArgsForJob {
 }
 
 fn main() {
+    wlr_bench::report::handle_list_stacks();
     let args = parse_args();
     let psi = args
         .psi

@@ -7,6 +7,7 @@
 //! cargo run --release -p wlr-bench --bin fig5
 //! ```
 
+use wl_reviver::registry::SchemeRegistry;
 use wl_reviver::sim::{SchemeKind, StopCondition};
 use wlr_bench::{
     exp_builder, exp_seed, fork_warmup_for, print_table, replicate_seeds, run_replicated_forked,
@@ -43,11 +44,12 @@ fn main() {
         "Figure 5 — writes to fail 30% of the PCM's blocks (lifetime; {reps} replicate{})\n",
         if reps == 1 { "" } else { "s" }
     );
+    let reg = SchemeRegistry::global();
     let mut configs = Vec::new();
     for bench in Benchmark::table1() {
         for (tag, scheme) in [
-            ("ECP6-SG", SchemeKind::StartGapOnly),
-            ("ECP6-SG-WLR", SchemeKind::ReviverStartGap),
+            ("ECP6-SG", reg.kind("sg")),
+            ("ECP6-SG-WLR", reg.kind("reviver-sg")),
         ] {
             configs.push(config(bench, scheme, format!("{bench}/{tag}")));
         }

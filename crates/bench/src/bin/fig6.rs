@@ -7,6 +7,7 @@
 //! cargo run --release -p wlr-bench --bin fig6
 //! ```
 
+use wl_reviver::registry::SchemeRegistry;
 use wl_reviver::sim::{EccKind, SchemeKind, StopCondition};
 use wlr_bench::{exp_builder, exp_seed, print_series, run_curve, run_parallel, Curve, EXP_BLOCKS};
 use wlr_trace::Benchmark;
@@ -32,13 +33,14 @@ fn main() {
     println!("Figure 6 — block survival vs writes (shown to 70%)\n");
     let ecp6 = EccKind::Ecp(6);
     let payg = EccKind::Payg { ratio: 0.77 };
+    let reg = SchemeRegistry::global();
     let stacks: [(&str, EccKind, SchemeKind); 6] = [
-        ("ECP6", ecp6, SchemeKind::EccOnly),
-        ("PAYG", payg, SchemeKind::EccOnly),
-        ("ECP6-SG", ecp6, SchemeKind::StartGapOnly),
-        ("PAYG-SG", payg, SchemeKind::StartGapOnly),
-        ("ECP6-SG-WLR", ecp6, SchemeKind::ReviverStartGap),
-        ("PAYG-SG-WLR", payg, SchemeKind::ReviverStartGap),
+        ("ECP6", ecp6, reg.kind("ecc")),
+        ("PAYG", payg, reg.kind("ecc")),
+        ("ECP6-SG", ecp6, reg.kind("sg")),
+        ("PAYG-SG", payg, reg.kind("sg")),
+        ("ECP6-SG-WLR", ecp6, reg.kind("reviver-sg")),
+        ("PAYG-SG-WLR", payg, reg.kind("reviver-sg")),
     ];
 
     for (panel, bench) in [("(a)", Benchmark::Ocean), ("(b)", Benchmark::Mg)] {

@@ -6,6 +6,7 @@
 //! cargo run --release -p wlr-bench --bin fig7
 //! ```
 
+use wl_reviver::registry::SchemeRegistry;
 use wl_reviver::sim::{SchemeKind, StopCondition};
 use wlr_bench::{exp_builder, exp_seed, print_series, run_curve, run_parallel, Curve, EXP_BLOCKS};
 use wlr_trace::Benchmark;
@@ -32,7 +33,10 @@ fn job(bench: Benchmark, scheme: SchemeKind, label: String) -> Box<dyn FnOnce() 
 fn main() {
     println!("Figure 7 — user-usable space vs writes: WL-Reviver vs FREE-p\n");
     let stacks: Vec<(String, SchemeKind)> = vec![
-        ("WL-Reviver".into(), SchemeKind::ReviverStartGap),
+        (
+            "WL-Reviver".into(),
+            SchemeRegistry::global().kind("reviver-sg"),
+        ),
         ("FREE-p 0%".into(), SchemeKind::Freep { reserve_frac: 0.0 }),
         ("FREE-p 5%".into(), SchemeKind::Freep { reserve_frac: 0.05 }),
         (

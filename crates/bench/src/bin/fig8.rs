@@ -10,6 +10,7 @@
 //! cargo run --release -p wlr-bench --bin fig8
 //! ```
 
+use wl_reviver::registry::SchemeRegistry;
 use wl_reviver::sim::{SchemeKind, StopCondition};
 use wlr_bench::{exp_builder, exp_seed, print_series, run_curve, run_parallel, Curve, EXP_BLOCKS};
 use wlr_trace::Benchmark;
@@ -27,11 +28,12 @@ fn job(bench: Benchmark, scheme: SchemeKind, label: String) -> Box<dyn FnOnce() 
 
 fn main() {
     println!("Figure 8 — software-usable space vs writes: LLS vs WL-Reviver\n");
+    let reg = SchemeRegistry::global();
     let mut configs = Vec::new();
     for bench in [Benchmark::Ocean, Benchmark::Mg] {
         for (name, scheme) in [
-            ("LLS", SchemeKind::Lls),
-            ("WL-Reviver", SchemeKind::ReviverStartGap),
+            ("LLS", reg.kind("lls")),
+            ("WL-Reviver", reg.kind("reviver-sg")),
         ] {
             let label = format!("{bench}/{name}");
             configs.push((label.clone(), job(bench, scheme, label)));

@@ -15,7 +15,8 @@
 //! ```
 
 use wl_reviver::metrics::WearReport;
-use wl_reviver::sim::{SchemeKind, SimulationBuilder, StopCondition};
+use wl_reviver::registry::SchemeRegistry;
+use wl_reviver::sim::{SimulationBuilder, StopCondition};
 use wlr_bench::{exp_builder, exp_seed, print_table, EXP_BLOCKS};
 use wlr_trace::Benchmark;
 
@@ -36,12 +37,17 @@ fn main() {
             .workload(Benchmark::Mg.build(EXP_BLOCKS, exp_seed()))
     };
     let budget = StopCondition::Writes(20_000_000);
+    let reg = SchemeRegistry::global();
     let mut rows = Vec::new();
     for (name, scheme) in [
-        ("ECP6-SG", SchemeKind::StartGapOnly),
-        ("ECP6-SG-WLR", SchemeKind::ReviverStartGap),
-        ("ECP6-SR", SchemeKind::SecurityRefreshOnly),
-        ("ECP6-SR-WLR", SchemeKind::ReviverSecurityRefresh),
+        ("ECP6-SG", reg.kind("sg")),
+        ("ECP6-SG-WLR", reg.kind("reviver-sg")),
+        ("ECP6-SR", reg.kind("sr")),
+        ("ECP6-SR-WLR", reg.kind("reviver-sr")),
+        ("ECP6-SW", reg.kind("softwear")),
+        ("ECP6-SW-WLR", reg.kind("softwear-wlr")),
+        ("ECP6-ASG", reg.kind("adaptive-sg")),
+        ("ECP6-ASG-WLR", reg.kind("adaptive-sg-wlr")),
     ] {
         let (r, _) = wear(healthy(scheme), budget);
         rows.push(vec![
@@ -66,8 +72,8 @@ fn main() {
     };
     let mut rows = Vec::new();
     for (name, scheme) in [
-        ("ECP6-SG (freezes)", SchemeKind::StartGapOnly),
-        ("ECP6-SG-WLR", SchemeKind::ReviverStartGap),
+        ("ECP6-SG (freezes)", reg.kind("sg")),
+        ("ECP6-SG-WLR", reg.kind("reviver-sg")),
     ] {
         let (r, writes) = wear(worn(scheme), StopCondition::UsableBelow(0.85));
         rows.push(vec![

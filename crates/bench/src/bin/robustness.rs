@@ -19,25 +19,17 @@
 use std::fmt::Write as _;
 use std::time::Instant;
 use wl_reviver::recovery::RecoveryReport;
-use wl_reviver::sim::{SchemeKind, Simulation, StopCondition, StopReason};
+use wl_reviver::registry::SchemeRegistry;
+use wl_reviver::sim::{Simulation, StopCondition, StopReason};
 use wlr_bench::report::{
-    baseline_field, bench_out_path, env_u64, extract_object, load_baseline, write_report,
+    baseline_field, bench_out_path, env_u64, extract_object, handle_list_stacks, load_baseline,
+    rows_json, write_report,
 };
 use wlr_pcm::FaultPlan;
 
 const BLOCKS: u64 = 1 << 10;
 const ENDURANCE: f64 = 60.0;
 const STOP: u64 = 55_000;
-
-const STACKS: &[(&str, SchemeKind)] = &[
-    ("ReviverStartGap", SchemeKind::ReviverStartGap),
-    ("ReviverSecurityRefresh", SchemeKind::ReviverSecurityRefresh),
-    ("ReviverTiledStartGap", SchemeKind::ReviverTiledStartGap),
-    (
-        "ReviverTwoLevelSecurityRefresh",
-        SchemeKind::ReviverTwoLevelSecurityRefresh,
-    ),
-];
 
 #[derive(Debug)]
 struct Row {
@@ -53,9 +45,11 @@ fn measure(seed: u64, interval: u64) -> Vec<Row> {
     // reviver events and the tail is dumped at every power-loss point —
     // the last thing the controller did before the lights went out.
     let trace_dump = std::env::var("WLR_TRACE_DUMP").is_ok_and(|v| v == "1");
-    STACKS
-        .iter()
-        .map(|&(name, scheme)| {
+    SchemeRegistry::global()
+        .revivable()
+        .map(|spec| {
+            let name = spec.title;
+            let scheme = spec.kind;
             let mut crashes = 0u64;
             let mut violations = 0u64;
             let mut agg = RecoveryReport::default();
@@ -111,38 +105,38 @@ fn measure(seed: u64, interval: u64) -> Vec<Row> {
 }
 
 fn stacks_json(rows: &[Row]) -> String {
-    let mut s = String::from("{");
-    for (i, r) in rows.iter().enumerate() {
-        if i > 0 {
-            s.push_str(", ");
-        }
-        let per = |x: u64| x as f64 / r.crashes.max(1) as f64;
-        write!(
-            s,
-            "\"{}\": {{\"crashes\": {}, \"blocks_scanned_per_crash\": {:.1}, \
-             \"links_recovered_per_crash\": {:.2}, \"migration_replays_per_crash\": {:.3}, \
-             \"spares_recovered_per_crash\": {:.1}, \"torn_links_dropped\": {}, \
-             \"torn_switch_repairs\": {}, \"healed_links\": {}, \
-             \"recover_seconds_total\": {:.4}, \"violations\": {}}}",
-            r.name,
-            r.crashes,
-            per(r.report.blocks_scanned),
-            per(r.report.links_recovered),
-            per(r.report.migration_replays),
-            per(r.report.spares_recovered),
-            r.report.torn_links_dropped,
-            r.report.torn_switch_repairs,
-            r.report.healed_links,
-            r.recover_seconds,
-            r.violations
-        )
-        .expect("string write");
-    }
-    s.push('}');
-    s
+    let pairs: Vec<(&str, String)> = rows
+        .iter()
+        .map(|r| {
+            let per = |x: u64| x as f64 / r.crashes.max(1) as f64;
+            let mut fields = String::new();
+            write!(
+                fields,
+                "\"crashes\": {}, \"blocks_scanned_per_crash\": {:.1}, \
+                 \"links_recovered_per_crash\": {:.2}, \"migration_replays_per_crash\": {:.3}, \
+                 \"spares_recovered_per_crash\": {:.1}, \"torn_links_dropped\": {}, \
+                 \"torn_switch_repairs\": {}, \"healed_links\": {}, \
+                 \"recover_seconds_total\": {:.4}, \"violations\": {}",
+                r.crashes,
+                per(r.report.blocks_scanned),
+                per(r.report.links_recovered),
+                per(r.report.migration_replays),
+                per(r.report.spares_recovered),
+                r.report.torn_links_dropped,
+                r.report.torn_switch_repairs,
+                r.report.healed_links,
+                r.recover_seconds,
+                r.violations
+            )
+            .expect("string write");
+            (r.name, fields)
+        })
+        .collect();
+    rows_json(&pairs)
 }
 
 fn main() {
+    handle_list_stacks();
     let out_path = bench_out_path("BENCH_robustness.json");
     let seed = env_u64("WLR_FAULT_SEED", 42);
     let interval = env_u64("WLR_CRASH_INTERVAL", 5_000).max(1);

@@ -12,9 +12,72 @@
 //! `WLR_BENCH_OUT`/`WLR_BENCH_RESET` knobs, and small env parsing — so
 //! each binary only formats its own rows.
 
+use wl_reviver::registry::{SchemeRegistry, StackSpec};
+
 /// Output path for a report: `WLR_BENCH_OUT` or the binary's default.
 pub fn bench_out_path(default: &str) -> String {
     std::env::var("WLR_BENCH_OUT").unwrap_or_else(|_| default.to_string())
+}
+
+/// Formats named rows into the one-level `{"name": {fields}}` object all
+/// bench reports use. Each entry is `(row name, inner field list)` where
+/// the field list is the `"k": v, …` body without braces. Shared by
+/// `bench_core`, `robustness`, and friends so the row-map shape cannot
+/// drift between binaries again.
+pub fn rows_json<N: AsRef<str>>(rows: &[(N, String)]) -> String {
+    use std::fmt::Write as _;
+    let mut s = String::from("{");
+    for (i, (name, fields)) in rows.iter().enumerate() {
+        if i > 0 {
+            s.push_str(", ");
+        }
+        write!(s, "\"{}\": {{{}}}", name.as_ref(), fields).expect("string write");
+    }
+    s.push('}');
+    s
+}
+
+/// Resolves a comma-separated stack filter through the scheme registry,
+/// exiting with the valid names on an unknown one — env filters like
+/// `WLR_CRASH_STACKS` and `WLR_FLEET_SCHEMES` must never silently no-op
+/// on a typo.
+pub fn resolve_stacks_or_exit(csv: &str) -> Vec<&'static StackSpec> {
+    match SchemeRegistry::global().resolve_list(csv) {
+        Ok(specs) => specs,
+        Err(e) => {
+            eprintln!("{e}");
+            std::process::exit(2);
+        }
+    }
+}
+
+/// Resolves a single stack name through the registry, exiting with the
+/// valid names on an unknown one.
+pub fn resolve_stack_or_exit(name: &str) -> &'static StackSpec {
+    match SchemeRegistry::global().resolve(name) {
+        Ok(spec) => spec,
+        Err(e) => {
+            eprintln!("{e}");
+            std::process::exit(2);
+        }
+    }
+}
+
+/// Handles a `--list-stacks` argument: prints every registered stack
+/// (name, title, flags, description) and exits. Call first in `main`.
+pub fn handle_list_stacks() {
+    if std::env::args().any(|a| a == "--list-stacks") {
+        for s in SchemeRegistry::global().iter() {
+            println!(
+                "{:<16} {:<32} {:<9} {}",
+                s.name,
+                s.title,
+                if s.revivable { "revivable" } else { "bare" },
+                s.description
+            );
+        }
+        std::process::exit(0);
+    }
 }
 
 /// Whether `WLR_BENCH_RESET=1` asked for a fresh baseline.

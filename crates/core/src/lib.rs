@@ -54,6 +54,7 @@ pub mod freep;
 pub mod lls;
 pub mod metrics;
 pub mod recovery;
+pub mod registry;
 pub mod reviver;
 pub mod sim;
 pub mod zombie;
@@ -65,6 +66,7 @@ pub use freep::FreepController;
 pub use lls::LlsController;
 pub use metrics::{WearHistogram, WearReport};
 pub use recovery::{PersistedMeta, RecoveryReport, TornMeta};
+pub use registry::{SchemeRegistry, StackSpec, UnknownStack};
 #[cfg(feature = "trace-events")]
 pub use reviver::JsonlSink;
 pub use reviver::{

@@ -1,0 +1,629 @@
+//! The scheme registry: one table describing every controller stack.
+//!
+//! The paper's central claim is that WL-Reviver revives *any* wear-leveling
+//! scheme. The registry is where that openness lives in the reproduction:
+//! each stack is a [`StackSpec`] — a name, report title, revivable/bare
+//! flags, default knobs, and a builder function that assembles the
+//! `(WearLeveler, Controller)` pair from a [`StackCtx`] — and the
+//! [`SchemeRegistry`] is the single source of truth consumed by
+//! [`crate::sim::SimulationBuilder`], every bench bin, `wlr-fleet`,
+//! `wlr-mc`, `wlr-serve`, and the test harnesses. Adding a scheme is one
+//! `WearLeveler` impl plus one entry in [`SPECS`]; every sweep, golden,
+//! crash harness and fleet campaign picks it up by iteration.
+//!
+//! # Adding a backend
+//!
+//! 1. Implement [`WearLeveler`] (in `crates/wl`). Algebraic mappings
+//!    (Start-Gap registers, Security Refresh keys) and table-mapped ones
+//!    (SoftWear's indirection table) are both fine — the framework only
+//!    needs `map`/`inverse` and the migration protocol.
+//! 2. Add a [`SchemeKind`] variant (it carries per-variant knobs and keeps
+//!    configs `Copy`).
+//! 3. Append a [`StackSpec`] to [`SPECS`] — usually two: the bare stack
+//!    (frozen on the first failure) and the revived one via
+//!    [`StackCtx::revive`].
+//! 4. Run the registry-completeness suite (`tests/tests/registry.rs`) and
+//!    capture goldens (`WLR_CAPTURE_GOLDEN=1`); the new names appear in
+//!    `--list-stacks`, `WLR_CRASH_STACKS`, `WLR_FLEET_SCHEMES`, etc.
+
+use crate::controller::Controller;
+use crate::freep::FreepController;
+use crate::lls::LlsController;
+use crate::reviver::RevivedController;
+use crate::sim::SchemeKind;
+use crate::zombie::ZombieController;
+use wlr_base::Geometry;
+use wlr_pcm::{ErrorCorrection, FaultPlan, PcmDevice};
+use wlr_wl::{
+    Adaptive, NoWearLeveling, RandomizerKind, SecurityRefresh, SoftWear, Stacked, StartGap,
+    TiledStartGap, WearLeveler,
+};
+
+/// Everything a stack builder may consult, pre-resolved by
+/// [`crate::sim::SimulationBuilder::build`]: the visible geometry, the
+/// scheme/pacing knobs, and the one-shot device ingredients (ECC, fault
+/// plan). Builders construct exactly one device via [`StackCtx::device`].
+#[derive(Debug)]
+pub struct StackCtx {
+    /// The exact requested scheme (carries per-variant knobs such as
+    /// FREE-p's reserve fraction).
+    pub kind: SchemeKind,
+    /// Software-visible blocks (total minus any FREE-p pre-reserve).
+    pub visible: u64,
+    /// Blocks pre-reserved for FREE-p remapping (0 elsewhere).
+    pub reserve_blocks: u64,
+    /// Blocks per OS page.
+    pub bpp: u64,
+    /// Start-Gap ψ: writes per gap movement.
+    pub gap_interval: u64,
+    /// Security Refresh writes per swap.
+    pub sr_refresh_interval: u64,
+    /// Security Refresh region size override.
+    pub sr_region_blocks: Option<u64>,
+    /// SoftWear writes per hot↔cold swap (defaults to the Security
+    /// Refresh interval — both are in-place swap cadences).
+    pub sw_swap_interval: u64,
+    /// SoftWear cold-scan window in frames.
+    pub sw_scan_window: u64,
+    /// Adaptive wrapper: writes per CoV evaluation (None = scheme default,
+    /// 4× the visible space).
+    pub adaptive_epoch: Option<u64>,
+    /// Adaptive wrapper CoV band `(lo, hi)`.
+    pub adaptive_cov_band: (f64, f64),
+    /// LLS salvage-group count.
+    pub lls_groups: u64,
+    /// LLS maximum chunk count.
+    pub lls_chunks: u64,
+    /// Remap-cache size, if any.
+    pub cache_bytes: Option<usize>,
+    /// Experiment seed.
+    pub seed: u64,
+    /// Start-Gap randomizer (already defaulted to a seeded Feistel).
+    pub sg_randomizer: RandomizerKind,
+    /// Tile count for tiled Start-Gap.
+    pub sg_tiles: u64,
+    /// WL-Reviver: per-request invariant checking.
+    pub check_invariants: bool,
+    /// WL-Reviver: inverse-pointer width in bytes.
+    pub reviver_pointer_bytes: u64,
+    /// WL-Reviver: one-step chain switching.
+    pub reviver_chain_switching: bool,
+    /// WL-Reviver: proactive page acquisition.
+    pub reviver_proactive: bool,
+    geo: Geometry,
+    endurance_mean: f64,
+    endurance_cov: f64,
+    track_contents: bool,
+    ecc: Option<Box<dyn ErrorCorrection>>,
+    fault_plan: Option<FaultPlan>,
+}
+
+/// Device ingredients handed to [`StackCtx`] exactly once per build.
+#[derive(Debug)]
+pub struct DeviceParts {
+    /// Visible-space geometry.
+    pub geo: Geometry,
+    /// Mean cell endurance.
+    pub endurance_mean: f64,
+    /// Cell-lifetime CoV.
+    pub endurance_cov: f64,
+    /// Whether the device tracks block contents (integrity oracle).
+    pub track_contents: bool,
+    /// The error-correction scheme (consumed by the single device build).
+    pub ecc: Box<dyn ErrorCorrection>,
+    /// Optional fault-injection schedule.
+    pub fault_plan: Option<FaultPlan>,
+}
+
+impl StackCtx {
+    /// Assembles a context. Called by
+    /// [`crate::sim::SimulationBuilder::build`]; exposed for harnesses
+    /// that drive stack construction directly.
+    #[allow(clippy::too_many_arguments)]
+    pub fn new(
+        kind: SchemeKind,
+        visible: u64,
+        reserve_blocks: u64,
+        bpp: u64,
+        parts: DeviceParts,
+    ) -> Self {
+        StackCtx {
+            kind,
+            visible,
+            reserve_blocks,
+            bpp,
+            gap_interval: 100,
+            sr_refresh_interval: 100,
+            sr_region_blocks: None,
+            sw_swap_interval: 100,
+            sw_scan_window: 16,
+            adaptive_epoch: None,
+            adaptive_cov_band: (0.75, 1.5),
+            lls_groups: 64,
+            lls_chunks: 16,
+            cache_bytes: None,
+            seed: 0,
+            sg_randomizer: RandomizerKind::Feistel { seed: 0 },
+            sg_tiles: 16,
+            check_invariants: false,
+            reviver_pointer_bytes: 4,
+            reviver_chain_switching: true,
+            reviver_proactive: false,
+            geo: parts.geo,
+            endurance_mean: parts.endurance_mean,
+            endurance_cov: parts.endurance_cov,
+            track_contents: parts.track_contents,
+            ecc: Some(parts.ecc),
+            fault_plan: parts.fault_plan,
+        }
+    }
+
+    /// Builds the PCM device with `extra_blocks` beyond the visible space
+    /// (gap lines, tiles, FREE-p reserve, LLS backup chunks).
+    ///
+    /// # Panics
+    ///
+    /// Panics if called more than once: a stack has exactly one device.
+    pub fn device(&mut self, extra_blocks: u64) -> PcmDevice {
+        let ecc = self.ecc.take().expect("a stack builds exactly one device");
+        let mut b = PcmDevice::builder(self.geo)
+            .extra_blocks(extra_blocks)
+            .endurance_mean(self.endurance_mean)
+            .endurance_cov(self.endurance_cov)
+            .seed(self.seed)
+            .ecc(ecc)
+            .track_contents(self.track_contents);
+        if let Some(plan) = self.fault_plan.take() {
+            b = b.fault_plan(plan);
+        }
+        b.build()
+    }
+
+    /// A Start-Gap leveler over the visible space with the configured
+    /// randomizer.
+    pub fn start_gap(&self) -> Box<dyn WearLeveler> {
+        self.start_gap_with(self.sg_randomizer)
+    }
+
+    /// A Start-Gap leveler with an explicit randomizer (LLS uses the
+    /// half-restricted one).
+    pub fn start_gap_with(&self, kind: RandomizerKind) -> Box<dyn WearLeveler> {
+        Box::new(
+            StartGap::builder(self.visible)
+                .gap_interval(self.gap_interval)
+                .randomizer(kind)
+                .build(),
+        )
+    }
+
+    /// A Security Refresh leveler over the visible space.
+    pub fn security_refresh(&self, seed: u64) -> Box<dyn WearLeveler> {
+        let region = self
+            .sr_region_blocks
+            .unwrap_or_else(|| self.visible & self.visible.wrapping_neg());
+        Box::new(
+            SecurityRefresh::builder(self.visible)
+                .region_blocks(region)
+                .refresh_interval(self.sr_refresh_interval)
+                .seed(seed)
+                .build(),
+        )
+    }
+
+    /// A SoftWear leveler (table-mapped page sorting) over the visible
+    /// space.
+    pub fn soft_wear(&self) -> Box<dyn WearLeveler> {
+        Box::new(
+            SoftWear::builder(self.visible)
+                .swap_interval(self.sw_swap_interval)
+                .scan_window(self.sw_scan_window)
+                .build(),
+        )
+    }
+
+    /// A SAWL-style adaptive Start-Gap over the visible space.
+    pub fn adaptive_start_gap(&self) -> Box<dyn WearLeveler> {
+        let inner = StartGap::builder(self.visible)
+            .gap_interval(self.gap_interval)
+            .randomizer(self.sg_randomizer)
+            .build();
+        let mut b =
+            Adaptive::builder(inner).cov_band(self.adaptive_cov_band.0, self.adaptive_cov_band.1);
+        if let Some(epoch) = self.adaptive_epoch {
+            b = b.epoch_writes(epoch);
+        }
+        Box::new(b.build())
+    }
+
+    /// The bare baseline assembly: error correction plus `wl`, frozen on
+    /// the first unhidden failure (a zero-reserve FREE-p controller).
+    pub fn freeze_on_failure(
+        &mut self,
+        extra_blocks: u64,
+        wl: Box<dyn WearLeveler>,
+    ) -> Box<dyn Controller> {
+        Box::new(FreepController::builder(self.device(extra_blocks), wl, 0).build())
+    }
+
+    /// The WL-Reviver assembly over `wl` with the configured framework
+    /// knobs (invariants, pointer width, chain switching, proactive
+    /// acquisition, remap cache).
+    pub fn revive(&mut self, extra_blocks: u64, wl: Box<dyn WearLeveler>) -> Box<dyn Controller> {
+        let check = self.check_invariants;
+        let pointer = self.reviver_pointer_bytes;
+        let chain = self.reviver_chain_switching;
+        let proactive = self.reviver_proactive;
+        let cache = self.cache_bytes;
+        let mut b = RevivedController::builder(self.device(extra_blocks), wl)
+            .check_invariants(check)
+            .pointer_bytes(pointer)
+            .chain_switching(chain)
+            .proactive_acquisition(proactive);
+        if let Some(bytes) = cache {
+            b = b.cache_bytes(bytes);
+        }
+        Box::new(b.build())
+    }
+}
+
+/// One registered controller stack.
+#[derive(Debug, Clone, Copy)]
+pub struct StackSpec {
+    /// Canonical short name, used on every CLI/env surface
+    /// (`WLR_CRASH_STACKS`, `WLR_FLEET_SCHEMES`, `--list-stacks`, …).
+    pub name: &'static str,
+    /// Report/JSON title (the historical `SchemeKind`-style CamelCase
+    /// names, kept stable so baselines keep matching).
+    pub title: &'static str,
+    /// One-line description for listings.
+    pub description: &'static str,
+    /// Whether the stack runs the WL-Reviver framework (survives failures
+    /// and participates in crash/recovery harnesses as a reviver).
+    pub revivable: bool,
+    /// The bare stack used as this stack's lifetime baseline, if any
+    /// (for revived stacks: the same scheme frozen on first failure).
+    pub bare: Option<&'static str>,
+    /// The `SchemeKind` with this stack's default knobs.
+    pub kind: SchemeKind,
+    build: fn(&mut StackCtx) -> Box<dyn Controller>,
+}
+
+impl StackSpec {
+    /// Builds the stack's controller from a prepared context.
+    pub fn build_stack(&self, ctx: &mut StackCtx) -> Box<dyn Controller> {
+        (self.build)(ctx)
+    }
+}
+
+fn build_ecc_only(ctx: &mut StackCtx) -> Box<dyn Controller> {
+    let wl = Box::new(NoWearLeveling::new(ctx.visible));
+    ctx.freeze_on_failure(0, wl)
+}
+
+fn build_start_gap_only(ctx: &mut StackCtx) -> Box<dyn Controller> {
+    let wl = ctx.start_gap();
+    ctx.freeze_on_failure(1, wl)
+}
+
+fn build_security_refresh_only(ctx: &mut StackCtx) -> Box<dyn Controller> {
+    let wl = ctx.security_refresh(ctx.seed);
+    ctx.freeze_on_failure(0, wl)
+}
+
+fn build_soft_wear_only(ctx: &mut StackCtx) -> Box<dyn Controller> {
+    let wl = ctx.soft_wear();
+    ctx.freeze_on_failure(0, wl)
+}
+
+fn build_adaptive_start_gap_only(ctx: &mut StackCtx) -> Box<dyn Controller> {
+    let wl = ctx.adaptive_start_gap();
+    ctx.freeze_on_failure(1, wl)
+}
+
+fn build_freep(ctx: &mut StackCtx) -> Box<dyn Controller> {
+    let wl = ctx.start_gap();
+    let reserve = ctx.reserve_blocks;
+    let mut b = FreepController::builder(ctx.device(1 + reserve), wl, reserve);
+    if let Some(bytes) = ctx.cache_bytes {
+        b = b.cache_bytes(bytes);
+    }
+    Box::new(b.build())
+}
+
+fn build_lls(ctx: &mut StackCtx) -> Box<dyn Controller> {
+    let chunk = ((ctx.visible / 16) / ctx.bpp).max(1) * ctx.bpp;
+    let wl = ctx.start_gap_with(RandomizerKind::HalfRestricted { seed: ctx.seed });
+    let chunks = ctx.lls_chunks;
+    let mut b = LlsController::builder(ctx.device(1 + chunk * chunks), wl)
+        .chunk_blocks(chunk)
+        .max_chunks(chunks)
+        .groups(ctx.lls_groups);
+    if let Some(bytes) = ctx.cache_bytes {
+        b = b.cache_bytes(bytes);
+    }
+    Box::new(b.build())
+}
+
+fn build_zombie(ctx: &mut StackCtx) -> Box<dyn Controller> {
+    let wl = ctx.start_gap();
+    let mut b = ZombieController::builder(ctx.device(1), wl);
+    if let Some(bytes) = ctx.cache_bytes {
+        b = b.cache_bytes(bytes);
+    }
+    Box::new(b.build())
+}
+
+fn build_reviver_start_gap(ctx: &mut StackCtx) -> Box<dyn Controller> {
+    let wl = ctx.start_gap();
+    ctx.revive(1, wl)
+}
+
+fn build_reviver_security_refresh(ctx: &mut StackCtx) -> Box<dyn Controller> {
+    let wl = ctx.security_refresh(ctx.seed);
+    ctx.revive(0, wl)
+}
+
+fn build_reviver_tiled_start_gap(ctx: &mut StackCtx) -> Box<dyn Controller> {
+    let wl = TiledStartGap::builder(ctx.visible)
+        .tiles(ctx.sg_tiles)
+        .gap_interval(ctx.gap_interval)
+        .randomizer(ctx.sg_randomizer)
+        .build();
+    let tiles = ctx.sg_tiles;
+    ctx.revive(tiles, Box::new(wl))
+}
+
+fn build_reviver_two_level_sr(ctx: &mut StackCtx) -> Box<dyn Controller> {
+    let inner_region = (ctx.visible & ctx.visible.wrapping_neg()).min(64);
+    let wl = Stacked::two_level_security_refresh(
+        ctx.visible,
+        inner_region,
+        ctx.sr_refresh_interval,
+        ctx.sr_refresh_interval * 4,
+        ctx.seed,
+    );
+    ctx.revive(0, Box::new(wl))
+}
+
+fn build_reviver_soft_wear(ctx: &mut StackCtx) -> Box<dyn Controller> {
+    let wl = ctx.soft_wear();
+    ctx.revive(0, wl)
+}
+
+fn build_reviver_adaptive_start_gap(ctx: &mut StackCtx) -> Box<dyn Controller> {
+    let wl = ctx.adaptive_start_gap();
+    ctx.revive(1, wl)
+}
+
+/// Every registered stack, in canonical sweep order: bare baselines first,
+/// then the failure-tolerant baselines, then the revived stacks.
+pub const SPECS: &[StackSpec] = &[
+    StackSpec {
+        name: "ecc",
+        title: "EccOnly",
+        description: "error correction only; every failure costs a page",
+        revivable: false,
+        bare: None,
+        kind: SchemeKind::EccOnly,
+        build: build_ecc_only,
+    },
+    StackSpec {
+        name: "sg",
+        title: "StartGap",
+        description: "Start-Gap, frozen on the first unhidden failure",
+        revivable: false,
+        bare: None,
+        kind: SchemeKind::StartGapOnly,
+        build: build_start_gap_only,
+    },
+    StackSpec {
+        name: "sr",
+        title: "SecurityRefresh",
+        description: "Security Refresh, frozen on the first unhidden failure",
+        revivable: false,
+        bare: None,
+        kind: SchemeKind::SecurityRefreshOnly,
+        build: build_security_refresh_only,
+    },
+    StackSpec {
+        name: "softwear",
+        title: "SoftWear",
+        description: "SoftWear table-mapped page sorting, frozen on the first failure",
+        revivable: false,
+        bare: None,
+        kind: SchemeKind::SoftWear,
+        build: build_soft_wear_only,
+    },
+    StackSpec {
+        name: "adaptive-sg",
+        title: "AdaptiveStartGap",
+        description: "SAWL-style adaptive Start-Gap, frozen on the first failure",
+        revivable: false,
+        bare: None,
+        kind: SchemeKind::AdaptiveStartGap,
+        build: build_adaptive_start_gap_only,
+    },
+    StackSpec {
+        name: "freep",
+        title: "Freep",
+        description: "FREE-p with a pre-reserved remap region (default 10%)",
+        revivable: false,
+        bare: Some("sg"),
+        kind: SchemeKind::Freep { reserve_frac: 0.1 },
+        build: build_freep,
+    },
+    StackSpec {
+        name: "lls",
+        title: "Lls",
+        description: "the LLS salvage baseline",
+        revivable: false,
+        bare: Some("sg"),
+        kind: SchemeKind::Lls,
+        build: build_lls,
+    },
+    StackSpec {
+        name: "zombie",
+        title: "Zombie",
+        description: "Zombie-adapted baseline: spares from retired pages, WL frozen",
+        revivable: false,
+        bare: Some("sg"),
+        kind: SchemeKind::Zombie,
+        build: build_zombie,
+    },
+    StackSpec {
+        name: "reviver-sg",
+        title: "ReviverStartGap",
+        description: "WL-Reviver over Start-Gap",
+        revivable: true,
+        bare: Some("sg"),
+        kind: SchemeKind::ReviverStartGap,
+        build: build_reviver_start_gap,
+    },
+    StackSpec {
+        name: "reviver-sr",
+        title: "ReviverSecurityRefresh",
+        description: "WL-Reviver over Security Refresh",
+        revivable: true,
+        bare: Some("sr"),
+        kind: SchemeKind::ReviverSecurityRefresh,
+        build: build_reviver_security_refresh,
+    },
+    StackSpec {
+        name: "reviver-tiled",
+        title: "ReviverTiledStartGap",
+        description: "WL-Reviver over region-tiled Start-Gap",
+        revivable: true,
+        bare: Some("sg"),
+        kind: SchemeKind::ReviverTiledStartGap,
+        build: build_reviver_tiled_start_gap,
+    },
+    StackSpec {
+        name: "reviver-sr2",
+        title: "ReviverTwoLevelSecurityRefresh",
+        description: "WL-Reviver over two-level Security Refresh",
+        revivable: true,
+        bare: Some("sr"),
+        kind: SchemeKind::ReviverTwoLevelSecurityRefresh,
+        build: build_reviver_two_level_sr,
+    },
+    StackSpec {
+        name: "softwear-wlr",
+        title: "ReviverSoftWear",
+        description: "WL-Reviver over SoftWear (table-mapped corner of the framework)",
+        revivable: true,
+        bare: Some("softwear"),
+        kind: SchemeKind::ReviverSoftWear,
+        build: build_reviver_soft_wear,
+    },
+    StackSpec {
+        name: "adaptive-sg-wlr",
+        title: "ReviverAdaptiveStartGap",
+        description: "WL-Reviver over SAWL-style adaptive Start-Gap",
+        revivable: true,
+        bare: Some("adaptive-sg"),
+        kind: SchemeKind::ReviverAdaptiveStartGap,
+        build: build_reviver_adaptive_start_gap,
+    },
+];
+
+/// An unknown stack name, carrying the valid names for the error message.
+#[derive(Debug, Clone)]
+pub struct UnknownStack {
+    /// The name that failed to resolve.
+    pub name: String,
+}
+
+impl core::fmt::Display for UnknownStack {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(
+            f,
+            "unknown stack {:?}; valid stacks: {}",
+            self.name,
+            SchemeRegistry::global()
+                .iter()
+                .map(|s| s.name)
+                .collect::<Vec<_>>()
+                .join(", ")
+        )
+    }
+}
+
+impl std::error::Error for UnknownStack {}
+
+/// The registry of every known controller stack. See the module docs.
+#[derive(Debug)]
+pub struct SchemeRegistry {
+    specs: &'static [StackSpec],
+}
+
+static GLOBAL: SchemeRegistry = SchemeRegistry { specs: SPECS };
+
+impl SchemeRegistry {
+    /// The process-wide registry.
+    pub fn global() -> &'static SchemeRegistry {
+        &GLOBAL
+    }
+
+    /// All stacks in canonical sweep order.
+    pub fn iter(&self) -> impl Iterator<Item = &'static StackSpec> {
+        self.specs.iter()
+    }
+
+    /// All revived (WL-Reviver) stacks.
+    pub fn revivable(&self) -> impl Iterator<Item = &'static StackSpec> {
+        self.specs.iter().filter(|s| s.revivable)
+    }
+
+    /// Looks a stack up by canonical name or report title.
+    pub fn get(&self, name: &str) -> Option<&'static StackSpec> {
+        self.specs
+            .iter()
+            .find(|s| s.name == name || s.title == name)
+    }
+
+    /// As [`Self::get`], with an error naming every valid stack.
+    pub fn resolve(&self, name: &str) -> Result<&'static StackSpec, UnknownStack> {
+        self.get(name).ok_or_else(|| UnknownStack {
+            name: name.to_string(),
+        })
+    }
+
+    /// Resolves a comma-separated stack list (whitespace tolerated,
+    /// empty segments ignored).
+    pub fn resolve_list(&self, csv: &str) -> Result<Vec<&'static StackSpec>, UnknownStack> {
+        csv.split(',')
+            .map(str::trim)
+            .filter(|s| !s.is_empty())
+            .map(|s| self.resolve(s))
+            .collect()
+    }
+
+    /// The canonical names, in sweep order.
+    pub fn names(&self) -> Vec<&'static str> {
+        self.specs.iter().map(|s| s.name).collect()
+    }
+
+    /// The `SchemeKind` registered under `name` (with its default knob
+    /// payload) — for binaries that hard-code registry names.
+    ///
+    /// # Panics
+    ///
+    /// Panics with the valid-name list if `name` is not registered.
+    pub fn kind(&self, name: &str) -> SchemeKind {
+        self.resolve(name).unwrap_or_else(|e| panic!("{e}")).kind
+    }
+
+    /// The spec registered for `kind` (knob payloads are ignored: the
+    /// spec's builder reads them from the [`StackCtx`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `kind` has no registered spec — a bug by construction,
+    /// enforced by the registry-completeness suite.
+    pub fn spec_for(&self, kind: SchemeKind) -> &'static StackSpec {
+        self.specs
+            .iter()
+            .find(|s| core::mem::discriminant(&s.kind) == core::mem::discriminant(&kind))
+            .unwrap_or_else(|| panic!("SchemeKind {kind:?} is not registered"))
+    }
+}

@@ -14,21 +14,16 @@
 //! content of every application block and cross-checks reads.
 
 use crate::controller::{Controller, WriteResult};
-use crate::freep::FreepController;
-use crate::lls::LlsController;
 use crate::metrics::{SamplePoint, TimeSeries};
 use crate::recovery::RecoveryReport;
-use crate::reviver::{RevivedController, ReviverCounters, TraceRingSink};
-use crate::zombie::ZombieController;
+use crate::reviver::{ReviverCounters, TraceRingSink};
 use wlr_base::dense::DenseMap;
 use wlr_base::rng::Rng;
 use wlr_base::{AppAddr, Geometry, Pa};
 use wlr_os::OsMemory;
-use wlr_pcm::{Ecp, ErrorCorrection, FaultPlan, Payg, PcmDevice};
+use wlr_pcm::{Ecp, ErrorCorrection, FaultPlan, Payg};
 use wlr_trace::{UniformWorkload, Workload};
-use wlr_wl::{
-    NoWearLeveling, RandomizerKind, SecurityRefresh, Stacked, StartGap, TiledStartGap, WearLeveler,
-};
+use wlr_wl::RandomizerKind;
 
 /// Which error-correction scheme to configure.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -77,6 +72,18 @@ pub enum SchemeKind {
     /// WL-Reviver over the full two-level Security Refresh (inner
     /// sub-region level stacked under a chip-wide outer level).
     ReviverTwoLevelSecurityRefresh,
+    /// Error correction + SoftWear page-sorting wear leveling (software
+    /// table-mapped, no algebraic mapping), freezing on the first failure.
+    SoftWear,
+    /// Error correction + SAWL-style adaptive Start-Gap (the migration
+    /// interval widens/narrows online from the observed write-skew CoV),
+    /// freezing on the first failure.
+    AdaptiveStartGap,
+    /// WL-Reviver over SoftWear — the table-mapped corner of the
+    /// framework's "any scheme" claim.
+    ReviverSoftWear,
+    /// WL-Reviver over SAWL-style adaptive Start-Gap.
+    ReviverAdaptiveStartGap,
 }
 
 /// When to stop a run. The run also always stops if the application's
@@ -133,6 +140,10 @@ pub struct SimulationBuilder {
     gap_interval: u64,
     sr_refresh_interval: u64,
     sr_region_blocks: Option<u64>,
+    sw_swap_interval: Option<u64>,
+    sw_scan_window: u64,
+    adaptive_epoch: Option<u64>,
+    adaptive_cov_band: (f64, f64),
     lls_groups: u64,
     lls_chunks: u64,
     cache_bytes: Option<usize>,
@@ -185,6 +196,23 @@ impl SimulationBuilder {
         self
     }
 
+    /// Controller stack by registry name (e.g. `"reviver-sg"`,
+    /// `"softwear-wlr"`) or report title (e.g. `"ReviverStartGap"`); the
+    /// stack's default knobs from [`crate::registry::SchemeRegistry`]
+    /// apply. Callers needing graceful errors resolve through
+    /// [`crate::registry::SchemeRegistry::resolve`] themselves.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an unknown name, listing the valid stacks.
+    pub fn stack(mut self, name: &str) -> Self {
+        let spec = crate::registry::SchemeRegistry::global()
+            .resolve(name)
+            .unwrap_or_else(|e| panic!("{e}"));
+        self.scheme = spec.kind;
+        self
+    }
+
     /// Start-Gap ψ: writes per gap movement (default 100, as in the paper).
     pub fn gap_interval(mut self, psi: u64) -> Self {
         self.gap_interval = psi;
@@ -201,6 +229,33 @@ impl SimulationBuilder {
     /// two dividing the visible space).
     pub fn sr_region_blocks(mut self, blocks: u64) -> Self {
         self.sr_region_blocks = Some(blocks);
+        self
+    }
+
+    /// SoftWear: writes per hot↔cold swap (default: the Security Refresh
+    /// interval — both are in-place swap cadences).
+    pub fn sw_swap_interval(mut self, interval: u64) -> Self {
+        self.sw_swap_interval = Some(interval);
+        self
+    }
+
+    /// SoftWear: frames examined per cold scan (default 16).
+    pub fn sw_scan_window(mut self, window: u64) -> Self {
+        self.sw_scan_window = window;
+        self
+    }
+
+    /// Adaptive wrapper: writes per CoV evaluation (default: 4× the
+    /// visible space).
+    pub fn adaptive_epoch_writes(mut self, writes: u64) -> Self {
+        self.adaptive_epoch = Some(writes);
+        self
+    }
+
+    /// Adaptive wrapper: CoV band — below `lo` the migration interval
+    /// widens, above `hi` it narrows (default `0.75 .. 1.5`).
+    pub fn adaptive_cov_band(mut self, lo: f64, hi: f64) -> Self {
+        self.adaptive_cov_band = (lo, hi);
         self
     }
 
@@ -362,151 +417,47 @@ impl SimulationBuilder {
         };
 
         let fault_active = self.fault_plan.as_ref().is_some_and(|p| !p.is_empty());
-        let fault_plan = self.fault_plan;
-        let mk_device = |extra: u64, contents: bool| {
-            let mut b = PcmDevice::builder(geo)
-                .extra_blocks(extra)
-                .endurance_mean(self.endurance_mean)
-                .endurance_cov(self.endurance_cov)
-                .seed(self.seed)
-                .ecc(ecc)
-                .track_contents(contents);
-            if let Some(plan) = fault_plan {
-                b = b.fault_plan(plan);
-            }
-            b.build()
-        };
-        let sg = |kind: RandomizerKind| -> Box<dyn WearLeveler> {
-            Box::new(
-                StartGap::builder(visible)
-                    .gap_interval(self.gap_interval)
-                    .randomizer(kind)
-                    .build(),
-            )
-        };
-        let sr = |seed: u64| -> Box<dyn WearLeveler> {
-            let region = self
-                .sr_region_blocks
-                .unwrap_or_else(|| visible & visible.wrapping_neg());
-            Box::new(
-                SecurityRefresh::builder(visible)
-                    .region_blocks(region)
-                    .refresh_interval(self.sr_refresh_interval)
-                    .seed(seed)
-                    .build(),
-            )
-        };
-        let contents = self.verify_integrity;
         let feistel = self
             .sg_randomizer
             .unwrap_or(RandomizerKind::Feistel { seed: self.seed });
 
-        let controller: Box<dyn Controller> = match self.scheme {
-            SchemeKind::EccOnly => Box::new(
-                FreepController::builder(
-                    mk_device(0, contents),
-                    Box::new(NoWearLeveling::new(visible)),
-                    0,
-                )
-                .build(),
-            ),
-            SchemeKind::StartGapOnly => {
-                Box::new(FreepController::builder(mk_device(1, contents), sg(feistel), 0).build())
-            }
-            SchemeKind::SecurityRefreshOnly => {
-                Box::new(FreepController::builder(mk_device(0, contents), sr(self.seed), 0).build())
-            }
-            SchemeKind::Freep { .. } => {
-                let mut b = FreepController::builder(
-                    mk_device(1 + reserve_blocks, contents),
-                    sg(feistel),
-                    reserve_blocks,
-                );
-                if let Some(bytes) = self.cache_bytes {
-                    b = b.cache_bytes(bytes);
-                }
-                Box::new(b.build())
-            }
-            SchemeKind::Lls => {
-                let chunk = ((visible / 16) / bpp).max(1) * bpp;
-                let mut b = LlsController::builder(
-                    mk_device(1 + chunk * self.lls_chunks, contents),
-                    sg(RandomizerKind::HalfRestricted { seed: self.seed }),
-                )
-                .chunk_blocks(chunk)
-                .max_chunks(self.lls_chunks)
-                .groups(self.lls_groups);
-                if let Some(bytes) = self.cache_bytes {
-                    b = b.cache_bytes(bytes);
-                }
-                Box::new(b.build())
-            }
-            SchemeKind::Zombie => {
-                let mut b = ZombieController::builder(mk_device(1, contents), sg(feistel));
-                if let Some(bytes) = self.cache_bytes {
-                    b = b.cache_bytes(bytes);
-                }
-                Box::new(b.build())
-            }
-            SchemeKind::ReviverStartGap => {
-                let mut b = RevivedController::builder(mk_device(1, contents), sg(feistel))
-                    .check_invariants(self.check_invariants)
-                    .pointer_bytes(self.reviver_pointer_bytes)
-                    .chain_switching(self.reviver_chain_switching)
-                    .proactive_acquisition(self.reviver_proactive);
-                if let Some(bytes) = self.cache_bytes {
-                    b = b.cache_bytes(bytes);
-                }
-                Box::new(b.build())
-            }
-            SchemeKind::ReviverSecurityRefresh => {
-                let mut b = RevivedController::builder(mk_device(0, contents), sr(self.seed))
-                    .check_invariants(self.check_invariants)
-                    .pointer_bytes(self.reviver_pointer_bytes)
-                    .chain_switching(self.reviver_chain_switching)
-                    .proactive_acquisition(self.reviver_proactive);
-                if let Some(bytes) = self.cache_bytes {
-                    b = b.cache_bytes(bytes);
-                }
-                Box::new(b.build())
-            }
-            SchemeKind::ReviverTiledStartGap => {
-                let wl = TiledStartGap::builder(visible)
-                    .tiles(self.sg_tiles)
-                    .gap_interval(self.gap_interval)
-                    .randomizer(feistel)
-                    .build();
-                let mut b =
-                    RevivedController::builder(mk_device(self.sg_tiles, contents), Box::new(wl))
-                        .check_invariants(self.check_invariants)
-                        .pointer_bytes(self.reviver_pointer_bytes)
-                        .chain_switching(self.reviver_chain_switching)
-                        .proactive_acquisition(self.reviver_proactive);
-                if let Some(bytes) = self.cache_bytes {
-                    b = b.cache_bytes(bytes);
-                }
-                Box::new(b.build())
-            }
-            SchemeKind::ReviverTwoLevelSecurityRefresh => {
-                let inner_region = (visible & visible.wrapping_neg()).min(64);
-                let wl = Stacked::two_level_security_refresh(
-                    visible,
-                    inner_region,
-                    self.sr_refresh_interval,
-                    self.sr_refresh_interval * 4,
-                    self.seed,
-                );
-                let mut b = RevivedController::builder(mk_device(0, contents), Box::new(wl))
-                    .check_invariants(self.check_invariants)
-                    .pointer_bytes(self.reviver_pointer_bytes)
-                    .chain_switching(self.reviver_chain_switching)
-                    .proactive_acquisition(self.reviver_proactive);
-                if let Some(bytes) = self.cache_bytes {
-                    b = b.cache_bytes(bytes);
-                }
-                Box::new(b.build())
-            }
-        };
+        // All stack construction lives in the scheme registry; the builder
+        // only prepares the context (knobs + one-shot device ingredients).
+        let mut ctx = crate::registry::StackCtx::new(
+            self.scheme,
+            visible,
+            reserve_blocks,
+            bpp,
+            crate::registry::DeviceParts {
+                geo,
+                endurance_mean: self.endurance_mean,
+                endurance_cov: self.endurance_cov,
+                track_contents: self.verify_integrity,
+                ecc,
+                fault_plan: self.fault_plan,
+            },
+        );
+        ctx.gap_interval = self.gap_interval;
+        ctx.sr_refresh_interval = self.sr_refresh_interval;
+        ctx.sr_region_blocks = self.sr_region_blocks;
+        ctx.sw_swap_interval = self.sw_swap_interval.unwrap_or(self.sr_refresh_interval);
+        ctx.sw_scan_window = self.sw_scan_window;
+        ctx.adaptive_epoch = self.adaptive_epoch;
+        ctx.adaptive_cov_band = self.adaptive_cov_band;
+        ctx.lls_groups = self.lls_groups;
+        ctx.lls_chunks = self.lls_chunks;
+        ctx.cache_bytes = self.cache_bytes;
+        ctx.seed = self.seed;
+        ctx.sg_randomizer = feistel;
+        ctx.sg_tiles = self.sg_tiles;
+        ctx.check_invariants = self.check_invariants;
+        ctx.reviver_pointer_bytes = self.reviver_pointer_bytes;
+        ctx.reviver_chain_switching = self.reviver_chain_switching;
+        ctx.reviver_proactive = self.reviver_proactive;
+
+        let controller: Box<dyn Controller> = crate::registry::SchemeRegistry::global()
+            .spec_for(self.scheme)
+            .build_stack(&mut ctx);
 
         let mut controller = controller;
         if let Some(r) = controller.as_reviver_mut() {
@@ -762,6 +713,10 @@ impl Simulation {
             gap_interval: 100,
             sr_refresh_interval: 100,
             sr_region_blocks: None,
+            sw_swap_interval: None,
+            sw_scan_window: 16,
+            adaptive_epoch: None,
+            adaptive_cov_band: (0.75, 1.5),
             lls_groups: 64,
             lls_chunks: 16,
             cache_bytes: None,

@@ -31,7 +31,10 @@
 //!                      lifetime [0.92]
 //! WLR_FLEET_PLANS      fault-plan variants cycled across futures, 1-4:
 //!                      none / power loss / silent failures / both [4]
-//! WLR_FLEET_SCHEMES    comma list [sg,reviver-sg,sr,reviver-sr]
+//! WLR_FLEET_SCHEMES    comma list of registry stack names
+//!                      (`--list-stacks` prints them)
+//!                      [sg,reviver-sg,sr,reviver-sr,softwear,
+//!                      softwear-wlr,adaptive-sg,adaptive-sg-wlr]
 //! WLR_FLEET_BLOCKS     chip size in blocks [1024]
 //! WLR_FLEET_ENDURANCE  mean cell endurance [1000]
 //! WLR_FLEET_REPLAYS    warmup-replay control runs per scheme [3]
@@ -42,6 +45,7 @@
 
 use std::time::Instant;
 
+use wl_reviver::registry::SchemeRegistry;
 use wl_reviver::sim::{SchemeKind, Simulation, StopCondition, StopReason};
 use wlr_base::pool::{run_pooled, PooledJob};
 use wlr_base::stats::QuantileSet;
@@ -69,21 +73,13 @@ fn usage(msg: &str) -> ! {
     std::process::exit(2)
 }
 
-/// `(kind, bare counterpart)` for a scheme name; the bare counterpart
-/// feeds the lifetime-retention block when both ran in the campaign.
+/// `(kind, bare counterpart)` for a registry stack name; the bare
+/// counterpart feeds the lifetime-retention block when both ran in the
+/// campaign.
 fn parse_scheme(name: &str) -> (SchemeKind, Option<&'static str>) {
-    match name {
-        "ecc" => (SchemeKind::EccOnly, None),
-        "sg" => (SchemeKind::StartGapOnly, None),
-        "sr" => (SchemeKind::SecurityRefreshOnly, None),
-        "lls" => (SchemeKind::Lls, Some("sg")),
-        "zombie" => (SchemeKind::Zombie, Some("sg")),
-        "freep" => (SchemeKind::Freep { reserve_frac: 0.1 }, Some("sg")),
-        "reviver-sg" => (SchemeKind::ReviverStartGap, Some("sg")),
-        "reviver-sr" => (SchemeKind::ReviverSecurityRefresh, Some("sr")),
-        "reviver-tiled" => (SchemeKind::ReviverTiledStartGap, Some("sg")),
-        "reviver-sr2" => (SchemeKind::ReviverTwoLevelSecurityRefresh, Some("sr")),
-        other => usage(&format!("unknown scheme `{other}` in WLR_FLEET_SCHEMES")),
+    match SchemeRegistry::global().resolve(name) {
+        Ok(spec) => (spec.kind, spec.bare),
+        Err(e) => usage(&format!("WLR_FLEET_SCHEMES: {e}")),
     }
 }
 
@@ -322,9 +318,11 @@ fn row_json(row: &SchemeRow, seeds: u64) -> String {
 }
 
 fn main() {
+    wlr_bench::report::handle_list_stacks();
     let k = Knobs::from_env();
-    let scheme_list = std::env::var("WLR_FLEET_SCHEMES")
-        .unwrap_or_else(|_| "sg,reviver-sg,sr,reviver-sr".to_string());
+    let scheme_list = std::env::var("WLR_FLEET_SCHEMES").unwrap_or_else(|_| {
+        "sg,reviver-sg,sr,reviver-sr,softwear,softwear-wlr,adaptive-sg,adaptive-sg-wlr".to_string()
+    });
     let schemes: Vec<(String, SchemeKind, Option<&'static str>)> = scheme_list
         .split(',')
         .map(str::trim)

@@ -220,6 +220,20 @@ impl McFrontendBuilder {
         self
     }
 
+    /// Per-bank controller stack selected by scheme-registry name (e.g.
+    /// `"reviver-sg"`, `"softwear-wlr"`; see
+    /// [`wl_reviver::SchemeRegistry`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics with the valid-name list on an unknown name; callers
+    /// taking untrusted input should pre-validate through
+    /// [`wl_reviver::SchemeRegistry::resolve`].
+    pub fn stack(self, name: &str) -> Self {
+        let kind = wl_reviver::SchemeRegistry::global().kind(name);
+        self.scheme(kind)
+    }
+
     /// Start-Gap ψ for every bank (default 100).
     pub fn gap_interval(mut self, psi: u64) -> Self {
         self.gap_interval = psi;
@@ -1497,6 +1511,35 @@ impl McFrontend {
 mod tests {
     use super::*;
     use wlr_trace::UniformWorkload;
+
+    #[test]
+    fn stack_name_selects_the_registry_scheme() {
+        // A by-name build must be bit-identical to the by-kind build.
+        let run = |mc: McFrontendBuilder| {
+            let mut mc = mc
+                .banks(2)
+                .total_blocks(1 << 10)
+                .endurance_mean(1e9)
+                .seed(9)
+                .build()
+                .unwrap();
+            let mut w = UniformWorkload::new(1 << 10, 9);
+            mc.run(&mut w, 10_000);
+            (0..2)
+                .map(|b| mc.bank_sim_mut(b).fingerprint())
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(
+            run(McFrontend::builder().stack("reviver-sr")),
+            run(McFrontend::builder().scheme(SchemeKind::ReviverSecurityRefresh)),
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown stack")]
+    fn unknown_stack_name_panics_with_the_valid_list() {
+        McFrontend::builder().stack("no-such-stack");
+    }
 
     #[test]
     fn traffic_splits_across_banks_and_conserves_writes() {

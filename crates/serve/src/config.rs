@@ -23,6 +23,9 @@ pub struct Config {
     pub total_blocks: u64,
     /// `WLR_SERVE_SEED` — experiment seed.
     pub seed: u64,
+    /// `WLR_SERVE_SCHEME` — per-bank stack, any *revived* scheme-registry
+    /// name (part of the persisted-image identity).
+    pub scheme: String,
     /// `WLR_SERVE_ENDURANCE` — mean cell endurance per bank.
     pub endurance_mean: f64,
     /// `WLR_SERVE_USERS` — simulated client population.
@@ -77,6 +80,27 @@ impl Config {
             Some("block") => ShedPolicy::Block,
             Some(other) => panic!("WLR_SHED_POLICY={other:?}: expected \"shed\" or \"block\""),
         };
+        let scheme = env_str("WLR_SERVE_SCHEME").unwrap_or_else(|| "reviver-sg".into());
+        match wl_reviver::SchemeRegistry::global().resolve(&scheme) {
+            Ok(spec) if spec.revivable => {}
+            Ok(spec) => {
+                let names: Vec<_> = wl_reviver::SchemeRegistry::global()
+                    .revivable()
+                    .map(|s| s.name)
+                    .collect();
+                eprintln!(
+                    "wlr-serve: WLR_SERVE_SCHEME={}: the daemon's metrics, tracing, and \
+                     persistence need a revived stack; valid: {}",
+                    spec.name,
+                    names.join(", ")
+                );
+                std::process::exit(2);
+            }
+            Err(e) => {
+                eprintln!("wlr-serve: WLR_SERVE_SCHEME: {e}");
+                std::process::exit(2);
+            }
+        }
         Config {
             addr: env_str("WLR_SERVE_ADDR").unwrap_or_else(|| "127.0.0.1:9464".into()),
             arrival_rate: env_u64("WLR_ARRIVAL_RATE", 50_000),
@@ -90,6 +114,7 @@ impl Config {
             banks: env_u64("WLR_SERVE_BANKS", 4) as usize,
             total_blocks: env_u64("WLR_SERVE_BLOCKS", 1 << 14),
             seed: env_u64("WLR_SERVE_SEED", 7),
+            scheme,
             endurance_mean: env_u64("WLR_SERVE_ENDURANCE", 1_000_000) as f64,
             users: env_u64("WLR_SERVE_USERS", 1_000_000),
             state_path: env_str("WLR_SERVE_STATE"),

@@ -71,6 +71,8 @@ pub struct Shared {
     /// Chaos commands accepted over `/chaos`, awaiting the service loop.
     chaos_queue: Mutex<Vec<ChaosCmd>>,
     chaos_pending: AtomicBool,
+    /// Registry name of the running stack (set once at boot).
+    scheme: std::sync::OnceLock<&'static str>,
 }
 
 impl Shared {
@@ -84,7 +86,18 @@ impl Shared {
             recovered: AtomicBool::new(false),
             chaos_queue: Mutex::new(Vec::new()),
             chaos_pending: AtomicBool::new(false),
+            scheme: std::sync::OnceLock::new(),
         }
+    }
+
+    /// Publishes the running stack's registry name (first call wins).
+    pub fn set_scheme(&self, name: &'static str) {
+        let _ = self.scheme.set(name);
+    }
+
+    /// The running stack's registry name.
+    pub fn scheme(&self) -> &'static str {
+        self.scheme.get().copied().unwrap_or("reviver-sg")
     }
 
     /// Replaces the pre-rendered snapshot.
@@ -171,6 +184,7 @@ fn route(path: &str, shared: &Shared) -> (&'static str, &'static str, String) {
             shared.registry.render(),
         ),
         "/healthz" => ("200 OK", "application/json", healthz_json(shared)),
+        "/stacks" => ("200 OK", "application/json", stacks_json(shared)),
         "/snapshot" => (
             "200 OK",
             "application/json",
@@ -206,10 +220,29 @@ fn chaos_route(query: &str, shared: &Shared) -> (&'static str, &'static str, Str
     }
 }
 
+/// The scheme registry as JSON: every stack, which are revivable, and
+/// which one this daemon runs — the discovery surface for
+/// `WLR_SERVE_SCHEME`.
+fn stacks_json(shared: &Shared) -> String {
+    let mut s = format!("{{\"running\":\"{}\",\"stacks\":[", shared.scheme());
+    for (i, spec) in wl_reviver::SchemeRegistry::global().iter().enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        s.push_str(&format!(
+            "{{\"name\":\"{}\",\"title\":\"{}\",\"revivable\":{}}}",
+            spec.name, spec.title, spec.revivable
+        ));
+    }
+    s.push_str("]}");
+    s
+}
+
 fn healthz_json(shared: &Shared) -> String {
     format!(
-        "{{\"status\":\"{}\",\"requests\":{},\"recovered\":{}}}",
+        "{{\"status\":\"{}\",\"scheme\":\"{}\",\"requests\":{},\"recovered\":{}}}",
         shared.state().name(),
+        shared.scheme(),
         shared.serviced.load(Ordering::Relaxed),
         shared.recovered.load(Ordering::Relaxed),
     )

@@ -83,6 +83,12 @@ fn main() {
     }
 
     let shared = Arc::new(http::Shared::new(Arc::clone(&m.registry)));
+    shared.set_scheme(
+        wl_reviver::SchemeRegistry::global()
+            .get(&cfg.scheme)
+            .expect("validated in Config::from_env")
+            .name,
+    );
 
     // Restore a persisted image, replaying recovery into the live sinks.
     let mut lifetime_serviced = 0u64;
@@ -95,6 +101,7 @@ fn main() {
                     cfg.seed,
                     cfg.endurance_mean,
                     cfg.gap_interval,
+                    &cfg.scheme,
                 ) {
                     eprintln!("wlr-serve: {path} was captured under a different configuration");
                     std::process::exit(2);
@@ -223,6 +230,7 @@ fn main() {
             cfg.seed,
             cfg.endurance_mean.to_bits(),
             cfg.gap_interval,
+            state::scheme_hash(&cfg.scheme),
         ];
         let img = state::capture(&mut mc, identity, lifetime_serviced + serviced);
         match state::save(path, &img) {
@@ -253,6 +261,7 @@ fn build_frontend(cfg: &Config) -> McFrontend {
         .banks(cfg.banks)
         .total_blocks(cfg.total_blocks)
         .endurance_mean(cfg.endurance_mean)
+        .stack(&cfg.scheme)
         .gap_interval(cfg.gap_interval)
         .seed(cfg.seed)
         .span_sample(cfg.metrics_sample)

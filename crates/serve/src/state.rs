@@ -30,8 +30,19 @@ use wlr_base::pool::{run_pooled, PooledJob};
 use wlr_base::PageId;
 use wlr_mc::{McFrontend, QuarantineImage};
 
-const MAGIC: u64 = 0x574c_5253_4552_5632; // "WLRSERV2"
+const MAGIC: u64 = 0x574c_5253_4552_5633; // "WLRSERV3"
 const COMMIT: u64 = 0x434f_4d4d_4954_4f4b; // "COMMITOK"
+
+/// FNV-1a of a registry stack name — the image identity stores the hash
+/// so the header stays fixed-width `u64` words.
+pub fn scheme_hash(name: &str) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for b in name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    h
+}
 
 /// One bank's durable state.
 #[derive(Debug, Clone, PartialEq)]
@@ -61,6 +72,8 @@ pub struct StateImage {
     pub endurance_bits: u64,
     /// Start-Gap ψ.
     pub gap_interval: u64,
+    /// [`scheme_hash`] of the registry stack the banks were built with.
+    pub scheme: u64,
     /// Requests serviced over all prior lifetimes (informational).
     pub serviced: u64,
     /// Quarantine state at capture time (`None` when the front-end is
@@ -72,6 +85,7 @@ pub struct StateImage {
 
 impl StateImage {
     /// Whether this image was captured under the same configuration.
+    #[allow(clippy::too_many_arguments)]
     pub fn matches(
         &self,
         banks: usize,
@@ -79,12 +93,14 @@ impl StateImage {
         seed: u64,
         endurance_mean: f64,
         gap_interval: u64,
+        scheme: &str,
     ) -> bool {
         self.banks == banks as u64
             && self.total_blocks == total_blocks
             && self.seed == seed
             && self.endurance_bits == endurance_mean.to_bits()
             && self.gap_interval == gap_interval
+            && self.scheme == scheme_hash(scheme)
     }
 
     /// Serializes to the on-disk byte layout.
@@ -97,6 +113,7 @@ impl StateImage {
             self.seed,
             self.endurance_bits,
             self.gap_interval,
+            self.scheme,
             self.serviced,
         ] {
             w.word(v);
@@ -153,6 +170,7 @@ impl StateImage {
         let seed = r.word()?;
         let endurance_bits = r.word()?;
         let gap_interval = r.word()?;
+        let scheme = r.word()?;
         let serviced = r.word()?;
         if banks > 4096 {
             return Err(corrupt("implausible bank count"));
@@ -202,6 +220,7 @@ impl StateImage {
             seed,
             endurance_bits,
             gap_interval,
+            scheme,
             serviced,
             quarantine,
             per_bank,
@@ -267,7 +286,7 @@ impl Reader<'_> {
 /// Captures the durable state of every bank. Requires the pipeline to be
 /// quiescent (no workers active, queues and rings drained — i.e. after
 /// [`McFrontend::finish`]).
-pub fn capture(mc: &mut McFrontend, cfg_identity: [u64; 5], serviced: u64) -> StateImage {
+pub fn capture(mc: &mut McFrontend, cfg_identity: [u64; 6], serviced: u64) -> StateImage {
     let per_bank = (0..mc.num_banks())
         .map(|b| {
             let sim = mc.bank_sim_mut(b);
@@ -294,13 +313,14 @@ pub fn capture(mc: &mut McFrontend, cfg_identity: [u64; 5], serviced: u64) -> St
             }
         })
         .collect();
-    let [banks, total_blocks, seed, endurance_bits, gap_interval] = cfg_identity;
+    let [banks, total_blocks, seed, endurance_bits, gap_interval, scheme] = cfg_identity;
     StateImage {
         banks,
         total_blocks,
         seed,
         endurance_bits,
         gap_interval,
+        scheme,
         serviced,
         quarantine: mc.quarantine_image(),
         per_bank,
@@ -415,26 +435,39 @@ mod tests {
             .unwrap()
     }
 
-    const IDENTITY: [u64; 5] = [2, 1 << 10, 23, (300.0f64).to_bits(), 16];
+    fn identity() -> [u64; 6] {
+        [
+            2,
+            1 << 10,
+            23,
+            (300.0f64).to_bits(),
+            16,
+            scheme_hash("reviver-sg"),
+        ]
+    }
 
     #[test]
     fn image_round_trips_through_bytes() {
         let (mut mc, n) = worn_frontend(23);
-        let img = capture(&mut mc, IDENTITY, n);
+        let img = capture(&mut mc, identity(), n);
         assert!(
             img.per_bank.iter().any(|b| !b.retirements.is_empty()),
             "a worn run retires pages (endurance 300 over 400k writes)"
         );
         let back = StateImage::from_bytes(&img.to_bytes()).expect("round trip");
         assert_eq!(back, img);
-        assert!(back.matches(2, 1 << 10, 23, 300.0, 16));
-        assert!(!back.matches(4, 1 << 10, 23, 300.0, 16));
+        assert!(back.matches(2, 1 << 10, 23, 300.0, 16, "reviver-sg"));
+        assert!(!back.matches(4, 1 << 10, 23, 300.0, 16, "reviver-sg"));
+        assert!(
+            !back.matches(2, 1 << 10, 23, 300.0, 16, "softwear-wlr"),
+            "an image never restores into a different stack"
+        );
     }
 
     #[test]
     fn quarantine_section_round_trips() {
         let (mut mc, n) = worn_frontend(23);
-        let mut img = capture(&mut mc, IDENTITY, n);
+        let mut img = capture(&mut mc, identity(), n);
         assert!(
             img.quarantine.is_none(),
             "plain front-end has no quarantine"
@@ -452,7 +485,7 @@ mod tests {
     #[test]
     fn truncated_or_uncommitted_images_are_rejected() {
         let (mut mc, n) = worn_frontend(23);
-        let bytes = capture(&mut mc, IDENTITY, n).to_bytes();
+        let bytes = capture(&mut mc, identity(), n).to_bytes();
         assert!(StateImage::from_bytes(&bytes[..bytes.len() - 8]).is_err());
         assert!(StateImage::from_bytes(&bytes[..64]).is_err());
         let mut flipped = bytes.clone();
@@ -463,7 +496,7 @@ mod tests {
     #[test]
     fn restore_reproduces_the_durable_state() {
         let (mut worn, n) = worn_frontend(23);
-        let img = capture(&mut worn, IDENTITY, n);
+        let img = capture(&mut worn, identity(), n);
         let mut fresh = fresh_like(23);
         let reports = restore(&mut fresh, &img);
         assert_eq!(reports.len(), 2, "one report per bank");
@@ -497,7 +530,7 @@ mod tests {
     #[test]
     fn save_and_load_round_trip_on_disk() {
         let (mut mc, n) = worn_frontend(23);
-        let img = capture(&mut mc, IDENTITY, n);
+        let img = capture(&mut mc, identity(), n);
         let dir = std::env::temp_dir();
         let path = dir
             .join(format!("wlr_serve_state_test_{}", std::process::id()))

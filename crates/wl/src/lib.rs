@@ -53,32 +53,38 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod adaptive;
 pub mod none;
 pub mod randomizer;
 pub mod security_refresh;
+pub mod softwear;
 pub mod stacked;
 pub mod start_gap;
 pub mod tiled;
 pub mod traits;
 
+pub use adaptive::Adaptive;
 pub use none::NoWearLeveling;
 pub use randomizer::{
     AddressRandomizer, FeistelRandomizer, HalfRestrictedRandomizer, IdentityRandomizer,
     MemoizedRandomizer, RandomizerKind, TableRandomizer,
 };
 pub use security_refresh::SecurityRefresh;
+pub use softwear::SoftWear;
 pub use stacked::Stacked;
 pub use start_gap::StartGap;
 pub use tiled::TiledStartGap;
-pub use traits::{Migration, WearLeveler};
+pub use traits::{Migration, MigrationDas, WearLeveler};
 
 /// Convenient glob import for downstream crates and examples.
 pub mod prelude {
+    pub use crate::adaptive::Adaptive;
     pub use crate::none::NoWearLeveling;
     pub use crate::randomizer::RandomizerKind;
     pub use crate::security_refresh::SecurityRefresh;
+    pub use crate::softwear::SoftWear;
     pub use crate::stacked::Stacked;
     pub use crate::start_gap::StartGap;
     pub use crate::tiled::TiledStartGap;
-    pub use crate::traits::{Migration, WearLeveler};
+    pub use crate::traits::{Migration, MigrationDas, WearLeveler};
 }

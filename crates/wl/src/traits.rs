@@ -45,20 +45,69 @@ pub enum Migration {
     },
 }
 
+/// Up to two device blocks named by a [`Migration`], stored inline.
+///
+/// A migration touches one block (`Copy`) or two (`Swap`); returning this
+/// instead of a `Vec<Da>` keeps [`Migration::write_targets`] and
+/// [`Migration::read_sources`] allocation-free on the write hot path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct MigrationDas {
+    das: [Da; 2],
+    len: u8,
+}
+
+impl MigrationDas {
+    fn one(da: Da) -> Self {
+        MigrationDas {
+            das: [da, da],
+            len: 1,
+        }
+    }
+
+    fn two(a: Da, b: Da) -> Self {
+        MigrationDas {
+            das: [a, b],
+            len: 2,
+        }
+    }
+
+    /// The blocks as a slice (length 1 or 2).
+    pub fn as_slice(&self) -> &[Da] {
+        &self.das[..self.len as usize]
+    }
+}
+
+impl core::ops::Deref for MigrationDas {
+    type Target = [Da];
+
+    fn deref(&self) -> &[Da] {
+        self.as_slice()
+    }
+}
+
+impl IntoIterator for MigrationDas {
+    type Item = Da;
+    type IntoIter = core::iter::Take<core::array::IntoIter<Da, 2>>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.das.into_iter().take(self.len as usize)
+    }
+}
+
 impl Migration {
     /// The device blocks this migration writes into.
-    pub fn write_targets(&self) -> Vec<Da> {
+    pub fn write_targets(&self) -> MigrationDas {
         match *self {
-            Migration::Copy { dst, .. } => vec![dst],
-            Migration::Swap { a, b } => vec![a, b],
+            Migration::Copy { dst, .. } => MigrationDas::one(dst),
+            Migration::Swap { a, b } => MigrationDas::two(a, b),
         }
     }
 
     /// The device blocks this migration reads from.
-    pub fn read_sources(&self) -> Vec<Da> {
+    pub fn read_sources(&self) -> MigrationDas {
         match *self {
-            Migration::Copy { src, .. } => vec![src],
-            Migration::Swap { a, b } => vec![a, b],
+            Migration::Copy { src, .. } => MigrationDas::one(src),
+            Migration::Swap { a, b } => MigrationDas::two(a, b),
         }
     }
 }
@@ -170,14 +219,19 @@ mod tests {
             src: Da::new(1),
             dst: Da::new(2),
         };
-        assert_eq!(c.write_targets(), vec![Da::new(2)]);
-        assert_eq!(c.read_sources(), vec![Da::new(1)]);
+        assert_eq!(c.write_targets().as_slice(), &[Da::new(2)]);
+        assert_eq!(c.read_sources().as_slice(), &[Da::new(1)]);
         let s = Migration::Swap {
             a: Da::new(3),
             b: Da::new(4),
         };
-        assert_eq!(s.write_targets(), vec![Da::new(3), Da::new(4)]);
-        assert_eq!(s.read_sources(), vec![Da::new(3), Da::new(4)]);
+        assert_eq!(s.write_targets().as_slice(), &[Da::new(3), Da::new(4)]);
+        assert_eq!(s.read_sources().as_slice(), &[Da::new(3), Da::new(4)]);
+        assert_eq!(s.write_targets().into_iter().count(), 2);
+        assert_eq!(
+            c.read_sources().into_iter().collect::<Vec<_>>(),
+            vec![Da::new(1)]
+        );
     }
 
     #[test]

@@ -21,6 +21,7 @@
 //! debug-friendly subset plus the targeted torn-metadata windows a blind
 //! sweep only hits by luck.
 
+use wl_reviver::registry::SchemeRegistry;
 use wl_reviver::sim::{SchemeKind, Simulation, SimulationBuilder, StopCondition, StopReason};
 use wlr_pcm::{CrashPoint, FaultPlan};
 
@@ -44,25 +45,14 @@ fn rig(scheme: SchemeKind) -> SimulationBuilder {
         .check_invariants(true)
 }
 
-/// Every scheme stack, flagged by whether it has a real recovery path
-/// (reviver stacks crash at device-write granularity; baselines at
+/// Every registered stack, flagged by whether it has a real recovery
+/// path (reviver stacks crash at device-write granularity; baselines at
 /// software-write boundaries).
 fn all_schemes() -> Vec<(&'static str, SchemeKind, bool)> {
-    vec![
-        ("ecc", SchemeKind::EccOnly, false),
-        ("sg", SchemeKind::StartGapOnly, false),
-        ("sr", SchemeKind::SecurityRefreshOnly, false),
-        ("freep", SchemeKind::Freep { reserve_frac: 0.1 }, false),
-        ("lls", SchemeKind::Lls, false),
-        ("reviver-sg", SchemeKind::ReviverStartGap, true),
-        ("reviver-sr", SchemeKind::ReviverSecurityRefresh, true),
-        ("reviver-tiled", SchemeKind::ReviverTiledStartGap, true),
-        (
-            "reviver-sr2",
-            SchemeKind::ReviverTwoLevelSecurityRefresh,
-            true,
-        ),
-    ]
+    SchemeRegistry::global()
+        .iter()
+        .map(|s| (s.name, s.kind, s.revivable))
+        .collect()
 }
 
 /// Crashes a reviver stack at device-write index `k`, recovers, finishes

@@ -18,6 +18,7 @@
 //! and paste the printed table over `GOLDEN`.
 
 use wl_reviver::metrics::TimeSeries;
+use wl_reviver::registry::SchemeRegistry;
 use wl_reviver::sim::{Outcome, SchemeKind, Simulation, StopCondition};
 
 const BLOCKS: u64 = 1 << 10;
@@ -28,19 +29,12 @@ const SEED: u64 = 7;
 /// switches, page retirements and redirection all shape the curves.
 const STOP_WRITES: u64 = 280_000;
 
-/// Every scheme kind the simulation can build, with a stable label.
+/// Every registered stack, with its canonical registry name as label.
 fn all_schemes() -> Vec<(&'static str, SchemeKind)> {
-    vec![
-        ("ecc", SchemeKind::EccOnly),
-        ("sg", SchemeKind::StartGapOnly),
-        ("sr", SchemeKind::SecurityRefreshOnly),
-        ("freep", SchemeKind::Freep { reserve_frac: 0.1 }),
-        ("lls", SchemeKind::Lls),
-        ("reviver-sg", SchemeKind::ReviverStartGap),
-        ("reviver-sr", SchemeKind::ReviverSecurityRefresh),
-        ("reviver-tiled", SchemeKind::ReviverTiledStartGap),
-        ("reviver-sr2", SchemeKind::ReviverTwoLevelSecurityRefresh),
-    ]
+    SchemeRegistry::global()
+        .iter()
+        .map(|s| (s.name, s.kind))
+        .collect()
 }
 
 fn sim(scheme: SchemeKind, verify: bool) -> Simulation {
@@ -96,12 +90,17 @@ const GOLDEN: &[(&str, u64)] = &[
     ("ecc", 0xd30e0db011aee6f9),
     ("sg", 0xce1adf2f1ee9f99c),
     ("sr", 0x35e1b9827b561ff0),
+    ("softwear", 0x273ecfdfdfdebdf1),
+    ("adaptive-sg", 0xcc2d02d5323e64bf),
     ("freep", 0xf70fda549cea7b5c),
     ("lls", 0xcb262ff9cfc1b02a),
+    ("zombie", 0x0cec8fb56bbee471),
     ("reviver-sg", 0x82a91d5fa092d560),
     ("reviver-sr", 0x74ac0550cb0985e1),
     ("reviver-tiled", 0xacabc7818ee1fc51),
     ("reviver-sr2", 0xb9bcda0cdd26c283),
+    ("softwear-wlr", 0xf2eb2758e9e8e128),
+    ("adaptive-sg-wlr", 0xd3c3e532fe11c00d),
 ];
 
 /// Goldens for integrity-oracle runs (exercises the verification-order
@@ -109,6 +108,8 @@ const GOLDEN: &[(&str, u64)] = &[
 const GOLDEN_ORACLE: &[(&str, u64)] = &[
     ("reviver-sg", 0x2788c618225eac3e),
     ("reviver-sr", 0xdec389ce3669ea13),
+    ("softwear-wlr", 0xff2345f943fd3c54),
+    ("adaptive-sg-wlr", 0x3ffca1b8797cc82f),
 ];
 
 fn run_fingerprint(scheme: SchemeKind, verify: bool) -> u64 {
@@ -144,9 +145,12 @@ fn outcomes_match_seed_engine_goldens() {
 #[test]
 fn oracle_runs_match_seed_engine_goldens() {
     let capture = std::env::var("WLR_CAPTURE_GOLDEN").is_ok_and(|v| v == "1");
+    let reg = SchemeRegistry::global();
     for &(label, scheme) in &[
-        ("reviver-sg", SchemeKind::ReviverStartGap),
-        ("reviver-sr", SchemeKind::ReviverSecurityRefresh),
+        ("reviver-sg", reg.kind("reviver-sg")),
+        ("reviver-sr", reg.kind("reviver-sr")),
+        ("softwear-wlr", reg.kind("softwear-wlr")),
+        ("adaptive-sg-wlr", reg.kind("adaptive-sg-wlr")),
     ] {
         let fp = run_fingerprint(scheme, true);
         if capture {

@@ -12,24 +12,18 @@
 //! 3. **Determinism** — the same (snapshot, seed, fault plan) always
 //!    yields the same lifetime, across repeated forks.
 
+use wl_reviver::registry::SchemeRegistry;
 use wl_reviver::sim::{SchemeKind, Simulation, StopCondition};
 use wlr_mc::{BankChaos, McFrontend, McStopPolicy};
 use wlr_pcm::FaultPlan;
 use wlr_trace::{UniformWorkload, Workload};
 
-/// Every scheme kind the simulation can build, with a stable label.
+/// Every registered stack, with its canonical registry name as label.
 fn all_schemes() -> Vec<(&'static str, SchemeKind)> {
-    vec![
-        ("ecc", SchemeKind::EccOnly),
-        ("sg", SchemeKind::StartGapOnly),
-        ("sr", SchemeKind::SecurityRefreshOnly),
-        ("freep", SchemeKind::Freep { reserve_frac: 0.1 }),
-        ("lls", SchemeKind::Lls),
-        ("reviver-sg", SchemeKind::ReviverStartGap),
-        ("reviver-sr", SchemeKind::ReviverSecurityRefresh),
-        ("reviver-tiled", SchemeKind::ReviverTiledStartGap),
-        ("reviver-sr2", SchemeKind::ReviverTwoLevelSecurityRefresh),
-    ]
+    SchemeRegistry::global()
+        .iter()
+        .map(|s| (s.name, s.kind))
+        .collect()
 }
 
 fn sim(scheme: SchemeKind) -> Simulation {
